@@ -1,0 +1,25 @@
+"""Ablations of the mRTS design decisions (DESIGN.md Section 6).
+
+Shape asserted: every mRTS ingredient pulls its weight -- disabling the
+monoCG-Extension or the intermediate ISEs makes the encoder measurably
+slower, and no ablation makes it faster (beyond noise).
+"""
+
+from conftest import BENCH_FRAMES, BENCH_SEED, run_once
+
+from repro.experiments.ablations import run_ablations
+
+
+def test_ablations(benchmark):
+    result = run_once(
+        benchmark, lambda: run_ablations(frames=BENCH_FRAMES, seed=BENCH_SEED)
+    )
+    print("\n" + result.render())
+
+    # No variant beats the full system by more than noise.
+    for name in result.cycles:
+        assert result.slowdown(name) > 0.995, name
+
+    # The execution-steering features of Section 4 carry real weight.
+    assert result.slowdown("no intermediate ISEs") > 1.01
+    assert result.slowdown("no monoCG-Extension") > 1.005

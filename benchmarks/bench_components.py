@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the run-time system's hot paths.
+
+These time the operations whose cost Section 5.4 models: one profit
+evaluation (Eqs. 2-4), one full greedy selection, one optimal (DP)
+selection, and one ECU execution decision.  Useful for keeping the
+simulator fast and for sanity-checking the overhead model's proportions
+(a profit evaluation is the dominant per-candidate cost).
+"""
+
+import pytest
+
+from repro.core.ecu import ExecutionControlUnit
+from repro.core.optimal import OptimalSelector
+from repro.core.profit import ise_profit
+from repro.core.selector import ISESelector
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.sim.trigger import TriggerInstruction
+from repro.workloads.h264 import h264_application, h264_library
+
+
+@pytest.fixture(scope="module")
+def setup():
+    budget = ResourceBudget(n_prcs=3, n_cg_fabrics=3)
+    library = h264_library(budget)
+    app = h264_application(frames=2, seed=7)
+    triggers = app.profiled_triggers("EE")
+    return budget, library, triggers
+
+
+def test_profit_evaluation_speed(benchmark, setup):
+    _, library, triggers = setup
+    ise = library.candidates("ee.mc_hz")[0]
+    trig = next(t for t in triggers if t.kernel == "ee.mc_hz")
+    benchmark(
+        lambda: ise_profit(
+            ise, e=trig.executions, tf=trig.time_to_first, tb=trig.time_between
+        )
+    )
+
+
+def test_greedy_selection_speed(benchmark, setup):
+    budget, library, triggers = setup
+    selector = ISESelector(library)
+
+    def select():
+        controller = ReconfigurationController(budget)
+        return selector.select(triggers, controller, now=0)
+
+    result = benchmark(select)
+    assert set(result.selected) == {t.kernel for t in triggers}
+
+
+def test_optimal_selection_speed(benchmark, setup):
+    budget, library, triggers = setup
+    selector = OptimalSelector(library)
+
+    def select():
+        controller = ReconfigurationController(budget)
+        return selector.select(triggers, controller, now=0)
+
+    result = benchmark(select)
+    assert set(result.selected) == {t.kernel for t in triggers}
+
+
+def test_ecu_decision_speed(benchmark, setup):
+    budget, library, triggers = setup
+    controller = ReconfigurationController(budget)
+    selection = ISESelector(library).select(triggers, controller, now=0)
+    controller.commit_selection(selection.selected, "bench", now=0)
+    ecu = ExecutionControlUnit(controller, library)
+    ecu.set_selection(selection.selected)
+    decision = benchmark(lambda: ecu.execute("ee.mc_hz", now=10**6))
+    assert decision.latency > 0
+
+
+def test_trigger_profiling_speed(benchmark):
+    app = h264_application(frames=2, seed=7)
+    triggers = benchmark(lambda: app.profiled_triggers("EE"))
+    assert len(triggers) == 7

@@ -1,0 +1,29 @@
+"""Fabric contention (Section 1, run-time variation (b)).
+
+Shape asserted: when a background task periodically claims part of the
+fabric, the run-time systems degrade gracefully (mRTS within tens of
+percent) while the compile-time approaches lose the stolen part of their
+static selection for good and collapse toward RISC-mode performance.
+"""
+
+from conftest import run_once
+
+from repro.experiments.contention import run_contention
+
+
+def test_contention_graceful_degradation(benchmark):
+    result = run_once(benchmark, lambda: run_contention(frames=8))
+    print("\n" + result.render())
+
+    # The run-time systems adapt: bounded degradation.
+    assert result.degradation("mrts") < 1.5
+    assert result.degradation("rispp") < 1.5
+
+    # The compile-time systems cannot re-select: they degrade far worse.
+    assert result.degradation("offline-optimal") > 1.5
+    assert result.degradation("morpheus4s") > 1.5
+    assert result.degradation("offline-optimal") > 1.5 * result.degradation("mrts")
+
+    # And mRTS stays the fastest absolute performer under contention.
+    for other in ("rispp", "offline-optimal", "morpheus4s"):
+        assert result.contended_cycles["mrts"] <= result.contended_cycles[other]

@@ -1,0 +1,32 @@
+"""Energy comparison (extension beyond the paper's performance evaluation).
+
+Shapes asserted: every accelerating policy saves energy over RISC mode;
+mRTS saves the most; reconfiguration energy stays a minor component even
+for the run-time systems that reconfigure per functional block.
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments.energy import run_energy
+
+
+def test_energy_comparison(benchmark):
+    result = run_once(benchmark, lambda: run_energy(frames=8, seed=BENCH_SEED))
+    print("\n" + result.render())
+
+    for policy in ("rispp", "morpheus4s", "offline-optimal", "mrts"):
+        assert result.saving_vs_risc(policy) > 0.2, policy
+
+    # mRTS saves at least as much energy as every competitor.
+    for policy in ("rispp", "morpheus4s", "offline-optimal"):
+        assert result.total_mj("mrts") <= result.total_mj(policy) * 1.02, policy
+
+    # Reconfiguration energy is a minor component for every policy.
+    for policy, breakdown in result.breakdowns.items():
+        if breakdown.total_mj > 0:
+            assert breakdown.reconfig_mj < 0.2 * breakdown.total_mj, policy
+
+    # The combined figure of merit improves even more than energy alone.
+    edp_risc = result.breakdowns["risc"].energy_delay_product
+    edp_mrts = result.breakdowns["mrts"].energy_delay_product
+    assert edp_mrts < 0.2 * edp_risc

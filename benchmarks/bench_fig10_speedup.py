@@ -1,0 +1,35 @@
+"""Fig. 10: application speedup over RISC mode, grouped by fabric mix.
+
+Shapes asserted (paper Section 5.3): FG-only combinations land in the
+~1.8-2.2x band (we allow 1.4-2.6), multi-grained combinations reach far
+higher (the paper quotes >5x at the top), and (1 CG, 1 PRC) beats both
+3 PRCs alone and 3 CG fabrics alone.
+"""
+
+from conftest import BENCH_FRAMES, BENCH_SEED, run_once
+
+from repro.experiments.fig10_speedup import run_fig10
+
+
+def test_fig10_speedup_over_risc(benchmark):
+    result = run_once(
+        benchmark, lambda: run_fig10(frames=BENCH_FRAMES, seed=BENCH_SEED)
+    )
+    print("\n" + result.render())
+
+    fg_lo, fg_hi = result.group_range("fg-only")
+    assert 1.3 < fg_lo and fg_hi < 2.7, "FG-only band"
+
+    mg_lo, mg_hi = result.group_range("multi-grained")
+    assert mg_hi > 4.5, "top multi-grained combinations approach the >5x claim"
+    assert mg_hi > fg_hi, "multi-grained beats any single-granularity setup"
+
+    cg_lo, cg_hi = result.group_range("cg-only")
+    assert mg_hi > cg_hi
+
+    # The paper's headline observation on Fig. 10.
+    assert result.speedup_of("11") > result.speedup_of("03")
+    assert result.speedup_of("11") > result.speedup_of("30")
+
+    # No-fabric combination is the RISC reference itself.
+    assert abs(result.speedup_of("00") - 1.0) < 0.01

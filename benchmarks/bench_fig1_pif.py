@@ -1,0 +1,29 @@
+"""Fig. 1: pif of the three deblocking-filter ISEs vs. number of executions.
+
+Shape asserted (paper Section 2): three dominance regions -- the pure-CG
+ISE-2 wins for few executions, the multi-grained ISE-3 in a middle band,
+the pure-FG ISE-1 for many executions.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig1_pif import run_fig1
+
+
+def test_fig1_pif_regions(benchmark):
+    result = run_once(benchmark, lambda: run_fig1(max_executions=10_000, points=50))
+    print("\n" + result.render())
+
+    region_2 = result.dominance_region("ISE-2")
+    region_3 = result.dominance_region("ISE-3")
+    region_1 = result.dominance_region("ISE-1")
+    assert region_2 is not None, "ISE-2 (CG) must win somewhere"
+    assert region_3 is not None, "ISE-3 (MG) must win somewhere"
+    assert region_1 is not None, "ISE-1 (FG) must win somewhere"
+    # Region ordering along the execution axis: CG -> MG -> FG.
+    assert region_2[1] < region_3[0] <= region_3[1] < region_1[0]
+    # ISE-1 keeps the highest asymptotic pif, ISE-2 the lowest.
+    assert result.curves["ISE-1"][-1] > result.curves["ISE-3"][-1]
+    assert result.curves["ISE-3"][-1] > result.curves["ISE-2"][-1]
+    # pif is meaningful: the FG ISE exceeds 4x once amortised.
+    assert result.curves["ISE-1"][-1] > 4.0

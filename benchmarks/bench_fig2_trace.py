@@ -1,0 +1,23 @@
+"""Fig. 2: execution behaviour of the deblocking filter over 16 frames.
+
+Shape asserted (paper Section 2): the per-frame execution count varies so
+much that the performance-wise best ISE changes between frames.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig2_executions import run_fig2
+
+
+def test_fig2_execution_trace(benchmark):
+    result = run_once(benchmark, lambda: run_fig2(frames=16, seed=0))
+    print("\n" + result.render())
+
+    counts = result.executions_per_frame
+    assert len(counts) == 16
+    # Substantial run-time variation (the paper's whole point).
+    assert max(counts) > 3 * min(counts)
+    # The best ISE changes across iterations...
+    assert result.switches >= 1
+    # ...and more than one ISE is the winner at least once.
+    assert result.distinct_best >= 2

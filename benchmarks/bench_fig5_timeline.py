@@ -1,0 +1,29 @@
+"""Fig. 5 (measured): the execution behaviour of an ISE.
+
+Shape asserted: within one functional-block iteration, the deblocking
+kernel's executions step through at least three phases (RISC/monoCG,
+intermediate ISE(s), fully reconfigured ISE), with strictly improving
+per-execution latency -- the staircase the paper sketches and Eq. 3
+quantifies.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5_timeline import run_fig5
+
+
+def test_fig5_intermediate_ise_staircase(benchmark):
+    result = run_once(benchmark, run_fig5)
+    print("\n" + result.render())
+
+    assert result.n_phases >= 3, "the staircase has several phases"
+    assert result.staircase_is_monotone, "latency only improves within a block"
+    # The last phase is the fully reconfigured selected ISE.
+    assert result.timeline.phases[-1].mode == "selected"
+    # The bulk of the executions land on the accelerated phases.
+    accelerated = sum(
+        p.executions for p in result.timeline.phases if p.mode != "risc"
+    )
+    assert accelerated / result.timeline.total_executions > 0.8
+    # And the window banked real savings.
+    assert result.timeline.saved_cycles > 0

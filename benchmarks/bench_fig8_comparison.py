@@ -1,0 +1,45 @@
+"""Fig. 8: comparison with the state of the art over 20 fabric combinations.
+
+Shapes asserted (paper Section 5.2):
+
+* mRTS is the fastest approach on average;
+* clear average advantage over the Morpheus/4S-like offline approach and
+  the offline-optimal selection;
+* parity with the RISPP-like approach when no CG fabric is available, and
+  an advantage when multi-grained ISEs come into play.
+"""
+
+from conftest import BENCH_FRAMES, BENCH_SEED, run_once
+
+from repro.experiments.fig8_comparison import run_fig8
+
+
+def test_fig8_state_of_the_art_comparison(benchmark):
+    result = run_once(
+        benchmark, lambda: run_fig8(frames=BENCH_FRAMES, seed=BENCH_SEED)
+    )
+    print("\n" + result.render())
+
+    # mRTS never loses clearly against any competitor on any combination.
+    for versus in ("rispp", "offline-optimal", "morpheus4s"):
+        assert all(s > 0.9 for s in result.speedup_series(versus)), versus
+
+    # Average advantages (paper: 1.3x over RISPP, 1.45x over offline,
+    # 1.78x over Morpheus/4S; we assert the ordering-with-margin).
+    assert result.average_speedup("morpheus4s") > 1.15
+    assert result.average_speedup("offline-optimal") > 1.1
+    assert result.average_speedup("rispp") > 1.0
+
+    # Parity with the RISPP-like system when no CG fabrics exist.
+    rispp = result.speedup_series("rispp")
+    for budget, s in zip(result.budgets, rispp):
+        if budget.n_cg_fabrics == 0:
+            assert abs(s - 1.0) < 0.05, f"expected parity at {budget.label}"
+
+    # ... and a real advantage on at least some multi-grained combination.
+    mg = [
+        s
+        for budget, s in zip(result.budgets, rispp)
+        if budget.n_cg_fabrics > 0 and budget.n_prcs > 0
+    ]
+    assert max(mg) > 1.1

@@ -1,0 +1,29 @@
+"""Selection granularity: functional-block vs. task level (Section 1, [11]).
+
+Shape asserted: per-functional-block selection (mRTS) clearly beats a
+task-level run-time manager, and the task-level manager gets worse as its
+re-decision period grows (coarser adaptivity).
+"""
+
+from conftest import BENCH_SEED, run_once
+
+from repro.experiments.granularity import run_granularity
+
+
+def test_granularity_advantage(benchmark):
+    result = run_once(benchmark, lambda: run_granularity(frames=8, seed=BENCH_SEED))
+    print("\n" + result.render())
+
+    # Functional-block granularity wins at every task-level period.
+    for period in result.task_level_cycles:
+        assert result.advantage(period) > 1.05, f"period {period}"
+
+    # Coarser task-level decisions are never better than finer ones (small
+    # tolerance: re-decision also costs reconfiguration churn).
+    periods = sorted(result.task_level_cycles)
+    finest, coarsest = periods[0], periods[-1]
+    assert result.task_level_cycles[coarsest] >= result.task_level_cycles[finest] * 0.97
+
+    # The task-level manager still beats RISC mode handily (it is a real
+    # run-time system, just coarse).
+    assert result.risc_cycles / max(result.task_level_cycles.values()) > 1.5

@@ -1,0 +1,33 @@
+"""Multi-task fabric sharing (H.264 + JPEG, one mRTS each).
+
+Shapes asserted: both tasks stay accelerated while sharing; interference
+is bounded; and it shrinks as the fabric budget grows (with more fabric,
+the two run-time systems stop stealing each other's configurations).
+"""
+
+from conftest import run_once
+
+from repro.experiments.multitask import run_multitask
+
+
+def test_multitask_sharing(benchmark):
+    result = run_once(benchmark, lambda: run_multitask(frames=4, images=4))
+    print("\n" + result.render())
+
+    labels = list(result.cells)
+    for label in labels:
+        for task in ("h264", "jpeg"):
+            interference = result.interference(label, task)
+            # Sharing costs something -- on starved budgets the smaller task
+            # loses most of its fabric to the bigger one -- but never
+            # devolves into unbounded thrash.
+            assert 0.95 <= interference < 3.5, (label, task)
+
+    # Interference decreases with fabric (compare smallest vs largest combo,
+    # averaged over tasks to smooth out per-task noise).
+    def mean_interference(label):
+        return (
+            result.interference(label, "h264") + result.interference(label, "jpeg")
+        ) / 2
+
+    assert mean_interference(labels[-1]) <= mean_interference(labels[0]) + 0.05

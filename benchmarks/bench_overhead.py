@@ -1,0 +1,32 @@
+"""Section 5.4: implementation overhead of mRTS.
+
+Shapes asserted: under 3000 cycles per kernel selection on average, a
+low-single-digit percentage of a functional block's execution time, and a
+large hidden fraction (only the first greedy round blocks the core).
+"""
+
+from conftest import BENCH_FRAMES, BENCH_SEED, run_once
+
+from repro.experiments.overhead import run_overhead
+
+
+def test_overhead_of_mrts(benchmark):
+    result = run_once(
+        benchmark, lambda: run_overhead(frames=BENCH_FRAMES, seed=BENCH_SEED)
+    )
+    print("\n" + result.render())
+
+    # Paper: "on average takes less than 3000 cycles to select an ISE for
+    # each kernel in a functional block".
+    assert result.cycles_per_kernel < 3000
+
+    # Paper: "about 1.9% of an average execution time of a functional
+    # block" -- we assert the low-single-digit band.
+    assert result.fraction_of_block_time < 0.05
+
+    # Paper: the overhead "only affects the first selection"; most of the
+    # selector work hides behind the reconfiguration process.
+    assert result.hidden_fraction > 0.4
+
+    # And the charged overhead is negligible against the whole run.
+    assert result.charged_overhead_cycles / result.total_cycles < 0.01

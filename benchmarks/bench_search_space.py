@@ -1,0 +1,25 @@
+"""Section 4.1: the search-space explosion that motivates the heuristic.
+
+Shape asserted: the joint selection space of the Encoding Engine block is
+in the millions of combinations (the paper counted >78 million for six
+kernels), while the heuristic needs only O(N*M) profit evaluations --
+orders of magnitude fewer.
+"""
+
+from conftest import run_once
+
+from repro.experiments.search_space import run_search_space
+
+
+def test_search_space_size(benchmark):
+    result = run_once(benchmark, run_search_space)
+    print("\n" + result.render())
+
+    assert len(result.kernels) == 7, "the EE block has seven kernels"
+    # Hundreds of thousands of combinations for the optimal algorithm (the
+    # paper counts 78 million for six kernels with its richer ~60-ISE
+    # candidate sets; our builder produces 2-14 per kernel)...
+    assert result.combinations > 500_000
+    # ...versus a few hundred profit evaluations for the greedy heuristic.
+    assert result.heuristic_evaluations < 5_000
+    assert result.reduction_factor > 1_000

@@ -1,0 +1,64 @@
+"""The paper's motivational case study (Section 2), via the public API.
+
+Builds the three ISEs of the H.264 deblocking filter, sweeps the number of
+kernel executions, and shows (a) the three pif dominance regions of Fig. 1
+and (b) how the selector's choice tracks the per-frame execution counts of
+Fig. 2.
+
+Usage::
+
+    python examples/deblocking_case_study.py
+"""
+
+from repro import ReconfigurationController, ResourceBudget, TriggerInstruction, pif
+from repro.ise.library import ISELibrary
+from repro.core.selector import ISESelector
+from repro.workloads.h264 import deblocking_case_study
+from repro.workloads.h264.traces import deblock_executions_per_frame
+
+
+def sweep_pif() -> None:
+    kernel, ises = deblocking_case_study()
+    print(f"kernel {kernel.name}: RISC latency {kernel.risc_latency} cycles")
+    for name, ise in ises.items():
+        print(
+            f"  {name}: hw_time={ise.full_latency:5d} cycles, "
+            f"reconfiguration={ise.total_reconfig_cycles:8,} cycles "
+            f"({'MG' if ise.is_multigrained else next(iter(ise.granularities)).value.upper()})"
+        )
+    print("\npif over the number of executions (Fig. 1):")
+    print(f"{'executions':>12s}" + "".join(f"{name:>10s}" for name in ises))
+    for e in (100, 300, 500, 1000, 2000, 4000, 8000):
+        values = {
+            name: pif(
+                ise.latencies[0], ise.full_latency, ise.total_reconfig_cycles, e
+            )
+            for name, ise in ises.items()
+        }
+        best = max(values, key=values.get)
+        row = f"{e:>12,}" + "".join(f"{values[name]:>10.2f}" for name in ises)
+        print(f"{row}   <- best: {best}")
+
+
+def selection_per_frame() -> None:
+    """The run-time selector re-enacts Fig. 2: as the forecasted execution
+    count changes from frame to frame, its choice of ISE changes too."""
+    kernel, ises = deblocking_case_study()
+    budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+    library = ISELibrary(
+        [kernel], budget, extra_ises={kernel.name: list(ises.values())}
+    )
+    selector = ISESelector(library)
+    counts = deblock_executions_per_frame(frames=16, seed=0)
+    print("\nselector choice per frame (Fig. 2):")
+    for frame, e in enumerate(counts, start=1):
+        controller = ReconfigurationController(budget)  # cold start per frame
+        trigger = TriggerInstruction(kernel.name, float(e), 500.0, 25.0)
+        result = selector.select([trigger], controller, now=0)
+        chosen = result.selected[kernel.name]
+        print(f"  frame {frame:2d}: {e:5,} executions -> {chosen.name}")
+
+
+if __name__ == "__main__":
+    sweep_pif()
+    selection_per_frame()

@@ -1,0 +1,57 @@
+"""Compare all run-time systems across fabric budgets (a mini Fig. 8).
+
+Usage::
+
+    python examples/policy_comparison.py [frames]
+"""
+
+import sys
+
+from repro import (
+    MRTS,
+    Morpheus4SPolicy,
+    OfflineOptimalPolicy,
+    OnlineOptimalPolicy,
+    ResourceBudget,
+    RiscModePolicy,
+    RisppLikePolicy,
+    Simulator,
+    h264_application,
+    h264_library,
+)
+
+POLICIES = [
+    ("RISC", RiscModePolicy),
+    ("RISPP-like", RisppLikePolicy),
+    ("Morpheus/4S", Morpheus4SPolicy),
+    ("offline-opt", OfflineOptimalPolicy),
+    ("mRTS", MRTS),
+    ("online-opt", OnlineOptimalPolicy),
+]
+
+BUDGETS = [(0, 2), (2, 0), (1, 1), (2, 2), (3, 3)]
+
+
+def main() -> None:
+    frames = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    app = h264_application(frames=frames, seed=7)
+
+    header = f"{'combo (CG,PRC)':>15s}" + "".join(f"{name:>13s}" for name, _ in POLICIES)
+    print(header)
+    print("-" * len(header))
+    for cg, prc in BUDGETS:
+        budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+        library = h264_library(budget)
+        cells = []
+        risc_cycles = None
+        for name, policy_cls in POLICIES:
+            cycles = Simulator(app, library, budget, policy_cls()).run().total_cycles
+            if risc_cycles is None:
+                risc_cycles = cycles
+            cells.append(f"{risc_cycles / cycles:>12.2f}x")
+        print(f"{f'({cg},{prc})':>15s}" + "".join(cells))
+    print("\n(values are speedups over RISC-mode execution; higher is better)")
+
+
+if __name__ == "__main__":
+    main()

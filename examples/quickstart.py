@@ -1,0 +1,57 @@
+"""Quickstart: run the H.264 encoder under mRTS and compare with RISC mode.
+
+Usage::
+
+    python examples/quickstart.py [frames]
+"""
+
+import sys
+
+from repro import (
+    MRTS,
+    ResourceBudget,
+    RiscModePolicy,
+    Simulator,
+    h264_application,
+    h264_library,
+)
+
+
+def main() -> None:
+    frames = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+
+    # The application: three functional blocks (motion estimation, encoding
+    # engine, deblocking filter), one iteration of each per video frame,
+    # with data-dependent execution counts.
+    app = h264_application(frames=frames, seed=7)
+
+    # The processor: 2 PRCs of fine-grained fabric, 2 coarse-grained
+    # fabrics ("22" on the paper's x-axes).
+    budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+
+    # The compile-time prepared ISE library for that budget.
+    library = h264_library(budget)
+
+    risc = Simulator(app, library, budget, RiscModePolicy()).run()
+    mrts = Simulator(app, library, budget, MRTS()).run()
+
+    print(f"application      : {app.name} ({len(app.iterations)} block iterations)")
+    print(f"fabric budget    : {budget.n_prcs} PRCs, {budget.n_cg_fabrics} CG fabrics")
+    print(f"RISC-mode cycles : {risc.total_cycles:,}")
+    print(f"mRTS cycles      : {mrts.total_cycles:,}")
+    print(f"speedup          : {risc.total_cycles / mrts.total_cycles:.2f}x")
+    print()
+    print("execution modes (how each kernel execution was served):")
+    total = mrts.stats.total_executions
+    for mode, count in sorted(mrts.stats.executions_by_mode.items()):
+        print(f"  {mode:14s} {count:8,}  ({100 * count / total:.1f}%)")
+    print()
+    print(
+        f"reconfigurations : {mrts.stats.reconfigurations:,}   "
+        f"run-time-system overhead: "
+        f"{100 * mrts.stats.overhead_fraction():.3f}% of runtime"
+    )
+
+
+if __name__ == "__main__":
+    main()

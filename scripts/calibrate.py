@@ -1,0 +1,62 @@
+"""Calibration harness: checks the paper's headline shapes quickly.
+
+Run: python scripts/calibrate.py [frames]
+"""
+import sys
+import time
+
+from repro import (
+    MRTS,
+    Morpheus4SPolicy,
+    OfflineOptimalPolicy,
+    OnlineOptimalPolicy,
+    ResourceBudget,
+    RiscModePolicy,
+    RisppLikePolicy,
+    Simulator,
+    h264_application,
+    h264_library,
+)
+from repro.fabric.datapath import FabricType
+
+frames = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+app = h264_application(frames=frames, seed=7)
+cache = {}
+
+
+def run(cg, prc, policy_cls):
+    key = (cg, prc, policy_cls.__name__)
+    if key not in cache:
+        budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+        lib = h264_library(budget)
+        cache[key] = Simulator(app, lib, budget, policy_cls()).run().total_cycles
+    return cache[key]
+
+
+t0 = time.time()
+print("=== speedup vs RISC (rows: CG fabrics, cols: PRCs) ===")
+print("      " + "".join(f"prc={p:<6d}" for p in range(4)))
+for cg in range(4):
+    cells = []
+    for prc in range(4):
+        risc = run(cg, prc, RiscModePolicy)
+        cells.append(f"{risc / run(cg, prc, MRTS):<9.2f}")
+    print(f"cg={cg}  " + "".join(cells))
+
+print("\n=== mRTS vs baselines (speedup of mRTS over each) ===")
+for cg, prc in [(0, 2), (0, 3), (2, 0), (1, 1), (1, 2), (2, 2), (3, 3), (4, 3)]:
+    rispp = run(cg, prc, RisppLikePolicy) / run(cg, prc, MRTS)
+    off = run(cg, prc, OfflineOptimalPolicy) / run(cg, prc, MRTS)
+    morph = run(cg, prc, Morpheus4SPolicy) / run(cg, prc, MRTS)
+    print(f"cg={cg} prc={prc}: vsRISPP={rispp:.2f} vsOffline={off:.2f} vsMorpheus={morph:.2f}")
+
+print("\n=== heuristic vs online-optimal (% difference) ===")
+for cg in range(3):
+    row = []
+    for prc in range(5):
+        h = run(cg, prc, MRTS)
+        o = run(cg, prc, OnlineOptimalPolicy)
+        row.append(f"{100 * (h - o) / h:6.2f}%")
+    print(f"cg={cg}  " + " ".join(row))
+
+print(f"\n[{time.time() - t0:.0f}s]")

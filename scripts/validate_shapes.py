@@ -1,0 +1,106 @@
+"""CI-style validation of the paper's headline shapes, outside pytest.
+
+Runs the canonical experiments and checks every claim EXPERIMENTS.md makes,
+printing PASS/FAIL per claim and exiting non-zero on any failure.  Slower
+than the bench suite (full 16-frame runs); use after calibration changes.
+
+Run: python scripts/validate_shapes.py [--fast]
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_overhead,
+    run_search_space,
+)
+
+FAILURES = []
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "PASS" if condition else "FAIL"
+    print(f"[{status}] {name}" + (f"  ({detail})" if detail else ""))
+    if not condition:
+        FAILURES.append(name)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+    frames = 8 if args.fast else 16
+
+    fig1 = run_fig1()
+    r2 = fig1.dominance_region("ISE-2")
+    r3 = fig1.dominance_region("ISE-3")
+    r1 = fig1.dominance_region("ISE-1")
+    check("fig1: three dominance regions", None not in (r1, r2, r3))
+    check(
+        "fig1: region order CG -> MG -> FG",
+        r2 is not None and r3 is not None and r1 is not None
+        and r2[1] < r3[0] <= r3[1] < r1[0],
+        f"{r2} {r3} {r1}",
+    )
+
+    fig2 = run_fig2(frames=16, seed=0)
+    check("fig2: winner changes across frames", fig2.switches >= 1,
+          f"{fig2.switches} switches")
+    check("fig2: count swing > 3x", max(fig2.executions_per_frame)
+          > 3 * min(fig2.executions_per_frame))
+
+    fig8 = run_fig8(frames=frames)
+    check("fig8: avg advantage over Morpheus/4S > 1.15x",
+          fig8.average_speedup("morpheus4s") > 1.15,
+          f"{fig8.average_speedup('morpheus4s'):.2f}x")
+    check("fig8: avg advantage over offline-optimal > 1.1x",
+          fig8.average_speedup("offline-optimal") > 1.1,
+          f"{fig8.average_speedup('offline-optimal'):.2f}x")
+    check("fig8: RISPP parity at CG=0",
+          all(abs(s - 1.0) < 0.05
+              for b, s in zip(fig8.budgets, fig8.speedup_series("rispp"))
+              if b.n_cg_fabrics == 0))
+
+    fig9 = run_fig9(frames=frames)
+    diffs = fig9.percent_difference()
+    check("fig9: worst gap < 12%", max(diffs) < 12.0, f"{max(diffs):.1f}%")
+    check("fig9: mean gap < 3%", sum(diffs) / len(diffs) < 3.0,
+          f"{sum(diffs) / len(diffs):.2f}%")
+
+    fig10 = run_fig10(frames=frames)
+    fg_lo, fg_hi = fig10.group_range("fg-only")
+    mg_lo, mg_hi = fig10.group_range("multi-grained")
+    check("fig10: FG-only band ~2x", 1.3 < fg_lo and fg_hi < 2.7,
+          f"{fg_lo:.2f}-{fg_hi:.2f}")
+    check("fig10: MG top approaches 5x", mg_hi > 4.5, f"{mg_hi:.2f}x")
+    check("fig10: (1,1) beats 3 PRCs and 3 CGs",
+          fig10.speedup_of("11") > fig10.speedup_of("03")
+          and fig10.speedup_of("11") > fig10.speedup_of("30"))
+
+    overhead = run_overhead(frames=frames)
+    check("5.4: < 3000 cycles per kernel selection",
+          overhead.cycles_per_kernel < 3000,
+          f"{overhead.cycles_per_kernel:.0f}")
+    check("5.4: overhead a small fraction of block time",
+          overhead.fraction_of_block_time < 0.05,
+          f"{100 * overhead.fraction_of_block_time:.2f}%")
+
+    space = run_search_space()
+    check("4.1: combinations >> heuristic evaluations",
+          space.reduction_factor > 1000, f"{space.reduction_factor:,.0f}x")
+
+    print()
+    if FAILURES:
+        print(f"{len(FAILURES)} claim(s) FAILED: {FAILURES}")
+        return 1
+    print("all claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""repro: a reproduction of "mRTS: Run-Time System for Reconfigurable
+Processors with Multi-Grained Instruction-Set Extensions" (DATE 2011).
+
+The package provides:
+
+* :mod:`repro.fabric` -- the multi-grained reconfigurable processor model
+  (FG/CG fabrics, data paths, reconfiguration machinery);
+* :mod:`repro.ise`    -- kernels, instruction set extensions and their
+  compile-time preparation;
+* :mod:`repro.core`   -- the mRTS run-time system (profit function, ISE
+  selector, ECU, MPU);
+* :mod:`repro.sim`    -- the cycle-level simulator and application model;
+* :mod:`repro.baselines` -- the competing run-time systems of the paper's
+  evaluation;
+* :mod:`repro.workloads` -- the H.264 encoder workload and synthetic
+  workload generators;
+* :mod:`repro.experiments` -- one module per figure/table of the paper.
+
+Quickstart::
+
+    from repro import h264_application, h264_library, ResourceBudget
+    from repro import MRTS, Simulator
+
+    app = h264_application(frames=16, seed=7)
+    budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+    library = h264_library(budget)
+    result = Simulator(app, library, budget, MRTS()).run()
+    print(result.total_cycles)
+"""
+
+from repro.fabric import (
+    DataPathSpec,
+    DataPathImpl,
+    DataPathInstance,
+    FabricType,
+    TechnologyCostModel,
+    DEFAULT_COST_MODEL,
+    ResourceBudget,
+    ResourceState,
+    ReconfigurationController,
+)
+from repro.ise import (
+    Kernel,
+    ISE,
+    ISEBuilder,
+    BuilderConfig,
+    ISELibrary,
+    MonoCGExtension,
+    build_monocg,
+)
+from repro.core import (
+    pif,
+    ise_profit,
+    ISESelector,
+    OptimalSelector,
+    ExecutionControlUnit,
+    ExecutionMode,
+    MonitoringPredictionUnit,
+    MRTSConfig,
+    OverheadModel,
+    MRTS,
+)
+from repro.sim import (
+    TriggerInstruction,
+    KernelIteration,
+    BlockIteration,
+    FunctionalBlock,
+    Application,
+    RuntimePolicy,
+    Simulator,
+    SimulationResult,
+)
+from repro.baselines import (
+    RiscModePolicy,
+    RisppLikePolicy,
+    Morpheus4SPolicy,
+    OfflineOptimalPolicy,
+    OnlineOptimalPolicy,
+)
+from repro.workloads import h264_application, h264_library, deblocking_case_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataPathSpec",
+    "DataPathImpl",
+    "DataPathInstance",
+    "FabricType",
+    "TechnologyCostModel",
+    "DEFAULT_COST_MODEL",
+    "ResourceBudget",
+    "ResourceState",
+    "ReconfigurationController",
+    "Kernel",
+    "ISE",
+    "ISEBuilder",
+    "BuilderConfig",
+    "ISELibrary",
+    "MonoCGExtension",
+    "build_monocg",
+    "pif",
+    "ise_profit",
+    "ISESelector",
+    "OptimalSelector",
+    "ExecutionControlUnit",
+    "ExecutionMode",
+    "MonitoringPredictionUnit",
+    "MRTSConfig",
+    "OverheadModel",
+    "MRTS",
+    "TriggerInstruction",
+    "KernelIteration",
+    "BlockIteration",
+    "FunctionalBlock",
+    "Application",
+    "RuntimePolicy",
+    "Simulator",
+    "SimulationResult",
+    "RiscModePolicy",
+    "RisppLikePolicy",
+    "Morpheus4SPolicy",
+    "OfflineOptimalPolicy",
+    "OnlineOptimalPolicy",
+    "h264_application",
+    "h264_library",
+    "deblocking_case_study",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Post-simulation analysis tools.
+
+Everything here consumes a :class:`~repro.sim.simulator.SimulationResult`
+(run with ``collect_trace=True``) and produces structured views of *what the
+run-time system actually did*:
+
+* :mod:`repro.analysis.timeline` -- per-kernel execution timelines in the
+  style of the paper's Fig. 5 (which intermediate ISE served which phase of
+  a functional block);
+* :mod:`repro.analysis.utilization` -- fabric occupancy and bitstream-port
+  busy time over the run;
+* :mod:`repro.analysis.churn` -- selection-stability metrics: how often
+  the selected ISE of a kernel changes between block iterations, and how
+  much reconfiguration traffic that causes;
+* :mod:`repro.analysis.summary` -- a one-stop human-readable run report.
+"""
+
+from repro.analysis.timeline import KernelTimeline, Phase, kernel_timeline
+from repro.analysis.utilization import FabricUtilization, fabric_utilization
+from repro.analysis.churn import SelectionChurn, selection_churn
+from repro.analysis.summary import run_summary
+from repro.analysis.compare import KernelDelta, RunComparison, compare_runs
+from repro.analysis.port import PortReport, port_report
+
+__all__ = [
+    "KernelTimeline",
+    "Phase",
+    "kernel_timeline",
+    "FabricUtilization",
+    "fabric_utilization",
+    "SelectionChurn",
+    "selection_churn",
+    "run_summary",
+    "KernelDelta",
+    "RunComparison",
+    "compare_runs",
+    "PortReport",
+    "port_report",
+]

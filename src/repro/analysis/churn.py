@@ -1,0 +1,107 @@
+"""Selection-stability metrics.
+
+The run-time system re-selects at every functional-block entry; these
+metrics quantify how *stable* the resulting instruction set is: how often a
+kernel's serving ISE changes between consecutive iterations of its block,
+and how much reconfiguration traffic the changes cause.  A well-tuned
+profit function keeps the expensive FG data paths stable (their
+reconfiguration takes milliseconds) while shuffling CG contexts freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fabric.datapath import FabricType
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import render_table
+from repro.util.validation import ReproError
+
+
+@dataclass
+class SelectionChurn:
+    """Per-kernel serving-ISE stability over a traced run."""
+
+    #: kernel -> serving ISE name (or None) per block iteration
+    servings: Dict[str, List[Optional[str]]]
+    #: kernel -> number of iteration-to-iteration changes
+    changes: Dict[str, int]
+    fg_reconfigurations: int
+    cg_reconfigurations: int
+
+    def change_rate(self, kernel: str) -> float:
+        """Fraction of iteration transitions where the serving ISE changed."""
+        history = self.servings.get(kernel, [])
+        if len(history) < 2:
+            return 0.0
+        return self.changes[kernel] / (len(history) - 1)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(self.changes.values())
+
+    def render(self) -> str:
+        rows = [
+            [kernel, len(history), self.changes[kernel], f"{100 * self.change_rate(kernel):.0f}%"]
+            for kernel, history in sorted(self.servings.items())
+        ]
+        table = render_table(
+            ["kernel", "iterations", "ISE changes", "change rate"],
+            rows,
+            title="Selection churn",
+        )
+        return (
+            f"{table}\n"
+            f"reconfigurations: {self.fg_reconfigurations} FG (ms-scale), "
+            f"{self.cg_reconfigurations} CG (us-scale)"
+        )
+
+
+def selection_churn(result: SimulationResult) -> SelectionChurn:
+    """Measure serving-ISE stability from a traced simulation.
+
+    The *serving* ISE of an iteration is the implementation that handled
+    the majority of the kernel's executions in that block window (that is
+    what the user experiences, regardless of what was nominally selected).
+    """
+    if result.trace is None:
+        raise ReproError("selection_churn needs a run with collect_trace=True")
+    trace = result.trace
+
+    servings: Dict[str, List[Optional[str]]] = {}
+    kernels = sorted({r.kernel for r in trace.executions})
+    for kernel in kernels:
+        records = trace.executions_of(kernel)
+        block = records[0].block
+        history: List[Optional[str]] = []
+        for lo, hi in trace.block_windows.get(block, []):
+            window = [r for r in records if lo <= r.time <= hi]
+            if not window:
+                continue
+            counts: Dict[Optional[str], int] = {}
+            for r in window:
+                counts[r.ise_name] = counts.get(r.ise_name, 0) + 1
+            history.append(max(counts, key=lambda name: counts[name]))
+        servings[kernel] = history
+
+    changes = {
+        kernel: sum(1 for a, b in zip(h, h[1:]) if a != b)
+        for kernel, h in servings.items()
+    }
+    fg = cg = 0
+    if result.controller is not None:
+        for request in result.controller.requests:
+            if request.fabric is FabricType.FG:
+                fg += 1
+            else:
+                cg += 1
+    return SelectionChurn(
+        servings=servings,
+        changes=changes,
+        fg_reconfigurations=fg,
+        cg_reconfigurations=cg,
+    )
+
+
+__all__ = ["SelectionChurn", "selection_churn"]

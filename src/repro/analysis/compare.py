@@ -1,0 +1,137 @@
+"""Side-by-side comparison of two simulation runs.
+
+Answers "where did the speedup come from?": per kernel, how the cycles and
+execution modes shifted between a baseline run and a candidate run (e.g.
+RISC vs. mRTS, or mRTS with and without a feature).  Both runs must cover
+the same workload (same kernels, same execution counts); the comparator
+verifies that before diffing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import render_table
+from repro.util.validation import ReproError
+
+
+@dataclass(frozen=True)
+class KernelDelta:
+    """Per-kernel difference between two runs."""
+
+    kernel: str
+    executions: int
+    baseline_cycles: int
+    candidate_cycles: int
+    #: execution-mode mix of the candidate run (mode -> executions)
+    candidate_modes: Dict[str, int]
+
+    @property
+    def saved_cycles(self) -> int:
+        return self.baseline_cycles - self.candidate_cycles
+
+    @property
+    def speedup(self) -> float:
+        if self.candidate_cycles == 0:
+            return 1.0
+        return self.baseline_cycles / self.candidate_cycles
+
+
+@dataclass
+class RunComparison:
+    baseline_name: str
+    candidate_name: str
+    deltas: List[KernelDelta]
+    baseline_total: int
+    candidate_total: int
+
+    @property
+    def total_speedup(self) -> float:
+        return self.baseline_total / self.candidate_total
+
+    def top_contributors(self, n: int = 3) -> List[KernelDelta]:
+        """Kernels contributing the most saved cycles."""
+        return sorted(self.deltas, key=lambda d: -d.saved_cycles)[:n]
+
+    def render(self) -> str:
+        rows = []
+        for delta in sorted(self.deltas, key=lambda d: -d.saved_cycles):
+            modes = ", ".join(
+                f"{mode}:{count}" for mode, count in sorted(delta.candidate_modes.items())
+            )
+            rows.append(
+                [
+                    delta.kernel,
+                    delta.executions,
+                    delta.baseline_cycles,
+                    delta.candidate_cycles,
+                    round(delta.speedup, 2),
+                    modes,
+                ]
+            )
+        table = render_table(
+            ["kernel", "execs", self.baseline_name, self.candidate_name,
+             "speedup", "candidate modes"],
+            rows,
+            title=f"Run comparison: {self.candidate_name} vs {self.baseline_name}",
+        )
+        return (
+            f"{table}\n"
+            f"total: {self.baseline_total:,} -> {self.candidate_total:,} cycles "
+            f"({self.total_speedup:.2f}x)"
+        )
+
+
+def compare_runs(
+    baseline: SimulationResult, candidate: SimulationResult
+) -> RunComparison:
+    """Diff two traced runs of the same workload."""
+    for result, name in ((baseline, "baseline"), (candidate, "candidate")):
+        if result.trace is None:
+            raise ReproError(f"compare_runs needs a traced {name} run")
+
+    def per_kernel(result: SimulationResult) -> Dict[str, Tuple[int, int, Dict[str, int]]]:
+        data: Dict[str, Tuple[int, int, Dict[str, int]]] = {}
+        for record in result.trace.executions:
+            count, cycles, modes = data.get(record.kernel, (0, 0, {}))
+            modes = dict(modes)
+            modes[record.mode.value] = modes.get(record.mode.value, 0) + 1
+            data[record.kernel] = (count + 1, cycles + record.latency, modes)
+        return data
+
+    base = per_kernel(baseline)
+    cand = per_kernel(candidate)
+    if set(base) != set(cand):
+        raise ReproError(
+            f"runs cover different kernels: {sorted(set(base) ^ set(cand))}"
+        )
+    deltas = []
+    for kernel in sorted(base):
+        b_count, b_cycles, _ = base[kernel]
+        c_count, c_cycles, c_modes = cand[kernel]
+        if b_count != c_count:
+            raise ReproError(
+                f"kernel {kernel!r} executed {b_count} vs {c_count} times; "
+                "the runs are not the same workload"
+            )
+        deltas.append(
+            KernelDelta(
+                kernel=kernel,
+                executions=b_count,
+                baseline_cycles=b_cycles,
+                candidate_cycles=c_cycles,
+                candidate_modes=c_modes,
+            )
+        )
+    return RunComparison(
+        baseline_name=baseline.policy_name,
+        candidate_name=candidate.policy_name,
+        deltas=deltas,
+        baseline_total=baseline.total_cycles,
+        candidate_total=candidate.total_cycles,
+    )
+
+
+__all__ = ["KernelDelta", "RunComparison", "compare_runs"]

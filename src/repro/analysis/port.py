@@ -1,0 +1,95 @@
+"""Bitstream-port analytics: queueing delays and cancellations.
+
+The single sequential FG configuration port is the bottleneck resource of
+the whole adaptation machinery; these metrics quantify how it behaved in a
+run -- how long transfers queued before streaming, how much of its time it
+streamed, and how many scheduled transfers a later decision cancelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.fabric.datapath import FabricType
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import render_table
+from repro.util.validation import ReproError
+
+
+@dataclass
+class PortReport:
+    """Port behaviour of one simulation run."""
+
+    transfers: int
+    cancelled: int
+    busy_cycles: int
+    total_cycles: int
+    #: queueing delay (cycles between request and stream start) per transfer
+    wait_cycles: List[int]
+
+    @property
+    def busy_fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / self.total_cycles)
+
+    @property
+    def mean_wait_cycles(self) -> float:
+        if not self.wait_cycles:
+            return 0.0
+        return sum(self.wait_cycles) / len(self.wait_cycles)
+
+    @property
+    def max_wait_cycles(self) -> int:
+        return max(self.wait_cycles, default=0)
+
+    @property
+    def cancellation_rate(self) -> float:
+        scheduled = self.transfers + self.cancelled
+        if scheduled == 0:
+            return 0.0
+        return self.cancelled / scheduled
+
+    def render(self) -> str:
+        rows = [
+            ["completed transfers", self.transfers],
+            ["cancelled transfers", f"{self.cancelled} ({100 * self.cancellation_rate:.1f}%)"],
+            ["port busy", f"{100 * self.busy_fraction:.1f}% of the run"],
+            ["mean queueing delay", f"{self.mean_wait_cycles:,.0f} cycles"],
+            ["max queueing delay", f"{self.max_wait_cycles:,} cycles"],
+        ]
+        return render_table(["metric", "value"], rows, title="FG bitstream port")
+
+
+def port_report(result: SimulationResult) -> PortReport:
+    """Analyse the FG port behaviour of ``result``.
+
+    The queueing delay of a transfer is the gap between the cycle it was
+    requested (its owning selection's commit) and the cycle it started
+    streaming; with an idle port the delay is zero.
+    """
+    if result.controller is None:
+        raise ReproError("port_report needs the run's controller")
+    fg_requests = [
+        r for r in result.controller.requests if r.fabric is FabricType.FG
+    ]
+    waits: List[int] = []
+    busy = 0
+    for request in fg_requests:
+        waits.append(max(0, request.start - request.requested_at))
+        busy += request.done - request.start
+    # Cancelled transfers were scheduled (and appear in the request log) but
+    # never streamed: reclaim their port time.
+    busy -= result.controller.cancelled_port_cycles
+    cancelled = result.controller.fg.cancelled_transfers
+    return PortReport(
+        transfers=len(fg_requests) - cancelled,
+        cancelled=cancelled,
+        busy_cycles=max(0, busy),
+        total_cycles=result.total_cycles,
+        wait_cycles=waits,
+    )
+
+
+__all__ = ["PortReport", "port_report"]

@@ -1,0 +1,36 @@
+"""One-stop run report combining stats, utilisation and churn."""
+
+from __future__ import annotations
+
+from repro.analysis.churn import selection_churn
+from repro.analysis.port import port_report
+from repro.analysis.utilization import fabric_utilization
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import render_table
+
+
+def run_summary(result: SimulationResult) -> str:
+    """Render a human-readable report of a (traced) simulation run."""
+    stats = result.stats
+    rows = [
+        ["policy", result.policy_name],
+        ["fabric combination (CG,PRC)", result.budget.label],
+        ["total cycles", f"{stats.total_cycles:,}"],
+        ["kernel executions", f"{stats.total_executions:,}"],
+        ["accelerated executions", f"{100 * stats.accelerated_fraction():.1f}%"],
+        ["reconfigurations", stats.reconfigurations],
+        ["selections", stats.selections],
+        ["charged RTS overhead", f"{100 * stats.overhead_fraction():.3f}%"],
+    ]
+    for mode, count in sorted(stats.executions_by_mode.items()):
+        rows.append([f"  mode: {mode}", f"{count:,}"])
+    parts = [render_table(["metric", "value"], rows, title="Run summary")]
+    if result.controller is not None:
+        parts.append(fabric_utilization(result).render())
+        parts.append(port_report(result).render())
+    if result.trace is not None:
+        parts.append(selection_churn(result).render())
+    return "\n\n".join(parts)
+
+
+__all__ = ["run_summary"]

@@ -1,0 +1,150 @@
+"""Per-kernel execution timelines (the measured counterpart of Fig. 5).
+
+Fig. 5 of the paper sketches how a kernel's executions migrate from RISC
+mode through the intermediate ISEs to the fully reconfigured ISE as its
+data paths complete.  :func:`kernel_timeline` reconstructs that staircase
+from a simulation trace: consecutive executions served by the same
+implementation (mode + level + ISE) are merged into *phases*, each with its
+execution count (the measured ``NoE`` of Eq. 3) and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import render_table
+from repro.util.validation import ReproError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A run of consecutive executions on one implementation."""
+
+    mode: str            #: "risc" / "monocg" / "intermediate" / "selected"
+    level: int           #: intermediate-ISE level (0 for risc/monocg)
+    ise_name: Optional[str]
+    start: int           #: cycle of the first execution of the phase
+    end: int             #: cycle of the last execution (start time)
+    executions: int      #: the measured NoE of this phase
+    latency: int         #: per-execution latency during the phase
+
+
+@dataclass
+class KernelTimeline:
+    """The phase sequence of one kernel within one window of the trace."""
+
+    kernel: str
+    phases: List[Phase]
+    risc_latency: int
+
+    @property
+    def total_executions(self) -> int:
+        return sum(p.executions for p in self.phases)
+
+    @property
+    def saved_cycles(self) -> int:
+        """Cycles saved vs. executing every phase at the slowest observed
+        latency (RISC mode, whenever the window contains RISC executions) --
+        the *measured* analogue of the profit function's prediction (Eq. 4).
+        """
+        return sum(
+            p.executions * (self.risc_latency - p.latency) for p in self.phases
+        )
+
+    def upgrade_points(self) -> List[int]:
+        """Cycles at which the serving implementation improved (got a lower
+        latency) -- the staircase steps of Fig. 5."""
+        points = []
+        for prev, phase in zip(self.phases, self.phases[1:]):
+            if phase.latency < prev.latency:
+                points.append(phase.start)
+        return points
+
+    def render(self) -> str:
+        rows = [
+            [
+                p.mode,
+                p.level,
+                p.executions,
+                p.latency,
+                p.start,
+                p.ise_name or "-",
+            ]
+            for p in self.phases
+        ]
+        return render_table(
+            ["mode", "level", "NoE", "latency", "from cycle", "implementation"],
+            rows,
+            title=f"Execution timeline of {self.kernel} (Fig. 5 measured)",
+        )
+
+
+def kernel_timeline(
+    result: SimulationResult,
+    kernel: str,
+    block_window: Optional[int] = None,
+) -> KernelTimeline:
+    """Build the phase timeline of ``kernel`` from a traced simulation.
+
+    ``block_window`` restricts the timeline to the N-th iteration of the
+    kernel's block (useful to look at one Fig. 5-style staircase); ``None``
+    spans the whole run.
+    """
+    if result.trace is None:
+        raise ReproError("kernel_timeline needs a run with collect_trace=True")
+    records = result.trace.executions_of(kernel)
+    if block_window is not None:
+        block = next(
+            (r.block for r in records), None
+        )
+        if block is None:
+            raise ReproError(f"kernel {kernel!r} never executed")
+        windows = result.trace.block_windows.get(block, [])
+        if not 0 <= block_window < len(windows):
+            raise ReproError(
+                f"block {block!r} has {len(windows)} windows, "
+                f"asked for {block_window}"
+            )
+        lo, hi = windows[block_window]
+        records = [r for r in records if lo <= r.time <= hi]
+    if not records:
+        raise ReproError(f"kernel {kernel!r} has no executions in the window")
+
+    risc_latency = max(r.latency for r in records)
+    phases: List[Phase] = []
+    current = None
+    for r in records:
+        key = (r.mode.value, r.level, r.ise_name, r.latency)
+        if current is not None and current["key"] == key:
+            current["end"] = r.time
+            current["count"] += 1
+        else:
+            if current is not None:
+                phases.append(_phase_from(current))
+            current = {
+                "key": key,
+                "start": r.time,
+                "end": r.time,
+                "count": 1,
+            }
+    if current is not None:
+        phases.append(_phase_from(current))
+    return KernelTimeline(kernel=kernel, phases=phases, risc_latency=risc_latency)
+
+
+def _phase_from(data: dict) -> Phase:
+    mode, level, ise_name, latency = data["key"]
+    return Phase(
+        mode=mode,
+        level=level,
+        ise_name=ise_name,
+        start=data["start"],
+        end=data["end"],
+        executions=data["count"],
+        latency=latency,
+    )
+
+
+__all__ = ["Phase", "KernelTimeline", "kernel_timeline"]

@@ -1,0 +1,133 @@
+"""Fabric occupancy and bitstream-port utilisation over a run.
+
+Reconstructs, from the reconfiguration requests and the eviction log, how
+many area units of each fabric were occupied over time, how long the FG
+bitstream port streamed, and how the configured data paths turned over.
+These are the quantities behind the paper's observation that the fine-
+grained fabric's millisecond reconfigurations dominate the adaptation cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.fabric.datapath import FabricType
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import render_table
+from repro.util.validation import ReproError
+
+
+@dataclass
+class FabricUtilization:
+    """Occupancy/traffic metrics of one simulation run."""
+
+    total_cycles: int
+    #: fabric -> time-averaged fraction of its area that was occupied
+    mean_occupancy: Dict[FabricType, float]
+    #: fabric -> peak occupied area units
+    peak_occupancy: Dict[FabricType, int]
+    #: fabric -> number of reconfigurations
+    reconfigurations: Dict[FabricType, int]
+    #: fraction of the run during which the FG bitstream port streamed
+    fg_port_busy_fraction: float
+    #: number of evictions (configured data paths displaced)
+    evictions: int
+
+    def render(self) -> str:
+        rows = []
+        for fabric in FabricType:
+            rows.append(
+                [
+                    fabric.value.upper(),
+                    f"{100 * self.mean_occupancy[fabric]:.1f}%",
+                    self.peak_occupancy[fabric],
+                    self.reconfigurations[fabric],
+                ]
+            )
+        table = render_table(
+            ["fabric", "mean occupancy", "peak units", "reconfigs"],
+            rows,
+            title="Fabric utilisation",
+        )
+        return (
+            f"{table}\n"
+            f"FG bitstream port busy {100 * self.fg_port_busy_fraction:.1f}% "
+            f"of the run; {self.evictions} evictions"
+        )
+
+
+def fabric_utilization(result: SimulationResult) -> FabricUtilization:
+    """Compute utilisation metrics from a simulation result."""
+    if result.controller is None:
+        raise ReproError("fabric_utilization needs the run's controller")
+    controller = result.controller
+    total = max(1, result.total_cycles)
+
+    # Build +area / -area events per fabric: a copy occupies its area from
+    # the start of its (re)configuration until it is evicted (or run end).
+    events: Dict[FabricType, List[Tuple[int, int]]] = {f: [] for f in FabricType}
+    fg_busy = 0
+    reconfigs = {f: 0 for f in FabricType}
+    # Eviction events, consumed FIFO per implementation name.
+    pending_evictions: Dict[str, List[int]] = {}
+    for when, name, area in controller.resources.eviction_log:
+        pending_evictions.setdefault(name, []).append(when)
+    for name in pending_evictions:
+        pending_evictions[name].sort()
+
+    consumed: Dict[str, int] = {}
+    for request in controller.requests:
+        fabric = request.fabric
+        reconfigs[fabric] += 1
+        if fabric is FabricType.FG:
+            fg_busy += request.done - request.start
+        area = _area_of(controller, request.impl_name)
+        events[fabric].append((request.start, +area))
+        # Match this copy with an eviction after its completion, if any.
+        times = pending_evictions.get(request.impl_name, [])
+        index = consumed.get(request.impl_name, 0)
+        if index < len(times) and times[index] >= request.done:
+            events[fabric].append((times[index], -area))
+            consumed[request.impl_name] = index + 1
+        else:
+            events[fabric].append((result.total_cycles, -area))
+
+    mean_occ: Dict[FabricType, float] = {}
+    peak_occ: Dict[FabricType, int] = {}
+    for fabric in FabricType:
+        capacity = controller.budget.total(fabric)
+        timeline = sorted(events[fabric])
+        occupied = 0
+        last_t = 0
+        integral = 0
+        peak = 0
+        for t, delta in timeline:
+            integral += occupied * (t - last_t)
+            occupied += delta
+            peak = max(peak, occupied)
+            last_t = t
+        integral += occupied * (result.total_cycles - last_t)
+        mean_occ[fabric] = integral / (total * capacity) if capacity else 0.0
+        peak_occ[fabric] = peak
+
+    return FabricUtilization(
+        total_cycles=result.total_cycles,
+        mean_occupancy=mean_occ,
+        peak_occupancy=peak_occ,
+        reconfigurations=reconfigs,
+        fg_port_busy_fraction=min(1.0, fg_busy / total),
+        evictions=len(controller.resources.eviction_log),
+    )
+
+
+def _area_of(controller, impl_name: str) -> int:
+    """Area of one copy of ``impl_name`` (from live copies, or 1 for copies
+    that have since been evicted -- all standard data paths occupy one unit)."""
+    copies = controller.resources.copies(impl_name)
+    if copies:
+        return copies[0].area
+    return 1
+
+
+__all__ = ["FabricUtilization", "fabric_utilization"]

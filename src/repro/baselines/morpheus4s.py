@@ -1,0 +1,34 @@
+"""Morpheus [8] / 4S [7]-like loosely coupled multi-grained systems.
+
+Both projects assign fabrics to tasks/kernels at *compile time*, and their
+loose coupling (limited communication between the CG and FG fabric) means a
+kernel executes entirely on one granularity: "no multi-grained ISE can be
+used within a functional block" (Section 5.2).  We model this as an optimal
+offline selection restricted to single-granularity ISEs, executed without
+intermediate ISEs (a loosely coupled coprocessor runs the kernel only once
+its full configuration is present).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.static import StaticSelectionPolicy
+from repro.ise.ise import ISE
+
+
+def _single_granularity(ise: ISE) -> bool:
+    return not ise.is_multigrained
+
+
+class Morpheus4SPolicy(StaticSelectionPolicy):
+    """The third bar of Fig. 8."""
+
+    name = "morpheus4s"
+
+    def __init__(self) -> None:
+        super().__init__(
+            candidate_filter=_single_granularity,
+            enable_intermediate=False,
+        )
+
+
+__all__ = ["Morpheus4SPolicy"]

@@ -1,0 +1,26 @@
+"""Offline-optimal selection for tightly coupled multi-grained fabrics.
+
+The strongest static competitor of Section 5.2: it knows the profiled
+execution counts of the whole run, may use multi-grained ISEs and
+intermediate ISEs (tightly coupled fabrics), distributes the fabric
+optimally across all kernels, and pays no run-time overhead.  What it lacks
+is exactly what mRTS adds: reaction to run-time variation and the
+monoCG-Extension -- which is why mRTS still wins on average (paper: 1.45x),
+with the gap shrinking as the fabric budget grows.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.static import StaticSelectionPolicy
+
+
+class OfflineOptimalPolicy(StaticSelectionPolicy):
+    """The second bar of Fig. 8."""
+
+    name = "offline-optimal"
+
+    def __init__(self) -> None:
+        super().__init__(candidate_filter=None, enable_intermediate=True)
+
+
+__all__ = ["OfflineOptimalPolicy"]

@@ -1,0 +1,54 @@
+"""Online-optimal selection: the run-time yardstick of Fig. 9.
+
+Identical to mRTS (same MPU, same ECU cascade including monoCG-Extensions,
+same functional-block granularity) but with the *optimal* selection
+algorithm instead of the O(N*M) heuristic.  Its computational cost would be
+prohibitive on real hardware (>78 million combinations for six kernels), so
+the paper -- and this reproduction -- charge it zero selection overhead and
+use it purely to measure the optimality gap of the heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.config import MRTSConfig, OverheadModel
+from repro.core.mrts import MRTS
+from repro.core.optimal import OptimalSelector
+
+
+class _FreeOverhead(OverheadModel):
+    """Overhead model that charges nothing (idealised optimal selector)."""
+
+    def full_cycles(self, result) -> int:  # noqa: D102 - see class docstring
+        return 0
+
+    def charged_cycles(self, result, hidden: bool = True) -> int:  # noqa: D102
+        return 0
+
+
+class OnlineOptimalPolicy(MRTS):
+    """mRTS with the exhaustive-equivalent optimal ISE selector."""
+
+    name = "online-optimal"
+
+    def __init__(self, config: Optional[MRTSConfig] = None):
+        base = config or MRTSConfig()
+        super().__init__(
+            MRTSConfig(
+                mpu_alpha=base.mpu_alpha,
+                mpu_window=base.mpu_window,
+                enable_intermediate=base.enable_intermediate,
+                enable_monocg=base.enable_monocg,
+                monocg_breakeven_cycles=base.monocg_breakeven_cycles,
+                hide_selection_overhead=True,
+                overhead=_FreeOverhead(),
+            )
+        )
+
+    def attach(self, library, controller) -> None:
+        super().attach(library, controller)
+        self.selector = OptimalSelector(library, respect_existing=True)
+
+
+__all__ = ["OnlineOptimalPolicy"]

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``          simulate a workload under one policy and print the summary
+``compare``      run every policy on one fabric combination
+``library``      inspect the compile-time ISE library for a budget
+``case-study``   print the Section 2 deblocking-filter case study
+``experiments``  run the full figure-reproduction suite
+``report``       write the full markdown experiment dossier
+``export``       run one experiment and write its data as CSV/JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.baselines import (
+    Morpheus4SPolicy,
+    OfflineOptimalPolicy,
+    OnlineOptimalPolicy,
+    RiscModePolicy,
+    RisppLikePolicy,
+    TaskLevelPolicy,
+)
+from repro.core.mrts import MRTS
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import Simulator
+from repro.util.tables import render_table
+
+POLICIES: Dict[str, Callable] = {
+    "risc": RiscModePolicy,
+    "mrts": MRTS,
+    "rispp": RisppLikePolicy,
+    "morpheus4s": Morpheus4SPolicy,
+    "offline-optimal": OfflineOptimalPolicy,
+    "online-optimal": OnlineOptimalPolicy,
+    "task-level": TaskLevelPolicy,
+}
+
+EXPERIMENTS = (
+    "fig1", "fig2", "fig5", "fig8", "fig9", "fig10",
+    "overhead", "search-space", "ablations", "contention", "granularity",
+    "multitask", "energy",
+)
+
+
+def _workload(args):
+    if args.workload == "h264":
+        from repro.workloads import h264_application, h264_library
+
+        app = h264_application(frames=args.frames, seed=args.seed)
+        make_library = h264_library
+    elif args.workload == "jpeg":
+        from repro.workloads import jpeg_application, jpeg_library
+
+        app = jpeg_application(images=args.frames, seed=args.seed)
+        make_library = jpeg_library
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.workload)
+    budget = ResourceBudget(n_prcs=args.prc, n_cg_fabrics=args.cg)
+    return app, make_library(budget), budget
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=("h264", "jpeg"), default="h264")
+    parser.add_argument("--frames", type=int, default=8,
+                        help="frames (h264) or images (jpeg)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--cg", type=int, default=2, help="CG fabrics")
+    parser.add_argument("--prc", type=int, default=2, help="PRCs")
+
+
+def cmd_run(args) -> int:
+    from repro.analysis import run_summary
+
+    app, library, budget = _workload(args)
+    policy = POLICIES[args.policy]()
+    result = Simulator(app, library, budget, policy, collect_trace=args.trace).run()
+    if args.trace:
+        print(run_summary(result))
+    else:
+        print(f"{result.policy_name} on {app.name} at ({args.cg} CG, {args.prc} PRC): "
+              f"{result.total_cycles:,} cycles")
+        for mode, count in sorted(result.stats.executions_by_mode.items()):
+            print(f"  {mode:14s} {count:,}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    app, library, budget = _workload(args)
+    rows = []
+    risc_cycles = None
+    for name, factory in POLICIES.items():
+        cycles = Simulator(app, library, budget, factory()).run().total_cycles
+        if name == "risc":
+            risc_cycles = cycles
+        rows.append([name, cycles, round(risc_cycles / cycles, 2)])
+    print(render_table(
+        ["policy", "cycles", "speedup vs RISC"], rows,
+        title=f"{app.name} at ({args.cg} CG, {args.prc} PRC)",
+    ))
+    return 0
+
+
+def cmd_library(args) -> int:
+    _, library, budget = _workload(args)
+    if args.pareto:
+        from repro.ise.pareto import render_front
+
+        for kernel_name in library.kernel_names():
+            candidates = library.candidates(kernel_name)
+            if candidates:
+                print(render_front(
+                    candidates, title=f"Pareto front of {kernel_name}"
+                ))
+                print()
+        return 0
+    rows = []
+    for kernel_name in library.kernel_names():
+        candidates = library.candidates(kernel_name)
+        kernel = library.kernel(kernel_name)
+        best = min((c.full_latency for c in candidates), default=kernel.risc_latency)
+        rows.append([
+            kernel_name,
+            kernel.risc_latency,
+            len(candidates),
+            best,
+            library.monocg(kernel_name).latency,
+        ])
+    print(render_table(
+        ["kernel", "RISC latency", "candidate ISEs", "best hw latency", "monoCG latency"],
+        rows,
+        title=f"ISE library at ({args.cg} CG, {args.prc} PRC)",
+    ))
+    print(f"joint search space: {library.search_space_size():,} combinations")
+    return 0
+
+
+def cmd_case_study(args) -> int:
+    from repro.experiments import run_fig1, run_fig2
+
+    print(run_fig1().render())
+    print()
+    print(run_fig2(frames=args.frames, seed=args.seed).render())
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(fast=args.fast)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import write_markdown_report
+
+    path = write_markdown_report(args.out, fast=args.fast)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.experiments import (
+        run_ablations, run_contention, run_fig1, run_fig2, run_fig5,
+        run_fig8, run_fig9, run_fig10, run_energy, run_granularity, run_multitask,
+        run_overhead, run_search_space,
+    )
+    from repro.experiments.export import export_csv, export_json
+
+    runners = {
+        "fig1": run_fig1,
+        "fig2": run_fig2,
+        "fig5": run_fig5,
+        "fig8": lambda: run_fig8(frames=args.frames),
+        "fig9": lambda: run_fig9(frames=args.frames),
+        "fig10": lambda: run_fig10(frames=args.frames),
+        "overhead": lambda: run_overhead(frames=args.frames),
+        "search-space": run_search_space,
+        "ablations": lambda: run_ablations(frames=args.frames),
+        "contention": lambda: run_contention(frames=args.frames),
+        "granularity": lambda: run_granularity(frames=args.frames),
+        "multitask": lambda: run_multitask(frames=max(2, args.frames // 2)),
+        "energy": lambda: run_energy(frames=args.frames),
+    }
+    result = runners[args.experiment]()
+    writer = export_json if args.format == "json" else export_csv
+    path = writer(result, f"{args.out}/{args.experiment}.{args.format}")
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one policy")
+    _add_workload_arguments(p_run)
+    p_run.add_argument("--policy", choices=sorted(POLICIES), default="mrts")
+    p_run.add_argument("--trace", action="store_true",
+                       help="collect a trace and print the full run summary")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all policies on one budget")
+    _add_workload_arguments(p_cmp)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_lib = sub.add_parser("library", help="inspect the compile-time ISE library")
+    _add_workload_arguments(p_lib)
+    p_lib.add_argument("--pareto", action="store_true",
+                       help="show each kernel's Pareto front instead")
+    p_lib.set_defaults(fn=cmd_library)
+
+    p_case = sub.add_parser("case-study", help="the Section 2 deblocking case study")
+    p_case.add_argument("--frames", type=int, default=16)
+    p_case.add_argument("--seed", type=int, default=0)
+    p_case.set_defaults(fn=cmd_case_study)
+
+    p_exp = sub.add_parser("experiments", help="run the full figure suite")
+    p_exp.add_argument("--fast", action="store_true")
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    p_rep = sub.add_parser("report", help="write the markdown experiment dossier")
+    p_rep.add_argument("--out", default="results/report.md")
+    p_rep.add_argument("--fast", action="store_true")
+    p_rep.set_defaults(fn=cmd_report)
+
+    p_out = sub.add_parser("export", help="export one experiment's data")
+    p_out.add_argument("experiment", choices=EXPERIMENTS)
+    p_out.add_argument("--frames", type=int, default=16)
+    p_out.add_argument("--out", default="results")
+    p_out.add_argument("--format", choices=("csv", "json"), default="csv")
+    p_out.set_defaults(fn=cmd_export)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

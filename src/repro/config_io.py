@@ -1,0 +1,220 @@
+"""Declarative system descriptions: JSON in, simulatable objects out.
+
+A *system description* bundles everything a simulation needs -- the fabric
+budget, the technology cost model, the kernels with their data paths, and
+the application's block/iteration structure -- in one JSON document, so a
+processor/workload combination can be versioned, diffed and shared without
+writing Python.  ``load_system`` round-trips everything ``save_system``
+wrote; unknown fields are rejected loudly (a typo in a constant silently
+changing an experiment would be worse than an error).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.fabric.cost_model import TechnologyCostModel
+from repro.fabric.datapath import DataPathSpec
+from repro.fabric.resources import ResourceBudget
+from repro.ise.kernel import Kernel
+from repro.sim.program import Application, BlockIteration, FunctionalBlock, KernelIteration
+from repro.util.validation import ReproError
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------- helpers
+def _from_dataclass(obj) -> Dict[str, Any]:
+    return dataclasses.asdict(obj)
+
+
+def _build_dataclass(cls, data: Dict[str, Any], context: str):
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - fields
+    if unknown:
+        raise ReproError(f"{context}: unknown fields {sorted(unknown)}")
+    return cls(**data)
+
+
+# ------------------------------------------------------------- components
+def budget_to_dict(budget: ResourceBudget) -> Dict[str, Any]:
+    """Serialise a fabric budget."""
+    return _from_dataclass(budget)
+
+
+def budget_from_dict(data: Dict[str, Any]) -> ResourceBudget:
+    """Restore a fabric budget (unknown fields rejected)."""
+    return _build_dataclass(ResourceBudget, data, "budget")
+
+
+def cost_model_to_dict(model: TechnologyCostModel) -> Dict[str, Any]:
+    """Serialise a technology cost model."""
+    return _from_dataclass(model)
+
+
+def cost_model_from_dict(data: Dict[str, Any]) -> TechnologyCostModel:
+    """Restore a technology cost model (unknown fields rejected)."""
+    return _build_dataclass(TechnologyCostModel, data, "cost_model")
+
+
+def datapath_to_dict(spec: DataPathSpec) -> Dict[str, Any]:
+    """Serialise a data-path spec."""
+    return _from_dataclass(spec)
+
+
+def datapath_from_dict(data: Dict[str, Any]) -> DataPathSpec:
+    """Restore a data-path spec (unknown fields rejected)."""
+    return _build_dataclass(DataPathSpec, data, "datapath")
+
+
+def kernel_to_dict(kernel: Kernel) -> Dict[str, Any]:
+    """Serialise a kernel with its data paths."""
+    return {
+        "name": kernel.name,
+        "base_cycles": kernel.base_cycles,
+        "monocg_speedup": kernel.monocg_speedup,
+        "datapaths": [datapath_to_dict(dp) for dp in kernel.datapaths],
+    }
+
+
+def kernel_from_dict(data: Dict[str, Any]) -> Kernel:
+    """Restore a kernel (unknown fields rejected)."""
+    known = {"name", "base_cycles", "monocg_speedup", "datapaths"}
+    unknown = set(data) - known
+    if unknown:
+        raise ReproError(f"kernel: unknown fields {sorted(unknown)}")
+    return Kernel(
+        name=data["name"],
+        base_cycles=data["base_cycles"],
+        datapaths=[datapath_from_dict(d) for d in data["datapaths"]],
+        monocg_speedup=data.get("monocg_speedup", 2.2),
+    )
+
+
+def application_to_dict(application: Application) -> Dict[str, Any]:
+    """Serialise an application's blocks and iteration sequence."""
+    return {
+        "name": application.name,
+        "blocks": [
+            {"name": block.name, "kernels": [k.name for k in block.kernels]}
+            for block in application.blocks
+        ],
+        "iterations": [
+            {
+                "block": iteration.block,
+                "kernels": [
+                    {
+                        "kernel": kit.kernel,
+                        "executions": kit.executions,
+                        "gap": kit.gap,
+                    }
+                    for kit in iteration.kernels
+                ],
+            }
+            for iteration in application.iterations
+        ],
+    }
+
+
+def application_from_dict(
+    data: Dict[str, Any], kernels: Dict[str, Kernel]
+) -> Application:
+    """Restore an application, resolving kernel names via ``kernels``."""
+    blocks = []
+    for block_data in data["blocks"]:
+        try:
+            block_kernels = [kernels[name] for name in block_data["kernels"]]
+        except KeyError as exc:
+            raise ReproError(
+                f"block {block_data['name']!r} references unknown kernel {exc}"
+            ) from None
+        blocks.append(FunctionalBlock(block_data["name"], block_kernels))
+    iterations = [
+        BlockIteration(
+            it["block"],
+            [
+                KernelIteration(k["kernel"], k["executions"], k["gap"])
+                for k in it["kernels"]
+            ],
+        )
+        for it in data["iterations"]
+    ]
+    return Application(data["name"], blocks, iterations)
+
+
+# ----------------------------------------------------------------- bundle
+def system_to_dict(
+    budget: ResourceBudget,
+    application: Application,
+    cost_model: Optional[TechnologyCostModel] = None,
+) -> Dict[str, Any]:
+    """Bundle one complete system description."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "budget": budget_to_dict(budget),
+        "cost_model": cost_model_to_dict(cost_model or TechnologyCostModel()),
+        "kernels": [kernel_to_dict(k) for k in application.all_kernels()],
+        "application": application_to_dict(application),
+    }
+
+
+def system_from_dict(
+    data: Dict[str, Any],
+) -> Tuple[ResourceBudget, TechnologyCostModel, Application]:
+    """Restore a complete system description bundle."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported system-description version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    budget = budget_from_dict(data["budget"])
+    cost_model = cost_model_from_dict(data["cost_model"])
+    kernels = {k["name"]: kernel_from_dict(k) for k in data["kernels"]}
+    application = application_from_dict(data["application"], kernels)
+    return budget, cost_model, application
+
+
+def save_system(
+    path: Union[str, Path],
+    budget: ResourceBudget,
+    application: Application,
+    cost_model: Optional[TechnologyCostModel] = None,
+) -> Path:
+    """Write a system description to ``path`` (JSON)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(system_to_dict(budget, application, cost_model), handle, indent=2)
+    return path
+
+
+def load_system(
+    path: Union[str, Path],
+) -> Tuple[ResourceBudget, TechnologyCostModel, Application]:
+    """Load a system description written by :func:`save_system`."""
+    with open(path) as handle:
+        data = json.load(handle)
+    return system_from_dict(data)
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "budget_to_dict",
+    "budget_from_dict",
+    "cost_model_to_dict",
+    "cost_model_from_dict",
+    "datapath_to_dict",
+    "datapath_from_dict",
+    "kernel_to_dict",
+    "kernel_from_dict",
+    "application_to_dict",
+    "application_from_dict",
+    "system_to_dict",
+    "system_from_dict",
+    "save_system",
+    "load_system",
+]

@@ -1,0 +1,49 @@
+"""mRTS: the run-time system for multi-grained reconfigurable fabrics.
+
+The three components of Fig. 4 of the paper:
+
+* the Monitoring & Prediction Unit (:mod:`repro.core.mpu`),
+* the ISE selector (:mod:`repro.core.selector`) built on the profit
+  function of Eqs. 1-4 (:mod:`repro.core.profit`), and
+* the Execution Control Unit (:mod:`repro.core.ecu`).
+
+:class:`repro.core.mrts.MRTS` wires them together behind the
+policy interface the simulator drives.
+"""
+
+from repro.core.profit import (
+    pif,
+    expected_executions,
+    per_improvement,
+    ise_profit,
+    ProfitBreakdown,
+)
+from repro.core.selector import ISESelector, SelectionResult, predict_recT
+from repro.core.optimal import OptimalSelector
+from repro.core.ecu import ExecutionControlUnit, ExecutionDecision, ExecutionMode
+from repro.core.mpu import MonitoringPredictionUnit, KernelStats
+from repro.core.config import MRTSConfig, OverheadModel
+from repro.core.mrts import MRTS
+from repro.core.prune import PrunedLibraryView, prune_candidates
+
+__all__ = [
+    "pif",
+    "expected_executions",
+    "per_improvement",
+    "ise_profit",
+    "ProfitBreakdown",
+    "ISESelector",
+    "SelectionResult",
+    "predict_recT",
+    "OptimalSelector",
+    "ExecutionControlUnit",
+    "ExecutionDecision",
+    "ExecutionMode",
+    "MonitoringPredictionUnit",
+    "KernelStats",
+    "MRTSConfig",
+    "OverheadModel",
+    "MRTS",
+    "PrunedLibraryView",
+    "prune_candidates",
+]

@@ -1,0 +1,194 @@
+"""The Execution Control Unit (Section 4.2, Fig. 7).
+
+Every kernel execution is steered onto the best implementation available
+*at that moment*:
+
+a) the selected ISE, if all its data paths are reconfigured;
+b) otherwise the deepest ready intermediate ISE;
+c) otherwise a monoCG-Extension -- the whole kernel on one free CG fabric,
+   ready after a microsecond context load -- which the ECU configures on
+   demand to bridge the milliseconds until the first FG data path arrives;
+d) otherwise RISC mode on the core processor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.fabric.datapath import FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.ise.ise import ISE
+from repro.ise.library import ISELibrary
+from repro.util.validation import check_non_negative
+
+
+class ExecutionMode(enum.Enum):
+    """How a kernel execution was served (the Fig. 7 cascade)."""
+
+    SELECTED = "selected"          #: fully reconfigured selected ISE
+    INTERMEDIATE = "intermediate"  #: a proper prefix of the selected ISE
+    MONOCG = "monocg"              #: monoCG-Extension on one CG fabric
+    RISC = "risc"                  #: plain core-processor execution
+
+
+@dataclass(frozen=True)
+class ExecutionDecision:
+    """The ECU's verdict for one kernel execution."""
+
+    kernel: str
+    mode: ExecutionMode
+    latency: int    #: core cycles this execution takes
+    level: int      #: intermediate-ISE level used (0 unless (a)/(b))
+    ise_name: Optional[str] = None
+
+
+class ExecutionControlUnit:
+    """Steers kernel executions onto available implementations."""
+
+    def __init__(
+        self,
+        controller: ReconfigurationController,
+        library: ISELibrary,
+        enable_monocg: bool = True,
+        enable_intermediate: bool = True,
+        monocg_breakeven_cycles: int = 5_000,
+    ):
+        """``monocg_breakeven_cycles``: only burn a CG fabric on a
+        monoCG-Extension if the next latency improvement of the selected ISE
+        is further away than this (a CG-only ISE ready in microseconds never
+        warrants one)."""
+        check_non_negative("monocg_breakeven_cycles", monocg_breakeven_cycles)
+        self.controller = controller
+        self.library = library
+        self.enable_monocg = enable_monocg
+        self.enable_intermediate = enable_intermediate
+        self.monocg_breakeven_cycles = monocg_breakeven_cycles
+        self._selection: Dict[str, Optional[ISE]] = {}
+        self.monocg_configured_count = 0
+
+    # ----------------------------------------------------------- control
+    def set_selection(self, selection: Mapping[str, Optional[ISE]]) -> None:
+        """Install the selector's output for the current functional block."""
+        self._selection = dict(selection)
+
+    def clear_selection(self) -> None:
+        """Forget the current selection (block exit without successor)."""
+        self._selection = {}
+
+    def selected_ise(self, kernel_name: str) -> Optional[ISE]:
+        """The ISE currently selected for ``kernel_name`` (None = RISC)."""
+        return self._selection.get(kernel_name)
+
+    def release_monocg_pins(self) -> None:
+        """Unpin every monoCG-Extension (called at functional-block exit)."""
+        for kernel_name in self.library.kernel_names():
+            self.controller.release_owner(self._monocg_owner(kernel_name))
+
+    @staticmethod
+    def _monocg_owner(kernel_name: str) -> str:
+        return f"monocg:{kernel_name}"
+
+    # ---------------------------------------------------------- execution
+    def execute(self, kernel_name: str, now: int) -> ExecutionDecision:
+        """Decide how the execution of ``kernel_name`` at ``now`` is served."""
+        kernel = self.library.kernel(kernel_name)
+        resources = self.controller.resources
+        ise = self._selection.get(kernel_name)
+
+        level = 0
+        if ise is not None:
+            level = self._ready_level(ise, now)
+            if not self.enable_intermediate and level < ise.n_levels:
+                level = 0
+
+        best_latency = kernel.risc_latency
+        mode = ExecutionMode.RISC
+        ise_name: Optional[str] = None
+        if ise is not None and level > 0:
+            best_latency = ise.latency(level)
+            mode = (
+                ExecutionMode.SELECTED
+                if level == ise.n_levels
+                else ExecutionMode.INTERMEDIATE
+            )
+            ise_name = ise.name
+
+        if self.enable_monocg:
+            monocg = self.library.monocg(kernel_name)
+            monocg_ready = resources.ready_quantity(monocg.impl_name, now) >= 1
+            if monocg_ready and monocg.latency < best_latency:
+                best_latency = monocg.latency
+                mode = ExecutionMode.MONOCG
+                ise_name = monocg.impl_name
+                level = 0
+            elif not monocg_ready:
+                self._maybe_configure_monocg(kernel_name, ise, level, now)
+
+        # LRU bookkeeping for the implementations this execution used.
+        if mode in (ExecutionMode.SELECTED, ExecutionMode.INTERMEDIATE):
+            assert ise is not None
+            for instance in ise.instances[:level]:
+                resources.touch(instance.impl.name, now)
+        elif mode is ExecutionMode.MONOCG:
+            resources.touch(self.library.monocg(kernel_name).impl_name, now)
+
+        return ExecutionDecision(
+            kernel=kernel_name,
+            mode=mode,
+            latency=best_latency,
+            level=level,
+            ise_name=ise_name,
+        )
+
+    # ------------------------------------------------------------ helpers
+    def _ready_level(self, ise: ISE, now: int) -> int:
+        """Deepest prefix of ``ise`` whose data paths are all ready."""
+        resources = self.controller.resources
+        level = 0
+        for instance in ise.instances:
+            if resources.ready_quantity(instance.impl.name, now) < instance.quantity:
+                break
+            level += 1
+        return level
+
+    def _maybe_configure_monocg(
+        self,
+        kernel_name: str,
+        ise: Optional[ISE],
+        level: int,
+        now: int,
+    ) -> None:
+        """Configure a monoCG-Extension if it would bridge a real gap."""
+        monocg = self.library.monocg(kernel_name)
+        if self.controller.resources.configured_quantity(monocg.impl_name) > 0:
+            return  # already in flight
+        kernel = self.library.kernel(kernel_name)
+        current_latency = (
+            ise.latency(level) if (ise is not None and level > 0) else kernel.risc_latency
+        )
+        if monocg.latency >= current_latency:
+            return
+        next_improvement_at = self._next_improvement_at(ise, level)
+        if next_improvement_at - now <= self.monocg_breakeven_cycles:
+            return
+        if not self.controller.free_cg_fabric_available(now):
+            return
+        self.controller.ensure_configured(
+            [monocg.instance], owner=self._monocg_owner(kernel_name), now=now
+        )
+        self.monocg_configured_count += 1
+
+    def _next_improvement_at(self, ise: Optional[ISE], level: int) -> float:
+        """Absolute cycle at which the next deeper level becomes ready."""
+        if ise is None or level >= ise.n_levels:
+            return float("inf")
+        next_instance = ise.instances[level]
+        ready = self.controller.resources.ready_at(
+            next_instance.impl.name, next_instance.quantity
+        )
+        return float("inf") if ready is None else float(ready)
+
+
+__all__ = ["ExecutionControlUnit", "ExecutionDecision", "ExecutionMode"]

@@ -1,0 +1,224 @@
+"""The optimal ISE selection algorithm (for quality evaluation only).
+
+The paper uses an optimal algorithm -- evaluate all ISE combinations, prune
+the ones violating the resource constraints, keep the best total profit --
+purely as a yardstick for the heuristic (Fig. 9), because its O(M^N) search
+space (>78 million combinations for six kernels) is infeasible at run time.
+
+Since one ISE choice per kernel with a two-dimensional area budget is a
+(small) multi-dimensional knapsack, we implement the exact search as dynamic
+programming over the ``(PRCs used, CG fabrics used)`` state space, which is
+equivalent to full enumeration with resource pruning but polynomial in the
+budget.  The sequential FG bitstream port is part of the objective: because
+all partial bitstreams share the standard per-PRC size, a candidate's
+reconfiguration schedule depends only on how many FG units earlier-committed
+ISEs queued -- which is the DP's ``fg_used`` coordinate, so profits are
+evaluated per backlog level and the DP stays exact for the joint
+(area + port) model.  Data paths already configured on the fabric can
+optionally be accounted as free and immediately available
+(``respect_existing``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.profit import ise_profit
+from repro.core.selector import (
+    ISESelector,
+    SelectionResult,
+    exempt_copies,
+    predict_recT,
+    reservation_charge,
+)
+from repro.fabric.datapath import FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.ise.ise import ISE
+from repro.ise.library import ISELibrary
+from repro.sim.trigger import TriggerInstruction
+from repro.util.validation import ReproError
+
+
+class OptimalSelector:
+    """Exact joint profit maximisation under the (PRC, CG) budget.
+
+    ``candidate_filter`` optionally restricts the per-kernel candidate sets
+    (e.g. the Morpheus/4S-like baseline only admits single-granularity ISEs).
+    """
+
+    def __init__(
+        self,
+        library: ISELibrary,
+        respect_existing: bool = True,
+        candidate_filter=None,
+        consider_greedy_plan: bool = True,
+    ):
+        """``consider_greedy_plan``: a selection plan includes its commit
+        order.  The DP explores all ISE combinations under kernel-sorted
+        commit order; the greedy heuristic produces a plan with
+        profit-descending commit order.  A true optimum ranges over both, so
+        by default the selector also evaluates the greedy plan and returns
+        whichever predicts more profit."""
+        self.library = library
+        self.respect_existing = respect_existing
+        self.candidate_filter = candidate_filter
+        self.consider_greedy_plan = consider_greedy_plan
+
+    def _candidates(self, kernel: str) -> List[ISE]:
+        candidates = self.library.candidates(kernel)
+        if self.candidate_filter is not None:
+            candidates = [ise for ise in candidates if self.candidate_filter(ise)]
+        return candidates
+
+    def select(
+        self,
+        triggers: Sequence[TriggerInstruction],
+        controller: ReconfigurationController,
+        now: int,
+    ) -> SelectionResult:
+        """Optimal counterpart of :meth:`repro.core.selector.ISESelector.select`."""
+        result = SelectionResult()
+        triggers_by_kernel: Dict[str, TriggerInstruction] = {}
+        for trig in triggers:
+            if trig.kernel in triggers_by_kernel:
+                raise ReproError(f"duplicate trigger for kernel {trig.kernel!r}")
+            triggers_by_kernel[trig.kernel] = trig
+
+        coverage: Mapping[str, int]
+        existing_ready: Dict[str, float] = {}
+        exempt: Dict[str, int] = {}
+        if self.respect_existing:
+            coverage = controller.resources.snapshot()
+            for name, qty in coverage.items():
+                ready_at = controller.resources.ready_at(name, qty)
+                if ready_at is not None:
+                    existing_ready[name] = float(ready_at)
+            exempt = exempt_copies(controller.resources, now)
+        else:
+            coverage = {}
+
+        budget_fg = controller.resources.allocatable_area(FabricType.FG, now)
+        budget_cg = controller.resources.allocatable_area(FabricType.CG, now)
+
+        kernels = sorted(triggers_by_kernel)
+        # Pre-compute the profit of every candidate of every kernel for every
+        # possible FG-port backlog.  The FG bitstream port is sequential and
+        # shared: a candidate's recT depends on how many FG data-path units
+        # earlier-committed ISEs queue before it.  All partial bitstreams
+        # have the same size, so the backlog is fully described by the
+        # number of FG units already claimed -- which is exactly the DP's
+        # ``fg_used`` coordinate.  This keeps the DP exact for the joint
+        # (area + port) model.
+        #
+        # options[k][j] = (profits_by_backlog, fg, cg, ise)
+        options: List[List[Tuple[List[float], int, int, Optional[ISE]]]] = []
+        fg_unit_cycles = self._fg_unit_cycles()
+        for kernel in kernels:
+            trig = triggers_by_kernel[kernel]
+            kernel_options: List[Tuple[List[float], int, int, Optional[ISE]]] = [
+                ([0.0] * (budget_fg + 1), 0, 0, None)
+            ]
+            for ise in self._candidates(kernel):
+                charge = reservation_charge(ise, {}, exempt)
+                fg = charge[FabricType.FG]
+                cg = charge[FabricType.CG]
+                profits_by_backlog: List[float] = []
+                for backlog in range(budget_fg + 1):
+                    if backlog + fg > budget_fg:
+                        profits_by_backlog.append(float("-inf"))
+                        continue
+                    result.profit_evaluations += 1
+                    schedule, _ = predict_recT(
+                        ise,
+                        coverage,
+                        existing_ready,
+                        now,
+                        float(now) + backlog * fg_unit_cycles,
+                    )
+                    profits_by_backlog.append(
+                        ise_profit(
+                            ise,
+                            e=trig.executions,
+                            tf=trig.time_to_first,
+                            tb=trig.time_between,
+                            rec_schedule=schedule,
+                        ).profit
+                    )
+                kernel_options.append((profits_by_backlog, fg, cg, ise))
+            result.candidates_considered += len(kernel_options) - 1
+            options.append(kernel_options)
+
+        # DP over (fg_used, cg_used): best profit and choice backtrace.
+        Key = Tuple[int, int]
+        best: Dict[Key, float] = {(0, 0): 0.0}
+        trace: Dict[Tuple[int, Key], Tuple[Key, Optional[ISE]]] = {}
+        for k, kernel_options in enumerate(options):
+            new_best: Dict[Key, float] = {}
+            for (fg_used, cg_used), profit_so_far in best.items():
+                for profits_by_backlog, fg, cg, ise in kernel_options:
+                    nfg, ncg = fg_used + fg, cg_used + cg
+                    if nfg > budget_fg or ncg > budget_cg:
+                        continue
+                    profit = profits_by_backlog[fg_used]
+                    if profit == float("-inf"):
+                        continue
+                    total = profit_so_far + profit
+                    key = (nfg, ncg)
+                    if total > new_best.get(key, float("-inf")):
+                        new_best[key] = total
+                        trace[(k, key)] = ((fg_used, cg_used), ise)
+            best = new_best
+            if not best:
+                raise ReproError("optimal selection found no feasible state")
+
+        # Backtrack from the best final state.
+        final_key = max(best, key=lambda key: best[key])
+        key = final_key
+        chosen: Dict[str, Optional[ISE]] = {}
+        for k in range(len(kernels) - 1, -1, -1):
+            prev_key, ise = trace[(k, key)]
+            chosen[kernels[k]] = ise
+            key = prev_key
+
+        # Reconstruct per-kernel profits along the chosen path (the backlog
+        # each kernel saw is the path's fg_used at that step).
+        key = (0, 0)
+        for k, kernel in enumerate(kernels):
+            ise = chosen[kernel]
+            if ise is None:
+                result.profits[kernel] = 0.0
+            else:
+                for profits_by_backlog, fg, cg, option in options[k]:
+                    if option is ise:
+                        result.profits[kernel] = profits_by_backlog[key[0]]
+                        key = (key[0] + fg, key[1] + cg)
+                        break
+            # The selection is emitted in DP (kernel) order: the controller
+            # commits -- and thus queues the FG port -- in exactly the order
+            # the DP's backlog model assumed.
+            result.selected[kernel] = ise
+        result.rounds = 1
+
+        if self.consider_greedy_plan and self.candidate_filter is None:
+            greedy = ISESelector(self.library).select(triggers, controller, now)
+            result.profit_evaluations += greedy.profit_evaluations
+            if greedy.total_profit > result.total_profit:
+                greedy.profit_evaluations = result.profit_evaluations
+                greedy.candidates_considered = result.candidates_considered
+                return greedy
+        return result
+
+    @staticmethod
+    def _fg_unit_cycles() -> int:
+        """Port time of one FG area unit (all partial bitstreams share the
+        standard per-PRC size)."""
+        from repro.util.units import kb_to_reconfig_cycles
+
+        return kb_to_reconfig_cycles(79.2)
+
+    def search_space_size(self, triggers: Sequence[TriggerInstruction]) -> int:
+        """Number of combinations plain enumeration would visit."""
+        return self.library.search_space_size(t.kernel for t in triggers)
+
+
+__all__ = ["OptimalSelector"]

@@ -1,0 +1,278 @@
+"""The ISE selection algorithm of mRTS (Fig. 6 of the paper).
+
+Greedy maximum-profit selection over the joint candidate list of all kernels
+forecasted by the trigger instructions:
+
+1. build the candidate list of all ISEs of all kernels,
+2. remove ISEs that (a) need more fabric than available or (b) are covered
+   by data paths already configured / selected,
+3. compute the profit (Eqs. 2-4) of every remaining candidate and select the
+   maximum,
+4. add it to the output set, update the fabric status, drop the other ISEs
+   of the same kernel -- repeat until every kernel is served or nothing fits.
+
+Complexity O(N*M) profit evaluations per round (N kernels, M ISEs each)
+instead of the O(M^N) of the optimal algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.profit import ise_profit
+from repro.fabric.datapath import FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.ise.ise import ISE
+from repro.ise.library import ISELibrary
+from repro.sim.trigger import TriggerInstruction
+from repro.util.validation import ReproError
+
+
+def predict_recT(
+    ise: ISE,
+    coverage: Mapping[str, int],
+    existing_ready: Mapping[str, float],
+    now: int,
+    fg_port_free_at: float,
+) -> Tuple[List[float], float]:
+    """Predicted relative completion time of every level of ``ise``.
+
+    ``coverage`` maps qualified implementation names to quantities that are
+    already configured (or will be, thanks to previously selected ISEs) and
+    therefore need no new reconfiguration; ``existing_ready`` gives the
+    absolute cycle at which those copies are ready (missing entries mean
+    "ready now").  FG transfers for uncovered instances queue sequentially
+    behind ``fg_port_free_at``.
+
+    Returns ``(schedule, new_port_free_at)`` where ``schedule[i]`` is the
+    completion of level ``i+1`` relative to ``now``.
+    """
+    port = max(float(now), fg_port_free_at)
+    ready_abs: List[float] = []
+    for instance in ise.instances:
+        name = instance.impl.name
+        covered_qty = min(coverage.get(name, 0), instance.quantity)
+        missing = instance.quantity - covered_qty
+        ready = float(now)
+        if covered_qty > 0:
+            ready = max(ready, existing_ready.get(name, float(now)))
+        if missing > 0:
+            if instance.fabric is FabricType.FG:
+                port += instance.impl.reconfig_cycles * missing
+                ready = max(ready, port)
+            else:
+                ready = max(ready, now + instance.impl.reconfig_cycles)
+        ready_abs.append(ready)
+    schedule: List[float] = []
+    completed = 0.0
+    for t in ready_abs:
+        completed = max(completed, t - now)
+        schedule.append(completed)
+    return schedule, port
+
+
+def exempt_copies(resources, now: int) -> Dict[str, int]:
+    """Copies whose area is *not* part of the allocatable pool: pinned by an
+    owner, or mid-transfer on the bitstream port (a streaming partial
+    bitstream cannot be aborted; a still-pending one can be cancelled and
+    therefore *is* allocatable).
+
+    Reserving such a copy for a new selection costs no allocatable area;
+    reserving an evictable copy removes it from the pool and must be
+    charged.  Keyed by qualified implementation name.
+    """
+    exempt: Dict[str, int] = {}
+    for copy in resources.iter_copies():
+        if not copy.is_evictable(now):
+            exempt[copy.impl.name] = exempt.get(copy.impl.name, 0) + 1
+    return exempt
+
+
+def reservation_charge(
+    ise: ISE,
+    reserved: Mapping[str, int],
+    exempt: Mapping[str, int],
+) -> Dict[FabricType, int]:
+    """Allocatable area consumed by selecting ``ise`` given what earlier
+    selections already ``reserved``.
+
+    A data path reserved up to quantity ``r`` costs
+    ``area * max(0, r - exempt)`` (exempt copies were never in the pool);
+    selecting an ISE raises each of its data paths' reservations to at least
+    its quantity, and the charge is the difference.  Shared data paths are
+    therefore charged once, no matter how many selected ISEs use them.
+    """
+    charge = {FabricType.FG: 0, FabricType.CG: 0}
+    for instance in ise.instances:
+        name = instance.impl.name
+        r_old = reserved.get(name, 0)
+        r_new = max(r_old, instance.quantity)
+        if r_new == r_old:
+            continue
+        ex = exempt.get(name, 0)
+        delta_units = max(0, r_new - ex) - max(0, r_old - ex)
+        charge[instance.fabric] += instance.impl.area * delta_units
+    return charge
+
+
+def apply_reservation(ise: ISE, reserved: Dict[str, int]) -> None:
+    """Raise the reservations of ``ise``'s data paths to its quantities."""
+    for instance in ise.instances:
+        name = instance.impl.name
+        reserved[name] = max(reserved.get(name, 0), instance.quantity)
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one selection round for a functional block."""
+
+    selected: Dict[str, Optional[ISE]] = field(default_factory=dict)
+    profits: Dict[str, float] = field(default_factory=dict)
+    covered_free: List[str] = field(default_factory=list)
+    profit_evaluations: int = 0
+    candidates_considered: int = 0
+    rounds: int = 0
+
+    @property
+    def total_profit(self) -> float:
+        return sum(self.profits.values())
+
+    def selection_order(self) -> List[str]:
+        """Kernels in the order their ISEs were selected (greedy order)."""
+        return list(self.selected)
+
+
+class ISESelector:
+    """The heuristic multi-grained ISE selector (Section 4.1)."""
+
+    def __init__(self, library: ISELibrary):
+        self.library = library
+
+    def select(
+        self,
+        triggers: Sequence[TriggerInstruction],
+        controller: ReconfigurationController,
+        now: int,
+    ) -> SelectionResult:
+        """Select one ISE per forecasted kernel (Fig. 6).
+
+        The controller is only *read* (configuration snapshot and port
+        backlog); committing the selection is the caller's responsibility so
+        that alternative policies can reuse this selector.
+        """
+        result = SelectionResult()
+        triggers_by_kernel: Dict[str, TriggerInstruction] = {}
+        for trig in triggers:
+            if trig.kernel in triggers_by_kernel:
+                raise ReproError(f"duplicate trigger for kernel {trig.kernel!r}")
+            if trig.kernel not in self.library.kernels:
+                raise ReproError(f"trigger for unknown kernel {trig.kernel!r}")
+            triggers_by_kernel[trig.kernel] = trig
+
+        # Step 1: candidate list of the ISEs of all kernels in the TIs.
+        candidates: Dict[str, List[ISE]] = {
+            kernel: self.library.candidates(kernel) for kernel in triggers_by_kernel
+        }
+        result.candidates_considered = sum(len(c) for c in candidates.values())
+
+        # Fabric the selection may claim (free + evictable-unpinned), and the
+        # copies whose area is exempt from charging (pinned or in flight).
+        free = {
+            fabric: controller.resources.allocatable_area(fabric, now)
+            for fabric in FabricType
+        }
+        exempt = exempt_copies(controller.resources, now)
+        reserved: Dict[str, int] = {}
+        # Data paths usable without new reconfigurations: everything currently
+        # configured or in flight, plus (as rounds progress) the selections.
+        coverage: Dict[str, int] = dict(controller.resources.snapshot())
+        existing_ready: Dict[str, float] = {}
+        for name, qty in coverage.items():
+            ready_at = controller.resources.ready_at(name, qty)
+            if ready_at is not None:
+                existing_ready[name] = float(ready_at)
+        fg_port_free_at = float(controller.fg.port_available_at)
+
+        def fits(ise: ISE) -> bool:
+            charge = reservation_charge(ise, reserved, exempt)
+            return all(charge[fabric] <= free[fabric] for fabric in FabricType)
+
+        def claim(ise: ISE) -> None:
+            charge = reservation_charge(ise, reserved, exempt)
+            for fabric in FabricType:
+                free[fabric] -= charge[fabric]
+            apply_reservation(ise, reserved)
+
+        pending = set(triggers_by_kernel)
+        while pending:
+            result.rounds += 1
+            # Step 2a + 3: profit of every fitting candidate; pick the max.
+            # Step 2b is implicit in the accounting: an ISE covered by data
+            # paths that are already configured (or that earlier rounds of
+            # this selection brought in) is charged no fabric and predicted
+            # available at its existing ready times, so it needs no new
+            # reconfiguration and its profit reflects that head start.
+            best_choice: Optional[Tuple[float, str, ISE, List[float], float]] = None
+            for kernel in sorted(pending):
+                trig = triggers_by_kernel[kernel]
+                for ise in candidates[kernel]:
+                    if not fits(ise):
+                        continue
+                    result.profit_evaluations += 1
+                    profit, schedule, port_after = self._profit_of(
+                        ise, trig, coverage, existing_ready, now, fg_port_free_at
+                    )
+                    if best_choice is None or profit > best_choice[0]:
+                        best_choice = (profit, kernel, ise, schedule, port_after)
+
+            if best_choice is None or best_choice[0] <= 0:
+                # Nothing fits (or nothing helps): remaining kernels run in
+                # RISC mode / on monoCG-Extensions via the ECU.
+                for kernel in sorted(pending):
+                    result.selected[kernel] = None
+                    result.profits[kernel] = 0.0
+                break
+
+            # Step 4: commit the winner into the working state.
+            _, kernel, ise, schedule, port_after = best_choice
+            result.selected[kernel] = ise
+            result.profits[kernel] = best_choice[0]
+            if ise.covered_by(dict(controller.resources.snapshot())):
+                result.covered_free.append(kernel)
+            claim(ise)
+            for level_index, instance in enumerate(ise.instances):
+                name = instance.impl.name
+                coverage[name] = max(coverage.get(name, 0), instance.quantity)
+                ready_rel = schedule[level_index]
+                existing_ready[name] = max(
+                    existing_ready.get(name, 0.0), now + ready_rel
+                )
+            fg_port_free_at = port_after
+            pending.discard(kernel)
+
+        return result
+
+    @staticmethod
+    def _profit_of(
+        ise: ISE,
+        trig: TriggerInstruction,
+        coverage: Mapping[str, int],
+        existing_ready: Mapping[str, float],
+        now: int,
+        fg_port_free_at: float,
+    ) -> Tuple[float, List[float], float]:
+        schedule, port_after = predict_recT(
+            ise, coverage, existing_ready, now, fg_port_free_at
+        )
+        breakdown = ise_profit(
+            ise,
+            e=trig.executions,
+            tf=trig.time_to_first,
+            tb=trig.time_between,
+            rec_schedule=schedule,
+        )
+        return breakdown.profit, schedule, port_after
+
+
+__all__ = ["ISESelector", "SelectionResult", "predict_recT"]

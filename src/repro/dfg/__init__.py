@@ -1,0 +1,43 @@
+"""Compile-time kernel characterisation: data-flow graphs to data paths.
+
+The paper's compile-time flow ("we use our proprietary automatic tool
+chain to generate the CG- FG- and MG-ISE of prepared ISEs by designing
+their data paths", referencing the ISE-identification literature [18] and
+[19]) starts from the kernel's computation and partitions it into data
+paths.  This package implements that front end:
+
+* :mod:`repro.dfg.graph` -- a small data-flow-graph IR (operation nodes
+  with types, value edges, per-node invocation trip counts);
+* :mod:`repro.dfg.kernels` -- DFG descriptions of representative kernels
+  (written the way a front end would emit them);
+* :mod:`repro.dfg.partition` -- the data-path extractor: clusters the DFG
+  into convex regions of homogeneous character (bit-level regions for the
+  FG fabric, word/arithmetic regions for the CG fabric) under an
+  I/O-constraint, and derives :class:`~repro.fabric.datapath.DataPathSpec`
+  operation mixes from the clusters;
+* :mod:`repro.dfg.characterize` -- the glue: DFG in, ``Kernel`` out.
+
+The hand-written specs of :mod:`repro.workloads` remain the calibrated
+reference; this package shows the full path from computation to ISEs and
+is exercised by the custom-accelerator example and the test suite.
+"""
+
+from repro.dfg.graph import DataFlowGraph, OpNode, OpType
+from repro.dfg.partition import PartitionConfig, extract_datapaths
+from repro.dfg.characterize import characterize_kernel
+from repro.dfg.kernels import example_dfgs, sad_dfg, deblock_dfg
+from repro.dfg.render import to_dot, to_text
+
+__all__ = [
+    "DataFlowGraph",
+    "OpNode",
+    "OpType",
+    "PartitionConfig",
+    "extract_datapaths",
+    "characterize_kernel",
+    "example_dfgs",
+    "sad_dfg",
+    "deblock_dfg",
+    "to_dot",
+    "to_text",
+]

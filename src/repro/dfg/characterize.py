@@ -1,0 +1,59 @@
+"""From a data-flow graph to a ready-to-use :class:`~repro.ise.kernel.Kernel`.
+
+The complete compile-time front end: extract the data paths from the DFG,
+estimate the non-offloadable base cycles (boundary handling and glue), and
+assemble a kernel whose ISEs can then be enumerated by the
+:class:`~repro.ise.builder.ISEBuilder` -- the path an application developer
+would take for a kernel the bundled workloads do not cover.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfg.graph import DataFlowGraph, OpType
+from repro.dfg.partition import PartitionConfig, extract_datapaths
+from repro.ise.kernel import Kernel
+from repro.util.validation import check_non_negative, check_positive
+
+#: Base (never-accelerated) cycles per boundary value: argument marshalling,
+#: address setup, result handling on the core processor.
+BASE_CYCLES_PER_BOUNDARY = 20
+
+
+def characterize_kernel(
+    dfg: DataFlowGraph,
+    invocations: int = 1,
+    name: Optional[str] = None,
+    base_cycles: Optional[int] = None,
+    config: PartitionConfig = PartitionConfig(),
+    monocg_speedup: float = 2.2,
+) -> Kernel:
+    """Build a :class:`Kernel` from ``dfg``.
+
+    Parameters
+    ----------
+    invocations:
+        Data-path invocations per kernel execution (from profiling).
+    name:
+        Kernel name (defaults to the DFG name).
+    base_cycles:
+        Override for the non-accelerable per-execution cycles; by default
+        estimated from the number of kernel-boundary values.
+    """
+    check_positive("invocations", invocations)
+    datapaths = extract_datapaths(dfg, invocations=invocations, config=config)
+    if base_cycles is None:
+        boundaries = sum(1 for n in dfg.nodes if n.op.is_boundary)
+        base_cycles = BASE_CYCLES_PER_BOUNDARY * max(1, boundaries)
+    else:
+        check_non_negative("base_cycles", base_cycles)
+    return Kernel(
+        name or dfg.name,
+        base_cycles=base_cycles,
+        datapaths=datapaths,
+        monocg_speedup=monocg_speedup,
+    )
+
+
+__all__ = ["characterize_kernel", "BASE_CYCLES_PER_BOUNDARY"]

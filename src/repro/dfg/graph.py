@@ -1,0 +1,167 @@
+"""A small data-flow-graph IR for kernel computations.
+
+Nodes are operations with a type drawn from the categories the technology
+cost model distinguishes (word-level ALU, multiply, divide, bit-level,
+memory access); edges are value dependencies.  Each node carries a *trip
+count*: how many times it executes per kernel invocation of its data path
+(inner loops execute their body nodes repeatedly).
+
+The IR is deliberately minimal -- enough to express the compute kernels of
+the evaluation workloads and to drive the data-path extractor -- and is
+validated eagerly: the graph must stay acyclic and name-consistent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.util.validation import ReproError, ValidationError, check_positive
+
+
+class OpType(enum.Enum):
+    """Operation categories (matching the technology cost model)."""
+
+    WORD = "word"    #: add/sub/compare/logic on words
+    MUL = "mul"
+    DIV = "div"
+    BIT = "bit"      #: shuffle/pack/extract/mask on bits and bytes
+    LOAD = "load"    #: scratchpad read (bytes in ``mem_bytes``)
+    STORE = "store"  #: scratchpad write
+    INPUT = "input"  #: kernel-boundary value (no hardware cost)
+    OUTPUT = "output"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpType.LOAD, OpType.STORE)
+
+    @property
+    def is_boundary(self) -> bool:
+        return self in (OpType.INPUT, OpType.OUTPUT)
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """One operation of the data-flow graph."""
+
+    name: str
+    op: OpType
+    #: value operands (names of producing nodes)
+    inputs: Tuple[str, ...] = ()
+    #: times the operation runs per data-path invocation (loop trip count)
+    trips: int = 1
+    #: bytes moved (memory nodes only)
+    mem_bytes: int = 0
+
+    def __init__(
+        self,
+        name: str,
+        op: OpType,
+        inputs: Sequence[str] = (),
+        trips: int = 1,
+        mem_bytes: int = 0,
+    ):
+        if not name:
+            raise ValidationError("OpNode.name must be non-empty")
+        check_positive("OpNode.trips", trips)
+        if op.is_memory and mem_bytes <= 0:
+            raise ValidationError(f"memory node {name!r} needs mem_bytes > 0")
+        if not op.is_memory and mem_bytes:
+            raise ValidationError(f"non-memory node {name!r} must not set mem_bytes")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "inputs", tuple(inputs))
+        object.__setattr__(self, "trips", trips)
+        object.__setattr__(self, "mem_bytes", mem_bytes)
+
+
+class DataFlowGraph:
+    """An acyclic data-flow graph of one kernel."""
+
+    def __init__(self, name: str, nodes: Sequence[OpNode]):
+        if not name:
+            raise ValidationError("DataFlowGraph.name must be non-empty")
+        self.name = name
+        self._nodes: Dict[str, OpNode] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise ReproError(f"duplicate node {node.name!r} in DFG {name!r}")
+            self._nodes[node.name] = node
+        for node in nodes:
+            for operand in node.inputs:
+                if operand not in self._nodes:
+                    raise ReproError(
+                        f"node {node.name!r} reads unknown value {operand!r}"
+                    )
+        self._order = self._topological_order()
+
+    # ------------------------------------------------------------ queries
+    @property
+    def nodes(self) -> List[OpNode]:
+        """Nodes in a topological order."""
+        return [self._nodes[name] for name in self._order]
+
+    def node(self, name: str) -> OpNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"DFG {self.name!r} has no node {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def consumers(self, name: str) -> List[OpNode]:
+        """Nodes that read the value produced by ``name``."""
+        return [n for n in self._nodes.values() if name in n.inputs]
+
+    def op_counts(self) -> Dict[OpType, int]:
+        """Trip-weighted operation counts per category."""
+        counts: Dict[OpType, int] = {}
+        for node in self._nodes.values():
+            counts[node.op] = counts.get(node.op, 0) + node.trips
+        return counts
+
+    def critical_path_length(self) -> int:
+        """Longest dependency chain through compute nodes (unit depth per
+        node) -- the pipeline-depth estimate of an FG implementation."""
+        depth: Dict[str, int] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            own = 0 if node.op.is_boundary else 1
+            depth[name] = own + max(
+                (depth[i] for i in node.inputs), default=0
+            )
+        return max(depth.values(), default=0)
+
+    # ------------------------------------------------------------ helpers
+    def _topological_order(self) -> List[str]:
+        order: List[str] = []
+        state: Dict[str, int] = {}
+
+        def visit(name: str, stack: Tuple[str, ...]) -> None:
+            if state.get(name) == 2:
+                return
+            if state.get(name) == 1:
+                cycle = " -> ".join(stack + (name,))
+                raise ReproError(f"DFG {self.name!r} has a cycle: {cycle}")
+            state[name] = 1
+            for operand in self._nodes[name].inputs:
+                visit(operand, stack + (name,))
+            state[name] = 2
+            order.append(name)
+
+        for name in self._nodes:
+            visit(name, ())
+        return order
+
+    def subgraph_counts(self, names: Iterable[str]) -> Dict[OpType, int]:
+        """Trip-weighted op counts of a node subset."""
+        counts: Dict[OpType, int] = {}
+        for name in names:
+            node = self.node(name)
+            counts[node.op] = counts.get(node.op, 0) + node.trips
+        return counts
+
+
+__all__ = ["OpType", "OpNode", "DataFlowGraph"]

@@ -1,0 +1,105 @@
+"""DFG descriptions of representative kernels.
+
+Written the way a compiler front end would emit them: one node per
+operation class with loop trip counts, value edges following the data flow.
+They exist to exercise the extraction flow end to end; the calibrated
+workloads of :mod:`repro.workloads` use hand-characterised specs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dfg.graph import DataFlowGraph, OpNode, OpType
+
+
+def sad_dfg() -> DataFlowGraph:
+    """Sum of absolute differences over one 16x16 block row pair.
+
+    Pure word-level arithmetic: load two rows, subtract, absolute value,
+    accumulate -- the classical CG-friendly motion-estimation kernel.
+    """
+    return DataFlowGraph(
+        "sad16",
+        [
+            OpNode("cur_ptr", OpType.INPUT),
+            OpNode("ref_ptr", OpType.INPUT),
+            OpNode("ld_cur", OpType.LOAD, ["cur_ptr"], trips=4, mem_bytes=4),
+            OpNode("ld_ref", OpType.LOAD, ["ref_ptr"], trips=4, mem_bytes=4),
+            OpNode("diff", OpType.WORD, ["ld_cur", "ld_ref"], trips=16),
+            OpNode("abs", OpType.WORD, ["diff"], trips=16),
+            OpNode("acc", OpType.WORD, ["abs"], trips=16),
+            OpNode("sad", OpType.OUTPUT, ["acc"]),
+        ],
+    )
+
+
+def deblock_dfg() -> DataFlowGraph:
+    """The H.264 deblocking filter edge operation (Section 2's case study).
+
+    Two distinct regions: the *condition* part decides per pixel whether to
+    filter (threshold compares, flag packing -- bit-level), and the
+    *filter* part computes the new pixel values (adds, shifts, multiplies
+    by tap weights -- word-level).  The extractor must find this split.
+    """
+    return DataFlowGraph(
+        "deblock",
+        [
+            OpNode("p_ptr", OpType.INPUT),
+            OpNode("q_ptr", OpType.INPUT),
+            OpNode("thresholds", OpType.INPUT),
+            # condition data path: bit-level decision logic
+            OpNode("ld_edge", OpType.LOAD, ["p_ptr", "q_ptr"], trips=4, mem_bytes=4),
+            OpNode("delta", OpType.WORD, ["ld_edge"], trips=6),
+            OpNode("cmp_alpha", OpType.BIT, ["delta", "thresholds"], trips=12),
+            OpNode("cmp_beta", OpType.BIT, ["delta", "thresholds"], trips=12),
+            OpNode("mask", OpType.BIT, ["cmp_alpha", "cmp_beta"], trips=12),
+            OpNode("bs_pack", OpType.BIT, ["mask"], trips=12),
+            # filter data path: word-level pixel arithmetic
+            OpNode("taps", OpType.MUL, ["ld_edge", "bs_pack"], trips=4),
+            OpNode("sum", OpType.WORD, ["taps"], trips=16),
+            OpNode("clip", OpType.WORD, ["sum", "thresholds"], trips=8),
+            OpNode("round", OpType.WORD, ["clip"], trips=8),
+            OpNode("st_pixels", OpType.STORE, ["round"], trips=4, mem_bytes=4),
+            OpNode("out", OpType.OUTPUT, ["st_pixels"]),
+        ],
+    )
+
+
+def fir_dfg(taps: int = 8) -> DataFlowGraph:
+    """A ``taps``-tap FIR filter: multiply-accumulate chain (CG territory)."""
+    nodes = [
+        OpNode("x", OpType.INPUT),
+        OpNode("coeffs", OpType.INPUT),
+        OpNode("ld_x", OpType.LOAD, ["x"], trips=taps, mem_bytes=4),
+        OpNode("mac_mul", OpType.MUL, ["ld_x", "coeffs"], trips=taps),
+        OpNode("mac_add", OpType.WORD, ["mac_mul"], trips=taps),
+        OpNode("st_y", OpType.STORE, ["mac_add"], trips=1, mem_bytes=4),
+        OpNode("y", OpType.OUTPUT, ["st_y"]),
+    ]
+    return DataFlowGraph(f"fir{taps}", nodes)
+
+
+def crc_dfg() -> DataFlowGraph:
+    """A table-less CRC step: shifts, XOR folds, masks (FG territory)."""
+    return DataFlowGraph(
+        "crc",
+        [
+            OpNode("data", OpType.INPUT),
+            OpNode("ld_word", OpType.LOAD, ["data"], trips=2, mem_bytes=4),
+            OpNode("xor_in", OpType.BIT, ["ld_word"], trips=8),
+            OpNode("shift", OpType.BIT, ["xor_in"], trips=32),
+            OpNode("poly_sel", OpType.BIT, ["shift"], trips=32),
+            OpNode("fold", OpType.BIT, ["poly_sel"], trips=16),
+            OpNode("crc_out", OpType.OUTPUT, ["fold"]),
+        ],
+    )
+
+
+def example_dfgs() -> Dict[str, DataFlowGraph]:
+    """All bundled example DFGs, keyed by name."""
+    graphs = [sad_dfg(), deblock_dfg(), fir_dfg(), crc_dfg()]
+    return {g.name: g for g in graphs}
+
+
+__all__ = ["sad_dfg", "deblock_dfg", "fir_dfg", "crc_dfg", "example_dfgs"]

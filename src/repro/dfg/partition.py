@@ -1,0 +1,195 @@
+"""Data-path extraction: partition a kernel DFG into data paths.
+
+The extractor follows the spirit of the compile-time ISE-identification
+literature the paper builds on ([18], [19]): find convex regions of the
+data-flow graph that (a) are homogeneous in compute character -- bit-level
+regions map well onto the FG fabric, word/arithmetic regions onto the CG
+fabric -- and (b) stay within a size budget (a data path must fit one PRC
+/ one CG context).
+
+The algorithm is a deterministic segmentation along a topological order:
+walk the compute nodes in data-flow order, tag each with its character
+(``bit`` / ``word`` / neutral for memory), and start a new segment whenever
+the character flips or the segment hits the size budget.  Segmentation
+along the topological order keeps every segment convex (no value can leave
+a segment and re-enter it), which is the classical legality condition for
+ISE regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dfg.graph import DataFlowGraph, OpNode, OpType
+from repro.fabric.datapath import DataPathSpec
+from repro.util.validation import ReproError, check_positive
+
+#: Software cost (core cycles) of one operation in RISC mode.  Bit-level
+#: operations are expensive in software (shift/mask/merge sequences), which
+#: is exactly why control-dominant kernels profit from the FG fabric.
+SW_CYCLES = {
+    OpType.WORD: 1,
+    OpType.MUL: 4,
+    OpType.DIV: 24,
+    OpType.BIT: 3,
+    OpType.LOAD: 2,
+    OpType.STORE: 2,
+}
+
+#: Extra software cycles per data path and invocation (loop and call glue).
+SW_OVERHEAD_CYCLES = 12
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Knobs of the data-path extractor."""
+
+    #: maximum trip-weighted operations per data path (size budget)
+    max_ops_per_datapath: int = 96
+    #: minimum trip-weighted operations: smaller segments merge forward
+    min_ops_per_datapath: int = 8
+    #: fraction of bit ops above which a segment is bit-dominant
+    bit_dominance_threshold: float = 0.35
+
+    def __post_init__(self) -> None:
+        check_positive("max_ops_per_datapath", self.max_ops_per_datapath)
+        check_positive("min_ops_per_datapath", self.min_ops_per_datapath)
+        if self.min_ops_per_datapath > self.max_ops_per_datapath:
+            raise ReproError("min_ops_per_datapath exceeds max_ops_per_datapath")
+        if not 0.0 < self.bit_dominance_threshold < 1.0:
+            raise ReproError("bit_dominance_threshold must be in (0, 1)")
+
+
+def _character(node: OpNode) -> Optional[str]:
+    """``"bit"`` / ``"word"`` for compute nodes, ``None`` for neutral ones."""
+    if node.op is OpType.BIT:
+        return "bit"
+    if node.op in (OpType.WORD, OpType.MUL, OpType.DIV):
+        return "word"
+    return None
+
+
+def _weight(node: OpNode) -> int:
+    """Trip-weighted size contribution of a node."""
+    return 0 if node.op.is_boundary else node.trips
+
+
+def segment_nodes(
+    dfg: DataFlowGraph, config: PartitionConfig = PartitionConfig()
+) -> List[List[OpNode]]:
+    """Segment the compute nodes of ``dfg`` along its topological order."""
+    compute = [n for n in dfg.nodes if not n.op.is_boundary]
+    if not compute:
+        raise ReproError(f"DFG {dfg.name!r} has no compute nodes")
+
+    segments: List[List[OpNode]] = []
+    current: List[OpNode] = []
+    current_character: Optional[str] = None
+    current_weight = 0
+    for node in compute:
+        character = _character(node)
+        flip = (
+            character is not None
+            and current_character is not None
+            and character != current_character
+        )
+        full = current_weight + _weight(node) > config.max_ops_per_datapath
+        if current and (flip or full):
+            segments.append(current)
+            current, current_character, current_weight = [], None, 0
+        current.append(node)
+        current_weight += _weight(node)
+        if character is not None and current_character is None:
+            current_character = character
+    if current:
+        segments.append(current)
+
+    # Merge undersized segments into their successor (they would waste a
+    # PRC); a trailing undersized segment folds into its predecessor.
+    merged: List[List[OpNode]] = []
+    pending: List[OpNode] = []
+    for segment in segments:
+        weight = sum(_weight(n) for n in segment)
+        if weight < config.min_ops_per_datapath:
+            pending.extend(segment)
+            continue
+        if pending:
+            segment = pending + segment
+            pending = []
+        merged.append(segment)
+    if pending:
+        if merged:
+            merged[-1].extend(pending)
+        else:
+            merged.append(pending)
+    return merged
+
+
+def _segment_spec(
+    dfg: DataFlowGraph,
+    segment: Sequence[OpNode],
+    index: int,
+    invocations: int,
+    config: PartitionConfig,
+) -> DataPathSpec:
+    counts = dfg.subgraph_counts(n.name for n in segment)
+    word = counts.get(OpType.WORD, 0)
+    mul = counts.get(OpType.MUL, 0)
+    div = counts.get(OpType.DIV, 0)
+    bit = counts.get(OpType.BIT, 0)
+    mem_bytes = sum(n.mem_bytes * n.trips for n in segment if n.op.is_memory)
+    sw_cycles = SW_OVERHEAD_CYCLES + sum(
+        SW_CYCLES[n.op] * n.trips for n in segment if not n.op.is_boundary
+    )
+    # Pipeline depth: the longest dependency chain *within* the segment.
+    names = {n.name for n in segment}
+    depth: Dict[str, int] = {}
+    longest = 1
+    for node in segment:
+        own = 0 if node.op.is_boundary else 1
+        depth[node.name] = own + max(
+            (depth[i] for i in node.inputs if i in names), default=0
+        )
+        longest = max(longest, depth[node.name])
+    total = max(1, word + mul + div + bit)
+    character = "bit" if bit / total >= config.bit_dominance_threshold else "word"
+    return DataPathSpec(
+        name=f"{dfg.name}.dp{index}_{character}",
+        word_ops=word,
+        mul_ops=mul,
+        div_ops=div,
+        bit_ops=bit,
+        mem_bytes=mem_bytes,
+        fg_depth=longest,
+        sw_cycles=sw_cycles,
+        invocations=invocations,
+        parallelizable=character == "word" and mul + word >= 16,
+    )
+
+
+def extract_datapaths(
+    dfg: DataFlowGraph,
+    invocations: int = 1,
+    config: PartitionConfig = PartitionConfig(),
+) -> List[DataPathSpec]:
+    """Partition ``dfg`` and derive one :class:`DataPathSpec` per segment.
+
+    ``invocations`` is how often the kernel runs each data path per kernel
+    execution (the extractor cannot know this; it comes from profiling).
+    """
+    check_positive("invocations", invocations)
+    segments = segment_nodes(dfg, config)
+    return [
+        _segment_spec(dfg, segment, i, invocations, config)
+        for i, segment in enumerate(segments)
+    ]
+
+
+__all__ = [
+    "PartitionConfig",
+    "segment_nodes",
+    "extract_datapaths",
+    "SW_CYCLES",
+    "SW_OVERHEAD_CYCLES",
+]

@@ -1,0 +1,73 @@
+"""Rendering of data-flow graphs: Graphviz DOT and plain text.
+
+Small quality-of-life tooling for the compile-time front end: inspect a
+kernel's DFG and the extractor's segmentation without leaving the terminal,
+or export DOT for real layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dfg.graph import DataFlowGraph, OpNode, OpType
+from repro.dfg.partition import PartitionConfig, segment_nodes
+
+#: DOT fill colours per operation category.
+_DOT_COLORS = {
+    OpType.WORD: "lightblue",
+    OpType.MUL: "steelblue",
+    OpType.DIV: "slateblue",
+    OpType.BIT: "lightsalmon",
+    OpType.LOAD: "lightgrey",
+    OpType.STORE: "lightgrey",
+    OpType.INPUT: "white",
+    OpType.OUTPUT: "white",
+}
+
+
+def to_dot(
+    dfg: DataFlowGraph,
+    config: Optional[PartitionConfig] = None,
+) -> str:
+    """Graphviz DOT of ``dfg``; with a partition config, the extracted
+    data-path segments become clusters."""
+    lines = [f'digraph "{dfg.name}" {{', "  rankdir=TB;"]
+    clustered = set()
+    if config is not None:
+        for index, segment in enumerate(segment_nodes(dfg, config)):
+            lines.append(f"  subgraph cluster_dp{index} {{")
+            lines.append(f'    label="data path {index}";')
+            for node in segment:
+                lines.append(f'    "{node.name}";')
+                clustered.add(node.name)
+            lines.append("  }")
+    for node in dfg.nodes:
+        color = _DOT_COLORS[node.op]
+        shape = "ellipse" if node.op.is_boundary else "box"
+        label = f"{node.name}\\n{node.op.value} x{node.trips}"
+        lines.append(
+            f'  "{node.name}" [label="{label}", shape={shape}, '
+            f'style=filled, fillcolor={color}];'
+        )
+    for node in dfg.nodes:
+        for operand in node.inputs:
+            lines.append(f'  "{operand}" -> "{node.name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(dfg: DataFlowGraph) -> str:
+    """Indented topological listing of ``dfg``."""
+    lines = [f"DFG {dfg.name} ({len(dfg)} nodes, "
+             f"critical path {dfg.critical_path_length()})"]
+    for node in dfg.nodes:
+        operands = ", ".join(node.inputs) if node.inputs else "-"
+        memory = f", {node.mem_bytes}B" if node.op.is_memory else ""
+        lines.append(
+            f"  {node.name:14s} {node.op.value:6s} x{node.trips:<3d} "
+            f"<- {operands}{memory}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["to_dot", "to_text"]

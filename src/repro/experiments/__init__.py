@@ -1,0 +1,67 @@
+"""Experiments: one module per figure/table of the paper's evaluation.
+
+Every experiment exposes a ``run_*`` function returning a structured result
+object with a ``render()`` method that prints the same rows/series the
+paper's figure shows.  ``repro.experiments.runner`` executes all of them
+(``python -m repro.experiments``).
+
+| Paper item | Module |
+|---|---|
+| Fig. 1 (pif of the case-study ISEs)        | ``fig1_pif`` |
+| Fig. 2 (executions per frame)              | ``fig2_executions`` |
+| Fig. 8 (comparison with the state of the art) | ``fig8_comparison`` |
+| Fig. 9 (heuristic vs. optimal)             | ``fig9_optimality`` |
+| Fig. 10 (speedup vs. RISC mode)            | ``fig10_speedup`` |
+| Section 5.4 (mRTS overhead)                | ``overhead`` |
+| Section 4.1 (search-space size)            | ``search_space`` |
+| DESIGN.md ablations                        | ``ablations`` |
+"""
+
+from repro.experiments.fig1_pif import run_fig1, Fig1Result
+from repro.experiments.fig2_executions import run_fig2, Fig2Result
+from repro.experiments.fig5_timeline import run_fig5, Fig5Result
+from repro.experiments.contention import run_contention, ContentionResult
+from repro.experiments.granularity import run_granularity, GranularityResult
+from repro.experiments.multitask import run_multitask, MultiTaskExperimentResult
+from repro.experiments.energy import run_energy, EnergyResult
+from repro.experiments.sweep import run_sweep, SweepResult
+from repro.experiments.sensitivity import run_sensitivity, SensitivityResult
+from repro.experiments.fig8_comparison import run_fig8, Fig8Result
+from repro.experiments.fig9_optimality import run_fig9, Fig9Result
+from repro.experiments.fig10_speedup import run_fig10, Fig10Result
+from repro.experiments.overhead import run_overhead, OverheadResult
+from repro.experiments.search_space import run_search_space, SearchSpaceResult
+from repro.experiments.ablations import run_ablations, AblationResult
+
+__all__ = [
+    "run_fig1",
+    "Fig1Result",
+    "run_fig2",
+    "Fig2Result",
+    "run_fig5",
+    "Fig5Result",
+    "run_contention",
+    "ContentionResult",
+    "run_granularity",
+    "GranularityResult",
+    "run_multitask",
+    "MultiTaskExperimentResult",
+    "run_energy",
+    "EnergyResult",
+    "run_sweep",
+    "SweepResult",
+    "run_sensitivity",
+    "SensitivityResult",
+    "run_fig8",
+    "Fig8Result",
+    "run_fig9",
+    "Fig9Result",
+    "run_fig10",
+    "Fig10Result",
+    "run_overhead",
+    "OverheadResult",
+    "run_search_space",
+    "SearchSpaceResult",
+    "run_ablations",
+    "AblationResult",
+]

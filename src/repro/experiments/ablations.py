@@ -1,0 +1,74 @@
+"""Ablations of the mRTS design decisions (DESIGN.md Section 6).
+
+Not a paper figure: quantifies the contribution of each mRTS ingredient by
+disabling it and re-running the encoder --
+
+* the monoCG-Extension in the ECU cascade (Section 4.2),
+* execution on intermediate ISEs (Section 4.1),
+* the MPU's error back-propagation (alpha = 0 freezes the offline profile),
+* selection-overhead hiding (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import MRTSConfig
+from repro.core.mrts import MRTS
+from repro.experiments.common import MatrixRunner
+from repro.fabric.resources import ResourceBudget
+from repro.util.tables import render_table
+
+VARIANTS: Dict[str, MRTSConfig] = {
+    "full mRTS": MRTSConfig(),
+    "no monoCG-Extension": MRTSConfig(enable_monocg=False),
+    "no intermediate ISEs": MRTSConfig(enable_intermediate=False),
+    "no MPU adaptation (alpha=0)": MRTSConfig(mpu_alpha=0.0),
+    "no overhead hiding": MRTSConfig(hide_selection_overhead=False),
+}
+
+
+@dataclass
+class AblationResult:
+    budget_label: str
+    cycles: Dict[str, int]
+
+    def slowdown(self, variant: str) -> float:
+        """How much slower the variant is than full mRTS (1.0 = no change)."""
+        return self.cycles[variant] / self.cycles["full mRTS"]
+
+    def render(self) -> str:
+        rows = [
+            [name, self.cycles[name], round(self.slowdown(name), 3)]
+            for name in VARIANTS
+        ]
+        return render_table(
+            ["variant", "cycles", "slowdown vs full"],
+            rows,
+            title=f"Ablations at fabric combination {self.budget_label}",
+        )
+
+
+def run_ablations(
+    frames: int = 16,
+    seed: int = 7,
+    n_cg: int = 2,
+    n_prc: int = 2,
+) -> AblationResult:
+    """Run every ablation variant on the same workload and budget."""
+    runner = MatrixRunner(frames=frames, seed=seed)
+    budget = ResourceBudget(n_prcs=n_prc, n_cg_fabrics=n_cg)
+    cycles = {}
+    for name, config in VARIANTS.items():
+        cycles[name] = runner.run(budget, lambda c=config: _named_mrts(c, name)).total_cycles
+    return AblationResult(budget_label=budget.label, cycles=cycles)
+
+
+def _named_mrts(config: MRTSConfig, name: str) -> MRTS:
+    policy = MRTS(config)
+    policy.name = f"mrts[{name}]"
+    return policy
+
+
+__all__ = ["run_ablations", "AblationResult", "VARIANTS"]

@@ -1,0 +1,76 @@
+"""Shared machinery of the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple, Type
+
+from repro.fabric.resources import ResourceBudget
+from repro.sim.policy import RuntimePolicy
+from repro.sim.program import Application
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.workloads.h264 import h264_application, h264_library
+
+#: Canonical experiment workload parameters (chosen so FG reconfiguration
+#: amortisation and run-time variation both play out, cf. DESIGN.md).
+DEFAULT_FRAMES = 16
+DEFAULT_SEED = 7
+
+
+class MatrixRunner:
+    """Runs (budget, policy) combinations on one application, with caching.
+
+    The comparison figures share many cells (e.g. the RISC reference), so
+    results are memoised per ``(budget.label, policy name)``.
+    """
+
+    def __init__(self, application: Application = None, frames: int = DEFAULT_FRAMES,
+                 seed: int = DEFAULT_SEED):
+        self.application = application or h264_application(frames=frames, seed=seed)
+        self._cache: Dict[Tuple[str, str], SimulationResult] = {}
+
+    def run(
+        self,
+        budget: ResourceBudget,
+        policy_factory: Callable[[], RuntimePolicy],
+        collect_trace: bool = False,
+    ) -> SimulationResult:
+        probe = policy_factory()
+        key = (budget.label, probe.name, collect_trace)
+        if key not in self._cache:
+            library = h264_library(budget)
+            self._cache[key] = Simulator(
+                self.application, library, budget, probe, collect_trace=collect_trace
+            ).run()
+        return self._cache[key]
+
+    def cycles(self, budget: ResourceBudget, policy_factory) -> int:
+        return self.run(budget, policy_factory).total_cycles
+
+
+def budget_grid(max_cg: int, max_prc: int) -> List[ResourceBudget]:
+    """All (CG fabrics, PRCs) combinations, ordered like the paper's x-axes
+    (CG-major: "00", "01", ..., "<max_cg><max_prc>")."""
+    return [
+        ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+        for cg in range(max_cg + 1)
+        for prc in range(max_prc + 1)
+    ]
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean (speedups average multiplicatively)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+__all__ = [
+    "MatrixRunner",
+    "budget_grid",
+    "geometric_mean",
+    "DEFAULT_FRAMES",
+    "DEFAULT_SEED",
+]

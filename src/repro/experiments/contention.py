@@ -1,0 +1,117 @@
+"""Run-time fabric contention: variation (b) of the paper's Section 1.
+
+The paper motivates run-time ISE selection with three run-time variations;
+(b) is the available fabric being "shared among various tasks".  This
+experiment co-runs a background task that periodically claims part of the
+PRCs and CG slots, and compares how each run-time system copes:
+
+* mRTS re-selects at every functional block against whatever fabric is
+  currently available -- graceful degradation;
+* the RISPP-like system also adapts, but with its mis-tuned cost function;
+* the compile-time approaches (offline-optimal, Morpheus/4S-like) cannot
+  re-decide: whatever part of their static selection lost its fabric is
+  simply gone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.baselines import Morpheus4SPolicy, OfflineOptimalPolicy, RisppLikePolicy
+from repro.core.mrts import MRTS
+from repro.fabric.resources import ResourceBudget
+from repro.sim.contention import ContentionSchedule
+from repro.sim.simulator import Simulator
+from repro.util.tables import render_table
+from repro.workloads.h264 import h264_application, h264_library
+
+POLICIES: List[Tuple[str, Callable]] = [
+    ("mrts", MRTS),
+    ("rispp", RisppLikePolicy),
+    ("offline-optimal", OfflineOptimalPolicy),
+    ("morpheus4s", Morpheus4SPolicy),
+]
+
+
+@dataclass
+class ContentionResult:
+    budget_label: str
+    #: policy -> cycles without contention
+    baseline_cycles: Dict[str, int]
+    #: policy -> cycles with the background task
+    contended_cycles: Dict[str, int]
+    contention_description: str
+
+    def degradation(self, policy: str) -> float:
+        """Slowdown factor caused by the background task (1.0 = unaffected)."""
+        return self.contended_cycles[policy] / self.baseline_cycles[policy]
+
+    def render(self) -> str:
+        rows = [
+            [
+                name,
+                self.baseline_cycles[name],
+                self.contended_cycles[name],
+                round(self.degradation(name), 2),
+            ]
+            for name, _ in POLICIES
+        ]
+        table = render_table(
+            ["policy", "alone (cycles)", "contended (cycles)", "degradation"],
+            rows,
+            title=f"Fabric contention at combination {self.budget_label} "
+            f"({self.contention_description})",
+        )
+        return table
+
+
+def run_contention(
+    frames: int = 12,
+    seed: int = 7,
+    n_cg: int = 2,
+    n_prc: int = 3,
+    claimed_prcs: int = 2,
+    claimed_cg_slots: int = 4,
+    periods: int = 8,
+) -> ContentionResult:
+    """Compare policies with and without a periodic background task."""
+    application = h264_application(frames=frames, seed=seed)
+    budget = ResourceBudget(n_prcs=n_prc, n_cg_fabrics=n_cg)
+    library = h264_library(budget)
+
+    baseline: Dict[str, int] = {}
+    for name, factory in POLICIES:
+        baseline[name] = (
+            Simulator(application, library, budget, factory()).run().total_cycles
+        )
+
+    horizon = max(baseline.values())
+    period = max(1, horizon // periods)
+    contended: Dict[str, int] = {}
+    for name, factory in POLICIES:
+        schedule = ContentionSchedule.periodic(
+            period=period,
+            duty_prcs=claimed_prcs,
+            duty_cg_slots=claimed_cg_slots,
+            until=2 * horizon,
+        )
+        contended[name] = (
+            Simulator(application, library, budget, factory(), contention=schedule)
+            .run()
+            .total_cycles
+        )
+
+    description = (
+        f"background task holds {claimed_prcs} PRCs + {claimed_cg_slots} CG slots "
+        f"every other ~{period:,} cycles"
+    )
+    return ContentionResult(
+        budget_label=budget.label,
+        baseline_cycles=baseline,
+        contended_cycles=contended,
+        contention_description=description,
+    )
+
+
+__all__ = ["run_contention", "ContentionResult", "POLICIES"]

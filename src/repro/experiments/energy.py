@@ -1,0 +1,86 @@
+"""Energy comparison across run-time systems (extension experiment).
+
+Not a paper figure: the paper evaluates performance only.  This experiment
+applies the first-order energy model to every policy on one budget and
+reports total energy and energy-delay product -- confirming that the
+performance wins translate into energy wins (shorter runtime means less
+core activity and less leakage, and the added reconfiguration energy stays
+minor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.baselines import Morpheus4SPolicy, OfflineOptimalPolicy, RisppLikePolicy
+from repro.baselines.riscmode import RiscModePolicy
+from repro.core.mrts import MRTS
+from repro.fabric.energy import EnergyBreakdown, estimate_energy
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import Simulator
+from repro.util.tables import render_table
+from repro.workloads.h264 import h264_application, h264_library
+
+POLICIES: List[Tuple[str, Callable]] = [
+    ("risc", RiscModePolicy),
+    ("rispp", RisppLikePolicy),
+    ("morpheus4s", Morpheus4SPolicy),
+    ("offline-optimal", OfflineOptimalPolicy),
+    ("mrts", MRTS),
+]
+
+
+@dataclass
+class EnergyResult:
+    budget_label: str
+    breakdowns: Dict[str, EnergyBreakdown]
+
+    def total_mj(self, policy: str) -> float:
+        return self.breakdowns[policy].total_mj
+
+    def saving_vs_risc(self, policy: str) -> float:
+        """Fraction of the RISC-mode energy saved by ``policy``."""
+        risc = self.total_mj("risc")
+        return 1.0 - self.total_mj(policy) / risc
+
+    def render(self) -> str:
+        rows = []
+        for name, _ in POLICIES:
+            b = self.breakdowns[name]
+            rows.append(
+                [
+                    name,
+                    round(b.total_mj, 2),
+                    round(b.reconfig_mj, 3),
+                    round(b.energy_delay_product, 1),
+                    f"{100 * self.saving_vs_risc(name):.1f}%",
+                ]
+            )
+        return render_table(
+            ["policy", "total (mJ)", "reconfig (mJ)", "EDP (mJ*Mcyc)", "saving vs RISC"],
+            rows,
+            title=f"Energy at fabric combination {self.budget_label}",
+        )
+
+
+def run_energy(
+    frames: int = 12,
+    seed: int = 7,
+    n_cg: int = 2,
+    n_prc: int = 2,
+) -> EnergyResult:
+    """Estimate per-policy energy on the H.264 encoder."""
+    application = h264_application(frames=frames, seed=seed)
+    budget = ResourceBudget(n_prcs=n_prc, n_cg_fabrics=n_cg)
+    library = h264_library(budget)
+    breakdowns = {}
+    for name, factory in POLICIES:
+        result = Simulator(
+            application, library, budget, factory(), collect_trace=True
+        ).run()
+        breakdowns[name] = estimate_energy(result)
+    return EnergyResult(budget_label=budget.label, breakdowns=breakdowns)
+
+
+__all__ = ["run_energy", "EnergyResult"]

@@ -1,0 +1,89 @@
+"""Fig. 1: performance improvement factor of the three case-study ISEs.
+
+Sweeps the number of kernel executions and evaluates Eq. 1 for ISE-1
+(pure FG), ISE-2 (pure CG) and ISE-3 (multi-grained) of the H.264
+deblocking filter.  The paper's qualitative result: three dominance
+regions -- ISE-2 wins for few executions (its reconfiguration is
+microseconds), ISE-3 in the middle, ISE-1 for many executions (its
+millisecond reconfiguration amortises, and it is the fastest per
+execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profit import pif
+from repro.util.tables import render_series
+from repro.workloads.h264.deblocking import deblocking_case_study
+
+
+@dataclass
+class Fig1Result:
+    """pif curves over the execution sweep plus the dominance regions."""
+
+    executions: List[int]
+    curves: Dict[str, List[float]]   #: ISE name -> pif per sweep point
+    best: List[str]                  #: winning ISE per sweep point
+    boundaries: List[Tuple[str, str, int]]  #: (from, to, executions) switches
+
+    def dominance_region(self, ise_name: str) -> Optional[Tuple[int, int]]:
+        """First/last sweep value at which ``ise_name`` has the highest pif."""
+        points = [e for e, b in zip(self.executions, self.best) if b == ise_name]
+        if not points:
+            return None
+        return points[0], points[-1]
+
+    def render(self) -> str:
+        from repro.util.plot import line_chart
+
+        lines = [
+            line_chart(
+                self.curves,
+                x_values=self.executions,
+                title="Fig. 1: pif of the deblocking-filter ISEs vs. number of executions",
+            ),
+            render_series(
+                self.curves,
+                x_label="executions",
+                x_values=self.executions,
+            ),
+        ]
+        for a, b, e in self.boundaries:
+            lines.append(f"dominance switches from {a} to {b} at ~{e} executions")
+        return "\n".join(lines)
+
+
+def run_fig1(
+    max_executions: int = 10_000,
+    points: int = 50,
+) -> Fig1Result:
+    """Reproduce Fig. 1 with ``points`` sweep values up to ``max_executions``."""
+    _, ises = deblocking_case_study()
+    step = max(1, max_executions // points)
+    executions = list(range(step, max_executions + 1, step))
+    curves: Dict[str, List[float]] = {name: [] for name in ises}
+    best: List[str] = []
+    for e in executions:
+        for name, ise in ises.items():
+            curves[name].append(
+                pif(
+                    sw_time=ise.latencies[0],
+                    hw_time=ise.full_latency,
+                    reconfiguration_latency=ise.total_reconfig_cycles,
+                    executions=e,
+                )
+            )
+        best.append(max(ises, key=lambda name: curves[name][-1]))
+    boundaries = [
+        (a, b, executions[i + 1])
+        for i, (a, b) in enumerate(zip(best, best[1:]))
+        if a != b
+    ]
+    return Fig1Result(
+        executions=executions, curves=curves, best=best, boundaries=boundaries
+    )
+
+
+__all__ = ["run_fig1", "Fig1Result"]

@@ -1,0 +1,84 @@
+"""Fig. 2: execution behaviour of the H.264 deblocking filter over time.
+
+Plots the number of deblocking-filter executions in each encoded frame and
+annotates which case-study ISE would be the best choice for that frame --
+showing that "the performance-wise best ISE during one iteration of the
+kernel does not remain the best option for the next iteration".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.profit import pif
+from repro.util.tables import render_table
+from repro.workloads.h264.deblocking import deblocking_case_study
+from repro.workloads.h264.traces import deblock_executions_per_frame
+
+
+@dataclass
+class Fig2Result:
+    executions_per_frame: List[int]
+    best_ise_per_frame: List[str]
+
+    @property
+    def distinct_best(self) -> int:
+        """How many different ISEs are the per-frame winner at least once."""
+        return len(set(self.best_ise_per_frame))
+
+    @property
+    def switches(self) -> int:
+        """How often the per-frame winner changes."""
+        return sum(
+            1
+            for a, b in zip(self.best_ise_per_frame, self.best_ise_per_frame[1:])
+            if a != b
+        )
+
+    def render(self) -> str:
+        rows = [
+            [frame + 1, e, best]
+            for frame, (e, best) in enumerate(
+                zip(self.executions_per_frame, self.best_ise_per_frame)
+            )
+        ]
+        table = render_table(
+            ["frame", "executions", "best ISE"],
+            rows,
+            title="Fig. 2: deblocking-filter executions per frame (best ISE annotated)",
+        )
+        from repro.util.plot import sparkline
+
+        return (
+            f"{table}\n"
+            f"executions: {sparkline(self.executions_per_frame)}\n"
+            f"winner changes {self.switches} times across "
+            f"{len(self.executions_per_frame)} frames "
+            f"({self.distinct_best} distinct winners)"
+        )
+
+
+def run_fig2(frames: int = 16, seed: int = 0) -> Fig2Result:
+    """Reproduce Fig. 2 for ``frames`` frames of the seeded video trace."""
+    _, ises = deblocking_case_study()
+    counts = deblock_executions_per_frame(frames=frames, seed=seed)
+
+    def best_for(e: int) -> str:
+        return max(
+            ises,
+            key=lambda name: pif(
+                ises[name].latencies[0],
+                ises[name].full_latency,
+                ises[name].total_reconfig_cycles,
+                e,
+            ),
+        )
+
+    return Fig2Result(
+        executions_per_frame=counts,
+        best_ise_per_frame=[best_for(e) for e in counts],
+    )
+
+
+__all__ = ["run_fig2", "Fig2Result"]

@@ -1,0 +1,70 @@
+"""Fig. 5, measured: the execution behaviour of an ISE.
+
+Fig. 5 of the paper is a schematic of how a kernel's executions migrate
+through the intermediate ISEs of the selected ISE as its data paths finish
+reconfiguring (the ``NoE`` quantities of Eq. 3).  Our simulator can measure
+the real staircase: this experiment runs the encoder, extracts the phase
+timeline of the deblocking-filter kernel within one functional-block
+iteration, and reports the measured NoE / latency of every phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.timeline import KernelTimeline, kernel_timeline
+from repro.core.mrts import MRTS
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import Simulator
+from repro.workloads.h264 import h264_application, h264_library
+
+
+@dataclass
+class Fig5Result:
+    kernel: str
+    timeline: KernelTimeline
+
+    @property
+    def n_phases(self) -> int:
+        return len(self.timeline.phases)
+
+    @property
+    def latencies(self) -> List[int]:
+        return [p.latency for p in self.timeline.phases]
+
+    @property
+    def staircase_is_monotone(self) -> bool:
+        """Does the per-execution latency only improve within the window?"""
+        lat = self.latencies
+        return all(b <= a for a, b in zip(lat, lat[1:]))
+
+    def render(self) -> str:
+        return (
+            self.timeline.render()
+            + f"\nmeasured saved cycles in this window: "
+            f"{self.timeline.saved_cycles:,} "
+            f"({self.timeline.total_executions} executions)"
+        )
+
+
+def run_fig5(
+    frames: int = 4,
+    seed: int = 7,
+    n_cg: int = 2,
+    n_prc: int = 2,
+    kernel: str = "lf.deblock_luma",
+    block_window: int = 0,
+) -> Fig5Result:
+    """Measure the Fig. 5 staircase of ``kernel`` in one block iteration."""
+    application = h264_application(frames=frames, seed=seed)
+    budget = ResourceBudget(n_prcs=n_prc, n_cg_fabrics=n_cg)
+    library = h264_library(budget)
+    result = Simulator(
+        application, library, budget, MRTS(), collect_trace=True
+    ).run()
+    timeline = kernel_timeline(result, kernel, block_window=block_window)
+    return Fig5Result(kernel=kernel, timeline=timeline)
+
+
+__all__ = ["run_fig5", "Fig5Result"]

@@ -1,0 +1,95 @@
+"""Section 5.4: implementation overhead of mRTS.
+
+Measures the selector's modelled cycle cost per functional-block selection
+(the paper: on average less than 3000 cycles per kernel, about 1.9 % of an
+average functional block's execution time) and how much of it the
+selection/reconfiguration overlap hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mrts import MRTS
+from repro.experiments.common import MatrixRunner
+from repro.fabric.resources import ResourceBudget
+from repro.util.tables import render_table
+from repro.workloads.h264 import h264_library
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class OverheadResult:
+    selections: int
+    kernels_selected: int
+    total_overhead_cycles: int
+    charged_overhead_cycles: int
+    total_cycles: int
+    mean_block_cycles: float
+
+    @property
+    def cycles_per_selection(self) -> float:
+        return self.total_overhead_cycles / max(1, self.selections)
+
+    @property
+    def cycles_per_kernel(self) -> float:
+        """The paper's '<3000 cycles to select an ISE for each kernel'."""
+        return self.total_overhead_cycles / max(1, self.kernels_selected)
+
+    @property
+    def fraction_of_block_time(self) -> float:
+        """Full overhead per selection relative to a mean block iteration
+        (the paper's ~1.9 %)."""
+        if self.mean_block_cycles == 0:
+            return 0.0
+        return self.cycles_per_selection / self.mean_block_cycles
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of the selector work hidden behind reconfigurations."""
+        if self.total_overhead_cycles == 0:
+            return 0.0
+        return 1.0 - self.charged_overhead_cycles / self.total_overhead_cycles
+
+    def render(self) -> str:
+        rows = [
+            ["selections (block entries)", self.selections],
+            ["kernel selections", self.kernels_selected],
+            ["mean cycles per kernel selection", round(self.cycles_per_kernel, 1)],
+            ["mean cycles per block selection", round(self.cycles_per_selection, 1)],
+            ["fraction of block execution time", f"{100 * self.fraction_of_block_time:.2f}%"],
+            ["hidden behind reconfiguration", f"{100 * self.hidden_fraction:.2f}%"],
+            ["charged fraction of total runtime", f"{100 * self.charged_overhead_cycles / self.total_cycles:.3f}%"],
+        ]
+        return render_table(
+            ["metric", "value"], rows, title="Section 5.4: mRTS overhead"
+        )
+
+
+def run_overhead(
+    frames: int = 16,
+    seed: int = 7,
+    n_cg: int = 2,
+    n_prc: int = 2,
+) -> OverheadResult:
+    """Measure the mRTS overhead on the H.264 encoder."""
+    runner = MatrixRunner(frames=frames, seed=seed)
+    budget = ResourceBudget(n_prcs=n_prc, n_cg_fabrics=n_cg)
+    policy = MRTS()
+    library = h264_library(budget)
+    result = Simulator(runner.application, library, budget, policy).run()
+    kernels_selected = sum(
+        len(runner.application.block(it.block).kernels)
+        for it in runner.application.iterations
+    )
+    return OverheadResult(
+        selections=policy.selection_count,
+        kernels_selected=kernels_selected,
+        total_overhead_cycles=policy.total_overhead_cycles,
+        charged_overhead_cycles=policy.total_charged_overhead_cycles,
+        total_cycles=result.total_cycles,
+        mean_block_cycles=result.stats.mean_block_cycles(),
+    )
+
+
+__all__ = ["run_overhead", "OverheadResult"]

@@ -1,0 +1,72 @@
+"""Run every experiment and print the full report.
+
+Usage::
+
+    python -m repro.experiments            # full runs (a few minutes)
+    python -m repro.experiments --fast     # reduced frame counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    run_ablations,
+    run_contention,
+    run_energy,
+    run_granularity,
+    run_multitask,
+    run_sensitivity,
+    run_fig1,
+    run_fig2,
+    run_fig5,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_overhead,
+    run_search_space,
+)
+
+
+def run_all(fast: bool = False, stream=None) -> None:
+    """Execute every experiment, printing each report as it completes."""
+    stream = stream or sys.stdout
+    frames = 6 if fast else 16
+    experiments = [
+        ("Fig. 1", lambda: run_fig1(points=20 if fast else 50)),
+        ("Fig. 2", lambda: run_fig2(frames=frames)),
+        ("Fig. 5 (measured)", lambda: run_fig5(frames=4)),
+        ("Fig. 8", lambda: run_fig8(frames=frames)),
+        ("Fig. 9", lambda: run_fig9(frames=frames, max_prc=4 if fast else 6)),
+        ("Fig. 10", lambda: run_fig10(frames=frames)),
+        ("Overhead (5.4)", lambda: run_overhead(frames=frames)),
+        ("Search space (4.1)", run_search_space),
+        ("Ablations", lambda: run_ablations(frames=frames)),
+        ("Fabric contention (Sec. 1, variation b)", lambda: run_contention(frames=6 if fast else 12)),
+        ("Selection granularity (Sec. 1, [11])", lambda: run_granularity(frames=6 if fast else 12)),
+        ("Multi-task sharing (Sec. 1, variation b)", lambda: run_multitask(frames=4 if fast else 6, images=4 if fast else 6)),
+        ("Energy (extension)", lambda: run_energy(frames=6 if fast else 12)),
+        ("Cost-model sensitivity (extension)", lambda: run_sensitivity(frames=4 if fast else 8)),
+    ]
+    for name, fn in experiments:
+        start = time.time()
+        result = fn()
+        elapsed = time.time() - start
+        print(f"\n{'=' * 72}\n{name}  [{elapsed:.1f}s]\n{'=' * 72}", file=stream)
+        print(result.render(), file=stream)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced frame counts (quick check)"
+    )
+    args = parser.parse_args(argv)
+    run_all(fast=args.fast)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

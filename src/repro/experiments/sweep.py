@@ -1,0 +1,129 @@
+"""Generic parameter sweeps over (budget x seed x policy x workload).
+
+The figure modules answer the paper's questions; this utility answers
+yours: run a cartesian sweep, collect per-cell metrics, aggregate across
+seeds, and dump everything as records for plotting.  Used by the
+calibration scripts and the robustness tests (are the headline shapes
+stable across seeds?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.riscmode import RiscModePolicy
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.util.tables import render_table
+from repro.util.validation import ReproError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep."""
+
+    budget_label: str
+    seed: int
+    policy: str
+    total_cycles: int
+    speedup_vs_risc: float
+    accelerated_fraction: float
+    reconfigurations: int
+
+
+@dataclass
+class SweepResult:
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def filtered(self, **criteria) -> List[SweepPoint]:
+        """Points matching all keyword criteria (attribute == value)."""
+        out = []
+        for point in self.points:
+            if all(getattr(point, key) == value for key, value in criteria.items()):
+                out.append(point)
+        return out
+
+    def mean_speedup(self, budget_label: str, policy: str) -> float:
+        """Seed-averaged speedup of one (budget, policy) cell."""
+        cells = self.filtered(budget_label=budget_label, policy=policy)
+        if not cells:
+            raise ReproError(f"no sweep points for ({budget_label}, {policy})")
+        return sum(p.speedup_vs_risc for p in cells) / len(cells)
+
+    def speedup_spread(self, budget_label: str, policy: str) -> Tuple[float, float]:
+        """(min, max) speedup across seeds for one cell."""
+        cells = self.filtered(budget_label=budget_label, policy=policy)
+        values = [p.speedup_vs_risc for p in cells]
+        return min(values), max(values)
+
+    def records(self) -> Tuple[List[str], List[List[object]]]:
+        headers = [
+            "budget", "seed", "policy", "cycles", "speedup",
+            "accelerated", "reconfigs",
+        ]
+        rows = [
+            [
+                p.budget_label, p.seed, p.policy, p.total_cycles,
+                p.speedup_vs_risc, p.accelerated_fraction, p.reconfigurations,
+            ]
+            for p in self.points
+        ]
+        return headers, rows
+
+    def render(self) -> str:
+        headers, rows = self.records()
+        return render_table(headers, rows, title="Parameter sweep")
+
+
+def run_sweep(
+    budgets: Sequence[Tuple[int, int]],
+    seeds: Sequence[int],
+    policies: Dict[str, Callable],
+    application_factory: Optional[Callable] = None,
+    library_factory: Optional[Callable] = None,
+) -> SweepResult:
+    """Run every (budget, seed, policy) combination.
+
+    ``application_factory(seed)`` builds the workload;
+    ``library_factory(budget)`` the ISE library.  Both default to the H.264
+    canon.  A RISC reference is simulated once per (budget, seed) for the
+    speedup column.
+    """
+    if application_factory is None:
+        from repro.workloads.h264 import h264_application
+
+        application_factory = lambda seed: h264_application(frames=8, seed=seed)
+    if library_factory is None:
+        from repro.workloads.h264 import h264_library
+
+        library_factory = h264_library
+
+    result = SweepResult()
+    for cg, prc in budgets:
+        budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+        library = library_factory(budget)
+        for seed in seeds:
+            application = application_factory(seed)
+            risc = Simulator(
+                application, library, budget, RiscModePolicy()
+            ).run().total_cycles
+            for name, factory in policies.items():
+                run: SimulationResult = Simulator(
+                    application, library, budget, factory()
+                ).run()
+                result.points.append(
+                    SweepPoint(
+                        budget_label=budget.label,
+                        seed=seed,
+                        policy=name,
+                        total_cycles=run.total_cycles,
+                        speedup_vs_risc=risc / run.total_cycles,
+                        accelerated_fraction=run.stats.accelerated_fraction(),
+                        reconfigurations=run.stats.reconfigurations,
+                    )
+                )
+    return result
+
+
+__all__ = ["SweepPoint", "SweepResult", "run_sweep"]

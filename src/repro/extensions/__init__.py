@@ -1,0 +1,13 @@
+"""Extensions beyond the published mRTS.
+
+The paper hides the selector's computation behind the reconfiguration
+process (Section 5.4); :mod:`repro.extensions.lookahead` takes the next
+step the paper's machinery enables but does not evaluate: hide the
+*reconfigurations themselves* behind the previous functional block by
+prefetching the next block's likely FG data paths onto currently free
+fabric.
+"""
+
+from repro.extensions.lookahead import LookaheadMRTS
+
+__all__ = ["LookaheadMRTS"]

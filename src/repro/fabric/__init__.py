@@ -1,0 +1,35 @@
+"""Hardware substrate: data paths, FG/CG fabrics, reconfiguration machinery.
+
+This package models the multi-grained reconfigurable processor of Section 3
+of the paper (a KAHRISMA-like core): a fine-grained embedded-FPGA fabric
+organised as Partially Reconfigurable Containers (PRCs) behind a single
+sequential bitstream port, and an array of coarse-grained (CG) fabrics with
+context memories that reconfigure in microseconds.
+"""
+
+from repro.fabric.datapath import DataPathSpec, DataPathImpl, DataPathInstance, FabricType
+from repro.fabric.cost_model import TechnologyCostModel, DEFAULT_COST_MODEL
+from repro.fabric.resources import ResourceBudget, ResourceState
+from repro.fabric.fg_fabric import FGFabric
+from repro.fabric.cg_fabric import CGFabric, CGFabricArray
+from repro.fabric.reconfig import ReconfigurationController, ReconfigRequest
+from repro.fabric.scratchpad import Scratchpad
+from repro.fabric.interconnect import Interconnect
+
+__all__ = [
+    "DataPathSpec",
+    "DataPathImpl",
+    "DataPathInstance",
+    "FabricType",
+    "TechnologyCostModel",
+    "DEFAULT_COST_MODEL",
+    "ResourceBudget",
+    "ResourceState",
+    "FGFabric",
+    "CGFabric",
+    "CGFabricArray",
+    "ReconfigurationController",
+    "ReconfigRequest",
+    "Scratchpad",
+    "Interconnect",
+]

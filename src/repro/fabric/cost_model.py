@@ -1,0 +1,142 @@
+"""Technology cost model: from operation mixes to implementation latencies.
+
+The authors characterised their data paths by place-and-route with Xilinx
+FPGA tools (FG fabric) and an ASIC synthesis flow for TSMC 90 nm (CG
+fabric).  We replace that flow with an analytical model built from the
+micro-architectural constants the paper publishes in Section 5.1:
+
+* CG fabric (400 MHz, word-oriented): ALU ops 1 cycle, MUL 2, DIV 10,
+  context switch 2 cycles, 32-bit load/store unit, zero-overhead loops.
+  Bit-level operations map badly onto the word ALUs and cost
+  :attr:`~TechnologyCostModel.cg_bit_op_cycles` each.
+* FG fabric (100 MHz embedded FPGA): a data path is a pipeline of
+  ``fg_depth`` FG cycles; bit-level operations are absorbed into the
+  pipeline for free, but multiplies/divides require deep soft logic.  The
+  128-bit load/store unit moves 16 bytes per FG cycle.
+* Reconfiguration: FG partial bitstreams stream through a 67584 KB/s port
+  (~1.2 ms for a ~79 KB data path); a CG context load takes ~0.15 us.
+
+The absolute numbers are a model, not the authors' netlists -- what matters
+for the run-time system (and what this model preserves) is the *relative*
+structure: bit-dominant data paths favour FG, word/arithmetic-dominant data
+paths favour CG, and the two fabrics differ by four orders of magnitude in
+reconfiguration time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fabric.datapath import DataPathImpl, DataPathSpec, FabricType
+from repro.util.units import CYCLES_PER_FG_CYCLE, kb_to_reconfig_cycles, us_to_cycles
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class TechnologyCostModel:
+    """Analytical latency/area/reconfiguration model for both fabrics.
+
+    All ``*_cycles`` attributes are in the clock domain of the respective
+    fabric; results of :meth:`cg_latency`/:meth:`fg_latency` are in core
+    cycles.
+    """
+
+    cg_word_op_cycles: int = 1
+    cg_mul_cycles: int = 2
+    cg_div_cycles: int = 10
+    cg_bit_op_cycles: int = 3       #: bit-level ops emulated on word ALUs
+    cg_context_switch_cycles: int = 2
+    cg_load_store_bytes: int = 4    #: 32-bit load/store unit
+    cg_context_load_us: float = 0.15
+
+    fg_mul_extra_depth: int = 2     #: extra pipeline stages per multiply
+    fg_div_extra_depth: int = 8     #: extra pipeline stages per divide
+    fg_word_op_per_cycle: int = 4   #: word ALU ops packed per pipeline stage
+    fg_load_store_bytes: int = 16   #: 128-bit load/store unit
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "cg_word_op_cycles",
+            "cg_mul_cycles",
+            "cg_div_cycles",
+            "cg_bit_op_cycles",
+            "fg_word_op_per_cycle",
+            "cg_load_store_bytes",
+            "fg_load_store_bytes",
+        ):
+            check_positive(f"TechnologyCostModel.{attr}", getattr(self, attr))
+        for attr in ("cg_context_switch_cycles", "fg_mul_extra_depth", "fg_div_extra_depth"):
+            check_non_negative(f"TechnologyCostModel.{attr}", getattr(self, attr))
+        check_positive("TechnologyCostModel.cg_context_load_us", self.cg_context_load_us)
+
+    # ------------------------------------------------------------------ CG
+    def cg_latency(self, spec: DataPathSpec) -> int:
+        """Core cycles for one invocation of ``spec`` on a CG fabric."""
+        compute = (
+            spec.word_ops * self.cg_word_op_cycles
+            + spec.mul_ops * self.cg_mul_cycles
+            + spec.div_ops * self.cg_div_cycles
+            + spec.bit_ops * self.cg_bit_op_cycles
+        )
+        memory = math.ceil(spec.mem_bytes / self.cg_load_store_bytes)
+        return compute + memory + self.cg_context_switch_cycles
+
+    def cg_reconfig_cycles(self, spec: DataPathSpec) -> int:
+        """Core cycles to load the CG context(s) of one instance of ``spec``."""
+        return us_to_cycles(self.cg_context_load_us) * spec.cg_cost
+
+    # ------------------------------------------------------------------ FG
+    def fg_latency(self, spec: DataPathSpec) -> int:
+        """Core cycles for one invocation of ``spec`` on the FG fabric.
+
+        The pipeline depth covers the bit-level logic; word-level arithmetic
+        packs ``fg_word_op_per_cycle`` operations per stage, and each
+        multiply/divide adds soft-logic stages.
+        """
+        depth = (
+            spec.fg_depth
+            + math.ceil(spec.word_ops / self.fg_word_op_per_cycle)
+            + spec.mul_ops * self.fg_mul_extra_depth
+            + spec.div_ops * self.fg_div_extra_depth
+        )
+        memory = math.ceil(spec.mem_bytes / self.fg_load_store_bytes)
+        return (depth + memory) * CYCLES_PER_FG_CYCLE
+
+    def fg_initiation_interval(self, spec: DataPathSpec) -> int:
+        """Core cycles between back-to-back invocations of a pipelined FG
+        data path: one FG cycle, or the memory beats if they dominate."""
+        memory = math.ceil(spec.mem_bytes / self.fg_load_store_bytes)
+        return max(1, memory) * CYCLES_PER_FG_CYCLE
+
+    def fg_reconfig_cycles(self, spec: DataPathSpec) -> int:
+        """Core cycles to stream the partial bitstream of one FG instance."""
+        return kb_to_reconfig_cycles(spec.bitstream_kb * spec.prc_cost)
+
+    # ------------------------------------------------------------- factory
+    def implement(self, spec: DataPathSpec, fabric: FabricType) -> DataPathImpl:
+        """Build the :class:`DataPathImpl` of ``spec`` on ``fabric``."""
+        if fabric is FabricType.CG:
+            return DataPathImpl(
+                spec=spec,
+                fabric=fabric,
+                hw_cycles=self.cg_latency(spec),
+                reconfig_cycles=self.cg_reconfig_cycles(spec),
+                area=spec.cg_cost,
+            )
+        return DataPathImpl(
+            spec=spec,
+            fabric=fabric,
+            hw_cycles=self.fg_latency(spec),
+            reconfig_cycles=self.fg_reconfig_cycles(spec),
+            area=spec.prc_cost,
+            ii_cycles=self.fg_initiation_interval(spec),
+        )
+
+    def implement_both(self, spec: DataPathSpec) -> "dict[FabricType, DataPathImpl]":
+        """Implement ``spec`` on both fabrics (keyed by fabric type)."""
+        return {fabric: self.implement(spec, fabric) for fabric in FabricType}
+
+
+#: Cost model with the paper's Section 5.1 constants.
+DEFAULT_COST_MODEL = TechnologyCostModel()

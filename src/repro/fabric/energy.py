@@ -1,0 +1,164 @@
+"""Energy accounting (an extension -- the paper evaluates performance only).
+
+A downstream user of a run-time system for embedded reconfigurable
+processors almost always asks the energy question next, so the library
+ships a first-order model: per-cycle dynamic power per execution domain,
+per-byte reconfiguration energy, and static leakage over the run.  The
+numbers are representative 90 nm-class figures (the paper's technology
+node), overridable per deployment; the *structure* is what matters --
+acceleration saves energy twice (fewer active core cycles, less leakage
+time) and pays it back through bitstream transfers.
+
+Energy is accounted post-hoc from a traced simulation result, so it adds
+zero cost to sweeps that do not ask for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.fabric.datapath import FabricType
+from repro.sim.simulator import SimulationResult
+from repro.util.tables import render_table
+from repro.util.validation import ReproError, check_non_negative
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order energy parameters (nanojoules / milliwatts at 90 nm)."""
+
+    #: dynamic energy per active core cycle (RISC execution, gaps), nJ
+    core_active_nj_per_cycle: float = 0.45
+    #: dynamic energy per cycle a CG fabric executes, nJ
+    cg_active_nj_per_cycle: float = 0.30
+    #: dynamic energy per core cycle the FG fabric executes, nJ (the FPGA
+    #: clock is 4x slower, folded in)
+    fg_active_nj_per_cycle: float = 0.60
+    #: energy per kilobyte of partial bitstream written, nJ
+    fg_reconfig_nj_per_kb: float = 220.0
+    #: energy per CG context load, nJ
+    cg_reconfig_nj: float = 18.0
+    #: static leakage of the whole chip per core cycle, nJ
+    static_nj_per_cycle: float = 0.12
+
+    def __post_init__(self) -> None:
+        import dataclasses
+
+        for field in dataclasses.fields(self):
+            check_non_negative(f"EnergyModel.{field.name}", getattr(self, field.name))
+
+
+#: Energy model with the default 90 nm-class constants.
+DEFAULT_ENERGY_MODEL = EnergyModel()
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy of one simulation run, in millijoules."""
+
+    core_dynamic_mj: float
+    cg_dynamic_mj: float
+    fg_dynamic_mj: float
+    fg_reconfig_mj: float
+    cg_reconfig_mj: float
+    static_mj: float
+    total_cycles: int
+
+    @property
+    def reconfig_mj(self) -> float:
+        return self.fg_reconfig_mj + self.cg_reconfig_mj
+
+    @property
+    def total_mj(self) -> float:
+        return (
+            self.core_dynamic_mj
+            + self.cg_dynamic_mj
+            + self.fg_dynamic_mj
+            + self.reconfig_mj
+            + self.static_mj
+        )
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Total energy (mJ) x runtime (million cycles): the usual combined
+        figure of merit."""
+        return self.total_mj * (self.total_cycles / 1e6)
+
+    def render(self) -> str:
+        rows = [
+            ["core dynamic", f"{self.core_dynamic_mj:.3f} mJ"],
+            ["CG fabric dynamic", f"{self.cg_dynamic_mj:.3f} mJ"],
+            ["FG fabric dynamic", f"{self.fg_dynamic_mj:.3f} mJ"],
+            ["FG reconfiguration", f"{self.fg_reconfig_mj:.3f} mJ"],
+            ["CG reconfiguration", f"{self.cg_reconfig_mj:.3f} mJ"],
+            ["static leakage", f"{self.static_mj:.3f} mJ"],
+            ["total", f"{self.total_mj:.3f} mJ"],
+            ["energy-delay product", f"{self.energy_delay_product:.2f} mJ*Mcycles"],
+        ]
+        return render_table(["component", "energy"], rows, title="Energy breakdown")
+
+
+def estimate_energy(
+    result: SimulationResult,
+    model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    bitstream_kb: float = 79.2,
+) -> EnergyBreakdown:
+    """Estimate the energy of a traced simulation run.
+
+    Execution cycles are attributed per mode: RISC executions and the
+    inter-execution gaps burn core power; ``selected``/``intermediate``
+    executions burn a blend of FG/CG power according to the serving ISE's
+    granularities; ``monocg`` executions burn CG power.  Reconfigurations
+    are charged per request from the controller's log.
+    """
+    if result.trace is None:
+        raise ReproError("estimate_energy needs a run with collect_trace=True")
+    if result.controller is None:
+        raise ReproError("estimate_energy needs the run's controller")
+
+    core_nj = result.stats.gap_cycles * model.core_active_nj_per_cycle
+    core_nj += result.stats.overhead_cycles_charged * model.core_active_nj_per_cycle
+    cg_nj = 0.0
+    fg_nj = 0.0
+    for record in result.trace.executions:
+        mode = record.mode.value
+        if mode == "risc":
+            core_nj += record.latency * model.core_active_nj_per_cycle
+        elif mode == "monocg":
+            cg_nj += record.latency * model.cg_active_nj_per_cycle
+        else:
+            # Blend by the serving implementation's granularity mix.
+            name = record.ise_name or ""
+            uses_fg = "@fg" in name
+            uses_cg = "@cg" in name
+            if uses_fg and uses_cg:
+                fg_nj += 0.5 * record.latency * model.fg_active_nj_per_cycle
+                cg_nj += 0.5 * record.latency * model.cg_active_nj_per_cycle
+            elif uses_fg:
+                fg_nj += record.latency * model.fg_active_nj_per_cycle
+            else:
+                cg_nj += record.latency * model.cg_active_nj_per_cycle
+
+    fg_rec_nj = 0.0
+    cg_rec_nj = 0.0
+    for request in result.controller.requests:
+        if request.fabric is FabricType.FG:
+            fg_rec_nj += bitstream_kb * model.fg_reconfig_nj_per_kb
+        else:
+            cg_rec_nj += model.cg_reconfig_nj
+
+    static_nj = result.total_cycles * model.static_nj_per_cycle
+
+    return EnergyBreakdown(
+        core_dynamic_mj=core_nj / 1e6,
+        cg_dynamic_mj=cg_nj / 1e6,
+        fg_dynamic_mj=fg_nj / 1e6,
+        fg_reconfig_mj=fg_rec_nj / 1e6,
+        cg_reconfig_mj=cg_rec_nj / 1e6,
+        static_mj=static_nj / 1e6,
+        total_cycles=result.total_cycles,
+    )
+
+
+__all__ = ["EnergyModel", "DEFAULT_ENERGY_MODEL", "EnergyBreakdown", "estimate_energy"]

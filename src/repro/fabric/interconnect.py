@@ -1,0 +1,51 @@
+"""Inter- and intra-fabric communication costs.
+
+Section 5.1: CG fabrics are connected point-to-point and a hop between two
+CG fabrics costs 2 cycles; communication inside the FG fabric (between
+PRCs) takes a single FG cycle.  Crossing the FG/CG boundary -- which is
+what a *multi-grained* ISE does -- costs a CG hop plus an FG-domain
+synchronisation cycle.  These costs are charged per kernel execution by the
+ISE layer for every adjacent pair of data paths mapped to different places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fabric.datapath import FabricType
+from repro.util.units import CYCLES_PER_FG_CYCLE
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Communication cost model between data paths."""
+
+    cg_hop_cycles: int = 2
+    fg_hop_fg_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        check_non_negative("Interconnect.cg_hop_cycles", self.cg_hop_cycles)
+        check_non_negative("Interconnect.fg_hop_fg_cycles", self.fg_hop_fg_cycles)
+
+    def hop_cycles(self, src: FabricType, dst: FabricType) -> int:
+        """Core cycles to forward a result from ``src`` to ``dst``."""
+        if src is FabricType.CG and dst is FabricType.CG:
+            return self.cg_hop_cycles
+        if src is FabricType.FG and dst is FabricType.FG:
+            return self.fg_hop_fg_cycles * CYCLES_PER_FG_CYCLE
+        # FG/CG boundary: a CG hop plus an FG-domain synchronisation cycle.
+        return self.cg_hop_cycles + self.fg_hop_fg_cycles * CYCLES_PER_FG_CYCLE
+
+    def chain_cycles(self, fabrics: Sequence[FabricType]) -> int:
+        """Total hop cost along a chain of data paths (one hop per edge)."""
+        return sum(
+            self.hop_cycles(src, dst) for src, dst in zip(fabrics, fabrics[1:])
+        )
+
+
+#: Interconnect with the paper's Section 5.1 constants.
+DEFAULT_INTERCONNECT = Interconnect()
+
+__all__ = ["Interconnect", "DEFAULT_INTERCONNECT"]

@@ -1,0 +1,236 @@
+"""Reconfiguration controller: turns selections into fabric configurations.
+
+The ISE selector outputs a set of ISEs; this controller manages the actual
+reconfiguration process (Section 4.1, last paragraph): FG data paths queue
+behind the single sequential bitstream port, CG contexts load in parallel in
+microseconds, and stale configurations are evicted LRU when a new selection
+needs their fabric.
+
+The controller also offers a *preview* mode used by the profit function: it
+predicts the completion time ``recT`` of every data-path instance of a
+candidate ISE given the current port backlog, without committing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.fabric.cg_fabric import CGFabricArray
+from repro.fabric.datapath import DataPathInstance, FabricType
+from repro.fabric.fg_fabric import FGFabric
+from repro.fabric.resources import ResourceBudget, ResourceState
+from repro.util.validation import ReproError
+
+
+@dataclass(frozen=True)
+class ReconfigRequest:
+    """A scheduled reconfiguration (for tracing and statistics)."""
+
+    impl_name: str
+    fabric: FabricType
+    start: int
+    done: int
+    owner: Optional[str]
+    #: cycle at which the run-time system issued the request (start minus
+    #: requested_at = time spent queueing behind the bitstream port)
+    requested_at: int = 0
+
+
+class ReconfigurationController:
+    """Manages the configuration state of the CG and FG fabrics."""
+
+    def __init__(self, budget: ResourceBudget):
+        self.budget = budget
+        self.fg = FGFabric(n_prcs=budget.n_prcs)
+        self.cg = CGFabricArray(n_fabrics=budget.n_cg_fabrics)
+        self.resources = ResourceState(budget)
+        self.resources.canceller = self._cancel_copy_transfer
+        self.requests: List[ReconfigRequest] = []
+        #: port cycles reclaimed by cancelling pending transfers
+        self.cancelled_port_cycles: int = 0
+        #: port token -> the copy whose transfer it is (for reflow updates)
+        self._token_copies: Dict[int, object] = {}
+
+    # ------------------------------------------------------- cancellation
+    def _cancel_copy_transfer(self, copy, now: int) -> None:
+        """Abort the pending port transfer of an evicted FG copy and apply
+        the queue reflow to every other in-flight copy's ready time."""
+        if copy.port_token is None:
+            raise ReproError(f"copy of {copy.impl.name} has no port transfer")
+        updates = self.fg.cancel(copy.port_token, now)
+        if updates is None:
+            raise ReproError(
+                f"transfer of {copy.impl.name} already streaming; not cancellable"
+            )
+        self._token_copies.pop(copy.port_token, None)
+        self.cancelled_port_cycles += copy.impl.reconfig_cycles
+        for token, (new_start, new_done) in updates.items():
+            other = self._token_copies.get(token)
+            if other is not None:
+                other.transfer_start = new_start
+                other.ready_at = new_done
+
+    # ------------------------------------------------------------ preview
+    def preview_ready_times(
+        self,
+        instances: Sequence[DataPathInstance],
+        now: int,
+    ) -> List[int]:
+        """Predicted cycle at which each instance (full quantity) is ready.
+
+        Instances are assumed to be configured in the given order; FG copies
+        queue behind the current port backlog, CG copies load immediately.
+        Copies that already exist keep their scheduled ready time.  The
+        result has one entry per instance, in order.
+        """
+        fg_available = max(now, self.fg.port_available_at)
+        ready_times: List[int] = []
+        # Copies of the same implementation may be shared between instances
+        # (e.g. the same data path in several candidate ISEs of one kernel),
+        # so track how many existing copies each implementation contributes.
+        consumed: Dict[str, int] = {}
+        for instance in instances:
+            name = instance.impl.name
+            have = self.resources.configured_quantity(name) - consumed.get(name, 0)
+            use_existing = min(max(have, 0), instance.quantity)
+            consumed[name] = consumed.get(name, 0) + use_existing
+            missing = instance.quantity - use_existing
+            ready = now
+            if use_existing:
+                existing_ready = self.resources.ready_at(name, use_existing)
+                if existing_ready is not None:
+                    ready = max(ready, existing_ready)
+            for _ in range(missing):
+                if instance.fabric is FabricType.FG:
+                    fg_available += instance.impl.reconfig_cycles
+                    ready = max(ready, fg_available)
+                else:
+                    ready = max(ready, now + instance.impl.reconfig_cycles)
+            ready_times.append(ready)
+        return ready_times
+
+    # ------------------------------------------------------------- commit
+    def ensure_configured(
+        self,
+        instances: Sequence[DataPathInstance],
+        owner: str,
+        now: int,
+    ) -> Dict[str, int]:
+        """Configure (and pin) every instance; returns impl name -> ready_at.
+
+        Existing copies are reused and re-pinned; missing copies are
+        scheduled, evicting unpinned LRU configurations if their fabric is
+        occupied.  Raises :class:`ReproError` if pinned configurations leave
+        insufficient fabric (the selector must have checked fit beforehand).
+        """
+        ready: Dict[str, int] = {}
+        for instance in instances:
+            name = instance.impl.name
+            already = self.resources.configured_quantity(name)
+            pinned = self.resources.pin(name, instance.quantity, owner)
+            missing = instance.quantity - min(already, instance.quantity)
+            for _ in range(missing):
+                area_free = self.resources.evict(
+                    instance.fabric, instance.impl.area, now
+                )
+                if area_free < instance.impl.area:
+                    raise ReproError(
+                        f"no fabric for {name}: {instance.impl.area} units of "
+                        f"{instance.fabric} needed, {area_free} free after eviction"
+                    )
+                token = None
+                if instance.fabric is FabricType.FG:
+                    start, done, token = self.fg.schedule_reconfig(
+                        now, instance.impl.reconfig_cycles
+                    )
+                else:
+                    start, done = self.cg.schedule_reconfig(
+                        now, instance.impl.reconfig_cycles
+                    )
+                copy = self.resources.add_copy(
+                    instance.impl, ready_at=done, pinned_by=owner
+                )
+                if token is not None:
+                    copy.transfer_start = start
+                    copy.port_token = token
+                    self._token_copies[token] = copy
+                self.requests.append(
+                    ReconfigRequest(
+                        impl_name=name,
+                        fabric=instance.fabric,
+                        start=start,
+                        done=done,
+                        owner=owner,
+                        requested_at=now,
+                    )
+                )
+            if pinned < instance.quantity:
+                self.resources.pin(name, instance.quantity, owner)
+            ready_at = self.resources.ready_at(name, instance.quantity)
+            ready[name] = now if ready_at is None else ready_at
+        return ready
+
+    def release_owner(self, owner: str) -> None:
+        """Unpin every configuration held by ``owner``."""
+        self.resources.unpin_owner(owner)
+
+    def commit_selection(
+        self,
+        selection: "Mapping[str, Optional[object]]",
+        owner: str,
+        now: int,
+        strict: bool = True,
+    ) -> List[str]:
+        """Configure every ISE of ``selection`` (kernel -> ISE or None).
+
+        Two phases: first *pin* every already-configured copy any selected
+        ISE relies on (the selector counted those as coverage), then
+        schedule the missing reconfigurations.  Without the pinning phase,
+        committing one ISE could evict a copy a later ISE's fit check
+        depended on.
+
+        With ``strict=False`` an ISE that no longer fits (e.g. another task
+        claimed the fabric since the selection was made) is skipped instead
+        of raising; its kernel falls back to RISC mode / the ECU cascade.
+        Returns the kernels whose ISEs were skipped.
+        """
+        ises = [ise for ise in selection.values() if ise is not None]
+        for ise in ises:
+            for instance in ise.instances:
+                self.resources.pin(instance.impl.name, instance.quantity, owner)
+        skipped: List[str] = []
+        for kernel, ise in selection.items():
+            if ise is None:
+                continue
+            try:
+                self.ensure_configured(ise.instances, owner=owner, now=now)
+            except ReproError:
+                if strict:
+                    raise
+                skipped.append(kernel)
+        return skipped
+
+    # --------------------------------------------------------------- misc
+    def free_cg_fabric_available(self, now: int) -> bool:
+        """Whether a CG context slot is free (or evictable) for a
+        monoCG-Extension."""
+        if self.resources.free_area(FabricType.CG) >= 1:
+            return True
+        return self.resources.unpinned_area(FabricType.CG) >= 1
+
+    def reset(self) -> None:
+        """Drop all configuration state (simulation reset)."""
+        self.resources.clear()
+        self.fg.reset_port()
+        self.requests.clear()
+        self.cancelled_port_cycles = 0
+        self._token_copies.clear()
+
+    @property
+    def reconfig_count(self) -> int:
+        """Total number of scheduled reconfigurations so far."""
+        return len(self.requests)
+
+
+__all__ = ["ReconfigurationController", "ReconfigRequest"]

@@ -1,0 +1,57 @@
+"""Scratch pad memories attached to the reconfigurable fabrics.
+
+Both fabric types have dedicated scratch pads connected to the memory
+hierarchy for fast data access and intermediate results (Section 3).  For
+the run-time system only the *transfer cost* matters: the CG load/store
+unit is 32-bit, the FG unit 128-bit (Section 5.1), which the technology
+cost model already folds into per-invocation latencies.  This module models
+capacity so that workloads can assert their working sets fit, and provides
+the transfer-cycle arithmetic in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fabric.datapath import FabricType
+from repro.util.units import CYCLES_PER_FG_CYCLE
+from repro.util.validation import ValidationError, check_positive
+
+
+@dataclass(frozen=True)
+class Scratchpad:
+    """A fabric-local scratch pad memory."""
+
+    fabric: FabricType
+    capacity_bytes: int = 16 * 1024
+    #: load/store width in bytes: 4 for CG (32-bit), 16 for FG (128-bit)
+    width_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive("Scratchpad.capacity_bytes", self.capacity_bytes)
+        check_positive("Scratchpad.width_bytes", self.width_bytes)
+
+    @classmethod
+    def for_fabric(cls, fabric: FabricType, capacity_bytes: int = 16 * 1024) -> "Scratchpad":
+        """Scratch pad with the paper's load/store width for ``fabric``."""
+        width = 16 if fabric is FabricType.FG else 4
+        return cls(fabric=fabric, capacity_bytes=capacity_bytes, width_bytes=width)
+
+    def fits(self, working_set_bytes: int) -> bool:
+        """Whether ``working_set_bytes`` fits in this scratch pad."""
+        return 0 <= working_set_bytes <= self.capacity_bytes
+
+    def transfer_cycles(self, n_bytes: int) -> int:
+        """Core cycles to move ``n_bytes`` through the load/store unit.
+
+        The FG unit is clocked in the FG domain (one beat per FG cycle)."""
+        if n_bytes < 0:
+            raise ValidationError(f"n_bytes must be non-negative, got {n_bytes}")
+        beats = math.ceil(n_bytes / self.width_bytes)
+        if self.fabric is FabricType.FG:
+            return beats * CYCLES_PER_FG_CYCLE
+        return beats
+
+
+__all__ = ["Scratchpad"]

@@ -1,0 +1,29 @@
+"""Instruction Set Extensions: kernels, ISEs, and their compile-time preparation.
+
+An ISE accelerates one kernel and is composed of data-path instances mapped
+to the FG and/or CG fabric.  Because data paths finish reconfiguring at
+different times, every prefix of an ISE's data-path list is an *intermediate
+ISE* with its own latency -- the profit function and the Execution Control
+Unit both operate on this latency staircase.
+"""
+
+from repro.ise.kernel import Kernel
+from repro.ise.ise import ISE, NULL_ISE_NAME
+from repro.ise.monocg import MonoCGExtension, build_monocg
+from repro.ise.builder import ISEBuilder, BuilderConfig
+from repro.ise.library import ISELibrary
+from repro.ise.pareto import pareto_front, dominated_fraction, render_front
+
+__all__ = [
+    "Kernel",
+    "ISE",
+    "NULL_ISE_NAME",
+    "MonoCGExtension",
+    "build_monocg",
+    "ISEBuilder",
+    "BuilderConfig",
+    "ISELibrary",
+    "pareto_front",
+    "dominated_fraction",
+    "render_front",
+]

@@ -1,0 +1,149 @@
+"""Compile-time ISE preparation.
+
+Replaces the authors' proprietary tool chain (Section 4, referencing [18]
+and [19]): for every kernel it enumerates CG-, FG- and MG-ISE variants --
+fabric assignments of each data-path subset, plus parallelised variants of
+replicable data paths -- and filters out the variants that cannot fit the
+processor's fabric budget ("all non-fitting ISEs are filtered out at this
+stage").  Realistic kernels yield tens of candidate ISEs; the paper reports
+up to ~60 for a single kernel.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL, TechnologyCostModel
+from repro.fabric.datapath import DataPathImpl, DataPathInstance, DataPathSpec, FabricType
+from repro.fabric.interconnect import DEFAULT_INTERCONNECT, Interconnect
+from repro.fabric.resources import ResourceBudget
+from repro.ise.ise import ISE
+from repro.ise.kernel import Kernel
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class BuilderConfig:
+    """Knobs of the ISE variant enumeration.
+
+    ``max_dropped_datapaths`` bounds how many data paths a variant may leave
+    in software (the subset lattice otherwise explodes for large kernels);
+    ``max_parallel_quantity`` is the replication limit for parallelizable
+    data paths.
+    """
+
+    max_dropped_datapaths: int = 2
+    enable_parallel_variants: bool = True
+    max_parallel_quantity: int = 2
+
+    def __post_init__(self) -> None:
+        check_non_negative("BuilderConfig.max_dropped_datapaths", self.max_dropped_datapaths)
+        check_positive("BuilderConfig.max_parallel_quantity", self.max_parallel_quantity)
+
+
+def order_for_reconfiguration(
+    instances: Sequence[DataPathInstance],
+) -> List[DataPathInstance]:
+    """Order instances so the latency staircase drops as early as possible.
+
+    CG instances first (they are ready within microseconds), each group
+    sorted by per-execution saving per reconfiguration cycle -- the greedy
+    availability order that maximises the profit of intermediate ISEs.
+    """
+
+    def key(instance: DataPathInstance):
+        density = instance.saving_per_execution() / max(
+            1, instance.total_reconfig_cycles
+        )
+        return (0 if instance.fabric is FabricType.CG else 1, -density)
+
+    return sorted(instances, key=key)
+
+
+class ISEBuilder:
+    """Enumerates the candidate ISEs of a kernel."""
+
+    def __init__(
+        self,
+        cost_model: TechnologyCostModel = DEFAULT_COST_MODEL,
+        interconnect: Interconnect = DEFAULT_INTERCONNECT,
+        config: BuilderConfig = BuilderConfig(),
+    ):
+        self.cost_model = cost_model
+        self.interconnect = interconnect
+        self.config = config
+
+    # ----------------------------------------------------------- variants
+    def build(self, kernel: Kernel) -> List[ISE]:
+        """All candidate ISEs of ``kernel`` (before the fitting filter)."""
+        impls: Dict[str, Dict[FabricType, DataPathImpl]] = {
+            dp.name: self.cost_model.implement_both(dp) for dp in kernel.datapaths
+        }
+        n = len(kernel.datapaths)
+        min_size = max(1, n - self.config.max_dropped_datapaths)
+        seen = set()
+        ises: List[ISE] = []
+        for size in range(min_size, n + 1):
+            for subset in itertools.combinations(kernel.datapaths, size):
+                for assignment in itertools.product(FabricType, repeat=size):
+                    for quantities in self._quantity_options(subset):
+                        instances = [
+                            DataPathInstance(impl=impls[dp.name][fab], quantity=qty)
+                            for dp, fab, qty in zip(subset, assignment, quantities)
+                        ]
+                        ise = self._make_ise(kernel, instances)
+                        if ise.signature() not in seen:
+                            seen.add(ise.signature())
+                            ises.append(ise)
+        return ises
+
+    def _quantity_options(
+        self, subset: Sequence[DataPathSpec]
+    ) -> Iterable[Tuple[int, ...]]:
+        """Quantity vectors: all-ones, plus one replicated parallelizable data
+        path at a time at power-of-two quantities up to the configured limit
+        (keeps the variant count near the paper's ~60/kernel)."""
+        base = tuple(1 for _ in subset)
+        yield base
+        if not self.config.enable_parallel_variants:
+            return
+        for i, dp in enumerate(subset):
+            if not dp.parallelizable:
+                continue
+            quantity = 2
+            while quantity <= self.config.max_parallel_quantity:
+                quantities = list(base)
+                quantities[i] = quantity
+                yield tuple(quantities)
+                quantity *= 2
+
+    def _make_ise(self, kernel: Kernel, instances: Sequence[DataPathInstance]) -> ISE:
+        ordered = order_for_reconfiguration(instances)
+        parts = []
+        for instance in ordered:
+            suffix = "" if instance.quantity == 1 else f"x{instance.quantity}"
+            short = instance.impl.spec.name.split(".")[-1]
+            parts.append(f"{short}@{instance.fabric.value}{suffix}")
+        name = f"{kernel.name}/{'+'.join(parts)}"
+        return ISE(
+            kernel=kernel,
+            name=name,
+            instances=ordered,
+            interconnect=self.interconnect,
+        )
+
+    # ------------------------------------------------------------- filter
+    @staticmethod
+    def filter_fitting(ises: Iterable[ISE], budget: ResourceBudget) -> List[ISE]:
+        """Compile-time filter: drop ISEs whose *full* area exceeds the budget."""
+        return [
+            ise
+            for ise in ises
+            if ise.fg_area <= budget.total(FabricType.FG)
+            and ise.cg_area <= budget.total(FabricType.CG)
+        ]
+
+
+__all__ = ["ISEBuilder", "BuilderConfig", "order_for_reconfiguration"]

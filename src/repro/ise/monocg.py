@@ -1,0 +1,74 @@
+"""monoCG-Extensions: whole kernels on a single free CG fabric.
+
+Section 4.2: the delay until the first FG data path of a selected ISE is
+reconfigured is large (milliseconds).  To bridge it, the ECU can place a
+*monoCG-Extension* -- the complete kernel, software-pipelined onto both
+ALUs and register files of one free CG fabric -- which is ready after a
+microsecond-scale context load and still clearly faster than RISC mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL, TechnologyCostModel
+from repro.fabric.datapath import DataPathInstance, DataPathSpec, FabricType
+from repro.ise.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class MonoCGExtension:
+    """A full-kernel CG implementation used as an execution stopgap.
+
+    Not part of the selector's search space: the ECU instantiates one on
+    demand when the selected ISE (and all its intermediate ISEs) are still
+    reconfiguring and a CG fabric is free.
+    """
+
+    kernel: Kernel
+    instance: DataPathInstance
+
+    @property
+    def latency(self) -> int:
+        """Core cycles per kernel execution on the monoCG-Extension."""
+        return self.kernel.monocg_latency
+
+    @property
+    def reconfig_cycles(self) -> int:
+        """Core cycles to load the monoCG context onto a CG fabric."""
+        return self.instance.impl.reconfig_cycles
+
+    @property
+    def impl_name(self) -> str:
+        return self.instance.impl.name
+
+
+def build_monocg(
+    kernel: Kernel, cost_model: TechnologyCostModel = DEFAULT_COST_MODEL
+) -> MonoCGExtension:
+    """Construct the monoCG-Extension of ``kernel``.
+
+    The synthetic data-path spec wraps the whole kernel; its CG latency is
+    dictated by the kernel's ``monocg_speedup`` rather than the op-mix model
+    (the extension schedules the *entire* kernel across both ALUs, which the
+    per-data-path cost model does not describe).
+    """
+    spec = DataPathSpec(
+        name=f"{kernel.name}.monocg",
+        word_ops=1,
+        sw_cycles=kernel.risc_latency,
+        invocations=1,
+        cg_cost=1,
+    )
+    base_impl = cost_model.implement(spec, FabricType.CG)
+    impl = type(base_impl)(
+        spec=spec,
+        fabric=FabricType.CG,
+        hw_cycles=kernel.monocg_latency,
+        reconfig_cycles=base_impl.reconfig_cycles,
+        area=1,
+    )
+    return MonoCGExtension(kernel=kernel, instance=DataPathInstance(impl=impl, quantity=1))
+
+
+__all__ = ["MonoCGExtension", "build_monocg"]

@@ -1,0 +1,96 @@
+"""Pareto analysis of a kernel's candidate ISEs.
+
+The compile-time builder enumerates every fabric assignment; most variants
+are *dominated* -- some other candidate is at least as good in execution
+latency, reconfiguration time, PRC area and CG area at once.  The Pareto
+front is the designer's view of a kernel's real trade-off space (the
+paper's Fig. 1 shows exactly such a front for the deblocking filter), and
+its size indicates how much room the run-time selector actually has.
+
+Note that the *selector* deliberately keeps dominated candidates: under
+data-path sharing (Step 2b) a dominated ISE can still be the cheapest
+choice when its data paths are already configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.ise.ise import ISE
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class ISEPoint:
+    """The objective vector of one candidate (all to be minimised)."""
+
+    ise: ISE
+    latency: int
+    reconfig_cycles: int
+    fg_area: int
+    cg_area: int
+
+    @property
+    def vector(self) -> Tuple[int, int, int, int]:
+        return (self.latency, self.reconfig_cycles, self.fg_area, self.cg_area)
+
+    def dominates(self, other: "ISEPoint") -> bool:
+        """Weak dominance: no-worse in every objective, better in one."""
+        mine, theirs = self.vector, other.vector
+        return all(a <= b for a, b in zip(mine, theirs)) and mine != theirs
+
+
+def ise_points(candidates: Sequence[ISE]) -> List[ISEPoint]:
+    """Objective vectors of every candidate."""
+    return [
+        ISEPoint(
+            ise=ise,
+            latency=ise.full_latency,
+            reconfig_cycles=ise.total_reconfig_cycles,
+            fg_area=ise.fg_area,
+            cg_area=ise.cg_area,
+        )
+        for ise in candidates
+    ]
+
+
+def pareto_front(candidates: Sequence[ISE]) -> List[ISEPoint]:
+    """The non-dominated candidates, sorted by execution latency."""
+    points = ise_points(candidates)
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points)
+    ]
+    return sorted(front, key=lambda p: p.vector)
+
+
+def dominated_fraction(candidates: Sequence[ISE]) -> float:
+    """Share of the candidate set that is Pareto-dominated."""
+    if not candidates:
+        return 0.0
+    return 1.0 - len(pareto_front(candidates)) / len(candidates)
+
+
+def render_front(candidates: Sequence[ISE], title: str = "") -> str:
+    """Tabulate the Pareto front of ``candidates``."""
+    rows = [
+        [
+            p.ise.name,
+            p.latency,
+            p.reconfig_cycles,
+            p.fg_area,
+            p.cg_area,
+            "MG" if p.ise.is_multigrained else next(iter(p.ise.granularities)).value.upper(),
+        ]
+        for p in pareto_front(candidates)
+    ]
+    return render_table(
+        ["ISE", "latency", "reconfig", "PRCs", "CG slots", "kind"],
+        rows,
+        title=title or "Pareto front (latency / reconfiguration / area)",
+    )
+
+
+__all__ = ["ISEPoint", "ise_points", "pareto_front", "dominated_fraction", "render_front"]

@@ -1,0 +1,139 @@
+"""Fabric contention: other tasks claiming reconfigurable fabric at run time.
+
+Section 1 of the paper motivates run-time selection with three run-time
+variations; variation (b) is "the available fine- and coarse-grained
+reconfigurable fabric (shared among various tasks)".  This module models
+that sharing: a :class:`ContentionSchedule` describes when a background
+task claims and releases fabric, and the simulator applies it between
+functional blocks.  Claimed area is occupied by pinned *blocker*
+configurations, so the run-time system simply sees less allocatable fabric
+-- exactly what a real co-running task's accelerators would look like.
+
+Claims are opportunistic: a task can only take fabric that is free or
+evictable at that moment (it cannot displace the pinned configurations of
+the foreground application mid-block); whatever it obtains stays pinned
+until the matching release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import DataPathSpec, FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.util.validation import ValidationError, check_non_negative
+
+#: Synthetic data paths used to occupy fabric on behalf of other tasks.
+_BLOCKER_SPECS = {
+    FabricType.FG: DataPathSpec(name="task.blocker_fg", word_ops=1, sw_cycles=1),
+    FabricType.CG: DataPathSpec(name="task.blocker_cg", word_ops=1, sw_cycles=1),
+}
+
+
+@dataclass(frozen=True)
+class ContentionEvent:
+    """One change in a background task's fabric demand.
+
+    At ``time`` the task wants to hold ``n_prcs`` PRCs and ``n_cg_slots``
+    CG context slots (absolute targets, not deltas).  A target of zero
+    releases everything the task holds.
+    """
+
+    time: int
+    task: str
+    n_prcs: int = 0
+    n_cg_slots: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative("ContentionEvent.time", self.time)
+        check_non_negative("ContentionEvent.n_prcs", self.n_prcs)
+        check_non_negative("ContentionEvent.n_cg_slots", self.n_cg_slots)
+        if not self.task:
+            raise ValidationError("ContentionEvent.task must be non-empty")
+
+
+class ContentionSchedule:
+    """Applies contention events to a reconfiguration controller."""
+
+    def __init__(self, events: Sequence[ContentionEvent]):
+        self.events: List[ContentionEvent] = sorted(events, key=lambda e: e.time)
+        self._cursor = 0
+        #: task -> (held PRCs, held CG slots)
+        self.held: Dict[str, Tuple[int, int]] = {}
+        #: (time, task, wanted, got) of claims that could not be fully met
+        self.shortfalls: List[Tuple[int, str, Tuple[int, int], Tuple[int, int]]] = []
+
+    @staticmethod
+    def periodic(
+        period: int,
+        duty_prcs: int,
+        duty_cg_slots: int,
+        until: int,
+        task: str = "bgtask",
+        phase: int = 0,
+    ) -> "ContentionSchedule":
+        """An on/off background task: claims fabric for every other period."""
+        events = []
+        time, active = phase, True
+        while time < until:
+            events.append(
+                ContentionEvent(
+                    time=time,
+                    task=task,
+                    n_prcs=duty_prcs if active else 0,
+                    n_cg_slots=duty_cg_slots if active else 0,
+                )
+            )
+            time += period
+            active = not active
+        return ContentionSchedule(events)
+
+    # ------------------------------------------------------------- applying
+    def apply_due(self, controller: ReconfigurationController, now: int) -> None:
+        """Apply every event with ``time <= now`` (called between blocks)."""
+        while self._cursor < len(self.events) and self.events[self._cursor].time <= now:
+            self._apply(controller, self.events[self._cursor], now)
+            self._cursor += 1
+
+    def _apply(
+        self,
+        controller: ReconfigurationController,
+        event: ContentionEvent,
+        now: int,
+    ) -> None:
+        owner = f"task:{event.task}"
+        # Release current holdings, then claim up to the new targets.
+        controller.resources.remove_owner(owner, now)
+        got_fg = self._claim(controller, FabricType.FG, event.n_prcs, owner, now)
+        got_cg = self._claim(controller, FabricType.CG, event.n_cg_slots, owner, now)
+        self.held[event.task] = (got_fg, got_cg)
+        wanted = (event.n_prcs, event.n_cg_slots)
+        if (got_fg, got_cg) != wanted:
+            self.shortfalls.append((now, event.task, wanted, (got_fg, got_cg)))
+
+    @staticmethod
+    def _claim(
+        controller: ReconfigurationController,
+        fabric: FabricType,
+        units: int,
+        owner: str,
+        now: int,
+    ) -> int:
+        impl = DEFAULT_COST_MODEL.implement(_BLOCKER_SPECS[fabric], fabric)
+        got = 0
+        for _ in range(units):
+            if controller.resources.evict(fabric, impl.area, now) < impl.area:
+                break
+            controller.resources.add_copy(impl, ready_at=now, pinned_by=owner)
+            got += 1
+        return got
+
+    def total_held(self, fabric: FabricType) -> int:
+        """Units currently held across all tasks."""
+        index = 0 if fabric is FabricType.FG else 1
+        return sum(h[index] for h in self.held.values())
+
+
+__all__ = ["ContentionEvent", "ContentionSchedule"]

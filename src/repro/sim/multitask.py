@@ -1,0 +1,244 @@
+"""Multi-task co-simulation: several applications sharing one fabric.
+
+Section 1 of the paper names the fabric being "shared among various tasks"
+as a run-time variation only a run-time system can handle.
+:mod:`repro.sim.contention` models the *other* task as an opaque area
+claimer; this module goes further and actually co-simulates several
+applications, each with its own run-time policy, on one processor:
+
+* the core time-multiplexes the tasks at functional-block granularity
+  (a block is the natural preemption point -- triggers and selections
+  happen there);
+* all tasks share one :class:`ReconfigurationController`: one pool of PRCs
+  and CG slots, one sequential bitstream port, per-policy pinned
+  configurations, LRU eviction across task boundaries;
+* every task keeps its own trace/statistics, so throughput and fairness
+  can be analysed per task.
+
+The scheduler is round-robin over runnable tasks; a task is finished when
+its iteration sequence is exhausted.  Kernel names must be globally unique
+across tasks (enforced), since the fabric's configuration state is keyed
+by implementation names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.policy import RuntimePolicy
+from repro.sim.program import Application, interleave
+from repro.sim.stats import SimulationStats
+from repro.sim.trace import ExecutionRecord, SimulationTrace
+from repro.util.validation import ReproError
+
+
+@dataclass
+class Task:
+    """One co-scheduled application with its own run-time policy."""
+
+    name: str
+    application: Application
+    library: ISELibrary
+    policy: RuntimePolicy
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("Task.name must be non-empty")
+
+
+@dataclass
+class TaskResult:
+    """Per-task outcome of a co-simulation."""
+
+    name: str
+    stats: SimulationStats
+    trace: Optional[SimulationTrace]
+    finished_at: int  #: cycle at which the task's last block completed
+
+
+@dataclass
+class MultiTaskResult:
+    """Outcome of a multi-task run."""
+
+    budget: ResourceBudget
+    total_cycles: int
+    tasks: Dict[str, TaskResult]
+    controller: ReconfigurationController
+
+    def task(self, name: str) -> TaskResult:
+        try:
+            return self.tasks[name]
+        except KeyError:
+            raise KeyError(f"unknown task {name!r}") from None
+
+    def slowdown_vs(self, name: str, alone_cycles: int) -> float:
+        """How much longer the task ran than it would have alone (wall
+        clock; co-scheduling always stretches wall time because the core is
+        time-shared)."""
+        return self.task(name).finished_at / alone_cycles
+
+
+class MultiTaskSimulator:
+    """Co-simulates tasks sharing one core and one reconfigurable fabric."""
+
+    def __init__(
+        self,
+        tasks: Sequence[Task],
+        budget: ResourceBudget,
+        collect_trace: bool = False,
+    ):
+        if not tasks:
+            raise ReproError("MultiTaskSimulator needs at least one task")
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate task names: {names}")
+        kernel_names: Dict[str, str] = {}
+        for task in tasks:
+            for kernel in task.application.all_kernels():
+                owner = kernel_names.setdefault(kernel.name, task.name)
+                if owner != task.name:
+                    raise ReproError(
+                        f"kernel {kernel.name!r} appears in tasks "
+                        f"{owner!r} and {task.name!r}; kernel names must be "
+                        "globally unique across co-scheduled tasks"
+                    )
+        self.tasks = list(tasks)
+        self.budget = budget
+        self.collect_trace = collect_trace
+
+    def run(self) -> MultiTaskResult:
+        controller = ReconfigurationController(self.budget)
+        for task in self.tasks:
+            task.policy.attach(task.library, controller)
+            task.policy.prepare(task.application)
+
+        stats = {t.name: SimulationStats() for t in self.tasks}
+        traces = {
+            t.name: SimulationTrace() if self.collect_trace else None
+            for t in self.tasks
+        }
+        profiled = {
+            t.name: {
+                block.name: t.application.profiled_triggers(block.name)
+                for block in t.application.blocks
+            }
+            for t in self.tasks
+        }
+        cursors = {t.name: 0 for t in self.tasks}
+        finished_at = {t.name: 0 for t in self.tasks}
+
+        t_now = 0
+        # Round-robin at functional-block granularity.
+        runnable = [t for t in self.tasks]
+        index = 0
+        while runnable:
+            task = runnable[index % len(runnable)]
+            iteration = task.application.iterations[cursors[task.name]]
+            t_now = self._run_block(
+                task,
+                iteration,
+                profiled[task.name][iteration.block],
+                t_now,
+                stats[task.name],
+                traces[task.name],
+            )
+            cursors[task.name] += 1
+            if cursors[task.name] >= len(task.application.iterations):
+                finished_at[task.name] = t_now
+                position = runnable.index(task)
+                runnable.remove(task)
+                index = position  # next task slides into this slot
+            else:
+                index += 1
+
+        results = {}
+        for task in self.tasks:
+            task_stats = stats[task.name]
+            task_stats.total_cycles = (
+                task_stats.gap_cycles
+                + task_stats.kernel_cycles
+                + task_stats.overhead_cycles_charged
+            )
+            results[task.name] = TaskResult(
+                name=task.name,
+                stats=task_stats,
+                trace=traces[task.name],
+                finished_at=finished_at[task.name],
+            )
+        return MultiTaskResult(
+            budget=self.budget,
+            total_cycles=t_now,
+            tasks=results,
+            controller=controller,
+        )
+
+    def _run_block(
+        self,
+        task: Task,
+        iteration,
+        triggers,
+        t_now: int,
+        stats: SimulationStats,
+        trace: Optional[SimulationTrace],
+    ) -> int:
+        block_entry = t_now
+        outcome = task.policy.on_block_entry(iteration.block, triggers, t_now)
+        t_now += outcome.charged_overhead_cycles
+        stats.overhead_cycles_charged += outcome.charged_overhead_cycles
+        stats.overhead_cycles_full += outcome.full_overhead_cycles
+        stats.selections += 1
+
+        first: Dict[str, int] = {}
+        last: Dict[str, int] = {}
+        counts: Dict[str, int] = {}
+        latency_sums: Dict[str, int] = {}
+        for kernel_name, gap in interleave(iteration.kernels):
+            t_now += gap
+            stats.gap_cycles += gap
+            decision = task.policy.execute(kernel_name, t_now)
+            first.setdefault(kernel_name, t_now)
+            counts[kernel_name] = counts.get(kernel_name, 0) + 1
+            latency_sums[kernel_name] = (
+                latency_sums.get(kernel_name, 0) + decision.latency
+            )
+            stats.record_execution(decision.mode, decision.latency)
+            if trace is not None:
+                trace.record_execution(
+                    ExecutionRecord(
+                        time=t_now,
+                        block=iteration.block,
+                        kernel=kernel_name,
+                        mode=decision.mode,
+                        latency=decision.latency,
+                        level=decision.level,
+                        ise_name=decision.ise_name,
+                    )
+                )
+            t_now += decision.latency
+            last[kernel_name] = t_now
+
+        observed: Dict[str, Tuple[float, float, float]] = {}
+        for kit in iteration.kernels:
+            e = counts.get(kit.kernel, 0)
+            if e == 0:
+                observed[kit.kernel] = (0.0, 0.0, 0.0)
+                continue
+            tf = float(first[kit.kernel] - block_entry)
+            if e > 1:
+                span = last[kit.kernel] - first[kit.kernel]
+                tb = max(0.0, (span - latency_sums[kit.kernel]) / (e - 1))
+            else:
+                tb = 0.0
+            observed[kit.kernel] = (float(e), tf, tb)
+        task.policy.on_block_exit(iteration.block, observed, t_now)
+        stats.record_block(iteration.block, t_now - block_entry)
+        if trace is not None:
+            trace.record_block_window(iteration.block, block_entry, t_now)
+        return t_now
+
+
+__all__ = ["Task", "TaskResult", "MultiTaskResult", "MultiTaskSimulator"]

@@ -1,0 +1,175 @@
+"""The cycle-level simulator of the multi-grained reconfigurable processor.
+
+Replaces the authors' cycle-accurate instruction-set simulator: it executes
+an :class:`~repro.sim.program.Application` against a run-time policy, with
+simulated wall-clock time advancing through trigger handling, non-kernel
+gaps and kernel executions, while reconfigurations complete at the absolute
+cycles the reconfiguration controller scheduled.
+
+The simulator is deliberately policy-agnostic -- mRTS, the RISPP-like,
+Morpheus/4S-like, offline-optimal and online-optimal systems all run through
+the exact same loop, so the comparisons of Figs. 8-10 are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.policy import RuntimePolicy
+from repro.sim.program import Application, interleave
+from repro.sim.stats import SimulationStats
+from repro.sim.trace import ExecutionRecord, SimulationTrace
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    policy_name: str
+    budget: ResourceBudget
+    stats: SimulationStats
+    trace: Optional[SimulationTrace] = None
+    controller: Optional[ReconfigurationController] = None
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.total_cycles
+
+
+class Simulator:
+    """Runs one application under one policy on one fabric budget."""
+
+    def __init__(
+        self,
+        application: Application,
+        library: ISELibrary,
+        budget: ResourceBudget,
+        policy: RuntimePolicy,
+        collect_trace: bool = False,
+        contention=None,
+    ):
+        """``contention`` optionally supplies a
+        :class:`repro.sim.contention.ContentionSchedule`: background tasks
+        claiming/releasing fabric at run time (the paper's run-time
+        variation (b)).  Events are applied at functional-block boundaries.
+        """
+        self.application = application
+        self.library = library
+        self.budget = budget
+        self.policy = policy
+        self.collect_trace = collect_trace
+        self.contention = contention
+
+    def run(self) -> SimulationResult:
+        """Execute the application start to finish; returns the result."""
+        controller = ReconfigurationController(self.budget)
+        self.policy.attach(self.library, controller)
+        self.policy.prepare(self.application)
+
+        stats = SimulationStats()
+        trace = SimulationTrace() if self.collect_trace else None
+        # Profiled triggers are computed once per block: they are burnt into
+        # the binary at compile time and never change.
+        profiled = {
+            block.name: self.application.profiled_triggers(block.name)
+            for block in self.application.blocks
+        }
+
+        t = 0
+        for iteration in self.application.iterations:
+            block_entry = t
+            if self.contention is not None:
+                self.contention.apply_due(controller, t)
+            outcome = self.policy.on_block_entry(
+                iteration.block, profiled[iteration.block], t
+            )
+            t += outcome.charged_overhead_cycles
+            stats.overhead_cycles_charged += outcome.charged_overhead_cycles
+            stats.overhead_cycles_full += outcome.full_overhead_cycles
+            stats.selections += 1
+
+            first: Dict[str, int] = {}
+            last: Dict[str, int] = {}
+            counts: Dict[str, int] = {}
+            latency_sums: Dict[str, int] = {}
+            for kernel_name, gap in interleave(iteration.kernels):
+                t += gap
+                stats.gap_cycles += gap
+                decision = self.policy.execute(kernel_name, t)
+                first.setdefault(kernel_name, t)
+                counts[kernel_name] = counts.get(kernel_name, 0) + 1
+                latency_sums[kernel_name] = (
+                    latency_sums.get(kernel_name, 0) + decision.latency
+                )
+                stats.record_execution(decision.mode, decision.latency)
+                if trace is not None:
+                    trace.record_execution(
+                        ExecutionRecord(
+                            time=t,
+                            block=iteration.block,
+                            kernel=kernel_name,
+                            mode=decision.mode,
+                            latency=decision.latency,
+                            level=decision.level,
+                            ise_name=decision.ise_name,
+                        )
+                    )
+                t += decision.latency
+                last[kernel_name] = t
+
+            observed = self._observed_timings(
+                iteration, block_entry, first, last, counts, latency_sums
+            )
+            self.policy.on_block_exit(iteration.block, observed, t)
+            stats.record_block(iteration.block, t - block_entry)
+            if trace is not None:
+                trace.record_block_window(iteration.block, block_entry, t)
+
+        stats.total_cycles = t
+        stats.reconfigurations = controller.reconfig_count
+        return SimulationResult(
+            policy_name=self.policy.name,
+            budget=self.budget,
+            stats=stats,
+            trace=trace,
+            controller=controller,
+        )
+
+    @staticmethod
+    def _observed_timings(
+        iteration,
+        block_entry: int,
+        first: Dict[str, int],
+        last: Dict[str, int],
+        counts: Dict[str, int],
+        latency_sums: Dict[str, int],
+    ) -> Dict[str, Tuple[float, float, float]]:
+        """Actual (executions, tf, tb) per kernel, as the MPU would measure.
+
+        ``tb`` is the mean time between the end of one execution and the
+        start of the next (Eq. 3 models one period as ``latency + tb``):
+        the kernel's span minus its own execution latencies, divided by the
+        number of in-between intervals.
+        """
+        observed: Dict[str, Tuple[float, float, float]] = {}
+        for kit in iteration.kernels:
+            e = counts.get(kit.kernel, 0)
+            if e == 0:
+                observed[kit.kernel] = (0.0, 0.0, 0.0)
+                continue
+            tf = float(first[kit.kernel] - block_entry)
+            if e > 1:
+                span = last[kit.kernel] - first[kit.kernel]
+                gaps_total = span - latency_sums[kit.kernel]
+                tb = max(0.0, gaps_total / (e - 1))
+            else:
+                tb = 0.0
+            observed[kit.kernel] = (float(e), tf, tb)
+        return observed
+
+
+__all__ = ["Simulator", "SimulationResult"]

@@ -1,0 +1,83 @@
+"""Aggregate statistics of a simulation run.
+
+Everything the evaluation section of the paper reports is derived from
+these counters: total execution cycles (Fig. 8), speedups (Figs. 8/10),
+execution-mode breakdowns (the monoCG / intermediate-ISE analyses), and the
+run-time system overhead (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ecu import ExecutionMode
+
+
+@dataclass
+class SimulationStats:
+    """Counters accumulated by :class:`repro.sim.simulator.Simulator`."""
+
+    total_cycles: int = 0
+    gap_cycles: int = 0                 #: non-kernel application code
+    kernel_cycles: int = 0              #: cycles spent inside kernel executions
+    overhead_cycles_charged: int = 0    #: selector cycles that delayed the app
+    overhead_cycles_full: int = 0       #: selector cycles including hidden part
+    executions_by_mode: Dict[str, int] = field(default_factory=dict)
+    cycles_by_mode: Dict[str, int] = field(default_factory=dict)
+    block_cycles: Dict[str, int] = field(default_factory=dict)
+    block_entries: Dict[str, int] = field(default_factory=dict)
+    reconfigurations: int = 0
+    selections: int = 0
+
+    # ------------------------------------------------------------ update
+    def record_execution(self, mode: "ExecutionMode", latency: int) -> None:
+        key = mode.value
+        self.executions_by_mode[key] = self.executions_by_mode.get(key, 0) + 1
+        self.cycles_by_mode[key] = self.cycles_by_mode.get(key, 0) + latency
+        self.kernel_cycles += latency
+
+    def record_block(self, block: str, cycles: int) -> None:
+        self.block_cycles[block] = self.block_cycles.get(block, 0) + cycles
+        self.block_entries[block] = self.block_entries.get(block, 0) + 1
+
+    # ----------------------------------------------------------- queries
+    @property
+    def total_executions(self) -> int:
+        return sum(self.executions_by_mode.values())
+
+    def executions(self, mode_value: str) -> int:
+        return self.executions_by_mode.get(mode_value, 0)
+
+    def mode_fraction(self, mode_value: str) -> float:
+        """Fraction of executions served in ``mode_value``."""
+        total = self.total_executions
+        if total == 0:
+            return 0.0
+        return self.executions_by_mode.get(mode_value, 0) / total
+
+    def accelerated_fraction(self) -> float:
+        """Fraction of executions served by any hardware implementation."""
+        return 1.0 - self.mode_fraction("risc")
+
+    def overhead_fraction(self) -> float:
+        """Charged run-time-system overhead as a fraction of total cycles."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.overhead_cycles_charged / self.total_cycles
+
+    def mean_block_cycles(self) -> float:
+        entries = sum(self.block_entries.values())
+        if entries == 0:
+            return 0.0
+        return sum(self.block_cycles.values()) / entries
+
+    def speedup_over(self, baseline: "SimulationStats") -> float:
+        """Speedup of this run relative to ``baseline`` (e.g. RISC mode)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return baseline.total_cycles / self.total_cycles
+
+
+__all__ = ["SimulationStats"]

@@ -1,0 +1,55 @@
+"""Execution traces: what happened, cycle by cycle.
+
+Optional detailed recording of every kernel execution (and, via the
+reconfiguration controller, every reconfiguration).  Traces power the
+in-depth analyses (mode breakdowns, Fig. 5-style timelines) and the
+self-checks of the test suite; large sweeps disable them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ecu import ExecutionMode
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One kernel execution as steered by the policy."""
+
+    time: int            #: cycle at which the execution started
+    block: str
+    kernel: str
+    mode: "ExecutionMode"
+    latency: int
+    level: int
+    ise_name: Optional[str]
+
+
+@dataclass
+class SimulationTrace:
+    """Chronological record of a simulation run."""
+
+    executions: List[ExecutionRecord] = field(default_factory=list)
+    #: block name -> list of (entry_cycle, exit_cycle)
+    block_windows: Dict[str, List[tuple]] = field(default_factory=dict)
+
+    def record_execution(self, record: ExecutionRecord) -> None:
+        self.executions.append(record)
+
+    def record_block_window(self, block: str, entry: int, exit_: int) -> None:
+        self.block_windows.setdefault(block, []).append((entry, exit_))
+
+    def executions_of(self, kernel: str) -> List[ExecutionRecord]:
+        return [r for r in self.executions if r.kernel == kernel]
+
+    def mode_sequence(self, kernel: str) -> List[str]:
+        """The execution-mode string of every execution of ``kernel`` in
+        order -- handy for asserting the ECU cascade (RISC/monoCG first,
+        then intermediates, then the full ISE)."""
+        return [r.mode.value for r in self.executions_of(kernel)]
+
+
+__all__ = ["ExecutionRecord", "SimulationTrace"]

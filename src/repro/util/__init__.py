@@ -1,0 +1,48 @@
+"""Shared utilities: unit conversions, seeded RNG, table rendering, validation."""
+
+from repro.util.units import (
+    CORE_CLOCK_HZ,
+    FG_CLOCK_HZ,
+    CG_CLOCK_HZ,
+    CYCLES_PER_FG_CYCLE,
+    cycles_to_seconds,
+    cycles_to_us,
+    cycles_to_ms,
+    seconds_to_cycles,
+    us_to_cycles,
+    ms_to_cycles,
+    fg_cycles_to_core_cycles,
+    kb_to_reconfig_cycles,
+)
+from repro.util.rng import make_rng
+from repro.util.tables import render_table, render_series
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_type,
+    ReproError,
+    ValidationError,
+)
+
+__all__ = [
+    "CORE_CLOCK_HZ",
+    "FG_CLOCK_HZ",
+    "CG_CLOCK_HZ",
+    "CYCLES_PER_FG_CYCLE",
+    "cycles_to_seconds",
+    "cycles_to_us",
+    "cycles_to_ms",
+    "seconds_to_cycles",
+    "us_to_cycles",
+    "ms_to_cycles",
+    "fg_cycles_to_core_cycles",
+    "kb_to_reconfig_cycles",
+    "make_rng",
+    "render_table",
+    "render_series",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+    "ReproError",
+    "ValidationError",
+]

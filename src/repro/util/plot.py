@@ -1,0 +1,120 @@
+"""Terminal plotting: ASCII line charts, bar charts and sparklines.
+
+The experiment reports are consumed in a terminal; these helpers make the
+figure *shapes* visible without leaving it (the CSV/JSON exporters serve
+anyone who wants real plots).  Pure string manipulation, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.util.validation import ValidationError, check_positive
+
+#: Characters used to distinguish series in a line chart.
+SERIES_MARKS = "*o+x#@%&"
+
+#: Eight-level block characters for sparklines.
+SPARK_LEVELS = " .:-=+*#"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line intensity strip of ``values`` (empty input -> empty string)."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span == 0:
+        return SPARK_LEVELS[len(SPARK_LEVELS) // 2] * len(values)
+    chars = []
+    for v in values:
+        index = int((v - lo) / span * (len(SPARK_LEVELS) - 1))
+        chars.append(SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValidationError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    check_positive("width", width)
+    if not labels:
+        return title
+    peak = max(max(values), 0)
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = 0 if peak == 0 else int(round(max(value, 0) / peak * width))
+        bar = "#" * filled
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+            f"{value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_values: Optional[Sequence[float]] = None,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Multi-series ASCII line chart on a ``width`` x ``height`` canvas.
+
+    Each series gets a mark character from :data:`SERIES_MARKS`; overlapping
+    points show the mark of the later series.  The y-axis is annotated with
+    the minimum and maximum values, the x-axis with its end points.
+    """
+    check_positive("width", width)
+    check_positive("height", height)
+    names = list(series)
+    if not names:
+        return title
+    length = len(series[names[0]])
+    for name in names:
+        if len(series[name]) != length:
+            raise ValidationError(f"series {name!r} length mismatch")
+    if length == 0:
+        return title
+    xs = list(x_values) if x_values is not None else list(range(length))
+    if len(xs) != length:
+        raise ValidationError("x_values length mismatch")
+
+    all_values = [v for name in names for v in series[name]]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo or 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = x_hi - x_lo or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(names):
+        mark = SERIES_MARKS[index % len(SERIES_MARKS)]
+        for x, y in zip(xs, series[name]):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - lo) / span * (height - 1))
+            canvas[row][col] = mark
+
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{SERIES_MARKS[i % len(SERIES_MARKS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(legend)
+    lines.append(f"{hi:>10.3g} +{'-' * width}+")
+    for row in canvas:
+        lines.append(f"{'':>10} |{''.join(row)}|")
+    lines.append(f"{lo:>10.3g} +{'-' * width}+")
+    lines.append(f"{'':>11}{str(x_lo):<{width // 2}}{str(x_hi):>{width - width // 2}}")
+    return "\n".join(lines)
+
+
+__all__ = ["sparkline", "bar_chart", "line_chart", "SERIES_MARKS", "SPARK_LEVELS"]

@@ -1,0 +1,36 @@
+"""Deterministic random number generation.
+
+Every stochastic component of the library (workload traces, synthetic
+application generators) draws from a :class:`numpy.random.Generator` created
+here, so that experiments are exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an integer, an existing generator (returned unchanged,
+    allowing callers to thread one generator through a pipeline), or ``None``
+    for OS entropy (only sensible in exploratory use, never in experiments).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, index: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used to give each kernel / functional block its own stream so that adding
+    a kernel does not perturb the traces of the others.
+    """
+    seed = int(rng.integers(0, 2**31 - 1)) + 1_000_003 * index
+    return np.random.default_rng(seed)

@@ -1,0 +1,75 @@
+"""Clock-domain and unit conversions.
+
+All simulation time in this library is expressed in integer *core cycles*.
+The core processor and the coarse-grained (CG) fabrics run at 400 MHz; the
+fine-grained (FG) fabric -- an embedded Virtex-4-class FPGA -- runs at
+100 MHz, so one FG-fabric cycle corresponds to four core cycles (Section 5.1
+of the paper).
+
+The FG fabric is reconfigured through a single sequential bitstream port
+with a bandwidth of 67584 KB/s; :func:`kb_to_reconfig_cycles` converts a
+bitstream size to the core cycles the port is busy.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Core processor / CG fabric clock frequency in Hz (Section 5.1).
+CORE_CLOCK_HZ = 400_000_000
+
+#: Fine-grained (embedded FPGA) fabric clock frequency in Hz.
+FG_CLOCK_HZ = 100_000_000
+
+#: Coarse-grained fabric clock frequency in Hz (same domain as the core).
+CG_CLOCK_HZ = CORE_CLOCK_HZ
+
+#: Number of core cycles per FG-fabric cycle.
+CYCLES_PER_FG_CYCLE = CORE_CLOCK_HZ // FG_CLOCK_HZ
+
+#: FG reconfiguration port bandwidth in KB/s (Section 5.1).
+FG_RECONFIG_BANDWIDTH_KBPS = 67_584
+
+
+def cycles_to_seconds(cycles: float) -> float:
+    """Convert core cycles to seconds."""
+    return cycles / CORE_CLOCK_HZ
+
+
+def cycles_to_us(cycles: float) -> float:
+    """Convert core cycles to microseconds."""
+    return cycles * 1e6 / CORE_CLOCK_HZ
+
+
+def cycles_to_ms(cycles: float) -> float:
+    """Convert core cycles to milliseconds."""
+    return cycles * 1e3 / CORE_CLOCK_HZ
+
+
+def seconds_to_cycles(seconds: float) -> int:
+    """Convert seconds to (rounded-up) core cycles."""
+    return int(math.ceil(seconds * CORE_CLOCK_HZ))
+
+
+def us_to_cycles(us: float) -> int:
+    """Convert microseconds to (rounded-up) core cycles."""
+    return int(math.ceil(us * 1e-6 * CORE_CLOCK_HZ))
+
+
+def ms_to_cycles(ms: float) -> int:
+    """Convert milliseconds to (rounded-up) core cycles."""
+    return int(math.ceil(ms * 1e-3 * CORE_CLOCK_HZ))
+
+
+def fg_cycles_to_core_cycles(fg_cycles: float) -> int:
+    """Convert FG-fabric cycles to (rounded-up) core cycles."""
+    return int(math.ceil(fg_cycles * CYCLES_PER_FG_CYCLE))
+
+
+def kb_to_reconfig_cycles(kilobytes: float) -> int:
+    """Core cycles to stream ``kilobytes`` of bitstream through the FG port.
+
+    With the published bandwidth a ~79 KB partial bitstream takes about
+    1.17 ms, matching the paper's "around 1.2 ms" per FG data path.
+    """
+    return seconds_to_cycles(kilobytes / FG_RECONFIG_BANDWIDTH_KBPS)

@@ -1,0 +1,45 @@
+"""Error types and argument validation helpers.
+
+The hardware-facing layers validate eagerly: a mis-specified data path or
+fabric budget should fail at construction, not 10^6 simulated cycles later.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Type, Union
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A constructor or API argument was out of its legal domain."""
+
+
+def check_type(
+    name: str,
+    value: object,
+    expected: Union[Type, Tuple[Type, ...]],
+) -> None:
+    """Raise :class:`ValidationError` unless ``value`` is an ``expected``."""
+    if isinstance(value, bool) and expected in (int, float):
+        raise ValidationError(f"{name} must be {expected}, got bool {value!r}")
+    if not isinstance(value, expected):
+        raise ValidationError(
+            f"{name} must be {expected}, got {type(value).__name__} {value!r}"
+        )
+
+
+def check_non_negative(name: str, value: Union[int, float]) -> None:
+    """Raise :class:`ValidationError` unless ``value`` >= 0."""
+    check_type(name, value, (int, float))
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_positive(name: str, value: Union[int, float]) -> None:
+    """Raise :class:`ValidationError` unless ``value`` > 0."""
+    check_type(name, value, (int, float))
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")

@@ -1,0 +1,18 @@
+"""Differential verification against the paper's published formulas.
+
+:mod:`repro.verification.equations` transcribes Eqs. 1-4 exactly as printed
+in the paper (including their piecewise case analysis), without the
+robustness conveniences of the production implementation.  The test suite
+evaluates both sides on randomised inputs and asserts agreement wherever
+the paper's formulas are well-defined -- so any drift between the code we
+run and the math the paper states is caught mechanically.
+"""
+
+from repro.verification.equations import (
+    eq1_pif,
+    eq2_per_imp,
+    eq3_noe,
+    eq4_profit,
+)
+
+__all__ = ["eq1_pif", "eq2_per_imp", "eq3_noe", "eq4_profit"]

@@ -1,0 +1,110 @@
+"""Literal transcriptions of the paper's Eqs. 1-4.
+
+These functions mirror the printed formulas one-to-one, case analysis and
+all, with the paper's variable names.  They are *not* used by the run-time
+system -- :mod:`repro.core.profit` is, with documented robustness additions
+(clamping each phase to the remaining execution budget, an explicit
+RISC-mode phase, degenerate-input validation).  The differential tests in
+``tests/test_verification.py`` pin down exactly where the two agree (the
+paper's well-defined domain) and where the production code deviates on
+purpose (documented below per function).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def eq1_pif(
+    sw_time: float, executions: float, reconfiguration_latency: float, hw_time: float
+) -> float:
+    """Eq. 1::
+
+        pif = (sw_time * executions) / (reconfiguration_latency + hw_time * executions)
+
+    Verbatim; the production :func:`repro.core.profit.pif` additionally
+    defines ``pif(e=0) = 0`` and validates signs.
+    """
+    return (sw_time * executions) / (reconfiguration_latency + hw_time * executions)
+
+
+def eq2_per_imp(noe_i: float, latency_rm: float, latency_i: float) -> float:
+    """Eq. 2::
+
+        per_imp(i) = NoE(i) * (latency_RM(ISE_n) - latency(ISE_i))
+
+    (``latency_RM`` does not depend on ``n`` -- RISC-mode execution of the
+    kernel -- the subscript in the paper merely ties it to the same kernel.)
+    """
+    return noe_i * (latency_rm - latency_i)
+
+
+def eq3_noe(
+    i: int,
+    recT: Sequence[float],
+    latency: Sequence[float],
+    tf: float,
+    tb: float,
+) -> float:
+    """Eq. 3, for intermediate ISE ``i`` (1-based, ``i < n``)::
+
+        NoE(i) = (recT(ISE_{i+1}) - recT(ISE_i)) / (latency(ISE_i) + tb)
+                                         if tf <= recT(ISE_i)   [ISE_i not yet
+                                         ready at the first execution]
+        NoE(i) = (recT(ISE_{i+1}) - tf) / (latency(ISE_i) + tb)
+                                         if recT(ISE_i) <= tf <= recT(ISE_{i+1})
+
+    ``recT`` is indexed so that ``recT[i]`` is the completion time of
+    ``ISE_i`` (``recT[0]`` unused); ``latency[i]`` likewise.  The paper
+    leaves the case ``tf > recT(ISE_{i+1})`` (the level is superseded before
+    the kernel first executes) undefined; the production implementation
+    defines it as zero and additionally clamps every phase to the remaining
+    execution budget ``e``.
+    """
+    numerator_start = recT[i] if recT[i] >= tf else tf
+    return (recT[i + 1] - numerator_start) / (latency[i] + tb)
+
+
+def eq4_profit(
+    e: float,
+    recT: Sequence[float],
+    latency: Sequence[float],
+    latency_rm: float,
+    tf: float,
+    tb: float,
+) -> float:
+    """Eq. 4::
+
+        profit(ISE_n) = sum_{i=1}^{n-1} per_imp(i)
+                        + (latency_RM - latency(ISE_n)) * (e - sum_{i=1}^{n-1} NoE(i))
+
+    ``recT[1..n]`` and ``latency[1..n]`` describe the intermediate ISEs
+    (1-based, index 0 unused).  Verbatim: no clamping, no RISC-mode phase --
+    with a short forecast the final term can go negative, which is one of
+    the deviations the production implementation fixes (it clamps phases to
+    ``e`` and treats pre-ISE executions as a RISC phase).
+    """
+    n = len(recT) - 1
+    total = 0.0
+    noe_sum = 0.0
+    for i in range(1, n):
+        noe_i = eq3_noe(i, recT, latency, tf, tb)
+        total += eq2_per_imp(noe_i, latency_rm, latency[i])
+        noe_sum += noe_i
+    total += (latency_rm - latency[n]) * (e - noe_sum)
+    return total
+
+
+def production_rec_schedule(recT: Sequence[float]) -> List[float]:
+    """Convert the paper's 1-based ``recT[1..n]`` to the production
+    implementation's 0-based schedule list."""
+    return list(recT[1:])
+
+
+__all__ = [
+    "eq1_pif",
+    "eq2_per_imp",
+    "eq3_noe",
+    "eq4_profit",
+    "production_rec_schedule",
+]

@@ -1,0 +1,40 @@
+"""Workloads: the H.264 encoder of the paper's evaluation plus synthetic
+application generators for property tests and ablations."""
+
+from repro.workloads.h264 import (
+    h264_application,
+    h264_library,
+    h264_blocks,
+    h264_kernels,
+    deblocking_case_study,
+    frame_activity,
+    deblock_executions_per_frame,
+)
+from repro.workloads.synthetic import SyntheticWorkloadConfig, synthetic_application
+from repro.workloads.scenarios import SCENARIOS, scenario
+from repro.workloads.jpeg import (
+    jpeg_application,
+    jpeg_library,
+    jpeg_kernels,
+    jpeg_blocks,
+    image_complexity,
+)
+
+__all__ = [
+    "h264_application",
+    "h264_library",
+    "h264_blocks",
+    "h264_kernels",
+    "deblocking_case_study",
+    "frame_activity",
+    "deblock_executions_per_frame",
+    "SyntheticWorkloadConfig",
+    "synthetic_application",
+    "jpeg_application",
+    "jpeg_library",
+    "jpeg_kernels",
+    "jpeg_blocks",
+    "image_complexity",
+    "SCENARIOS",
+    "scenario",
+]

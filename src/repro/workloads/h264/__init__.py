@@ -1,0 +1,39 @@
+"""The H.264/AVC video encoder workload (Section 5.1 of the paper).
+
+The encoder is modelled after the application structure the authors use
+([17]): three functional blocks -- Motion Estimation (ME), the Encoding
+Engine (EE, the biggest one with seven kernels), and the in-Loop Filter
+(LF, the deblocking filter of the motivational case study) -- with kernels
+whose data paths mix control-dominant bit-level and data-dominant
+word-level processing.
+"""
+
+from repro.workloads.h264.datapaths import H264_DATAPATHS
+from repro.workloads.h264.kernels import h264_kernels, h264_blocks
+from repro.workloads.h264.traces import (
+    frame_activity,
+    deblock_executions_per_frame,
+    h264_iterations,
+)
+from repro.workloads.h264.app import h264_application, h264_library
+from repro.workloads.h264.pixels import (
+    synthesize_frame,
+    filtered_edge_count,
+    pixel_grounded_deblock_counts,
+)
+from repro.workloads.h264.deblocking import deblocking_case_study
+
+__all__ = [
+    "H264_DATAPATHS",
+    "h264_kernels",
+    "h264_blocks",
+    "frame_activity",
+    "deblock_executions_per_frame",
+    "h264_iterations",
+    "h264_application",
+    "h264_library",
+    "deblocking_case_study",
+    "synthesize_frame",
+    "filtered_edge_count",
+    "pixel_grounded_deblock_counts",
+]

@@ -1,0 +1,49 @@
+"""Factories for the H.264 application and its compile-time ISE library."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL, TechnologyCostModel
+from repro.fabric.resources import ResourceBudget
+from repro.ise.builder import BuilderConfig, ISEBuilder
+from repro.ise.library import ISELibrary
+from repro.sim.program import Application
+from repro.util.rng import SeedLike
+from repro.workloads.h264.kernels import h264_blocks
+from repro.workloads.h264.traces import h264_iterations
+
+
+def h264_application(
+    frames: int = 16,
+    seed: SeedLike = 0,
+    scale: float = 0.6,
+) -> Application:
+    """The H.264 encoder application: 3 blocks x ``frames`` iterations.
+
+    ``scale`` multiplies all execution counts; the default of 0.6 is the
+    calibration point at which the functional-block durations relate to the
+    FG reconfiguration time the way the paper's results imply (per-block FG
+    re-selection pays off only for the heavyweight kernels, CG re-selection
+    always does)."""
+    return Application(
+        name=f"h264-{frames}f",
+        blocks=h264_blocks(),
+        iterations=h264_iterations(frames=frames, seed=seed, scale=scale),
+    )
+
+
+def h264_library(
+    budget: ResourceBudget,
+    cost_model: TechnologyCostModel = DEFAULT_COST_MODEL,
+    builder_config: Optional[BuilderConfig] = None,
+) -> ISELibrary:
+    """The compile-time prepared ISE library of the encoder for ``budget``."""
+    builder = ISEBuilder(
+        cost_model=cost_model, config=builder_config or BuilderConfig()
+    )
+    kernels = [k for block in h264_blocks() for k in block.kernels]
+    return ISELibrary(kernels, budget, cost_model=cost_model, builder=builder)
+
+
+__all__ = ["h264_application", "h264_library"]

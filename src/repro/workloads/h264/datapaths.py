@@ -1,0 +1,139 @@
+"""Data-path specs of the H.264 encoder kernels.
+
+The operation mixes are modelled after the RISPP/KAHRISMA publications'
+descriptions of these kernels (SAD/SATD rows for motion estimation,
+transform rows/columns, 6-tap motion-compensation filters, bit-level
+zig-zag/CAVLC packing, and the deblocking filter's condition/filter split
+of the paper's Section 2).  Absolute numbers are a model; what matters is
+the *character* of each data path: bit-dominant ones favour the FG fabric,
+word/multiply-dominant ones the CG fabric, and each kernel mixes both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fabric.datapath import DataPathSpec
+
+
+def _specs() -> Dict[str, DataPathSpec]:
+    specs = [
+        # ---------------------------------------------------- ME: me.sad
+        DataPathSpec(
+            name="sad.row",
+            word_ops=32, mem_bytes=32, fg_depth=10, sw_cycles=260,
+            invocations=16, parallelizable=True,
+        ),
+        DataPathSpec(
+            name="sad.acc",
+            word_ops=8, mem_bytes=8, fg_depth=4, sw_cycles=60, invocations=16,
+        ),
+        # --------------------------------------------------- ME: me.satd
+        DataPathSpec(
+            name="satd.ht",
+            word_ops=28, mem_bytes=32, fg_depth=10, sw_cycles=180, invocations=8,
+        ),
+        DataPathSpec(
+            name="satd.abs",
+            word_ops=8, bit_ops=4, mem_bytes=16, fg_depth=6, sw_cycles=90,
+            invocations=8,
+        ),
+        # ------------------------------------------------- EE: ee.dct4x4
+        DataPathSpec(
+            name="dct.row",
+            word_ops=16, mem_bytes=32, fg_depth=8, sw_cycles=150, invocations=8,
+        ),
+        DataPathSpec(
+            name="dct.col",
+            word_ops=16, mem_bytes=32, fg_depth=8, sw_cycles=150, invocations=8,
+        ),
+        # ---------------------------------------------------- EE: ee.ht
+        DataPathSpec(
+            name="ht.hadamard",
+            word_ops=24, mem_bytes=16, fg_depth=8, sw_cycles=160, invocations=4,
+        ),
+        # ------------------------------------------------ EE: ee.iquant
+        DataPathSpec(
+            name="iq.quant",
+            word_ops=8, mul_ops=16, mem_bytes=32, fg_depth=6, sw_cycles=190,
+            invocations=8,
+        ),
+        # ------------------------------------------------- EE: ee.ipred
+        DataPathSpec(
+            name="ipred.dc",
+            word_ops=12, bit_ops=12, mem_bytes=24, fg_depth=8, sw_cycles=170,
+            invocations=6,
+        ),
+        DataPathSpec(
+            name="ipred.hdc",
+            word_ops=12, bit_ops=16, mem_bytes=16, fg_depth=8, sw_cycles=160,
+            invocations=6,
+        ),
+        # ------------------------------------------------- EE: ee.mc_hz
+        DataPathSpec(
+            name="mc.filter6",
+            word_ops=36, mul_ops=6, mem_bytes=48, fg_depth=12, sw_cycles=240,
+            invocations=8, parallelizable=True,
+        ),
+        DataPathSpec(
+            name="mc.round",
+            word_ops=8, mem_bytes=16, fg_depth=4, sw_cycles=80, invocations=8,
+        ),
+        # ------------------------------------------------- EE: ee.cavlc
+        DataPathSpec(
+            name="cavlc.zigzag",
+            word_ops=6, bit_ops=20, mem_bytes=16, fg_depth=6, sw_cycles=140,
+            invocations=6,
+        ),
+        DataPathSpec(
+            name="cavlc.bitpack",
+            word_ops=8, bit_ops=24, mem_bytes=8, fg_depth=8, sw_cycles=150,
+            invocations=6,
+        ),
+        # -------------------------------------------------- EE: ee.idct
+        DataPathSpec(
+            name="idct.row",
+            word_ops=16, mem_bytes=32, fg_depth=8, sw_cycles=150, invocations=8,
+        ),
+        DataPathSpec(
+            name="idct.col",
+            word_ops=16, mem_bytes=32, fg_depth=8, sw_cycles=150, invocations=8,
+        ),
+        # ---------------------------------------- LF: lf.deblock_luma
+        # The paper's case study (Section 2): a control-dominant bit-level
+        # condition data path and a data-dominant word-level filter data
+        # path, plus the strong filter used on intra edges.
+        DataPathSpec(
+            name="dbl.cond",
+            word_ops=6, bit_ops=48, mem_bytes=16, fg_depth=8, sw_cycles=180,
+            invocations=8,
+        ),
+        DataPathSpec(
+            name="dbl.filt",
+            word_ops=32, mul_ops=4, mem_bytes=48, fg_depth=12, sw_cycles=220,
+            invocations=8, parallelizable=True,
+        ),
+        DataPathSpec(
+            name="dbl.sfilt",
+            word_ops=40, mul_ops=2, mem_bytes=32, fg_depth=14, sw_cycles=90,
+            invocations=4,
+        ),
+        # -------------------------------------- LF: lf.deblock_chroma
+        DataPathSpec(
+            name="dbc.cond",
+            word_ops=4, bit_ops=32, mem_bytes=8, fg_depth=6, sw_cycles=140,
+            invocations=4,
+        ),
+        DataPathSpec(
+            name="dbc.filt",
+            word_ops=20, mul_ops=2, mem_bytes=24, fg_depth=8, sw_cycles=180,
+            invocations=4,
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: All data-path specs of the H.264 encoder, keyed by name.
+H264_DATAPATHS: Dict[str, DataPathSpec] = _specs()
+
+__all__ = ["H264_DATAPATHS"]

@@ -1,0 +1,65 @@
+"""The motivational case study: three ISEs of the H.264 deblocking filter.
+
+Section 2 of the paper studies three specific ISEs of the deblocking
+filter's two data paths (the control-dominant *condition* and the
+data-dominant *filter*):
+
+* **ISE-1** -- both data paths on the fine-grained fabric: slowest to
+  reconfigure (~2 x 1.2 ms) but fastest per execution, so it wins for large
+  execution counts;
+* **ISE-2** -- both data paths on the coarse-grained fabric: ready within
+  microseconds but slowest per execution, best for few executions;
+* **ISE-3** -- the multi-grained compromise (condition on FG, filter on CG).
+
+:func:`deblocking_case_study` builds exactly these three ISEs; the Fig. 1
+experiment sweeps their pif over the number of executions and the Fig. 2
+experiment shows how the per-frame execution counts move the winner around.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL, TechnologyCostModel
+from repro.fabric.datapath import DataPathInstance, FabricType
+from repro.ise.builder import order_for_reconfiguration
+from repro.ise.ise import ISE
+from repro.ise.kernel import Kernel
+from repro.workloads.h264.datapaths import H264_DATAPATHS
+
+
+def case_study_kernel() -> Kernel:
+    """The deblocking-filter kernel restricted to the two case-study data
+    paths (the paper's Section 2 simplification)."""
+    return Kernel(
+        "lf.deblock",
+        base_cycles=120,
+        datapaths=[H264_DATAPATHS["dbl.cond"], H264_DATAPATHS["dbl.filt"]],
+    )
+
+
+def deblocking_case_study(
+    cost_model: TechnologyCostModel = DEFAULT_COST_MODEL,
+) -> Tuple[Kernel, Dict[str, ISE]]:
+    """Build the deblocking kernel and its three case-study ISEs."""
+    kernel = case_study_kernel()
+    cond, filt = kernel.datapaths
+
+    def make(name: str, cond_fabric: FabricType, filt_fabric: FabricType) -> ISE:
+        instances = order_for_reconfiguration(
+            [
+                DataPathInstance(cost_model.implement(cond, cond_fabric)),
+                DataPathInstance(cost_model.implement(filt, filt_fabric)),
+            ]
+        )
+        return ISE(kernel=kernel, name=f"{kernel.name}/{name}", instances=instances)
+
+    ises = {
+        "ISE-1": make("ise1-fg", FabricType.FG, FabricType.FG),
+        "ISE-2": make("ise2-cg", FabricType.CG, FabricType.CG),
+        "ISE-3": make("ise3-mg", FabricType.FG, FabricType.CG),
+    }
+    return kernel, ises
+
+
+__all__ = ["case_study_kernel", "deblocking_case_study"]

@@ -1,0 +1,79 @@
+"""Kernels and functional blocks of the H.264 encoder.
+
+Three functional blocks (following [17] of the paper): Motion Estimation,
+the Encoding Engine (the biggest one, with seven kernels -- the paper notes
+"the biggest one contains more than six kernels"), and the in-loop
+deblocking filter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ise.kernel import Kernel
+from repro.sim.program import FunctionalBlock
+from repro.workloads.h264.datapaths import H264_DATAPATHS
+
+
+def h264_kernels() -> Dict[str, Kernel]:
+    """All kernels of the encoder, keyed by name."""
+    dp = H264_DATAPATHS
+    kernels = [
+        # Motion Estimation
+        Kernel("me.sad", base_cycles=140, datapaths=[dp["sad.row"], dp["sad.acc"]]),
+        Kernel("me.satd", base_cycles=120, datapaths=[dp["satd.ht"], dp["satd.abs"]]),
+        # Encoding Engine
+        Kernel("ee.dct4x4", base_cycles=100, datapaths=[dp["dct.row"], dp["dct.col"]]),
+        Kernel("ee.ht", base_cycles=80, datapaths=[dp["ht.hadamard"]]),
+        Kernel("ee.iquant", base_cycles=90, datapaths=[dp["iq.quant"]]),
+        Kernel(
+            "ee.ipred", base_cycles=110, datapaths=[dp["ipred.dc"], dp["ipred.hdc"]]
+        ),
+        Kernel(
+            "ee.mc_hz", base_cycles=130, datapaths=[dp["mc.filter6"], dp["mc.round"]]
+        ),
+        Kernel(
+            "ee.cavlc",
+            base_cycles=120,
+            datapaths=[dp["cavlc.zigzag"], dp["cavlc.bitpack"]],
+        ),
+        Kernel("ee.idct", base_cycles=100, datapaths=[dp["idct.row"], dp["idct.col"]]),
+        # Loop Filter (deblocking, the Section 2 case study)
+        Kernel(
+            "lf.deblock_luma",
+            base_cycles=120,
+            datapaths=[dp["dbl.cond"], dp["dbl.filt"], dp["dbl.sfilt"]],
+        ),
+        Kernel(
+            "lf.deblock_chroma",
+            base_cycles=100,
+            datapaths=[dp["dbc.cond"], dp["dbc.filt"]],
+        ),
+    ]
+    return {k.name: k for k in kernels}
+
+
+def h264_blocks() -> List[FunctionalBlock]:
+    """The three functional blocks of the encoder."""
+    kernels = h264_kernels()
+    return [
+        FunctionalBlock("ME", [kernels["me.sad"], kernels["me.satd"]]),
+        FunctionalBlock(
+            "EE",
+            [
+                kernels["ee.dct4x4"],
+                kernels["ee.ht"],
+                kernels["ee.iquant"],
+                kernels["ee.ipred"],
+                kernels["ee.mc_hz"],
+                kernels["ee.cavlc"],
+                kernels["ee.idct"],
+            ],
+        ),
+        FunctionalBlock(
+            "LF", [kernels["lf.deblock_luma"], kernels["lf.deblock_chroma"]]
+        ),
+    ]
+
+
+__all__ = ["h264_kernels", "h264_blocks"]

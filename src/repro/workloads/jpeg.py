@@ -1,0 +1,162 @@
+"""A JPEG encoder workload (generality beyond the paper's H.264 study).
+
+The paper's run-time system is application-agnostic: any application made
+of functional blocks with forecastable kernels can use it.  This module
+provides a second, structurally different workload -- a baseline JPEG
+encoder with two functional blocks:
+
+* ``TRANSFORM``: colour conversion (word-level multiply-accumulate),
+  8x8 DCT (word-level adds), and quantisation (multiplies) -- thoroughly
+  data-dominant, CG-friendly;
+* ``ENTROPY``: zig-zag reordering and Huffman bit packing -- control- and
+  bit-dominant, FG-friendly.
+
+Per-image execution counts scale with image complexity (busy images produce
+more non-zero coefficients, hence more entropy work), driven by a seeded
+complexity trace.  Unlike the H.264 encoder there is no temporal prediction,
+so counts change *between* images but not within smooth scenes -- a
+different adaptation profile for the run-time system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL, TechnologyCostModel
+from repro.fabric.datapath import DataPathSpec
+from repro.fabric.resources import ResourceBudget
+from repro.ise.builder import BuilderConfig, ISEBuilder
+from repro.ise.kernel import Kernel
+from repro.ise.library import ISELibrary
+from repro.sim.program import Application, BlockIteration, FunctionalBlock, KernelIteration
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import check_positive
+
+JPEG_DATAPATHS: Dict[str, DataPathSpec] = {
+    spec.name: spec
+    for spec in [
+        DataPathSpec(
+            name="ycc.mac",
+            word_ops=18, mul_ops=9, mem_bytes=24, fg_depth=8,
+            sw_cycles=170, invocations=8,
+        ),
+        DataPathSpec(
+            name="dct8.row",
+            word_ops=26, mem_bytes=32, fg_depth=10, sw_cycles=180,
+            invocations=8, parallelizable=True,
+        ),
+        DataPathSpec(
+            name="dct8.col",
+            word_ops=26, mem_bytes=32, fg_depth=10, sw_cycles=180, invocations=8,
+        ),
+        DataPathSpec(
+            name="quant.div",
+            word_ops=6, mul_ops=12, mem_bytes=32, fg_depth=6,
+            sw_cycles=200, invocations=8,
+        ),
+        DataPathSpec(
+            name="zz.scan",
+            word_ops=4, bit_ops=36, mem_bytes=16, fg_depth=6,
+            sw_cycles=150, invocations=6,
+        ),
+        DataPathSpec(
+            name="huff.pack",
+            word_ops=6, bit_ops=44, mem_bytes=8, fg_depth=8,
+            sw_cycles=190, invocations=6,
+        ),
+    ]
+}
+
+
+def jpeg_kernels() -> Dict[str, Kernel]:
+    """All kernels of the JPEG encoder, keyed by name."""
+    dp = JPEG_DATAPATHS
+    kernels = [
+        Kernel("jpeg.ycc", base_cycles=90, datapaths=[dp["ycc.mac"]]),
+        Kernel("jpeg.dct8", base_cycles=110, datapaths=[dp["dct8.row"], dp["dct8.col"]]),
+        Kernel("jpeg.quant", base_cycles=80, datapaths=[dp["quant.div"]]),
+        Kernel(
+            "jpeg.entropy",
+            base_cycles=120,
+            datapaths=[dp["zz.scan"], dp["huff.pack"]],
+        ),
+    ]
+    return {k.name: k for k in kernels}
+
+
+def jpeg_blocks() -> List[FunctionalBlock]:
+    """The two functional blocks of the JPEG encoder."""
+    kernels = jpeg_kernels()
+    return [
+        FunctionalBlock(
+            "TRANSFORM",
+            [kernels["jpeg.ycc"], kernels["jpeg.dct8"], kernels["jpeg.quant"]],
+        ),
+        FunctionalBlock("ENTROPY", [kernels["jpeg.entropy"]]),
+    ]
+
+
+def image_complexity(images: int, seed: SeedLike = 0) -> List[float]:
+    """Complexity factor per image in [0.2, 1.5] (busy images -> more
+    non-zero coefficients -> more entropy-coding work)."""
+    check_positive("images", images)
+    rng = make_rng(seed)
+    return [float(np.round(rng.uniform(0.2, 1.5), 3)) for _ in range(images)]
+
+
+def jpeg_application(
+    images: int = 12,
+    blocks_per_image: int = 300,
+    seed: SeedLike = 0,
+) -> Application:
+    """A JPEG encoding run over ``images`` images of varying complexity."""
+    check_positive("blocks_per_image", blocks_per_image)
+    complexities = image_complexity(images, seed)
+    iterations: List[BlockIteration] = []
+    for c in complexities:
+        mcu = blocks_per_image
+        iterations.append(
+            BlockIteration(
+                "TRANSFORM",
+                [
+                    KernelIteration("jpeg.ycc", mcu, gap=30),
+                    KernelIteration("jpeg.dct8", mcu, gap=35),
+                    KernelIteration("jpeg.quant", mcu, gap=30),
+                ],
+            )
+        )
+        iterations.append(
+            BlockIteration(
+                "ENTROPY",
+                [
+                    KernelIteration(
+                        "jpeg.entropy", max(1, int(round(mcu * c))), gap=40
+                    )
+                ],
+            )
+        )
+    return Application(f"jpeg-{images}i", jpeg_blocks(), iterations)
+
+
+def jpeg_library(
+    budget: ResourceBudget,
+    cost_model: TechnologyCostModel = DEFAULT_COST_MODEL,
+    builder_config: Optional[BuilderConfig] = None,
+) -> ISELibrary:
+    """The compile-time prepared ISE library of the JPEG encoder."""
+    builder = ISEBuilder(cost_model=cost_model, config=builder_config or BuilderConfig())
+    return ISELibrary(
+        list(jpeg_kernels().values()), budget, cost_model=cost_model, builder=builder
+    )
+
+
+__all__ = [
+    "JPEG_DATAPATHS",
+    "jpeg_kernels",
+    "jpeg_blocks",
+    "image_complexity",
+    "jpeg_application",
+    "jpeg_library",
+]

@@ -1,0 +1,129 @@
+"""Named workload scenarios for ablations and stress tests.
+
+Each scenario is a preset of the synthetic generator shaped to stress one
+aspect of the run-time system: stable streaming (selection should converge
+and stay put), scene-cut-heavy (the MPU must keep re-learning), bursty
+(feast-and-famine counts -- amortisation decisions flip constantly),
+control-heavy (FG contention), and compute-heavy (CG contention).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.program import Application, BlockIteration, KernelIteration
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validation import ReproError
+from repro.workloads.synthetic import SyntheticWorkloadConfig, synthetic_application
+
+
+def _with_iteration_counts(
+    application: Application, counts: List[int], gap: int = 40
+) -> Application:
+    """Rebuild ``application`` with per-iteration execution counts taken from
+    ``counts`` (cycled), keeping blocks and kernels."""
+    iterations = []
+    index = 0
+    for iteration in application.iterations:
+        new_kernels = [
+            KernelIteration(kit.kernel, max(1, counts[index % len(counts)]), gap)
+            for kit in iteration.kernels
+        ]
+        iterations.append(BlockIteration(iteration.block, new_kernels))
+        index += 1
+    return Application(application.name, application.blocks, iterations)
+
+
+def streaming_stable(seed: SeedLike = 0, iterations: int = 10) -> Application:
+    """Constant per-iteration counts: the convergence case."""
+    config = SyntheticWorkloadConfig(
+        n_blocks=2,
+        kernels_per_block=(2, 3),
+        iterations=iterations,
+        executions_range=(150, 151),
+        bit_dominant_probability=0.5,
+    )
+    return synthetic_application(config, seed=seed)
+
+
+def scene_cut_heavy(seed: SeedLike = 0, iterations: int = 12) -> Application:
+    """Counts jump an order of magnitude every iteration: the MPU's
+    error-backpropagation is always one step behind."""
+    base = synthetic_application(
+        SyntheticWorkloadConfig(
+            n_blocks=2, kernels_per_block=(2, 3), iterations=iterations,
+            executions_range=(50, 60),
+        ),
+        seed=seed,
+    )
+    rng = make_rng(seed)
+    counts = [int(rng.choice([30, 900])) for _ in range(len(base.iterations))]
+    return _with_iteration_counts(base, counts)
+
+
+def bursty(seed: SeedLike = 0, iterations: int = 12) -> Application:
+    """Idle-then-flood traffic (the packet-processing pattern)."""
+    base = synthetic_application(
+        SyntheticWorkloadConfig(
+            n_blocks=1, kernels_per_block=(2, 2), iterations=iterations,
+            executions_range=(50, 60),
+        ),
+        seed=seed,
+    )
+    counts = [20 if i % 2 == 0 else 1200 for i in range(len(base.iterations))]
+    return _with_iteration_counts(base, counts)
+
+
+def control_heavy(seed: SeedLike = 0, iterations: int = 8) -> Application:
+    """Almost every data path is bit-dominant: PRCs are the scarce resource."""
+    config = SyntheticWorkloadConfig(
+        n_blocks=2,
+        kernels_per_block=(2, 4),
+        iterations=iterations,
+        executions_range=(100, 400),
+        bit_dominant_probability=0.95,
+    )
+    return synthetic_application(config, seed=seed)
+
+
+def compute_heavy(seed: SeedLike = 0, iterations: int = 8) -> Application:
+    """Almost every data path is word/multiply-dominant: CG slots dominate."""
+    config = SyntheticWorkloadConfig(
+        n_blocks=2,
+        kernels_per_block=(2, 4),
+        iterations=iterations,
+        executions_range=(100, 400),
+        bit_dominant_probability=0.05,
+    )
+    return synthetic_application(config, seed=seed)
+
+
+SCENARIOS: Dict[str, callable] = {
+    "streaming-stable": streaming_stable,
+    "scene-cut-heavy": scene_cut_heavy,
+    "bursty": bursty,
+    "control-heavy": control_heavy,
+    "compute-heavy": compute_heavy,
+}
+
+
+def scenario(name: str, seed: SeedLike = 0) -> Application:
+    """Build a named scenario (see :data:`SCENARIOS` for the catalogue)."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(seed=seed)
+
+
+__all__ = [
+    "SCENARIOS",
+    "scenario",
+    "streaming_stable",
+    "scene_cut_heavy",
+    "bursty",
+    "control_heavy",
+    "compute_heavy",
+]

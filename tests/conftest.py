@@ -1,0 +1,70 @@
+"""Shared fixtures: a small two-data-path kernel, budgets, and libraries."""
+
+import pytest
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import DataPathSpec
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.builder import ISEBuilder
+from repro.ise.kernel import Kernel
+from repro.ise.library import ISELibrary
+
+
+@pytest.fixture
+def cond_spec():
+    """A control-dominant (bit-level) data path -- FG-friendly."""
+    return DataPathSpec(
+        name="k.cond",
+        word_ops=6,
+        bit_ops=48,
+        mem_bytes=16,
+        fg_depth=8,
+        sw_cycles=180,
+        invocations=8,
+    )
+
+
+@pytest.fixture
+def filt_spec():
+    """A data-dominant (word-level) data path -- CG-friendly."""
+    return DataPathSpec(
+        name="k.filt",
+        word_ops=32,
+        mul_ops=4,
+        mem_bytes=48,
+        fg_depth=12,
+        sw_cycles=220,
+        invocations=8,
+        parallelizable=True,
+    )
+
+
+@pytest.fixture
+def kernel(cond_spec, filt_spec):
+    return Kernel("k", base_cycles=120, datapaths=[cond_spec, filt_spec])
+
+
+@pytest.fixture
+def cost_model():
+    return DEFAULT_COST_MODEL
+
+
+@pytest.fixture
+def budget():
+    return ResourceBudget(n_prcs=3, n_cg_fabrics=2)
+
+
+@pytest.fixture
+def controller(budget):
+    return ReconfigurationController(budget)
+
+
+@pytest.fixture
+def library(kernel, budget):
+    return ISELibrary([kernel], budget)
+
+
+@pytest.fixture
+def builder():
+    return ISEBuilder()

@@ -1,0 +1,265 @@
+"""The analysis package: timelines, utilisation, churn, summary."""
+
+import pytest
+
+from repro.analysis import (
+    fabric_utilization,
+    kernel_timeline,
+    run_summary,
+    selection_churn,
+)
+from repro.baselines.riscmode import RiscModePolicy
+from repro.core.mrts import MRTS
+from repro.fabric.datapath import FabricType
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.program import Application, BlockIteration, FunctionalBlock, KernelIteration
+from repro.sim.simulator import Simulator
+from repro.util.validation import ReproError
+
+
+@pytest.fixture(scope="module")
+def traced_result():
+    from repro.workloads.h264 import h264_application, h264_library
+
+    app = h264_application(frames=3, seed=7, scale=0.4)
+    budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+    library = h264_library(budget)
+    return Simulator(app, library, budget, MRTS(), collect_trace=True).run()
+
+
+class TestKernelTimeline:
+    def test_phases_partition_executions(self, traced_result):
+        timeline = kernel_timeline(traced_result, "lf.deblock_luma")
+        records = traced_result.trace.executions_of("lf.deblock_luma")
+        assert timeline.total_executions == len(records)
+
+    def test_phases_are_chronological(self, traced_result):
+        timeline = kernel_timeline(traced_result, "lf.deblock_luma")
+        starts = [p.start for p in timeline.phases]
+        assert starts == sorted(starts)
+        for p in timeline.phases:
+            assert p.start <= p.end
+
+    def test_window_restriction(self, traced_result):
+        full = kernel_timeline(traced_result, "lf.deblock_luma")
+        window = kernel_timeline(traced_result, "lf.deblock_luma", block_window=0)
+        assert window.total_executions <= full.total_executions
+        lo, hi = traced_result.trace.block_windows["LF"][0]
+        for p in window.phases:
+            assert lo <= p.start <= hi
+
+    def test_upgrade_points_have_decreasing_latency(self, traced_result):
+        timeline = kernel_timeline(traced_result, "lf.deblock_luma", block_window=0)
+        points = timeline.upgrade_points()
+        assert all(
+            earlier < later for earlier, later in zip(points, points[1:])
+        )
+
+    def test_saved_cycles_non_negative(self, traced_result):
+        timeline = kernel_timeline(traced_result, "me.sad")
+        assert timeline.saved_cycles >= 0
+
+    def test_unknown_kernel_raises(self, traced_result):
+        with pytest.raises(ReproError):
+            kernel_timeline(traced_result, "nope")
+
+    def test_bad_window_raises(self, traced_result):
+        with pytest.raises(ReproError, match="windows"):
+            kernel_timeline(traced_result, "lf.deblock_luma", block_window=999)
+
+    def test_needs_trace(self, kernel, budget):
+        app = Application(
+            "t",
+            [FunctionalBlock("B", [kernel])],
+            [BlockIteration("B", [KernelIteration("k", 3, 10)])],
+        )
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS()).run()
+        with pytest.raises(ReproError, match="collect_trace"):
+            kernel_timeline(result, "k")
+
+    def test_render(self, traced_result):
+        text = kernel_timeline(traced_result, "lf.deblock_luma").render()
+        assert "Fig. 5" in text and "NoE" in text
+
+
+class TestFabricUtilization:
+    def test_occupancy_bounded(self, traced_result):
+        util = fabric_utilization(traced_result)
+        for fabric in FabricType:
+            assert 0.0 <= util.mean_occupancy[fabric] <= 1.0
+            assert 0 <= util.peak_occupancy[fabric] <= traced_result.budget.total(fabric)
+
+    def test_port_busy_fraction_bounded(self, traced_result):
+        util = fabric_utilization(traced_result)
+        assert 0.0 <= util.fg_port_busy_fraction <= 1.0
+
+    def test_reconfiguration_counts_match_controller(self, traced_result):
+        util = fabric_utilization(traced_result)
+        total = sum(util.reconfigurations.values())
+        assert total == traced_result.controller.reconfig_count
+
+    def test_risc_run_has_dark_fabric(self, kernel, budget):
+        app = Application(
+            "t",
+            [FunctionalBlock("B", [kernel])],
+            [BlockIteration("B", [KernelIteration("k", 3, 10)])],
+        )
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, RiscModePolicy()).run()
+        util = fabric_utilization(result)
+        assert util.mean_occupancy[FabricType.FG] == 0.0
+        assert util.evictions == 0
+
+    def test_render(self, traced_result):
+        text = fabric_utilization(traced_result).render()
+        assert "bitstream port" in text
+
+
+class TestSelectionChurn:
+    def test_history_lengths_match_block_entries(self, traced_result):
+        churn = selection_churn(traced_result)
+        assert len(churn.servings["lf.deblock_luma"]) == 3  # 3 frames -> 3 LF windows
+
+    def test_changes_consistent_with_history(self, traced_result):
+        churn = selection_churn(traced_result)
+        for kernel, history in churn.servings.items():
+            recomputed = sum(1 for a, b in zip(history, history[1:]) if a != b)
+            assert churn.changes[kernel] == recomputed
+
+    def test_change_rate_bounds(self, traced_result):
+        churn = selection_churn(traced_result)
+        for kernel in churn.servings:
+            assert 0.0 <= churn.change_rate(kernel) <= 1.0
+
+    def test_reconfig_split(self, traced_result):
+        churn = selection_churn(traced_result)
+        assert (
+            churn.fg_reconfigurations + churn.cg_reconfigurations
+            == traced_result.controller.reconfig_count
+        )
+
+    def test_render(self, traced_result):
+        assert "Selection churn" in selection_churn(traced_result).render()
+
+
+class TestRunSummary:
+    def test_contains_all_sections(self, traced_result):
+        text = run_summary(traced_result)
+        assert "Run summary" in text
+        assert "Fabric utilisation" in text
+        assert "Selection churn" in text
+
+    def test_works_without_trace(self, kernel, budget):
+        app = Application(
+            "t",
+            [FunctionalBlock("B", [kernel])],
+            [BlockIteration("B", [KernelIteration("k", 3, 10)])],
+        )
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS()).run()
+        result.trace = None
+        assert "Run summary" in run_summary(result)
+
+
+class TestCompareRuns:
+    @pytest.fixture(scope="class")
+    def comparison(self, traced_result):
+        from repro.analysis import compare_runs
+        from repro.workloads.h264 import h264_application, h264_library
+
+        app = h264_application(frames=3, seed=7, scale=0.4)
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+        library = h264_library(budget)
+        baseline = Simulator(
+            app, library, budget, RiscModePolicy(), collect_trace=True
+        ).run()
+        return compare_runs(baseline, traced_result)
+
+    def test_total_speedup_positive(self, comparison):
+        assert comparison.total_speedup > 1.0
+
+    def test_deltas_cover_all_kernels(self, comparison):
+        assert len(comparison.deltas) == 11
+
+    def test_saved_cycles_consistent(self, comparison):
+        for delta in comparison.deltas:
+            assert delta.saved_cycles == (
+                delta.baseline_cycles - delta.candidate_cycles
+            )
+            assert delta.saved_cycles >= 0  # mRTS never slows a kernel down
+
+    def test_top_contributors_sorted(self, comparison):
+        top = comparison.top_contributors(3)
+        savings = [d.saved_cycles for d in top]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_render(self, comparison):
+        text = comparison.render()
+        assert "Run comparison" in text and "total:" in text
+
+    def test_mismatched_workloads_rejected(self, traced_result, kernel, budget):
+        from repro.analysis import compare_runs
+        from repro.ise.library import ISELibrary
+        from repro.sim.program import (
+            Application, BlockIteration, FunctionalBlock, KernelIteration,
+        )
+        from repro.util.validation import ReproError
+
+        other_app = Application(
+            "o", [FunctionalBlock("B", [kernel])],
+            [BlockIteration("B", [KernelIteration("k", 2, 10)])],
+        )
+        library = ISELibrary([kernel], budget)
+        other = Simulator(
+            other_app, library, budget, RiscModePolicy(), collect_trace=True
+        ).run()
+        with pytest.raises(ReproError, match="different kernels"):
+            compare_runs(other, traced_result)
+
+    def test_untraced_run_rejected(self, traced_result):
+        from repro.analysis import compare_runs
+        from repro.util.validation import ReproError
+        import copy
+
+        untraced = copy.copy(traced_result)
+        untraced.trace = None
+        with pytest.raises(ReproError, match="traced"):
+            compare_runs(untraced, traced_result)
+
+
+class TestPortReport:
+    def test_report_shape(self, traced_result):
+        from repro.analysis.port import port_report
+
+        report = port_report(traced_result)
+        assert report.transfers >= 0
+        assert 0.0 <= report.busy_fraction <= 1.0
+        assert 0.0 <= report.cancellation_rate <= 1.0
+        assert report.mean_wait_cycles <= report.max_wait_cycles
+        assert len(report.wait_cycles) == report.transfers + report.cancelled
+
+    def test_queueing_delays_nonnegative(self, traced_result):
+        from repro.analysis.port import port_report
+
+        report = port_report(traced_result)
+        assert all(w >= 0 for w in report.wait_cycles)
+
+    def test_render(self, traced_result):
+        from repro.analysis.port import port_report
+
+        assert "bitstream port" in port_report(traced_result).render()
+
+    def test_risc_run_has_idle_port(self, kernel, budget):
+        from repro.analysis.port import port_report
+
+        app = Application(
+            "t", [FunctionalBlock("B", [kernel])],
+            [BlockIteration("B", [KernelIteration("k", 3, 10)])],
+        )
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, RiscModePolicy()).run()
+        report = port_report(result)
+        assert report.transfers == 0
+        assert report.busy_fraction == 0.0

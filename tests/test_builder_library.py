@@ -1,0 +1,159 @@
+"""The compile-time ISE builder and library."""
+
+import pytest
+
+from repro.fabric.datapath import DataPathSpec, FabricType
+from repro.fabric.resources import ResourceBudget
+from repro.ise.builder import BuilderConfig, ISEBuilder, order_for_reconfiguration
+from repro.ise.ise import ISE
+from repro.ise.kernel import Kernel
+from repro.ise.library import ISELibrary
+from repro.util.validation import ReproError
+
+
+class TestVariantEnumeration:
+    def test_two_datapath_kernel_variant_count(self, kernel, builder):
+        """2 data paths -> subsets {c},{f},{c,f} x assignments = 8 base
+        variants, plus quantity variants of the parallelizable filter."""
+        ises = builder.build(kernel)
+        base = [i for i in ises if all(inst.quantity == 1 for inst in i.instances)]
+        assert len(base) == 8
+        assert len(ises) > len(base), "parallel variants exist"
+
+    def test_signatures_unique(self, kernel, builder):
+        ises = builder.build(kernel)
+        signatures = [i.signature() for i in ises]
+        assert len(signatures) == len(set(signatures))
+
+    def test_all_granularity_classes_present(self, kernel, builder):
+        ises = builder.build(kernel)
+        full = [i for i in ises if i.n_levels == 2]
+        assert any(i.is_pure(FabricType.FG) for i in full)
+        assert any(i.is_pure(FabricType.CG) for i in full)
+        assert any(i.is_multigrained for i in full)
+
+    def test_max_dropped_limits_subsets(self, builder):
+        datapaths = [
+            DataPathSpec(name=f"d{i}", word_ops=8, sw_cycles=100) for i in range(4)
+        ]
+        kernel = Kernel("k4", 100, datapaths)
+        small = ISEBuilder(config=BuilderConfig(max_dropped_datapaths=0)).build(kernel)
+        assert all(i.n_levels == 4 for i in small)
+        bigger = ISEBuilder(config=BuilderConfig(max_dropped_datapaths=1)).build(kernel)
+        assert any(i.n_levels == 3 for i in bigger)
+
+    def test_parallel_variants_can_be_disabled(self, kernel):
+        builder = ISEBuilder(config=BuilderConfig(enable_parallel_variants=False))
+        ises = builder.build(kernel)
+        assert all(inst.quantity == 1 for i in ises for inst in i.instances)
+
+    def test_realistic_kernel_reaches_dozens_of_variants(self):
+        """The paper reports up to ~60 ISEs for a single kernel."""
+        datapaths = [
+            DataPathSpec(name=f"d{i}", word_ops=8, sw_cycles=100, parallelizable=i == 0)
+            for i in range(5)
+        ]
+        kernel = Kernel("k5", 100, datapaths)
+        ises = ISEBuilder().build(kernel)
+        assert len(ises) >= 50
+
+
+class TestReconfigurationOrder:
+    def test_cg_instances_first(self, kernel, builder):
+        for ise in builder.build(kernel):
+            fabrics = [inst.fabric for inst in ise.instances]
+            if FabricType.CG in fabrics and FabricType.FG in fabrics:
+                assert fabrics.index(FabricType.FG) > fabrics.index(FabricType.CG)
+
+    def test_order_function_sorts_by_density(self, kernel, cost_model):
+        from repro.fabric.datapath import DataPathInstance
+
+        instances = [
+            DataPathInstance(cost_model.implement(dp, FabricType.FG))
+            for dp in kernel.datapaths
+        ]
+        ordered = order_for_reconfiguration(instances)
+        densities = [
+            inst.saving_per_execution() / max(1, inst.total_reconfig_cycles)
+            for inst in ordered
+        ]
+        assert densities == sorted(densities, reverse=True)
+
+
+class TestFittingFilter:
+    def test_non_fitting_removed(self, kernel, builder):
+        ises = builder.build(kernel)
+        tight = ResourceBudget(n_prcs=1, n_cg_fabrics=0)
+        fitting = ISEBuilder.filter_fitting(ises, tight)
+        assert fitting
+        assert all(i.fg_area <= 1 and i.cg_area == 0 for i in fitting)
+
+    def test_zero_budget_removes_everything(self, kernel, builder):
+        ises = builder.build(kernel)
+        assert ISEBuilder.filter_fitting(ises, ResourceBudget(0, 0)) == []
+
+    def test_cg_budget_counts_context_slots(self, kernel, builder):
+        ises = builder.build(kernel)
+        budget = ResourceBudget(n_prcs=0, n_cg_fabrics=1, contexts_per_cg_fabric=2)
+        fitting = ISEBuilder.filter_fitting(ises, budget)
+        assert any(i.cg_area == 2 for i in fitting)
+
+
+class TestISELibrary:
+    def test_candidates_are_filtered(self, kernel):
+        lib = ISELibrary([kernel], ResourceBudget(n_prcs=1, n_cg_fabrics=1))
+        for ise in lib.candidates("k"):
+            assert ise.fg_area <= 1 and ise.cg_area <= 4
+
+    def test_unknown_kernel_raises(self, library):
+        with pytest.raises(KeyError):
+            library.candidates("nope")
+        with pytest.raises(KeyError):
+            library.monocg("nope")
+        with pytest.raises(KeyError):
+            library.kernel("nope")
+
+    def test_duplicate_kernel_rejected(self, kernel, budget):
+        with pytest.raises(ReproError):
+            ISELibrary([kernel, kernel], budget)
+
+    def test_monocg_available_per_kernel(self, library, kernel):
+        ext = library.monocg("k")
+        assert ext.kernel is library.kernel("k")
+        assert ext.latency == kernel.monocg_latency
+
+    def test_search_space_size(self, kernel, budget):
+        lib = ISELibrary([kernel], budget)
+        m = len(lib.candidates("k"))
+        assert lib.search_space_size() == m + 1
+
+    def test_extra_ises_pass_through_filter(self, kernel, budget, cost_model):
+        from repro.fabric.datapath import DataPathInstance
+
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[0], FabricType.CG))
+        extra = ISE(kernel, "k/extra", [inst])
+        lib = ISELibrary([kernel], budget, extra_ises={"k": [extra]})
+        # Deduplicated against enumerated variants with the same signature.
+        signatures = [i.signature() for i in lib.candidates("k")]
+        assert len(signatures) == len(set(signatures))
+
+    def test_candidate_counts(self, library):
+        counts = library.candidate_counts()
+        assert counts["k"] == len(library.candidates("k"))
+
+
+class TestMonoCG:
+    def test_latency_and_area(self, library, kernel):
+        ext = library.monocg("k")
+        assert ext.instance.impl.area == 1
+        assert ext.instance.fabric is FabricType.CG
+        assert ext.latency < kernel.risc_latency
+
+    def test_reconfig_is_microseconds(self, library):
+        from repro.util.units import cycles_to_us
+
+        ext = library.monocg("k")
+        assert cycles_to_us(ext.reconfig_cycles) < 1.0
+
+    def test_impl_name_is_kernel_scoped(self, library):
+        assert library.monocg("k").impl_name == "k.monocg@cg"

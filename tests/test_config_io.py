@@ -1,0 +1,109 @@
+"""JSON system descriptions: round trips and validation."""
+
+import json
+
+import pytest
+
+from repro.config_io import (
+    FORMAT_VERSION,
+    application_from_dict,
+    budget_from_dict,
+    budget_to_dict,
+    cost_model_from_dict,
+    datapath_from_dict,
+    datapath_to_dict,
+    kernel_from_dict,
+    kernel_to_dict,
+    load_system,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.fabric.cost_model import TechnologyCostModel
+from repro.fabric.resources import ResourceBudget
+from repro.util.validation import ReproError
+from repro.workloads.h264 import h264_application
+from repro.workloads.jpeg import jpeg_application
+
+
+class TestComponentRoundTrips:
+    def test_budget(self):
+        budget = ResourceBudget(n_prcs=3, n_cg_fabrics=2, contexts_per_cg_fabric=5)
+        assert budget_from_dict(budget_to_dict(budget)) == budget
+
+    def test_budget_unknown_field_rejected(self):
+        with pytest.raises(ReproError, match="unknown fields"):
+            budget_from_dict({"n_prcs": 1, "n_cg_fabrics": 1, "n_typo": 2})
+
+    def test_datapath(self, cond_spec):
+        assert datapath_from_dict(datapath_to_dict(cond_spec)) == cond_spec
+
+    def test_kernel(self, kernel):
+        restored = kernel_from_dict(kernel_to_dict(kernel))
+        assert restored.name == kernel.name
+        assert restored.risc_latency == kernel.risc_latency
+        assert restored.datapaths == kernel.datapaths
+
+    def test_kernel_default_monocg_speedup(self, kernel):
+        data = kernel_to_dict(kernel)
+        del data["monocg_speedup"]
+        assert kernel_from_dict(data).monocg_speedup == 2.2
+
+    def test_cost_model(self):
+        model = TechnologyCostModel(cg_bit_op_cycles=5)
+        assert cost_model_from_dict({"cg_bit_op_cycles": 5}).cg_bit_op_cycles == 5
+        assert cost_model_from_dict(
+            json.loads(json.dumps(model.__dict__))
+        ) == model
+
+
+class TestSystemRoundTrip:
+    @pytest.mark.parametrize("make_app", [
+        lambda: h264_application(frames=2, seed=1),
+        lambda: jpeg_application(images=2, seed=1),
+    ])
+    def test_full_round_trip_preserves_simulation(self, tmp_path, make_app):
+        """A saved-and-reloaded system must produce identical cycle counts."""
+        from repro.core.mrts import MRTS
+        from repro.ise.library import ISELibrary
+        from repro.sim.simulator import Simulator
+
+        app = make_app()
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+        path = save_system(tmp_path / "system.json", budget, app)
+        budget2, cost_model, app2 = load_system(path)
+
+        assert budget2 == budget
+        assert [b.name for b in app2.blocks] == [b.name for b in app.blocks]
+
+        def run(a, b):
+            library = ISELibrary(a.all_kernels(), b, cost_model=cost_model)
+            return Simulator(a, library, b, MRTS()).run().total_cycles
+
+        assert run(app, budget) == run(app2, budget2)
+
+    def test_version_check(self):
+        data = system_to_dict(
+            ResourceBudget(1, 1), h264_application(frames=1, seed=0)
+        )
+        data["format_version"] = 99
+        with pytest.raises(ReproError, match="version"):
+            system_from_dict(data)
+
+    def test_application_with_unknown_kernel_rejected(self):
+        data = {
+            "name": "x",
+            "blocks": [{"name": "B", "kernels": ["ghost"]}],
+            "iterations": [],
+        }
+        with pytest.raises(ReproError, match="unknown kernel"):
+            application_from_dict(data, kernels={})
+
+    def test_file_is_human_readable_json(self, tmp_path):
+        app = h264_application(frames=1, seed=0)
+        path = save_system(tmp_path / "sys.json", ResourceBudget(1, 1), app)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == FORMAT_VERSION
+        assert {k["name"] for k in data["kernels"]} == {
+            k.name for k in app.all_kernels()
+        }

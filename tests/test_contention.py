@@ -1,0 +1,130 @@
+"""Fabric contention: background tasks claiming fabric at run time."""
+
+import pytest
+
+from repro.core.mrts import MRTS
+from repro.fabric.datapath import FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.contention import ContentionEvent, ContentionSchedule
+from repro.sim.program import Application, BlockIteration, FunctionalBlock, KernelIteration
+from repro.sim.simulator import Simulator
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def app(kernel):
+    block = FunctionalBlock("B", [kernel])
+    iterations = [
+        BlockIteration("B", [KernelIteration("k", 30, 50)]) for _ in range(4)
+    ]
+    return Application("t", [block], iterations)
+
+
+class TestContentionEvent:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ContentionEvent(time=-1, task="t")
+        with pytest.raises(ValidationError):
+            ContentionEvent(time=0, task="")
+
+    def test_periodic_schedule_alternates(self):
+        schedule = ContentionSchedule.periodic(
+            period=100, duty_prcs=1, duty_cg_slots=2, until=350
+        )
+        claims = [(e.n_prcs, e.n_cg_slots) for e in schedule.events]
+        assert claims == [(1, 2), (0, 0), (1, 2), (0, 0)]
+        assert [e.time for e in schedule.events] == [0, 100, 200, 300]
+
+
+class TestApplyDue:
+    def test_claim_occupies_fabric(self, budget):
+        controller = ReconfigurationController(budget)
+        schedule = ContentionSchedule(
+            [ContentionEvent(time=0, task="t", n_prcs=2, n_cg_slots=3)]
+        )
+        schedule.apply_due(controller, now=0)
+        assert controller.resources.free_area(FabricType.FG) == budget.n_prcs - 2
+        assert controller.resources.free_area(FabricType.CG) == budget.n_cg_slots - 3
+        assert schedule.total_held(FabricType.FG) == 2
+
+    def test_release_returns_fabric(self, budget):
+        controller = ReconfigurationController(budget)
+        schedule = ContentionSchedule(
+            [
+                ContentionEvent(time=0, task="t", n_prcs=2, n_cg_slots=3),
+                ContentionEvent(time=100, task="t"),
+            ]
+        )
+        schedule.apply_due(controller, now=0)
+        schedule.apply_due(controller, now=100)
+        assert controller.resources.free_area(FabricType.FG) == budget.n_prcs
+        assert schedule.total_held(FabricType.FG) == 0
+
+    def test_claims_are_opportunistic(self, budget, kernel, cost_model):
+        """A task cannot displace pinned foreground configurations."""
+        from repro.fabric.datapath import DataPathInstance
+
+        controller = ReconfigurationController(budget)
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[0], FabricType.FG))
+        controller.ensure_configured([inst], "fg-owner", now=0)
+        schedule = ContentionSchedule(
+            [ContentionEvent(time=0, task="t", n_prcs=budget.n_prcs)]
+        )
+        schedule.apply_due(controller, now=0)
+        assert schedule.total_held(FabricType.FG) == budget.n_prcs - 1
+        assert len(schedule.shortfalls) == 1
+
+    def test_events_apply_once_in_order(self, budget):
+        controller = ReconfigurationController(budget)
+        schedule = ContentionSchedule(
+            [
+                ContentionEvent(time=50, task="t", n_prcs=1),
+                ContentionEvent(time=10, task="t", n_prcs=2),
+            ]
+        )
+        schedule.apply_due(controller, now=20)
+        assert schedule.total_held(FabricType.FG) == 2
+        schedule.apply_due(controller, now=20)  # idempotent for same now
+        assert schedule.total_held(FabricType.FG) == 2
+        schedule.apply_due(controller, now=60)
+        assert schedule.total_held(FabricType.FG) == 1
+
+
+class TestContendedSimulation:
+    def test_contention_slows_the_run(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        free = Simulator(app, library, budget, MRTS()).run().total_cycles
+        schedule = ContentionSchedule(
+            [ContentionEvent(time=0, task="t", n_prcs=budget.n_prcs, n_cg_slots=budget.n_cg_slots)]
+        )
+        contended = Simulator(
+            app, library, budget, MRTS(), contention=schedule
+        ).run().total_cycles
+        assert contended > free
+
+    def test_full_contention_forces_risc(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        schedule = ContentionSchedule(
+            [ContentionEvent(time=0, task="t", n_prcs=budget.n_prcs, n_cg_slots=budget.n_cg_slots)]
+        )
+        result = Simulator(
+            app, library, budget, MRTS(), contention=schedule
+        ).run()
+        assert result.stats.mode_fraction("risc") == 1.0
+
+    def test_release_lets_the_rts_recover(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        schedule = ContentionSchedule(
+            [
+                ContentionEvent(
+                    time=0, task="t", n_prcs=budget.n_prcs, n_cg_slots=budget.n_cg_slots
+                ),
+                ContentionEvent(time=1, task="t"),
+            ]
+        )
+        result = Simulator(
+            app, library, budget, MRTS(), contention=schedule
+        ).run()
+        assert result.stats.accelerated_fraction() > 0.0

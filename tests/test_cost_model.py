@@ -1,0 +1,115 @@
+"""The technology cost model: fabric character and published magnitudes."""
+
+import pytest
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL, TechnologyCostModel
+from repro.fabric.datapath import DataPathSpec, FabricType
+from repro.util.units import cycles_to_ms, cycles_to_us
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def model():
+    return DEFAULT_COST_MODEL
+
+
+class TestCGLatency:
+    def test_single_ops_cost_published_cycles(self, model):
+        """ALU 1 cycle, MUL 2, DIV 10 (Section 5.1), plus the 2-cycle
+        context switch."""
+        base = model.cg_latency(DataPathSpec(name="x"))
+        assert model.cg_latency(DataPathSpec(name="x", word_ops=1)) == base + 1
+        assert model.cg_latency(DataPathSpec(name="x", mul_ops=1)) == base + 2
+        assert model.cg_latency(DataPathSpec(name="x", div_ops=1)) == base + 10
+
+    def test_bit_ops_are_penalised(self, model):
+        """Bit-level ops map badly onto word ALUs."""
+        with_bits = model.cg_latency(DataPathSpec(name="x", bit_ops=10))
+        with_words = model.cg_latency(DataPathSpec(name="x", word_ops=10))
+        assert with_bits > with_words
+
+    def test_memory_uses_32bit_unit(self, model):
+        a = model.cg_latency(DataPathSpec(name="x", mem_bytes=4))
+        b = model.cg_latency(DataPathSpec(name="x", mem_bytes=8))
+        assert b == a + 1
+
+
+class TestFGLatency:
+    def test_bit_ops_are_free_in_the_pipeline(self, model):
+        a = model.fg_latency(DataPathSpec(name="x", bit_ops=0))
+        b = model.fg_latency(DataPathSpec(name="x", bit_ops=100))
+        assert a == b
+
+    def test_multiplies_deepen_the_pipeline(self, model):
+        a = model.fg_latency(DataPathSpec(name="x"))
+        b = model.fg_latency(DataPathSpec(name="x", mul_ops=1))
+        assert b > a
+
+    def test_memory_uses_128bit_unit(self, model):
+        a = model.fg_latency(DataPathSpec(name="x", mem_bytes=16))
+        b = model.fg_latency(DataPathSpec(name="x", mem_bytes=32))
+        assert b == a + 4  # one more beat, in core cycles
+
+    def test_latency_in_core_cycles_is_multiple_of_clock_ratio(self, model):
+        assert model.fg_latency(DataPathSpec(name="x", fg_depth=7)) % 4 == 0
+
+    def test_initiation_interval_at_least_one_fg_cycle(self, model):
+        assert model.fg_initiation_interval(DataPathSpec(name="x", mem_bytes=0)) == 4
+
+    def test_initiation_interval_memory_bound(self, model):
+        ii = model.fg_initiation_interval(DataPathSpec(name="x", mem_bytes=48))
+        assert ii == 3 * 4
+
+
+class TestReconfigurationTimes:
+    def test_fg_reconfig_is_milliseconds(self, model, cond_spec):
+        ms = cycles_to_ms(model.fg_reconfig_cycles(cond_spec))
+        assert 0.8 <= ms <= 1.5, "paper: around 1.2 ms per FG data path"
+
+    def test_cg_reconfig_is_sub_microsecond_scale(self, model, cond_spec):
+        us = cycles_to_us(model.cg_reconfig_cycles(cond_spec))
+        assert 0.05 <= us <= 1.0, "paper: approximately 0.15 us"
+
+    def test_four_orders_of_magnitude_apart(self, model, cond_spec):
+        ratio = model.fg_reconfig_cycles(cond_spec) / model.cg_reconfig_cycles(
+            cond_spec
+        )
+        assert ratio > 1000
+
+
+class TestFabricCharacter:
+    def test_bit_dominant_datapath_prefers_fg(self, model, cond_spec):
+        impls = model.implement_both(cond_spec)
+        assert (
+            impls[FabricType.FG].saving_per_execution()
+            > impls[FabricType.CG].saving_per_execution()
+        )
+
+    def test_word_dominant_single_shot_prefers_cg(self, model):
+        """Without invocation pipelining, a mul/word-heavy data path is
+        better served by the 400 MHz word ALUs."""
+        spec = DataPathSpec(
+            name="w", word_ops=30, mul_ops=8, mem_bytes=16, fg_depth=10,
+            sw_cycles=220, invocations=1,
+        )
+        impls = model.implement_both(spec)
+        assert impls[FabricType.CG].hw_cycles < impls[FabricType.FG].hw_cycles
+
+    def test_implement_both_returns_both_fabrics(self, model, cond_spec):
+        impls = model.implement_both(cond_spec)
+        assert set(impls) == {FabricType.FG, FabricType.CG}
+
+    def test_areas_follow_spec_costs(self, model):
+        spec = DataPathSpec(name="x", prc_cost=2, cg_cost=3)
+        assert model.implement(spec, FabricType.FG).area == 2
+        assert model.implement(spec, FabricType.CG).area == 3
+
+
+class TestModelValidation:
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValidationError):
+            TechnologyCostModel(cg_bit_op_cycles=0)
+
+    def test_zero_context_load_rejected(self):
+        with pytest.raises(ValidationError):
+            TechnologyCostModel(cg_context_load_us=0)

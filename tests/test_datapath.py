@@ -1,0 +1,93 @@
+"""Data-path specs, implementations, instances."""
+
+import pytest
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import DataPathImpl, DataPathInstance, DataPathSpec, FabricType
+from repro.util.validation import ValidationError
+
+
+class TestDataPathSpec:
+    def test_defaults_are_valid(self):
+        spec = DataPathSpec(name="x")
+        assert spec.invocations == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            DataPathSpec(name="")
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValidationError):
+            DataPathSpec(name="x", word_ops=-1)
+
+    def test_zero_invocations_rejected(self):
+        with pytest.raises(ValidationError):
+            DataPathSpec(name="x", invocations=0)
+
+    def test_zero_sw_cycles_rejected(self):
+        with pytest.raises(ValidationError):
+            DataPathSpec(name="x", sw_cycles=0)
+
+
+class TestDataPathImpl:
+    def test_qualified_name(self, cond_spec, cost_model):
+        impl = cost_model.implement(cond_spec, FabricType.FG)
+        assert impl.name == "k.cond@fg"
+
+    def test_ii_defaults_to_hw_cycles(self, cond_spec):
+        impl = DataPathImpl(
+            spec=cond_spec, fabric=FabricType.CG, hw_cycles=50,
+            reconfig_cycles=60, area=1,
+        )
+        assert impl.ii_cycles == 50
+
+    def test_burst_cycles_pipelined(self, cond_spec):
+        impl = DataPathImpl(
+            spec=cond_spec, fabric=FabricType.FG, hw_cycles=40,
+            reconfig_cycles=100, area=1, ii_cycles=4,
+        )
+        assert impl.burst_cycles(1) == 40
+        assert impl.burst_cycles(5) == 40 + 4 * 4
+
+    def test_burst_cycles_zero_invocations(self, cond_spec):
+        impl = DataPathImpl(
+            spec=cond_spec, fabric=FabricType.CG, hw_cycles=40,
+            reconfig_cycles=60, area=1,
+        )
+        assert impl.burst_cycles(0) == 0
+
+    def test_saving_never_negative(self):
+        """A hardware implementation slower than software must not produce a
+        negative saving -- the ECU would simply not use it."""
+        spec = DataPathSpec(name="bad", word_ops=1, sw_cycles=1, invocations=1)
+        impl = DataPathImpl(
+            spec=spec, fabric=FabricType.CG, hw_cycles=10**6,
+            reconfig_cycles=60, area=1,
+        )
+        assert impl.saving_per_execution() == 0
+
+    def test_saving_grows_with_quantity(self, filt_spec, cost_model):
+        impl = cost_model.implement(filt_spec, FabricType.CG)
+        assert impl.saving_per_execution(2) > impl.saving_per_execution(1)
+
+    def test_saving_quantity_splits_invocations(self, filt_spec, cost_model):
+        impl = cost_model.implement(filt_spec, FabricType.CG)
+        sw = filt_spec.invocations * filt_spec.sw_cycles
+        expected = sw - impl.burst_cycles(filt_spec.invocations // 2)
+        assert impl.saving_per_execution(2) == expected
+
+
+class TestDataPathInstance:
+    def test_area_scales_with_quantity(self, filt_spec, cost_model):
+        impl = cost_model.implement(filt_spec, FabricType.CG)
+        assert DataPathInstance(impl, quantity=3).area == 3 * impl.area
+
+    def test_total_reconfig_cycles(self, filt_spec, cost_model):
+        impl = cost_model.implement(filt_spec, FabricType.FG)
+        inst = DataPathInstance(impl, quantity=2)
+        assert inst.total_reconfig_cycles == 2 * impl.reconfig_cycles
+
+    def test_zero_quantity_rejected(self, filt_spec, cost_model):
+        impl = cost_model.implement(filt_spec, FabricType.CG)
+        with pytest.raises(ValidationError):
+            DataPathInstance(impl, quantity=0)

@@ -1,0 +1,219 @@
+"""The compile-time front end: DFG IR, data-path extraction, kernels."""
+
+import pytest
+
+from repro.dfg.characterize import BASE_CYCLES_PER_BOUNDARY, characterize_kernel
+from repro.dfg.graph import DataFlowGraph, OpNode, OpType
+from repro.dfg.kernels import crc_dfg, deblock_dfg, example_dfgs, fir_dfg, sad_dfg
+from repro.dfg.partition import (
+    PartitionConfig,
+    extract_datapaths,
+    segment_nodes,
+    SW_CYCLES,
+    SW_OVERHEAD_CYCLES,
+)
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import FabricType
+from repro.util.validation import ReproError, ValidationError
+
+
+class TestGraphIR:
+    def test_topological_order_respects_edges(self):
+        dfg = deblock_dfg()
+        position = {n.name: i for i, n in enumerate(dfg.nodes)}
+        for node in dfg.nodes:
+            for operand in node.inputs:
+                assert position[operand] < position[node.name]
+
+    def test_cycle_detection(self):
+        with pytest.raises(ReproError, match="cycle"):
+            DataFlowGraph(
+                "bad",
+                [
+                    OpNode("a", OpType.WORD, ["b"]),
+                    OpNode("b", OpType.WORD, ["a"]),
+                ],
+            )
+
+    def test_unknown_operand_rejected(self):
+        with pytest.raises(ReproError, match="unknown value"):
+            DataFlowGraph("bad", [OpNode("a", OpType.WORD, ["ghost"])])
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            DataFlowGraph(
+                "bad", [OpNode("a", OpType.WORD), OpNode("a", OpType.BIT)]
+            )
+
+    def test_memory_node_needs_bytes(self):
+        with pytest.raises(ValidationError):
+            OpNode("ld", OpType.LOAD, trips=1, mem_bytes=0)
+        with pytest.raises(ValidationError):
+            OpNode("add", OpType.WORD, mem_bytes=4)
+
+    def test_op_counts_are_trip_weighted(self):
+        counts = sad_dfg().op_counts()
+        assert counts[OpType.WORD] == 48  # diff + abs + acc, 16 trips each
+
+    def test_critical_path(self):
+        # input -> ld -> diff -> abs -> acc (4 compute nodes deep)
+        assert sad_dfg().critical_path_length() == 4
+
+    def test_consumers(self):
+        dfg = sad_dfg()
+        assert [n.name for n in dfg.consumers("diff")] == ["abs"]
+
+    def test_node_lookup(self):
+        with pytest.raises(KeyError):
+            sad_dfg().node("nope")
+
+
+class TestSegmentation:
+    def test_deblock_splits_into_condition_and_filter(self):
+        """The extractor must rediscover the paper's Section 2 structure."""
+        segments = segment_nodes(deblock_dfg())
+        characters = []
+        for segment in segments:
+            bits = sum(n.trips for n in segment if n.op is OpType.BIT)
+            words = sum(
+                n.trips
+                for n in segment
+                if n.op in (OpType.WORD, OpType.MUL, OpType.DIV)
+            )
+            characters.append("bit" if bits > words else "word")
+        assert "bit" in characters and "word" in characters
+
+    def test_homogeneous_kernels_stay_whole(self):
+        assert len(segment_nodes(sad_dfg())) == 1
+        assert len(segment_nodes(crc_dfg())) == 1
+
+    def test_size_budget_splits_large_segments(self):
+        config = PartitionConfig(max_ops_per_datapath=20, min_ops_per_datapath=4)
+        segments = segment_nodes(sad_dfg(), config)
+        assert len(segments) >= 2
+        for segment in segments:
+            weight = sum(n.trips for n in segment if not n.op.is_boundary)
+            assert weight <= 20 + 16  # one node may straddle the budget
+
+    def test_segments_partition_compute_nodes(self):
+        dfg = deblock_dfg()
+        segments = segment_nodes(dfg)
+        names = [n.name for seg in segments for n in seg]
+        compute = [n.name for n in dfg.nodes if not n.op.is_boundary]
+        assert sorted(names) == sorted(compute)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ReproError):
+            PartitionConfig(max_ops_per_datapath=4, min_ops_per_datapath=8)
+        with pytest.raises(ReproError):
+            PartitionConfig(bit_dominance_threshold=1.5)
+
+
+class TestSpecDerivation:
+    def test_sw_cycles_formula(self):
+        specs = extract_datapaths(sad_dfg())
+        spec = specs[0]
+        expected = SW_OVERHEAD_CYCLES + 48 * SW_CYCLES[OpType.WORD] + 8 * SW_CYCLES[OpType.LOAD]
+        assert spec.sw_cycles == expected
+
+    def test_bit_dominant_spec_prefers_fg(self):
+        specs = extract_datapaths(crc_dfg(), invocations=6)
+        impls = DEFAULT_COST_MODEL.implement_both(specs[0])
+        assert (
+            impls[FabricType.FG].saving_per_execution()
+            > impls[FabricType.CG].saving_per_execution()
+        )
+
+    def test_mem_bytes_accumulated(self):
+        spec = extract_datapaths(fir_dfg())[0]
+        assert spec.mem_bytes == 8 * 4 + 4  # 8 loads + 1 store of 4 bytes
+
+    def test_depth_bounded_by_graph_critical_path(self):
+        dfg = deblock_dfg()
+        for spec in extract_datapaths(dfg):
+            assert 1 <= spec.fg_depth <= dfg.critical_path_length()
+
+    def test_invocations_threaded_through(self):
+        for spec in extract_datapaths(deblock_dfg(), invocations=5):
+            assert spec.invocations == 5
+
+
+class TestCharacterizeKernel:
+    def test_kernel_builds_and_enumerates(self):
+        kernel = characterize_kernel(deblock_dfg(), invocations=8)
+        from repro.ise.builder import ISEBuilder
+
+        ises = ISEBuilder().build(kernel)
+        assert len(ises) >= 8
+        assert kernel.risc_latency > 0
+
+    def test_base_cycles_from_boundaries(self):
+        kernel = characterize_kernel(sad_dfg())
+        # 3 boundary values: cur_ptr, ref_ptr, sad
+        assert kernel.base_cycles == 3 * BASE_CYCLES_PER_BOUNDARY
+
+    def test_base_cycles_override(self):
+        kernel = characterize_kernel(sad_dfg(), base_cycles=500)
+        assert kernel.base_cycles == 500
+
+    def test_extracted_kernel_simulates_end_to_end(self):
+        from repro.core.mrts import MRTS
+        from repro.baselines.riscmode import RiscModePolicy
+        from repro.fabric.resources import ResourceBudget
+        from repro.ise.library import ISELibrary
+        from repro.sim.program import (
+            Application,
+            BlockIteration,
+            FunctionalBlock,
+            KernelIteration,
+        )
+        from repro.sim.simulator import Simulator
+
+        kernel = characterize_kernel(deblock_dfg(), invocations=8)
+        block = FunctionalBlock("B", [kernel])
+        app = Application(
+            "dfg-app",
+            [block],
+            [
+                BlockIteration("B", [KernelIteration(kernel.name, 300, 40)])
+                for _ in range(3)
+            ],
+        )
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+        library = ISELibrary([kernel], budget)
+        risc = Simulator(app, library, budget, RiscModePolicy()).run().total_cycles
+        mrts = Simulator(app, library, budget, MRTS()).run().total_cycles
+        assert mrts < risc
+
+    def test_example_dfgs_all_characterize(self):
+        for name, dfg in example_dfgs().items():
+            kernel = characterize_kernel(dfg, invocations=4)
+            assert kernel.name == name
+            assert kernel.datapaths
+
+
+class TestRendering:
+    def test_dot_contains_all_nodes_and_edges(self):
+        from repro.dfg.render import to_dot
+
+        dfg = deblock_dfg()
+        dot = to_dot(dfg)
+        for node in dfg.nodes:
+            assert f'"{node.name}"' in dot
+        assert dot.count("->") == sum(len(n.inputs) for n in dfg.nodes)
+        assert dot.startswith("digraph")
+
+    def test_dot_with_partition_clusters(self):
+        from repro.dfg.partition import PartitionConfig
+        from repro.dfg.render import to_dot
+
+        dot = to_dot(deblock_dfg(), config=PartitionConfig())
+        assert "subgraph cluster_dp0" in dot
+        assert "subgraph cluster_dp1" in dot
+
+    def test_text_listing(self):
+        from repro.dfg.render import to_text
+
+        text = to_text(sad_dfg())
+        assert "DFG sad16" in text
+        assert "ld_cur" in text and "4B" in text

@@ -1,0 +1,169 @@
+"""The Execution Control Unit: the Fig. 7 availability cascade."""
+
+import pytest
+
+from repro.core.ecu import ExecutionControlUnit, ExecutionMode
+from repro.core.selector import ISESelector
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.trigger import TriggerInstruction
+
+
+@pytest.fixture
+def setup(kernel):
+    budget = ResourceBudget(n_prcs=3, n_cg_fabrics=2)
+    library = ISELibrary([kernel], budget)
+    controller = ReconfigurationController(budget)
+    ecu = ExecutionControlUnit(controller, library)
+    return library, controller, ecu
+
+
+def select_and_commit(library, controller, e=20000, tb=50, now=0):
+    result = ISESelector(library).select(
+        [TriggerInstruction("k", e, 500.0, tb)], controller, now
+    )
+    controller.commit_selection(result.selected, "blk", now=now)
+    return result.selected
+
+
+class TestCascade:
+    def test_no_selection_no_cg_risc_mode(self, kernel):
+        budget = ResourceBudget(n_prcs=0, n_cg_fabrics=0)
+        library = ISELibrary([kernel], budget)
+        controller = ReconfigurationController(budget)
+        ecu = ExecutionControlUnit(controller, library)
+        decision = ecu.execute("k", now=0)
+        assert decision.mode is ExecutionMode.RISC
+        assert decision.latency == kernel.risc_latency
+
+    def test_full_ise_used_when_ready(self, setup):
+        library, controller, ecu = setup
+        selection = select_and_commit(library, controller)
+        ecu.set_selection(selection)
+        ise = selection["k"]
+        late = ise.total_reconfig_cycles + 10**6
+        decision = ecu.execute("k", now=late)
+        assert decision.mode is ExecutionMode.SELECTED
+        assert decision.latency == ise.full_latency
+        assert decision.level == ise.n_levels
+
+    def test_intermediate_used_while_reconfiguring(self, setup):
+        library, controller, ecu = setup
+        selection = select_and_commit(library, controller)
+        ecu.set_selection(selection)
+        ise = selection["k"]
+        schedule = ise.reconfig_schedule()
+        assert ise.n_levels >= 2
+        mid = (schedule[0] + schedule[1]) // 2
+        decision = ecu.execute("k", now=int(mid))
+        assert decision.mode in (ExecutionMode.INTERMEDIATE, ExecutionMode.MONOCG)
+        assert decision.latency < ise.latencies[0]
+
+    def test_monocg_bridges_the_initial_gap(self, setup, kernel):
+        """Before anything is configured, the first execution runs in RISC
+        mode but triggers a monoCG-Extension on a free CG fabric; shortly
+        after, executions run on it (Section 4.2)."""
+        library, controller, ecu = setup
+        # Select an FG-heavy ISE (large e) so the wait is long.
+        selection = select_and_commit(library, controller, e=50000, tb=10)
+        ecu.set_selection(selection)
+        first = ecu.execute("k", now=0)
+        assert first.mode is ExecutionMode.RISC
+        assert ecu.monocg_configured_count == 1
+        soon = ecu.execute("k", now=1000)
+        assert soon.mode is ExecutionMode.MONOCG
+        assert soon.latency == kernel.monocg_latency
+
+    def test_monocg_for_unselected_kernel(self, setup, kernel):
+        library, controller, ecu = setup
+        ecu.set_selection({"k": None})
+        ecu.execute("k", now=0)
+        assert ecu.monocg_configured_count == 1
+        later = ecu.execute("k", now=1000)
+        assert later.mode is ExecutionMode.MONOCG
+
+    def test_monocg_not_configured_twice(self, setup):
+        library, controller, ecu = setup
+        ecu.set_selection({"k": None})
+        ecu.execute("k", now=0)
+        ecu.execute("k", now=10)
+        assert ecu.monocg_configured_count == 1
+
+    def test_selected_beats_monocg_when_faster(self, setup):
+        library, controller, ecu = setup
+        selection = select_and_commit(library, controller, e=50000, tb=10)
+        ecu.set_selection(selection)
+        ecu.execute("k", now=0)  # configures monoCG
+        ise = selection["k"]
+        late = ise.total_reconfig_cycles + 10**6
+        decision = ecu.execute("k", now=late)
+        assert decision.mode is ExecutionMode.SELECTED
+
+
+class TestMonoCGGating:
+    def test_no_monocg_without_free_cg(self, kernel):
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=0)
+        library = ISELibrary([kernel], budget)
+        controller = ReconfigurationController(budget)
+        ecu = ExecutionControlUnit(controller, library)
+        ecu.set_selection({"k": None})
+        ecu.execute("k", now=0)
+        assert ecu.monocg_configured_count == 0
+
+    def test_no_monocg_when_upgrade_is_imminent(self, setup):
+        """A CG-only ISE is ready within microseconds; burning a CG fabric
+        on a monoCG-Extension would be wasted (breakeven gate)."""
+        from repro.fabric.datapath import FabricType
+
+        library, controller, ecu = setup
+        selection = select_and_commit(library, controller, e=40, tb=50)
+        assert selection["k"].is_pure(FabricType.CG)
+        ecu.set_selection(selection)
+        ecu.execute("k", now=0)
+        assert ecu.monocg_configured_count == 0
+
+    def test_disabled_monocg_flag(self, setup):
+        library, controller, _ = setup
+        ecu = ExecutionControlUnit(controller, library, enable_monocg=False)
+        ecu.set_selection({"k": None})
+        decision = ecu.execute("k", now=0)
+        assert decision.mode is ExecutionMode.RISC
+        assert ecu.monocg_configured_count == 0
+
+    def test_release_monocg_pins(self, setup):
+        from repro.fabric.datapath import FabricType
+
+        library, controller, ecu = setup
+        ecu.set_selection({"k": None})
+        ecu.execute("k", now=0)
+        before = controller.resources.unpinned_area(FabricType.CG)
+        ecu.release_monocg_pins()
+        after = controller.resources.unpinned_area(FabricType.CG)
+        assert after > before
+
+
+class TestIntermediateFlag:
+    def test_disabled_intermediates_fall_back(self, setup):
+        library, controller, _ = setup
+        ecu = ExecutionControlUnit(
+            controller, library, enable_intermediate=False, enable_monocg=False
+        )
+        selection = select_and_commit(library, controller, e=50000, tb=10)
+        ecu.set_selection(selection)
+        ise = selection["k"]
+        schedule = ise.reconfig_schedule()
+        mid = (schedule[0] + schedule[-1]) // 2
+        decision = ecu.execute("k", now=int(mid))
+        assert decision.mode is ExecutionMode.RISC
+
+    def test_touch_updates_lru_of_used_datapaths(self, setup):
+        library, controller, ecu = setup
+        selection = select_and_commit(library, controller)
+        ecu.set_selection(selection)
+        ise = selection["k"]
+        late = ise.total_reconfig_cycles + 10**6
+        ecu.execute("k", now=late)
+        for instance in ise.instances:
+            copies = controller.resources.copies(instance.impl.name)
+            assert any(c.last_used == late for c in copies)

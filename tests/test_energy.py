@@ -1,0 +1,95 @@
+"""The energy-accounting extension."""
+
+import pytest
+
+from repro.baselines.riscmode import RiscModePolicy
+from repro.core.mrts import MRTS
+from repro.fabric.energy import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyModel,
+    estimate_energy,
+)
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import Simulator
+from repro.util.validation import ReproError, ValidationError
+from repro.workloads.h264 import h264_application, h264_library
+
+
+@pytest.fixture(scope="module")
+def runs():
+    app = h264_application(frames=4, seed=7, scale=0.4)
+    budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+    library = h264_library(budget)
+    risc = Simulator(app, library, budget, RiscModePolicy(), collect_trace=True).run()
+    mrts = Simulator(app, library, budget, MRTS(), collect_trace=True).run()
+    return risc, mrts
+
+
+class TestEnergyModel:
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            EnergyModel(core_active_nj_per_cycle=-1.0)
+
+    def test_needs_trace(self, runs, kernel, budget):
+        from repro.ise.library import ISELibrary
+        from repro.sim.program import (
+            Application, BlockIteration, FunctionalBlock, KernelIteration,
+        )
+
+        app = Application(
+            "t", [FunctionalBlock("B", [kernel])],
+            [BlockIteration("B", [KernelIteration("k", 2, 10)])],
+        )
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS()).run()
+        with pytest.raises(ReproError, match="collect_trace"):
+            estimate_energy(result)
+
+
+class TestEnergyBreakdown:
+    def test_components_non_negative_and_sum(self, runs):
+        _, mrts = runs
+        breakdown = estimate_energy(mrts)
+        components = [
+            breakdown.core_dynamic_mj,
+            breakdown.cg_dynamic_mj,
+            breakdown.fg_dynamic_mj,
+            breakdown.fg_reconfig_mj,
+            breakdown.cg_reconfig_mj,
+            breakdown.static_mj,
+        ]
+        assert all(c >= 0 for c in components)
+        assert breakdown.total_mj == pytest.approx(sum(components))
+
+    def test_risc_run_burns_no_fabric_energy(self, runs):
+        risc, _ = runs
+        breakdown = estimate_energy(risc)
+        assert breakdown.cg_dynamic_mj == 0.0
+        assert breakdown.fg_dynamic_mj == 0.0
+        assert breakdown.reconfig_mj == 0.0
+
+    def test_acceleration_saves_energy(self, runs):
+        """The headline: despite reconfiguration energy, mRTS finishes so
+        much earlier that total energy drops (less core activity, less
+        leakage time)."""
+        risc, mrts = runs
+        e_risc = estimate_energy(risc)
+        e_mrts = estimate_energy(mrts)
+        assert e_mrts.total_mj < e_risc.total_mj
+        assert e_mrts.energy_delay_product < e_risc.energy_delay_product
+
+    def test_reconfiguration_energy_is_minor(self, runs):
+        _, mrts = runs
+        breakdown = estimate_energy(mrts)
+        assert breakdown.reconfig_mj < 0.3 * breakdown.total_mj
+
+    def test_static_energy_scales_with_runtime(self, runs):
+        risc, mrts = runs
+        assert (
+            estimate_energy(mrts).static_mj < estimate_energy(risc).static_mj
+        )
+
+    def test_render(self, runs):
+        _, mrts = runs
+        text = estimate_energy(mrts).render()
+        assert "total" in text and "mJ" in text

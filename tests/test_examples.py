@@ -1,0 +1,45 @@
+"""Every example script runs cleanly end to end.
+
+The examples are the library's front door; a refactor that breaks one must
+fail CI.  Each runs as a subprocess with small arguments where supported.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["2"]),
+    ("deblocking_case_study.py", []),
+    ("custom_accelerator.py", []),
+    ("policy_comparison.py", ["2"]),
+    ("shared_fabric.py", []),
+    ("dfg_flow.py", []),
+    ("multitask_sharing.py", ["1", "1"]),
+    ("design_space.py", ["2.5"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_are_covered():
+    """A new example file must be added to the smoke-test matrix."""
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert present == covered, f"uncovered examples: {present - covered}"

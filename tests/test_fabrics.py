@@ -1,0 +1,123 @@
+"""FG bitstream port, CG fabric array, scratch pads and interconnect."""
+
+import pytest
+
+from repro.fabric.cg_fabric import CGFabric, CGFabricArray
+from repro.fabric.datapath import FabricType
+from repro.fabric.fg_fabric import FGFabric
+from repro.fabric.interconnect import DEFAULT_INTERCONNECT, Interconnect
+from repro.fabric.scratchpad import Scratchpad
+from repro.util.validation import ValidationError
+
+
+class TestFGFabricPort:
+    def test_transfers_serialise(self):
+        fg = FGFabric(n_prcs=4)
+        s1, d1, _ = fg.schedule_reconfig(now=0, cycles=100)
+        s2, d2, _ = fg.schedule_reconfig(now=0, cycles=100)
+        assert (s1, d1) == (0, 100)
+        assert (s2, d2) == (100, 200), "single sequential port"
+
+    def test_idle_port_starts_immediately(self):
+        fg = FGFabric(n_prcs=1)
+        fg.schedule_reconfig(0, 10)
+        start, _, _ = fg.schedule_reconfig(now=500, cycles=10)
+        assert start == 500
+
+    def test_pending_transfer_cancellation_reflows_queue(self):
+        fg = FGFabric(n_prcs=4)
+        fg.schedule_reconfig(0, 100)           # streaming at t=10
+        _, _, t2 = fg.schedule_reconfig(0, 100)  # pending
+        s3, d3, t3 = fg.schedule_reconfig(0, 100)  # pending
+        assert (s3, d3) == (200, 300)
+        updates = fg.cancel(t2, now=10)
+        assert updates == {t3: (100, 200)}, "later transfer moves up"
+        assert fg.cancelled_transfers == 1
+        assert fg.port_available_at == 200
+
+    def test_streaming_transfer_not_cancellable(self):
+        fg = FGFabric(n_prcs=1)
+        _, _, token = fg.schedule_reconfig(0, 100)
+        assert not fg.is_cancellable(token, now=50)
+        assert fg.cancel(token, now=50) is None
+
+    def test_finished_transfers_pruned(self):
+        fg = FGFabric(n_prcs=1)
+        _, _, token = fg.schedule_reconfig(0, 100)
+        fg.schedule_reconfig(now=10**6, cycles=10)
+        assert fg.transfer(token) is None
+
+    def test_preview_does_not_mutate(self):
+        fg = FGFabric(n_prcs=1)
+        done = fg.preview_reconfigs(now=0, cycle_list=[100, 100])
+        assert done == [100, 200]
+        assert fg.port_available_at == 0
+
+    def test_preview_respects_backlog(self):
+        fg = FGFabric(n_prcs=1)
+        fg.schedule_reconfig(0, 1000)
+        assert fg.preview_reconfigs(now=0, cycle_list=[10]) == [1010]
+
+    def test_reset_port(self):
+        fg = FGFabric(n_prcs=1)
+        fg.schedule_reconfig(0, 1000)
+        fg.reset_port()
+        assert fg.port_available_at == 0
+
+    def test_negative_prcs_rejected(self):
+        with pytest.raises(ValidationError):
+            FGFabric(n_prcs=-1)
+
+
+class TestCGFabric:
+    def test_context_bytes_from_published_geometry(self):
+        """32 instructions x 80 bits = 320 bytes per context."""
+        assert CGFabric().context_bytes == 320
+
+    def test_context_loads_run_in_parallel(self):
+        cg = CGFabricArray(n_fabrics=2)
+        assert cg.schedule_reconfig(now=50, cycles=60) == (50, 110)
+        assert cg.schedule_reconfig(now=50, cycles=60) == (50, 110)
+
+
+class TestScratchpad:
+    def test_for_fabric_widths(self):
+        assert Scratchpad.for_fabric(FabricType.FG).width_bytes == 16
+        assert Scratchpad.for_fabric(FabricType.CG).width_bytes == 4
+
+    def test_transfer_cycles_cg(self):
+        assert Scratchpad.for_fabric(FabricType.CG).transfer_cycles(16) == 4
+
+    def test_transfer_cycles_fg_in_fg_clock_domain(self):
+        assert Scratchpad.for_fabric(FabricType.FG).transfer_cycles(16) == 4
+
+    def test_fits(self):
+        pad = Scratchpad.for_fabric(FabricType.CG, capacity_bytes=1024)
+        assert pad.fits(1024) and not pad.fits(1025)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValidationError):
+            Scratchpad.for_fabric(FabricType.CG).transfer_cycles(-1)
+
+
+class TestInterconnect:
+    def test_cg_to_cg_hop(self):
+        assert DEFAULT_INTERCONNECT.hop_cycles(FabricType.CG, FabricType.CG) == 2
+
+    def test_fg_to_fg_hop_is_one_fg_cycle(self):
+        assert DEFAULT_INTERCONNECT.hop_cycles(FabricType.FG, FabricType.FG) == 4
+
+    def test_boundary_crossing_costs_more(self):
+        cross = DEFAULT_INTERCONNECT.hop_cycles(FabricType.FG, FabricType.CG)
+        assert cross > DEFAULT_INTERCONNECT.hop_cycles(FabricType.CG, FabricType.CG)
+        assert cross > 0
+
+    def test_chain_cycles_sums_edges(self):
+        chain = [FabricType.CG, FabricType.CG, FabricType.FG]
+        expected = DEFAULT_INTERCONNECT.hop_cycles(
+            FabricType.CG, FabricType.CG
+        ) + DEFAULT_INTERCONNECT.hop_cycles(FabricType.CG, FabricType.FG)
+        assert DEFAULT_INTERCONNECT.chain_cycles(chain) == expected
+
+    def test_single_node_chain_is_free(self):
+        assert DEFAULT_INTERCONNECT.chain_cycles([FabricType.FG]) == 0

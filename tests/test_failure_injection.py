@@ -1,0 +1,165 @@
+"""Failure injection: wrong forecasts, hostile triggers, degenerate inputs.
+
+The run-time system consumes *predictions* (trigger instructions, MPU
+estimates); the paper notes "the relative correctness of these numbers
+affects the quality of the run-time selection decision".  These tests
+inject badly wrong numbers and assert graceful behaviour: no crashes, no
+resource-accounting violations, bounded performance damage.
+"""
+
+import pytest
+
+from repro.baselines.riscmode import RiscModePolicy
+from repro.core.mrts import MRTS
+from repro.core.selector import ISESelector
+from repro.fabric.datapath import FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.policy import SelectionOutcome
+from repro.sim.program import Application, BlockIteration, FunctionalBlock, KernelIteration
+from repro.sim.simulator import Simulator
+from repro.sim.trigger import TriggerInstruction
+
+
+@pytest.fixture
+def app(kernel):
+    block = FunctionalBlock("B", [kernel])
+    iterations = [
+        BlockIteration("B", [KernelIteration("k", 40, 50)]) for _ in range(3)
+    ]
+    return Application("t", [block], iterations)
+
+
+class _CorruptedForecastMRTS(MRTS):
+    """mRTS whose profiled triggers are replaced with garbage."""
+
+    def __init__(self, forge):
+        super().__init__()
+        self._forge = forge
+
+    def on_block_entry(self, block_name, profiled_triggers, now):
+        forged = [self._forge(t) for t in profiled_triggers]
+        return super().on_block_entry(block_name, forged, now)
+
+
+class TestForecastCorruption:
+    @pytest.mark.parametrize(
+        "forge",
+        [
+            # wildly over-estimated executions
+            lambda t: t.with_forecast(t.executions * 1000, t.time_to_first, t.time_between),
+            # wildly under-estimated executions
+            lambda t: t.with_forecast(max(0.01, t.executions / 1000), t.time_to_first, t.time_between),
+            # zero forecast: the RTS thinks the kernel never runs
+            lambda t: t.with_forecast(0.0, 0.0, 0.0),
+            # absurd timing fields
+            lambda t: t.with_forecast(t.executions, 1e12, 1e12),
+        ],
+    )
+    def test_garbage_forecasts_never_crash_and_bound_damage(
+        self, app, kernel, budget, forge
+    ):
+        library = ISELibrary([kernel], budget)
+        risc = Simulator(app, library, budget, RiscModePolicy()).run().total_cycles
+        result = Simulator(
+            app, library, budget, _CorruptedForecastMRTS(forge)
+        ).run()
+        # Graceful: never slower than RISC mode beyond the selector overhead.
+        assert result.total_cycles <= risc + result.stats.overhead_cycles_charged
+        # Accounting stays sound.
+        assert result.controller.resources.used_area(FabricType.FG) <= budget.total(
+            FabricType.FG
+        )
+
+    def test_mpu_corrects_a_bad_profile_over_time(self, app, kernel, budget):
+        """A profile that is 1000x off gets fixed by error back-propagation:
+        late iterations run as fast as with a perfect profile."""
+        library = ISELibrary([kernel], budget)
+        bad = _CorruptedForecastMRTS(
+            lambda t: t.with_forecast(t.executions / 1000, t.time_to_first, t.time_between)
+        )
+        # The MPU sees the forged values only on the *first* entry (it seeds
+        # from them); afterwards its own observations take over.
+        result = Simulator(app, library, budget, bad, collect_trace=True).run()
+        windows = result.trace.block_windows["B"]
+        first = windows[0][1] - windows[0][0]
+        last = windows[-1][1] - windows[-1][0]
+        assert last <= first
+
+
+class TestHostileTriggers:
+    def test_selector_with_huge_candidate_pressure(self, kernel, budget):
+        """Hundreds of triggers for the same library must stay polynomial
+        and respect resources (no quadratic blow-up, no overcommit)."""
+        from repro.fabric.datapath import DataPathSpec
+        from repro.ise.kernel import Kernel
+
+        kernels = [
+            Kernel(
+                f"k{i}",
+                100,
+                [
+                    DataPathSpec(
+                        name=f"k{i}.a", word_ops=16, bit_ops=8, mem_bytes=16,
+                        fg_depth=8, sw_cycles=150, invocations=4,
+                    )
+                ],
+            )
+            for i in range(40)
+        ]
+        library = ISELibrary(kernels, budget)
+        controller = ReconfigurationController(budget)
+        triggers = [
+            TriggerInstruction(k.name, 100.0, 10.0, 10.0) for k in kernels
+        ]
+        result = ISESelector(library).select(triggers, controller, now=0)
+        fg = sum(i.fg_area for i in result.selected.values() if i)
+        cg = sum(i.cg_area for i in result.selected.values() if i)
+        assert fg <= budget.total(FabricType.FG)
+        assert cg <= budget.total(FabricType.CG)
+
+    def test_float_extreme_forecasts(self, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        controller = ReconfigurationController(budget)
+        trig = TriggerInstruction("k", 1e15, 1e-9, 1e-9)
+        result = ISESelector(library).select([trig], controller, now=0)
+        assert result.selected["k"] is not None
+
+
+class TestDegenerateApplications:
+    def test_single_execution_iterations(self, kernel, budget):
+        app = Application(
+            "tiny",
+            [FunctionalBlock("B", [kernel])],
+            [BlockIteration("B", [KernelIteration("k", 1, 0)])] * 5,
+        )
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS()).run()
+        assert result.stats.total_executions == 5
+
+    def test_zero_gap_everywhere(self, kernel, budget):
+        app = Application(
+            "nogap",
+            [FunctionalBlock("B", [kernel])],
+            [BlockIteration("B", [KernelIteration("k", 20, 0)])],
+        )
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS()).run()
+        assert result.stats.gap_cycles == 0
+        assert result.total_cycles > 0
+
+    def test_alternating_feast_and_famine(self, kernel, budget):
+        """Counts oscillating by 100x between iterations: the MPU never
+        converges, but the system stays sound and still accelerates."""
+        iterations = []
+        for i in range(6):
+            executions = 500 if i % 2 == 0 else 5
+            iterations.append(
+                BlockIteration("B", [KernelIteration("k", executions, 20)])
+            )
+        app = Application("osc", [FunctionalBlock("B", [kernel])], iterations)
+        library = ISELibrary([kernel], budget)
+        risc = Simulator(app, library, budget, RiscModePolicy()).run().total_cycles
+        mrts = Simulator(app, library, budget, MRTS()).run().total_cycles
+        assert mrts < risc

@@ -1,0 +1,152 @@
+"""The ISE data structure: latency staircase, areas, coverage, schedules."""
+
+import pytest
+
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import DataPathInstance, FabricType
+from repro.ise.ise import ISE
+from repro.util.validation import ValidationError
+
+
+def make_instances(kernel, assignment, cost_model=DEFAULT_COST_MODEL):
+    return [
+        DataPathInstance(cost_model.implement(dp, fabric))
+        for dp, fabric in zip(kernel.datapaths, assignment)
+    ]
+
+
+@pytest.fixture
+def mg_ise(kernel):
+    """cond on FG, filt on CG -- a multi-grained ISE."""
+    return ISE(kernel, "k/mg", make_instances(kernel, [FabricType.FG, FabricType.CG]))
+
+
+@pytest.fixture
+def fg_ise(kernel):
+    return ISE(kernel, "k/fg", make_instances(kernel, [FabricType.FG, FabricType.FG]))
+
+
+@pytest.fixture
+def cg_ise(kernel):
+    return ISE(kernel, "k/cg", make_instances(kernel, [FabricType.CG, FabricType.CG]))
+
+
+class TestLatencyStaircase:
+    def test_level_zero_is_risc(self, mg_ise, kernel):
+        assert mg_ise.latency(0) == kernel.risc_latency
+
+    def test_non_increasing(self, mg_ise, fg_ise, cg_ise):
+        for ise in (mg_ise, fg_ise, cg_ise):
+            for a, b in zip(ise.latencies, ise.latencies[1:]):
+                assert b <= a
+
+    def test_full_latency_is_last_level(self, mg_ise):
+        assert mg_ise.full_latency == mg_ise.latencies[-1]
+
+    def test_savings_accumulate(self, mg_ise):
+        assert mg_ise.saving(0) == 0
+        assert mg_ise.saving(mg_ise.n_levels) == (
+            mg_ise.latencies[0] - mg_ise.full_latency
+        )
+
+    def test_fg_fastest_cg_slowest_per_execution(self, fg_ise, mg_ise, cg_ise):
+        """The Fig. 1 structure: the pure-FG ISE has the lowest hw_time, the
+        pure-CG ISE the highest, the MG ISE sits between."""
+        assert fg_ise.full_latency < mg_ise.full_latency < cg_ise.full_latency
+
+    def test_mg_pays_boundary_hops(self, kernel):
+        """The multi-grained ISE charges FG/CG interconnect hops."""
+        mg = ISE(kernel, "m", make_instances(kernel, [FabricType.FG, FabricType.CG]))
+        saving = sum(inst.saving_per_execution() for inst in mg.instances)
+        assert mg.full_latency > kernel.risc_latency - saving
+
+
+class TestAreas:
+    def test_area_by_fabric(self, mg_ise):
+        assert mg_ise.fg_area == 1
+        assert mg_ise.cg_area == 1
+
+    def test_quantity_multiplies_area(self, kernel, filt_spec):
+        impl = DEFAULT_COST_MODEL.implement(filt_spec, FabricType.CG)
+        cond = DEFAULT_COST_MODEL.implement(kernel.datapaths[0], FabricType.FG)
+        ise = ISE(
+            kernel,
+            "k/x2",
+            [DataPathInstance(cond), DataPathInstance(impl, quantity=2)],
+        )
+        assert ise.cg_area == 2
+
+    def test_granularity_flags(self, mg_ise, fg_ise, cg_ise):
+        assert mg_ise.is_multigrained
+        assert not fg_ise.is_multigrained
+        assert fg_ise.is_pure(FabricType.FG)
+        assert cg_ise.is_pure(FabricType.CG)
+        assert not mg_ise.is_pure(FabricType.FG)
+
+
+class TestReconfigSchedule:
+    def test_fg_instances_serialise(self, fg_ise):
+        schedule = fg_ise.reconfig_schedule()
+        r = [inst.impl.reconfig_cycles for inst in fg_ise.instances]
+        assert schedule == [r[0], r[0] + r[1]]
+
+    def test_cg_instances_parallel(self, cg_ise):
+        schedule = cg_ise.reconfig_schedule()
+        assert schedule[0] == schedule[1], "CG loads do not share a port"
+
+    def test_schedule_non_decreasing(self, mg_ise):
+        schedule = mg_ise.reconfig_schedule()
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+
+    def test_total_reconfig_ordering(self, fg_ise, mg_ise, cg_ise):
+        """Fig. 1's other axis: FG slowest to reconfigure, CG fastest."""
+        assert (
+            cg_ise.total_reconfig_cycles
+            < mg_ise.total_reconfig_cycles
+            < fg_ise.total_reconfig_cycles
+        )
+
+
+class TestCoverage:
+    def test_covered_by_exact_map(self, mg_ise):
+        available = {inst.impl.name: inst.quantity for inst in mg_ise.instances}
+        assert mg_ise.covered_by(available)
+
+    def test_partial_coverage(self, mg_ise):
+        first = mg_ise.instances[0]
+        missing = mg_ise.missing_instances({first.impl.name: first.quantity})
+        assert len(missing) == 1
+
+    def test_missing_area(self, mg_ise):
+        assert mg_ise.missing_area({}, FabricType.FG) == mg_ise.fg_area
+        full = {inst.impl.name: inst.quantity for inst in mg_ise.instances}
+        assert mg_ise.missing_area(full, FabricType.FG) == 0
+
+    def test_shares_datapaths(self, mg_ise, fg_ise, cg_ise):
+        assert mg_ise.shares_datapaths_with(fg_ise)  # cond@fg in both
+        assert not fg_ise.shares_datapaths_with(cg_ise)
+
+    def test_signature_ignores_order(self, kernel):
+        a = make_instances(kernel, [FabricType.FG, FabricType.CG])
+        ise1 = ISE(kernel, "k/1", a)
+        ise2 = ISE(kernel, "k/2", list(reversed(a)))
+        assert ise1.signature() == ise2.signature()
+
+
+class TestValidation:
+    def test_empty_instances_rejected(self, kernel):
+        with pytest.raises(ValidationError):
+            ISE(kernel, "k/none", [])
+
+    def test_duplicate_impl_rejected(self, kernel):
+        inst = make_instances(kernel, [FabricType.FG, FabricType.FG])[0]
+        with pytest.raises(ValidationError, match="twice"):
+            ISE(kernel, "k/dup", [inst, inst])
+
+    def test_foreign_datapath_rejected(self, kernel, cost_model):
+        from repro.fabric.datapath import DataPathSpec
+
+        foreign = DataPathSpec(name="other.dp", word_ops=4, sw_cycles=50)
+        inst = DataPathInstance(cost_model.implement(foreign, FabricType.CG))
+        with pytest.raises(ValidationError, match="does not define"):
+            ISE(kernel, "k/foreign", [inst])

@@ -1,0 +1,135 @@
+"""The JPEG workload and the task-level ([11]-like) baseline."""
+
+import pytest
+
+from repro.baselines import RiscModePolicy, TaskLevelPolicy
+from repro.core.mrts import MRTS
+from repro.fabric.datapath import FabricType
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import Simulator
+from repro.util.validation import ValidationError
+from repro.workloads.jpeg import (
+    JPEG_DATAPATHS,
+    image_complexity,
+    jpeg_application,
+    jpeg_blocks,
+    jpeg_kernels,
+    jpeg_library,
+)
+
+
+class TestJpegStructure:
+    def test_two_blocks(self):
+        assert [b.name for b in jpeg_blocks()] == ["TRANSFORM", "ENTROPY"]
+
+    def test_four_kernels(self):
+        assert len(jpeg_kernels()) == 4
+
+    def test_entropy_kernel_is_bit_dominant(self):
+        """The entropy data paths favour the FG fabric (control-dominant)."""
+        from repro.fabric.cost_model import DEFAULT_COST_MODEL
+
+        for name in ("zz.scan", "huff.pack"):
+            impls = DEFAULT_COST_MODEL.implement_both(JPEG_DATAPATHS[name])
+            assert (
+                impls[FabricType.FG].saving_per_execution()
+                > impls[FabricType.CG].saving_per_execution()
+            )
+
+    def test_transform_kernels_are_word_dominant(self):
+        spec = JPEG_DATAPATHS["quant.div"]
+        assert spec.mul_ops > spec.bit_ops
+
+
+class TestJpegTraces:
+    def test_complexity_reproducible_and_bounded(self):
+        a = image_complexity(20, seed=4)
+        assert a == image_complexity(20, seed=4)
+        assert all(0.2 <= c <= 1.5 for c in a)
+
+    def test_entropy_work_scales_with_complexity(self):
+        app = jpeg_application(images=4, seed=4)
+        entropy = [
+            it.kernels[0].executions
+            for it in app.iterations
+            if it.block == "ENTROPY"
+        ]
+        complexities = image_complexity(4, seed=4)
+        order_by_c = sorted(range(4), key=lambda i: complexities[i])
+        order_by_e = sorted(range(4), key=lambda i: entropy[i])
+        assert order_by_c == order_by_e
+
+    def test_two_iterations_per_image(self):
+        app = jpeg_application(images=3)
+        assert len(app.iterations) == 6
+
+
+class TestJpegSimulation:
+    def test_mrts_accelerates_jpeg(self):
+        app = jpeg_application(images=3, blocks_per_image=120, seed=2)
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+        library = jpeg_library(budget)
+        risc = Simulator(app, library, budget, RiscModePolicy()).run().total_cycles
+        mrts = Simulator(app, library, budget, MRTS()).run().total_cycles
+        assert risc / mrts > 2.0
+
+    def test_entropy_kernel_lands_on_fg_when_available(self):
+        """With images large enough to amortise the ~1.2 ms bitstream within
+        one ENTROPY block, the selector maps the bit-dominant entropy coder
+        onto the FG fabric."""
+        app = jpeg_application(images=3, blocks_per_image=700, seed=2)
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+        library = jpeg_library(budget)
+        result = Simulator(
+            app, library, budget, MRTS(), collect_trace=True
+        ).run()
+        served = {
+            r.ise_name
+            for r in result.trace.executions_of("jpeg.entropy")
+            if r.mode.value == "selected"
+        }
+        assert any(name and "@fg" in name for name in served)
+
+
+class TestTaskLevelPolicy:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.workloads.h264 import h264_application, h264_library
+
+        app = h264_application(frames=4, seed=7, scale=0.4)
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+        return app, h264_library(budget), budget
+
+    def test_beats_risc(self, setup):
+        app, library, budget = setup
+        risc = Simulator(app, library, budget, RiscModePolicy()).run().total_cycles
+        task = Simulator(app, library, budget, TaskLevelPolicy()).run().total_cycles
+        assert task < risc
+
+    def test_mrts_beats_task_level(self, setup):
+        """The paper's Section 1 critique of [11]: functional-block
+        granularity beats task granularity."""
+        app, library, budget = setup
+        task = Simulator(app, library, budget, TaskLevelPolicy()).run().total_cycles
+        mrts = Simulator(app, library, budget, MRTS()).run().total_cycles
+        assert mrts < task
+
+    def test_reselects_at_configured_period(self, setup):
+        app, library, budget = setup
+        policy = TaskLevelPolicy(reselect_every_blocks=6)
+        Simulator(app, library, budget, policy).run()
+        # 12 block entries / period 6 -> 2 task-level decisions.
+        assert policy._epoch == 2
+
+    def test_no_intermediates_no_monocg(self, setup):
+        app, library, budget = setup
+        result = Simulator(
+            app, library, budget, TaskLevelPolicy(), collect_trace=True
+        ).run()
+        modes = {r.mode.value for r in result.trace.executions}
+        assert "intermediate" not in modes
+        assert "monocg" not in modes
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValidationError):
+            TaskLevelPolicy(reselect_every_blocks=0)

@@ -1,0 +1,58 @@
+"""Kernels: RISC latency, monoCG latency, validation."""
+
+import pytest
+
+from repro.fabric.datapath import DataPathSpec
+from repro.ise.kernel import Kernel
+from repro.util.validation import ValidationError
+
+
+class TestRiscLatency:
+    def test_sums_base_and_datapath_software(self, cond_spec, filt_spec):
+        kernel = Kernel("k", base_cycles=100, datapaths=[cond_spec, filt_spec])
+        expected = (
+            100
+            + cond_spec.invocations * cond_spec.sw_cycles
+            + filt_spec.invocations * filt_spec.sw_cycles
+        )
+        assert kernel.risc_latency == expected
+
+    def test_zero_base_allowed(self, cond_spec):
+        assert Kernel("k", 0, [cond_spec]).risc_latency == 8 * 180
+
+
+class TestMonoCGLatency:
+    def test_uses_speedup(self, cond_spec):
+        kernel = Kernel("k", 100, [cond_spec], monocg_speedup=2.0)
+        assert kernel.monocg_latency == round(kernel.risc_latency / 2.0)
+
+    def test_faster_than_risc(self, kernel):
+        assert kernel.monocg_latency < kernel.risc_latency
+
+    def test_speedup_below_one_rejected(self, cond_spec):
+        with pytest.raises(ValidationError):
+            Kernel("k", 100, [cond_spec], monocg_speedup=0.5)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self, cond_spec):
+        with pytest.raises(ValidationError):
+            Kernel("", 100, [cond_spec])
+
+    def test_no_datapaths_rejected(self):
+        with pytest.raises(ValidationError):
+            Kernel("k", 100, [])
+
+    def test_duplicate_datapaths_rejected(self, cond_spec):
+        with pytest.raises(ValidationError):
+            Kernel("k", 100, [cond_spec, cond_spec])
+
+    def test_datapath_lookup(self, kernel, cond_spec):
+        assert kernel.datapath("k.cond") is cond_spec
+        with pytest.raises(KeyError):
+            kernel.datapath("nope")
+
+    def test_kernel_is_hashable_and_frozen(self, kernel):
+        hash(kernel)
+        with pytest.raises(Exception):
+            kernel.base_cycles = 5

@@ -1,0 +1,103 @@
+"""Data paths that span multiple PRCs / CG slots (area > 1)."""
+
+import pytest
+
+from repro.core.mrts import MRTS
+from repro.core.selector import ISESelector
+from repro.baselines.riscmode import RiscModePolicy
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import DataPathSpec, FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.kernel import Kernel
+from repro.ise.library import ISELibrary
+from repro.sim.program import Application, BlockIteration, FunctionalBlock, KernelIteration
+from repro.sim.simulator import Simulator
+from repro.sim.trigger import TriggerInstruction
+
+
+@pytest.fixture
+def wide_kernel():
+    """A kernel whose main data path needs 2 PRCs (or 2 CG slots)."""
+    wide = DataPathSpec(
+        name="w.wide",
+        word_ops=48, bit_ops=32, mem_bytes=64, fg_depth=16,
+        sw_cycles=400, invocations=8, prc_cost=2, cg_cost=2,
+        bitstream_kb=158.4,
+    )
+    narrow = DataPathSpec(
+        name="w.narrow",
+        word_ops=8, bit_ops=8, mem_bytes=8, fg_depth=4,
+        sw_cycles=90, invocations=8,
+    )
+    return Kernel("w", base_cycles=100, datapaths=[wide, narrow])
+
+
+class TestWideImplementations:
+    def test_fg_area_and_bitstream_scale(self, wide_kernel):
+        wide = wide_kernel.datapath("w.wide")
+        impl = DEFAULT_COST_MODEL.implement(wide, FabricType.FG)
+        assert impl.area == 2
+        narrow_impl = DEFAULT_COST_MODEL.implement(
+            wide_kernel.datapath("w.narrow"), FabricType.FG
+        )
+        # Double-size bitstream -> double port time (within rounding).
+        assert impl.reconfig_cycles > 1.9 * narrow_impl.reconfig_cycles
+
+    def test_cg_area_scales(self, wide_kernel):
+        impl = DEFAULT_COST_MODEL.implement(
+            wide_kernel.datapath("w.wide"), FabricType.CG
+        )
+        assert impl.area == 2
+
+
+class TestWideSelection:
+    def test_fitting_filter_respects_wide_areas(self, wide_kernel):
+        tight = ResourceBudget(n_prcs=1, n_cg_fabrics=0)
+        library = ISELibrary([wide_kernel], tight)
+        for ise in library.candidates("w"):
+            assert ise.fg_area <= 1
+            assert all(i.impl.spec.name != "w.wide" for i in ise.instances
+                       if i.fabric is FabricType.FG)
+
+    def test_selection_never_overcommits_wide_paths(self, wide_kernel):
+        budget = ResourceBudget(n_prcs=3, n_cg_fabrics=1)
+        library = ISELibrary([wide_kernel], budget)
+        controller = ReconfigurationController(budget)
+        trig = TriggerInstruction("w", 3000.0, 200.0, 50.0)
+        result = ISESelector(library).select([trig], controller, now=0)
+        controller.commit_selection(result.selected, "t", now=0)
+        assert controller.resources.used_area(FabricType.FG) <= 3
+        assert controller.resources.used_area(FabricType.CG) <= budget.n_cg_slots
+
+    def test_end_to_end_with_wide_paths(self, wide_kernel):
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+        library = ISELibrary([wide_kernel], budget)
+        app = Application(
+            "wide",
+            [FunctionalBlock("B", [wide_kernel])],
+            [BlockIteration("B", [KernelIteration("w", 400, 40)])] * 3,
+        )
+        risc = Simulator(app, library, budget, RiscModePolicy()).run().total_cycles
+        mrts = Simulator(app, library, budget, MRTS()).run().total_cycles
+        assert mrts < risc
+
+    def test_wide_path_eviction_frees_both_units(self, wide_kernel):
+        from repro.fabric.datapath import DataPathInstance
+
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=0)
+        controller = ReconfigurationController(budget)
+        wide_impl = DEFAULT_COST_MODEL.implement(
+            wide_kernel.datapath("w.wide"), FabricType.FG
+        )
+        controller.ensure_configured([DataPathInstance(wide_impl)], "a", now=0)
+        controller.release_owner("a")
+        narrow_impl = DEFAULT_COST_MODEL.implement(
+            wide_kernel.datapath("w.narrow"), FabricType.FG
+        )
+        # Configure two narrow copies: requires evicting the wide one.
+        controller.ensure_configured(
+            [DataPathInstance(narrow_impl, quantity=2)], "b", now=10**7
+        )
+        assert controller.resources.configured_quantity(wide_impl.name) == 0
+        assert controller.resources.configured_quantity(narrow_impl.name) == 2

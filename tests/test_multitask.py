@@ -1,0 +1,147 @@
+"""Multi-task co-simulation."""
+
+import pytest
+
+from repro.core.mrts import MRTS
+from repro.baselines.riscmode import RiscModePolicy
+from repro.fabric.datapath import DataPathSpec, FabricType
+from repro.fabric.resources import ResourceBudget
+from repro.ise.kernel import Kernel
+from repro.ise.library import ISELibrary
+from repro.sim.multitask import MultiTaskSimulator, Task
+from repro.sim.program import Application, BlockIteration, FunctionalBlock, KernelIteration
+from repro.util.validation import ReproError
+
+
+def make_app(prefix: str, executions: int = 30, iterations: int = 3) -> Application:
+    kernel = Kernel(
+        f"{prefix}.k",
+        base_cycles=100,
+        datapaths=[
+            DataPathSpec(
+                name=f"{prefix}.dp", word_ops=16, bit_ops=16, mem_bytes=16,
+                fg_depth=8, sw_cycles=150, invocations=6,
+            )
+        ],
+    )
+    block = FunctionalBlock(f"{prefix}.B", [kernel])
+    return Application(
+        prefix,
+        [block],
+        [
+            BlockIteration(f"{prefix}.B", [KernelIteration(kernel.name, executions, 30)])
+            for _ in range(iterations)
+        ],
+    )
+
+
+@pytest.fixture
+def budget():
+    return ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+
+
+def make_task(prefix: str, budget, policy=None, **kwargs) -> Task:
+    app = make_app(prefix, **kwargs)
+    library = ISELibrary(app.all_kernels(), budget)
+    return Task(prefix, app, library, policy or MRTS())
+
+
+class TestValidation:
+    def test_duplicate_task_names_rejected(self, budget):
+        with pytest.raises(ReproError, match="duplicate"):
+            MultiTaskSimulator(
+                [make_task("a", budget), Task("a", make_app("b"), None, MRTS())],
+                budget,
+            )
+
+    def test_shared_kernel_names_rejected(self, budget):
+        t1 = make_task("x", budget)
+        app2 = make_app("x")  # same kernel names
+        library2 = ISELibrary(app2.all_kernels(), budget)
+        with pytest.raises(ReproError, match="globally unique"):
+            MultiTaskSimulator(
+                [t1, Task("other", app2, library2, MRTS())], budget
+            )
+
+    def test_empty_task_list_rejected(self, budget):
+        with pytest.raises(ReproError):
+            MultiTaskSimulator([], budget)
+
+
+class TestCoSimulation:
+    def test_single_task_matches_plain_simulator(self, budget):
+        """With one task, the co-simulator must reproduce Simulator exactly
+        (same policy decisions, same cycle accounting)."""
+        from repro.sim.simulator import Simulator
+
+        app = make_app("solo")
+        library = ISELibrary(app.all_kernels(), budget)
+        plain = Simulator(app, library, budget, MRTS()).run()
+        multi = MultiTaskSimulator(
+            [Task("solo", app, library, MRTS())], budget
+        ).run()
+        assert multi.task("solo").stats.total_cycles == plain.total_cycles
+
+    def test_both_tasks_complete_all_executions(self, budget):
+        result = MultiTaskSimulator(
+            [make_task("a", budget, executions=25), make_task("b", budget, executions=40)],
+            budget,
+        ).run()
+        assert result.task("a").stats.total_executions == 3 * 25
+        assert result.task("b").stats.total_executions == 3 * 40
+
+    def test_wall_clock_covers_both(self, budget):
+        result = MultiTaskSimulator(
+            [make_task("a", budget), make_task("b", budget)], budget
+        ).run()
+        busy = (
+            result.task("a").stats.total_cycles
+            + result.task("b").stats.total_cycles
+        )
+        assert result.total_cycles == busy, "the core is never idle"
+        assert result.total_cycles == max(
+            result.task("a").finished_at, result.task("b").finished_at
+        )
+
+    def test_sharing_interferes_but_both_accelerate(self, budget):
+        from repro.sim.simulator import Simulator
+
+        t_a, t_b = make_task("a", budget, executions=60), make_task(
+            "b", budget, executions=60
+        )
+        alone = {}
+        for prefix in ("a", "b"):
+            app = make_app(prefix, executions=60)
+            library = ISELibrary(app.all_kernels(), budget)
+            alone[prefix] = Simulator(app, library, budget, MRTS()).run().stats
+        result = MultiTaskSimulator([t_a, t_b], budget).run()
+        for prefix in ("a", "b"):
+            shared_stats = result.task(prefix).stats
+            # Busy cycles may grow (stolen fabric) but not collapse to RISC.
+            assert shared_stats.accelerated_fraction() > 0.2
+            assert shared_stats.total_cycles >= alone[prefix].total_cycles * 0.99
+
+    def test_mixed_policies(self, budget):
+        result = MultiTaskSimulator(
+            [
+                make_task("a", budget, policy=MRTS()),
+                make_task("b", budget, policy=RiscModePolicy()),
+            ],
+            budget,
+        ).run()
+        assert result.task("b").stats.accelerated_fraction() == 0.0
+        assert result.task("a").stats.accelerated_fraction() > 0.0
+
+    def test_traces_are_per_task(self, budget):
+        result = MultiTaskSimulator(
+            [make_task("a", budget), make_task("b", budget)],
+            budget,
+            collect_trace=True,
+        ).run()
+        a_kernels = {r.kernel for r in result.task("a").trace.executions}
+        assert a_kernels == {"a.k"}
+
+    def test_unknown_task_lookup(self, budget):
+        result = MultiTaskSimulator([make_task("a", budget)], budget).run()
+        with pytest.raises(KeyError):
+            result.task("nope")

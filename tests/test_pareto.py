@@ -1,0 +1,78 @@
+"""Pareto analysis of ISE candidate sets."""
+
+import pytest
+
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.ise.pareto import (
+    dominated_fraction,
+    ise_points,
+    pareto_front,
+    render_front,
+)
+
+
+@pytest.fixture
+def candidates(kernel, budget):
+    return ISELibrary([kernel], budget).candidates("k")
+
+
+class TestDominance:
+    def test_front_is_nonempty_subset(self, candidates):
+        front = pareto_front(candidates)
+        assert 0 < len(front) <= len(candidates)
+
+    def test_front_members_are_mutually_nondominated(self, candidates):
+        front = pareto_front(candidates)
+        for a in front:
+            for b in front:
+                assert not a.dominates(b) or a is b
+
+    def test_every_dominated_candidate_has_a_dominator_on_the_front(
+        self, candidates
+    ):
+        front = pareto_front(candidates)
+        front_ises = {p.ise.name for p in front}
+        for point in ise_points(candidates):
+            if point.ise.name in front_ises:
+                continue
+            assert any(q.dominates(point) for q in front)
+
+    def test_dominated_fraction_bounds(self, candidates):
+        fraction = dominated_fraction(candidates)
+        assert 0.0 <= fraction < 1.0
+
+    def test_empty_set(self):
+        assert pareto_front([]) == []
+        assert dominated_fraction([]) == 0.0
+
+
+class TestFrontStructure:
+    def test_case_study_ises_are_all_on_the_front(self):
+        """Fig. 1's three ISEs embody the latency/reconfiguration trade-off:
+        none dominates another."""
+        from repro.workloads.h264.deblocking import deblocking_case_study
+
+        _, ises = deblocking_case_study()
+        front = pareto_front(list(ises.values()))
+        assert {p.ise.name for p in front} == {i.name for i in ises.values()}
+
+    def test_front_sorted_by_latency(self, candidates):
+        front = pareto_front(candidates)
+        latencies = [p.latency for p in front]
+        assert latencies == sorted(latencies)
+
+    def test_latency_reconfig_tradeoff_on_front(self, candidates):
+        """Along the (full-area) front, lower latency costs reconfiguration
+        time: the fastest candidate reconfigures slower than the
+        quickest-to-ready one."""
+        front = pareto_front(candidates)
+        fastest_exec = min(front, key=lambda p: p.latency)
+        fastest_ready = min(front, key=lambda p: p.reconfig_cycles)
+        if fastest_exec.ise.name != fastest_ready.ise.name:
+            assert fastest_exec.reconfig_cycles > fastest_ready.reconfig_cycles
+            assert fastest_ready.latency > fastest_exec.latency
+
+    def test_render(self, candidates):
+        text = render_front(candidates)
+        assert "Pareto front" in text and "latency" in text

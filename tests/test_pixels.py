@@ -1,0 +1,147 @@
+"""The pixel-grounded deblocking workload (run-time variation (c))."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import ValidationError
+from repro.workloads.h264.pixels import (
+    FrameContent,
+    alpha_threshold,
+    beta_threshold,
+    boundary_strength,
+    filtered_edge_count,
+    pixel_grounded_deblock_counts,
+    synthesize_frame,
+)
+
+
+class TestThresholds:
+    def test_alpha_monotone_in_qp(self):
+        values = [alpha_threshold(qp) for qp in range(0, 52)]
+        assert values == sorted(values)
+
+    def test_beta_monotone_in_qp(self):
+        values = [beta_threshold(qp) for qp in range(0, 52)]
+        assert values == sorted(values)
+
+    def test_thresholds_positive(self):
+        assert alpha_threshold(0) >= 1
+        assert beta_threshold(0) >= 1
+
+
+class TestSynthesizeFrame:
+    def test_shapes(self):
+        content = synthesize_frame(mb_cols=5, mb_rows=3, seed=0)
+        assert content.intra.shape == (3, 5)
+        assert content.coded.shape == (12, 20)
+        assert content.pixels.shape == (12, 20)
+
+    def test_pixels_in_range(self):
+        content = synthesize_frame(seed=1, qp=48)
+        assert content.pixels.min() >= 0 and content.pixels.max() <= 255
+
+    def test_reproducible(self):
+        a = synthesize_frame(seed=5)
+        b = synthesize_frame(seed=5)
+        assert (a.pixels == b.pixels).all()
+        assert (a.coded == b.coded).all()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            synthesize_frame(activity=2.0)
+        with pytest.raises(ValidationError):
+            synthesize_frame(qp=99)
+
+    def test_quiet_scenes_have_more_intra(self):
+        quiet = [synthesize_frame(activity=0.05, seed=s).intra.mean() for s in range(8)]
+        busy = [synthesize_frame(activity=1.2, seed=s).intra.mean() for s in range(8)]
+        assert np.mean(quiet) > np.mean(busy)
+
+
+class TestBoundaryStrength:
+    def _content(self, **overrides):
+        base = synthesize_frame(mb_cols=2, mb_rows=2, seed=0)
+        fields = {
+            "intra": base.intra,
+            "coded": base.coded,
+            "mv_x": base.mv_x,
+            "mv_y": base.mv_y,
+            "pixels": base.pixels,
+            "qp": base.qp,
+        }
+        fields.update(overrides)
+        return FrameContent(**fields)
+
+    def test_intra_edges_get_bs4(self):
+        intra = np.zeros((2, 2), dtype=bool)
+        intra[0, 0] = True
+        content = self._content(
+            intra=intra,
+            coded=np.zeros((8, 8), dtype=bool),
+            mv_x=np.zeros((8, 8), dtype=int),
+            mv_y=np.zeros((8, 8), dtype=int),
+        )
+        bs = boundary_strength(content)
+        # Every edge touching the intra macroblock's 4x4 region is bS 4.
+        assert (bs["vertical"][0:4, 0:4] == 4).all()
+        assert (bs["vertical"][4:8, 4:7] == 0).all()
+
+    def test_coded_edges_get_bs2(self):
+        coded = np.zeros((8, 8), dtype=bool)
+        coded[0, 0] = True
+        content = self._content(
+            intra=np.zeros((2, 2), dtype=bool),
+            coded=coded,
+            mv_x=np.zeros((8, 8), dtype=int),
+            mv_y=np.zeros((8, 8), dtype=int),
+        )
+        bs = boundary_strength(content)
+        assert bs["vertical"][0, 0] == 2
+        assert bs["horizontal"][0, 0] == 2
+
+    def test_motion_discontinuity_gets_bs1(self):
+        mv = np.zeros((8, 8), dtype=int)
+        mv[:, 4:] = 8  # 2-sample jump across the column-3/4 edge
+        content = self._content(
+            intra=np.zeros((2, 2), dtype=bool),
+            coded=np.zeros((8, 8), dtype=bool),
+            mv_x=mv,
+            mv_y=np.zeros((8, 8), dtype=int),
+        )
+        bs = boundary_strength(content)
+        assert (bs["vertical"][:, 3] == 1).all()
+        assert (bs["vertical"][:, 0] == 0).all()
+
+
+class TestFilteredEdgeCount:
+    def test_more_quantisation_more_filtering(self):
+        """The headline input-data effect: coarser quantisation produces more
+        blocking artefacts within the filter's thresholds."""
+        means = []
+        for qp in (20, 30, 40):
+            counts = pixel_grounded_deblock_counts(frames=5, qp=qp, seed=3)
+            means.append(np.mean(counts))
+        assert means[0] < means[1] < means[2]
+
+    def test_counts_in_fig2_magnitude(self):
+        counts = pixel_grounded_deblock_counts(frames=8, qp=32, seed=0)
+        assert all(50 <= c <= 6000 for c in counts)
+
+    def test_counts_vary_between_frames(self):
+        counts = pixel_grounded_deblock_counts(frames=10, qp=30, seed=0)
+        assert max(counts) > 1.2 * min(counts)
+
+    def test_reproducible(self):
+        a = pixel_grounded_deblock_counts(frames=4, seed=9)
+        b = pixel_grounded_deblock_counts(frames=4, seed=9)
+        assert a == b
+
+    def test_explicit_activities(self):
+        counts = pixel_grounded_deblock_counts(
+            frames=3, activities=[0.2, 0.6, 1.0], seed=1
+        )
+        assert len(counts) == 3
+
+    def test_activity_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            pixel_grounded_deblock_counts(frames=3, activities=[0.5])

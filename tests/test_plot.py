@@ -1,0 +1,89 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.util.plot import SPARK_LEVELS, bar_chart, line_chart, sparkline
+from repro.util.validation import ValidationError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_extremes_use_extreme_levels(self):
+        s = sparkline([0, 100])
+        assert s[0] == SPARK_LEVELS[0]
+        assert s[1] == SPARK_LEVELS[-1]
+
+    def test_constant_series_is_flat(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_input_monotone_levels(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        indices = [SPARK_LEVELS.index(c) for c in s]
+        assert indices == sorted(indices)
+
+
+class TestBarChart:
+    def test_peak_bar_is_full_width(self):
+        out = bar_chart(["a", "b"], [10, 5], width=10)
+        lines = out.splitlines()
+        assert "#" * 10 in lines[0]
+        assert "#" * 5 in lines[1] and "#" * 6 not in lines[1]
+
+    def test_values_annotated(self):
+        out = bar_chart(["x"], [3.5], unit="x")
+        assert "3.5x" in out
+
+    def test_title(self):
+        assert bar_chart(["a"], [1], title="T").splitlines()[0] == "T"
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValidationError):
+            bar_chart(["a"], [1, 2])
+
+    def test_zero_values(self):
+        out = bar_chart(["a"], [0])
+        assert "|" in out and "#" not in out
+
+    def test_empty(self):
+        assert bar_chart([], [], title="T") == "T"
+
+
+class TestLineChart:
+    def test_canvas_dimensions(self):
+        out = line_chart({"s": [1, 2, 3]}, width=20, height=5)
+        lines = out.splitlines()
+        # legend + top border + 5 rows + bottom border + x labels
+        assert len(lines) == 1 + 1 + 5 + 1 + 1
+        body = lines[2:-2]
+        # 10-char y label + ' |' + canvas + '|'
+        assert all(len(line) == 10 + 2 + 20 + 1 for line in body)
+
+    def test_legend_names_all_series(self):
+        out = line_chart({"alpha": [1], "beta": [2]})
+        assert "alpha" in out and "beta" in out
+
+    def test_y_axis_annotations(self):
+        out = line_chart({"s": [2.0, 8.0]})
+        assert "8" in out and "2" in out
+
+    def test_rising_series_marks_move_up(self):
+        out = line_chart({"s": [0, 10]}, width=10, height=5)
+        rows = out.splitlines()[2:-2]
+        top_row_mark = rows[0].index("*")      # highest value -> top row
+        bottom_row_mark = rows[-1].index("*")  # lowest value -> bottom row
+        assert top_row_mark > bottom_row_mark, "y grows to the right over x"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            line_chart({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValidationError):
+            line_chart({"a": [1, 2]}, x_values=[1])
+
+    def test_empty_series_returns_title(self):
+        assert line_chart({}, title="T") == "T"

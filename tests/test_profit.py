@@ -1,0 +1,177 @@
+"""The profit function: Eq. 1 (pif), Eq. 3 (NoE), Eqs. 2/4 (profit)."""
+
+import pytest
+
+from repro.core.profit import expected_executions, ise_profit, per_improvement, pif
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import DataPathInstance, FabricType
+from repro.ise.ise import ISE
+from repro.util.validation import ValidationError
+
+
+class TestPif:
+    def test_formula(self):
+        # sw=100, hw=10, rec=1000, e=50: 100*50 / (1000 + 10*50)
+        assert pif(100, 10, 1000, 50) == pytest.approx(5000 / 1500)
+
+    def test_zero_executions(self):
+        assert pif(100, 10, 1000, 0) == 0.0
+
+    def test_asymptote_is_sw_over_hw(self):
+        assert pif(100, 10, 1000, 10**9) == pytest.approx(10.0, rel=1e-3)
+
+    def test_monotone_in_executions(self):
+        values = [pif(100, 10, 1000, e) for e in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_degenerate_zero_denominator_raises(self):
+        with pytest.raises(ValidationError):
+            pif(100, 0, 0, 10)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            pif(-1, 10, 1000, 10)
+
+
+class TestExpectedExecutions:
+    """Eq. 3 with latencies [RISC=100, L1=50, L2=20], various schedules."""
+
+    LAT = [100, 50, 20]
+
+    def test_risc_phase_before_first_level(self):
+        noe_risc, noe, final = expected_executions(
+            self.LAT, [1000, 2000], e=100, tf=0, tb=0
+        )
+        assert noe_risc == pytest.approx(1000 / 100)
+        assert noe[0] == pytest.approx(1000 / 50)
+        assert final == pytest.approx(100 - 10 - 20)
+
+    def test_level_ready_before_tf_case(self):
+        """Eq. 3's second branch: recT(i) < tf <= recT(i+1)."""
+        noe_risc, noe, final = expected_executions(
+            self.LAT, [100, 2000], e=100, tf=500, tb=0
+        )
+        assert noe_risc == 0.0
+        assert noe[0] == pytest.approx((2000 - 500) / 50)
+
+    def test_all_ready_before_tf(self):
+        noe_risc, noe, final = expected_executions(
+            self.LAT, [10, 20], e=100, tf=500, tb=0
+        )
+        assert noe_risc == 0.0
+        assert noe == [0.0]
+        assert final == 100.0
+
+    def test_tb_stretches_periods(self):
+        _, noe_a, _ = expected_executions(self.LAT, [0, 1000], e=100, tf=0, tb=0)
+        _, noe_b, _ = expected_executions(self.LAT, [0, 1000], e=100, tf=0, tb=50)
+        assert noe_b[0] < noe_a[0]
+
+    def test_phases_never_exceed_e(self):
+        noe_risc, noe, final = expected_executions(
+            self.LAT, [10**9, 2 * 10**9], e=5, tf=0, tb=0
+        )
+        assert noe_risc + sum(noe) + final == pytest.approx(5.0)
+        assert final == 0.0
+
+    def test_single_level_ise(self):
+        noe_risc, noe, final = expected_executions([100, 50], [0], e=10, tf=0, tb=0)
+        assert noe == []
+        assert final == 10.0
+
+    def test_decreasing_schedule_rejected(self):
+        with pytest.raises(ValidationError):
+            expected_executions(self.LAT, [100, 50], e=10, tf=0, tb=0)
+
+    def test_wrong_latency_length_rejected(self):
+        with pytest.raises(ValidationError):
+            expected_executions([100, 50], [10, 20], e=10, tf=0, tb=0)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValidationError):
+            expected_executions([100], [], e=10, tf=0, tb=0)
+
+
+class TestPerImprovement:
+    def test_formula(self):
+        assert per_improvement(10, 100, 40) == 600
+
+    def test_negative_noe_rejected(self):
+        with pytest.raises(ValidationError):
+            per_improvement(-1, 100, 40)
+
+
+class TestIseProfit:
+    @pytest.fixture
+    def ise(self, kernel):
+        cm = DEFAULT_COST_MODEL
+        return ISE(
+            kernel,
+            "k/mg",
+            [
+                DataPathInstance(cm.implement(kernel.datapaths[1], FabricType.CG)),
+                DataPathInstance(cm.implement(kernel.datapaths[0], FabricType.FG)),
+            ],
+        )
+
+    def test_profit_positive_for_reasonable_forecast(self, ise):
+        assert ise_profit(ise, e=1000, tf=100, tb=100).profit > 0
+
+    def test_zero_executions_zero_profit(self, ise):
+        breakdown = ise_profit(ise, e=0, tf=0, tb=0)
+        assert breakdown.profit == 0.0
+
+    def test_profit_monotone_in_executions(self, ise):
+        profits = [ise_profit(ise, e=e, tf=0, tb=100).profit for e in (10, 100, 1000)]
+        assert profits == sorted(profits)
+
+    def test_default_schedule_is_cold_start(self, ise):
+        auto = ise_profit(ise, e=500, tf=0, tb=100)
+        explicit = ise_profit(
+            ise, e=500, tf=0, tb=100, rec_schedule=ise.reconfig_schedule()
+        )
+        assert auto.profit == explicit.profit
+
+    def test_warm_schedule_beats_cold(self, ise):
+        cold = ise_profit(ise, e=500, tf=0, tb=100).profit
+        warm = ise_profit(ise, e=500, tf=0, tb=100, rec_schedule=[0, 0]).profit
+        assert warm > cold
+
+    def test_breakdown_consistency(self, ise):
+        b = ise_profit(ise, e=800, tf=50, tb=120)
+        assert b.profit == pytest.approx(sum(b.per_improvement) + b.final_improvement)
+        assert b.noe_risc + sum(b.noe) + b.final_executions <= 800 + 1e-9
+
+
+class TestCaseStudyStructure:
+    """Fig. 1: each case-study ISE dominates in its own execution range."""
+
+    @pytest.fixture
+    def case_study(self):
+        from repro.workloads.h264.deblocking import deblocking_case_study
+
+        return deblocking_case_study()
+
+    @staticmethod
+    def _pif(ise, e):
+        return pif(
+            ise.latencies[0], ise.full_latency, ise.total_reconfig_cycles, e
+        )
+
+    def test_cg_ise_wins_for_few_executions(self, case_study):
+        _, ises = case_study
+        e = 100
+        assert self._pif(ises["ISE-2"], e) > self._pif(ises["ISE-3"], e)
+        assert self._pif(ises["ISE-2"], e) > self._pif(ises["ISE-1"], e)
+
+    def test_mg_ise_wins_in_the_middle(self, case_study):
+        _, ises = case_study
+        e = 1200
+        assert self._pif(ises["ISE-3"], e) > self._pif(ises["ISE-2"], e)
+        assert self._pif(ises["ISE-3"], e) > self._pif(ises["ISE-1"], e)
+
+    def test_fg_ise_wins_for_many_executions(self, case_study):
+        _, ises = case_study
+        e = 8000
+        assert self._pif(ises["ISE-1"], e) > self._pif(ises["ISE-3"], e)
+        assert self._pif(ises["ISE-1"], e) > self._pif(ises["ISE-2"], e)

@@ -1,0 +1,123 @@
+"""The application model: interleaving, profiling, validation."""
+
+import pytest
+
+from repro.ise.kernel import Kernel
+from repro.fabric.datapath import DataPathSpec
+from repro.sim.program import (
+    Application,
+    BlockIteration,
+    FunctionalBlock,
+    KernelIteration,
+    interleave,
+)
+from repro.util.validation import ReproError, ValidationError
+
+
+@pytest.fixture
+def block(kernel):
+    other = Kernel(
+        "k2", 80, [DataPathSpec(name="k2.a", word_ops=8, sw_cycles=100, invocations=4)]
+    )
+    return FunctionalBlock("B", [kernel, other])
+
+
+def iteration(e1=10, e2=5, gap1=50, gap2=70):
+    return BlockIteration(
+        "B",
+        [
+            KernelIteration("k", e1, gap1),
+            KernelIteration("k2", e2, gap2),
+        ],
+    )
+
+
+class TestInterleave:
+    def test_preserves_counts(self):
+        steps = interleave(iteration(e1=10, e2=5).kernels)
+        assert sum(1 for k, _ in steps if k == "k") == 10
+        assert sum(1 for k, _ in steps if k == "k2") == 5
+
+    def test_carries_per_kernel_gaps(self):
+        steps = interleave(iteration(gap1=50, gap2=70).kernels)
+        assert all(g == 50 for k, g in steps if k == "k")
+        assert all(g == 70 for k, g in steps if k == "k2")
+
+    def test_proportional_mixing(self):
+        """With a 2:1 ratio, the minority kernel never waits for more than a
+        handful of majority executions."""
+        steps = interleave(
+            [KernelIteration("a", 20, 0), KernelIteration("b", 10, 0)]
+        )
+        positions = [i for i, (k, _) in enumerate(steps) if k == "b"]
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        assert max(gaps) <= 4
+
+    def test_deterministic(self):
+        a = interleave(iteration().kernels)
+        b = interleave(iteration().kernels)
+        assert a == b
+
+    def test_empty_iteration(self):
+        assert interleave([]) == []
+
+    def test_zero_executions_kernel_absent(self):
+        steps = interleave([KernelIteration("a", 0, 10)])
+        assert steps == []
+
+
+class TestModelValidation:
+    def test_duplicate_kernels_in_iteration_rejected(self):
+        with pytest.raises(ValidationError):
+            BlockIteration("B", [KernelIteration("k", 1, 0)] * 2)
+
+    def test_duplicate_kernels_in_block_rejected(self, kernel):
+        with pytest.raises(ValidationError):
+            FunctionalBlock("B", [kernel, kernel])
+
+    def test_iteration_of_unknown_block_rejected(self, block):
+        with pytest.raises(ReproError):
+            Application("app", [block], [BlockIteration("nope", [])])
+
+    def test_iteration_with_foreign_kernel_rejected(self, block):
+        with pytest.raises(KeyError):
+            Application(
+                "app", [block], [BlockIteration("B", [KernelIteration("zz", 1, 0)])]
+            )
+
+    def test_executions_of(self):
+        it = iteration(e1=7)
+        assert it.executions_of("k") == 7
+        assert it.executions_of("unknown") == 0
+
+
+class TestProfiledTriggers:
+    def test_mean_executions(self, block):
+        app = Application("app", [block], [iteration(e1=10), iteration(e1=20)])
+        triggers = {t.kernel: t for t in app.profiled_triggers("B")}
+        assert triggers["k"].executions == pytest.approx(15.0)
+
+    def test_tf_positive_and_tb_reflects_gaps(self, block, kernel):
+        app = Application("app", [block], [iteration()])
+        triggers = {t.kernel: t for t in app.profiled_triggers("B")}
+        assert triggers["k"].time_to_first >= 0
+        # tb measures inter-execution time excluding the kernel's own
+        # latency; with another kernel interleaved it exceeds the own gap.
+        assert triggers["k"].time_between >= 0
+
+    def test_no_iterations_zero_triggers(self, block):
+        app = Application("app", [block], [])
+        triggers = app.profiled_triggers("B")
+        assert all(t.executions == 0 for t in triggers)
+
+    def test_profile_covers_all_block_kernels(self, block):
+        app = Application("app", [block], [iteration()])
+        assert {t.kernel for t in app.profiled_triggers("B")} == {"k", "k2"}
+
+    def test_accessors(self, block):
+        app = Application("app", [block], [iteration()])
+        assert app.block("B") is block
+        with pytest.raises(KeyError):
+            app.block("X")
+        assert [k.name for k in app.all_kernels()] == ["k", "k2"]
+        assert len(app.iterations_of("B")) == 1

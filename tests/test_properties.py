@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profit import expected_executions, ise_profit, pif
+from repro.core.selector import apply_reservation, reservation_charge
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import DataPathInstance, DataPathSpec, FabricType
+from repro.ise.builder import ISEBuilder
+from repro.ise.kernel import Kernel
+from repro.sim.program import KernelIteration, interleave
+
+
+# ----------------------------------------------------------------- strategies
+datapath_specs = st.builds(
+    DataPathSpec,
+    name=st.just("p.dp"),
+    word_ops=st.integers(0, 64),
+    mul_ops=st.integers(0, 16),
+    div_ops=st.integers(0, 4),
+    bit_ops=st.integers(0, 64),
+    mem_bytes=st.integers(0, 128),
+    fg_depth=st.integers(1, 24),
+    sw_cycles=st.integers(1, 400),
+    invocations=st.integers(1, 32),
+    parallelizable=st.booleans(),
+)
+
+
+@st.composite
+def kernels(draw, max_datapaths=3):
+    n = draw(st.integers(1, max_datapaths))
+    specs = []
+    for i in range(n):
+        spec = draw(datapath_specs)
+        specs.append(
+            DataPathSpec(
+                **{**spec.__dict__, "name": f"p.dp{i}"}
+            )
+        )
+    base = draw(st.integers(0, 500))
+    return Kernel("p", base_cycles=base, datapaths=specs)
+
+
+# ----------------------------------------------------------------------- pif
+class TestPifProperties:
+    @given(
+        sw=st.integers(1, 10**4),
+        hw=st.integers(1, 10**4),
+        rec=st.integers(0, 10**7),
+        e=st.integers(1, 10**5),
+    )
+    def test_pif_positive_and_bounded_by_asymptote(self, sw, hw, rec, e):
+        value = pif(sw, hw, rec, e)
+        assert 0 < value <= sw / hw + 1e-9
+
+    @given(
+        sw=st.integers(1, 10**4),
+        hw=st.integers(1, 10**4),
+        rec=st.integers(1, 10**7),
+        e=st.integers(1, 10**4),
+    )
+    def test_pif_monotone_in_executions(self, sw, hw, rec, e):
+        assert pif(sw, hw, rec, e + 1) >= pif(sw, hw, rec, e)
+
+
+# ----------------------------------------------------------------------- NoE
+class TestNoEProperties:
+    @given(
+        e=st.floats(0, 10**5),
+        tf=st.floats(0, 10**6),
+        tb=st.floats(0, 10**4),
+        rec=st.lists(st.floats(0, 10**7), min_size=1, max_size=6),
+        lat=st.lists(st.integers(1, 10**4), min_size=2, max_size=7),
+    )
+    def test_phases_partition_at_most_e(self, e, tf, tb, rec, lat):
+        n = min(len(rec), len(lat) - 1)
+        rec = sorted(rec[:n])
+        lat = sorted(lat[: n + 1], reverse=True)
+        noe_risc, noe, final = expected_executions(lat, rec, e, tf, tb)
+        assert noe_risc >= 0
+        assert all(x >= 0 for x in noe)
+        assert final >= 0
+        assert noe_risc + sum(noe) + final <= e + 1e-6
+
+    @given(
+        e=st.floats(1, 10**4),
+        tb=st.floats(0, 10**3),
+        rec=st.lists(st.floats(1, 10**6), min_size=2, max_size=5),
+    )
+    def test_warmer_schedule_never_reduces_final_phase(self, e, tb, rec):
+        rec = sorted(rec)
+        lat = list(range(100 + len(rec), 99, -1))
+        _, _, cold_final = expected_executions(lat, rec, e, 0.0, tb)
+        warm = [r / 2 for r in rec]
+        _, _, warm_final = expected_executions(lat, warm, e, 0.0, tb)
+        assert warm_final >= cold_final - 1e-6
+
+
+# ----------------------------------------------------------------------- ISE
+class TestIseProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(kernel=kernels())
+    def test_builder_ises_have_sound_staircases(self, kernel):
+        for ise in ISEBuilder().build(kernel):
+            assert ise.latencies[0] == kernel.risc_latency
+            for a, b in zip(ise.latencies, ise.latencies[1:]):
+                assert 1 <= b <= a
+            schedule = ise.reconfig_schedule()
+            assert all(y >= x for x, y in zip(schedule, schedule[1:]))
+            assert ise.fg_area >= 0 and ise.cg_area >= 0
+            assert ise.fg_area + ise.cg_area >= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(kernel=kernels(), e=st.floats(0, 10**4))
+    def test_profit_never_negative_never_exceeds_upper_bound(self, kernel, e):
+        for ise in ISEBuilder().build(kernel)[:6]:
+            profit = ise_profit(ise, e=e, tf=100.0, tb=50.0).profit
+            bound = e * (kernel.risc_latency - 1)
+            assert -1e-6 <= profit <= bound + 1e-6
+
+
+# --------------------------------------------------------------- reservations
+class TestReservationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(kernel=kernels(max_datapaths=2), data=st.data())
+    def test_charges_are_subadditive_and_idempotent(self, kernel, data):
+        ises = ISEBuilder().build(kernel)
+        ise = ises[data.draw(st.integers(0, len(ises) - 1))]
+        reserved = {}
+        first = reservation_charge(ise, reserved, {})
+        apply_reservation(ise, reserved)
+        second = reservation_charge(ise, reserved, {})
+        assert second[FabricType.FG] == 0 and second[FabricType.CG] == 0
+        assert first[FabricType.FG] == ise.fg_area
+        assert first[FabricType.CG] == ise.cg_area
+
+    @settings(max_examples=40, deadline=None)
+    @given(kernel=kernels(max_datapaths=2), exempt_n=st.integers(0, 4))
+    def test_exemptions_only_reduce_charges(self, kernel, exempt_n):
+        ises = ISEBuilder().build(kernel)
+        ise = ises[0]
+        exempt = {inst.impl.name: exempt_n for inst in ise.instances}
+        discounted = reservation_charge(ise, {}, exempt)
+        full = reservation_charge(ise, {}, {})
+        for fabric in FabricType:
+            assert 0 <= discounted[fabric] <= full[fabric]
+
+
+# ---------------------------------------------------------------- interleave
+class TestInterleaveProperties:
+    @given(
+        counts=st.lists(st.integers(0, 60), min_size=1, max_size=5),
+        gaps=st.data(),
+    )
+    def test_counts_preserved_and_gaps_attached(self, counts, gaps):
+        its = [
+            KernelIteration(f"K{i}", c, gaps.draw(st.integers(0, 100)))
+            for i, c in enumerate(counts)
+        ]
+        steps = interleave(its)
+        assert len(steps) == sum(counts)
+        for it in its:
+            mine = [g for k, g in steps if k == it.kernel]
+            assert len(mine) == it.executions
+            assert all(g == it.gap for g in mine)

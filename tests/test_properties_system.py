@@ -1,0 +1,117 @@
+"""System-level property tests: invariants over random workloads.
+
+These go beyond the data-structure properties of ``test_properties.py``:
+entire selections and simulations must respect conservation laws and
+resource constraints for *any* generated application.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.riscmode import RiscModePolicy
+from repro.core.mrts import MRTS
+from repro.core.selector import ISESelector
+from repro.fabric.datapath import FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.simulator import Simulator
+from repro.sim.trigger import TriggerInstruction
+from repro.workloads.synthetic import SyntheticWorkloadConfig, synthetic_application
+
+FAST_CONFIG = SyntheticWorkloadConfig(
+    n_blocks=2,
+    kernels_per_block=(1, 3),
+    datapaths_per_kernel=(1, 2),
+    iterations=3,
+    executions_range=(5, 60),
+)
+
+
+def build(seed, prcs, cgs):
+    app = synthetic_application(FAST_CONFIG, seed=seed)
+    budget = ResourceBudget(n_prcs=prcs, n_cg_fabrics=cgs)
+    library = ISELibrary(app.all_kernels(), budget)
+    return app, budget, library
+
+
+class TestSelectorInvariants:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 10**6),
+        prcs=st.integers(0, 4),
+        cgs=st.integers(0, 3),
+        e=st.floats(0, 5000),
+    )
+    def test_selection_never_exceeds_budget(self, seed, prcs, cgs, e):
+        app, budget, library = build(seed, prcs, cgs)
+        controller = ReconfigurationController(budget)
+        triggers = [
+            TriggerInstruction(k.name, e, 100.0, 50.0) for k in app.all_kernels()
+        ]
+        result = ISESelector(library).select(triggers, controller, now=0)
+        fg = sum(i.fg_area for i in result.selected.values() if i is not None)
+        cg = sum(i.cg_area for i in result.selected.values() if i is not None)
+        assert fg <= budget.total(FabricType.FG)
+        assert cg <= budget.total(FabricType.CG)
+        # Committing the selection must never raise.
+        controller.commit_selection(result.selected, "prop", now=0)
+        assert controller.resources.used_area(FabricType.FG) <= budget.total(
+            FabricType.FG
+        )
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6))
+    def test_every_triggered_kernel_gets_a_decision(self, seed):
+        app, budget, library = build(seed, prcs=2, cgs=1)
+        controller = ReconfigurationController(budget)
+        triggers = [
+            TriggerInstruction(k.name, 100.0, 100.0, 50.0)
+            for k in app.all_kernels()
+        ]
+        result = ISESelector(library).select(triggers, controller, now=0)
+        assert set(result.selected) == {t.kernel for t in triggers}
+
+
+class TestSimulationInvariants:
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6), prcs=st.integers(0, 3), cgs=st.integers(0, 2))
+    def test_time_conservation(self, seed, prcs, cgs):
+        """total = gaps + kernel time + charged overhead, exactly."""
+        app, budget, library = build(seed, prcs, cgs)
+        result = Simulator(app, library, budget, MRTS()).run()
+        stats = result.stats
+        assert (
+            stats.total_cycles
+            == stats.gap_cycles + stats.kernel_cycles + stats.overhead_cycles_charged
+        )
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6))
+    def test_mrts_never_slower_than_risc_beyond_overhead(self, seed):
+        """Acceleration can only help; the worst case is RISC plus the
+        (tiny) charged selection overhead."""
+        app, budget, library = build(seed, prcs=2, cgs=2)
+        risc = Simulator(app, library, budget, RiscModePolicy()).run()
+        mrts = Simulator(app, library, budget, MRTS()).run()
+        assert (
+            mrts.stats.total_cycles
+            <= risc.stats.total_cycles + mrts.stats.overhead_cycles_charged
+        )
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6))
+    def test_execution_count_independent_of_policy(self, seed):
+        """Policies change *how* kernels execute, never how often."""
+        app, budget, library = build(seed, prcs=2, cgs=1)
+        risc = Simulator(app, library, budget, RiscModePolicy()).run()
+        mrts = Simulator(app, library, budget, MRTS()).run()
+        assert risc.stats.total_executions == mrts.stats.total_executions
+
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 10**6))
+    def test_trace_latencies_match_stats(self, seed):
+        app, budget, library = build(seed, prcs=1, cgs=1)
+        result = Simulator(app, library, budget, MRTS(), collect_trace=True).run()
+        traced = sum(r.latency for r in result.trace.executions)
+        assert traced == result.stats.kernel_cycles

@@ -1,0 +1,92 @@
+"""Candidate pruning for the selector."""
+
+import pytest
+
+from repro.core.mrts import MRTS
+from repro.core.prune import PrunedLibraryView, prune_candidates
+from repro.core.selector import ISESelector
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.trigger import TriggerInstruction
+
+
+@pytest.fixture
+def library(kernel, budget):
+    return ISELibrary([kernel], budget)
+
+
+class TestPruneCandidates:
+    def test_prunes_strictly(self, library):
+        full = library.candidates("k")
+        pruned = prune_candidates(full)
+        assert 0 < len(pruned) < len(full)
+
+    def test_keeps_the_extremes(self, library):
+        """The fastest-executing and fastest-ready candidates survive."""
+        full = library.candidates("k")
+        pruned = prune_candidates(full)
+        fastest_exec = min(full, key=lambda i: i.full_latency)
+        fastest_ready = min(full, key=lambda i: i.total_reconfig_cycles)
+        names = {i.name for i in pruned}
+        assert fastest_exec.name in names
+        # several candidates may tie on reconfig time; one of them survives
+        ready_ties = {
+            i.name for i in full
+            if i.total_reconfig_cycles == fastest_ready.total_reconfig_cycles
+        }
+        assert names & ready_ties
+
+
+class TestPrunedLibraryView:
+    def test_view_interface(self, library, kernel):
+        view = PrunedLibraryView(library)
+        assert view.kernel("k") is library.kernel("k")
+        assert view.monocg("k") is library.monocg("k")
+        assert view.kernel_names() == library.kernel_names()
+        assert 0.0 < view.pruning_ratio("k") < 1.0
+
+    def test_selector_over_pruned_view_stays_close(self, library, budget):
+        """Selection over the pruned view loses little predicted profit and
+        needs fewer evaluations."""
+        trig = TriggerInstruction("k", 2000.0, 500.0, 300.0)
+        full = ISESelector(library).select(
+            [trig], ReconfigurationController(budget), now=0
+        )
+        view = PrunedLibraryView(library)
+        pruned = ISESelector(view).select(
+            [trig], ReconfigurationController(budget), now=0
+        )
+        assert pruned.profit_evaluations < full.profit_evaluations
+        assert pruned.total_profit >= 0.9 * full.total_profit
+
+    def test_end_to_end_quality_within_noise(self, budget):
+        """mRTS over a pruned view performs within a few percent of full
+        mRTS on the H.264 workload."""
+        from repro.sim.simulator import Simulator
+        from repro.workloads.h264 import h264_application, h264_library
+
+        app = h264_application(frames=4, seed=7, scale=0.5)
+        full_library = h264_library(ResourceBudget(n_prcs=2, n_cg_fabrics=2))
+        b = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+
+        full_cycles = Simulator(app, full_library, b, MRTS()).run().total_cycles
+
+        pruned_policy = MRTS()
+        view = PrunedLibraryView(full_library)
+        pruned_cycles = Simulator(app, view, b, pruned_policy).run().total_cycles
+        assert pruned_cycles <= full_cycles * 1.05
+
+    def test_pruned_view_reduces_modeled_overhead(self, budget):
+        from repro.sim.simulator import Simulator
+        from repro.workloads.h264 import h264_application, h264_library
+
+        app = h264_application(frames=3, seed=7, scale=0.4)
+        library = h264_library(ResourceBudget(n_prcs=2, n_cg_fabrics=2))
+        b = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+        full_policy, pruned_policy = MRTS(), MRTS()
+        Simulator(app, library, b, full_policy).run()
+        Simulator(app, PrunedLibraryView(library), b, pruned_policy).run()
+        assert (
+            pruned_policy.total_overhead_cycles < full_policy.total_overhead_cycles
+        )

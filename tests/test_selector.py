@@ -1,0 +1,197 @@
+"""The heuristic ISE selector (Fig. 6) and its resource accounting."""
+
+import pytest
+
+from repro.core.selector import (
+    ISESelector,
+    apply_reservation,
+    exempt_copies,
+    predict_recT,
+    reservation_charge,
+)
+from repro.fabric.cost_model import DEFAULT_COST_MODEL
+from repro.fabric.datapath import DataPathInstance, FabricType
+from repro.fabric.reconfig import ReconfigurationController
+from repro.fabric.resources import ResourceBudget
+from repro.ise.ise import ISE
+from repro.ise.library import ISELibrary
+from repro.sim.trigger import TriggerInstruction
+from repro.util.validation import ReproError
+
+
+@pytest.fixture
+def selector(library):
+    return ISESelector(library)
+
+
+def trig(kernel="k", e=2000.0, tf=500.0, tb=300.0):
+    return TriggerInstruction(kernel, e, tf, tb)
+
+
+class TestSelect:
+    def test_selects_exactly_one_ise_per_kernel(self, selector, controller):
+        result = selector.select([trig()], controller, now=0)
+        assert set(result.selected) == {"k"}
+        assert result.selected["k"] is not None
+
+    def test_selection_fits_budget(self, selector, controller, budget):
+        result = selector.select([trig()], controller, now=0)
+        ise = result.selected["k"]
+        assert ise.fg_area <= budget.total(FabricType.FG)
+        assert ise.cg_area <= budget.total(FabricType.CG)
+
+    def test_zero_budget_yields_risc(self, kernel):
+        budget = ResourceBudget(0, 0)
+        library = ISELibrary([kernel], budget)
+        controller = ReconfigurationController(budget)
+        result = ISESelector(library).select([trig()], controller, now=0)
+        assert result.selected["k"] is None
+        assert result.profits["k"] == 0.0
+
+    def test_large_e_prefers_fg_small_e_prefers_cg(self, selector, controller):
+        """The selector reproduces the Fig. 1 regions at selection time."""
+        big = selector.select([trig(e=20000, tb=50)], controller, now=0)
+        assert big.selected["k"].fg_area > 0
+        controller.reset()
+        small = selector.select([trig(e=40, tb=50)], controller, now=0)
+        assert small.selected["k"].is_pure(FabricType.CG)
+
+    def test_configured_datapaths_boost_reuse(self, selector, controller, library):
+        """Step 2b: an ISE whose data paths are already on the fabric wins
+        through its zero reconfiguration time."""
+        first = selector.select([trig(e=20000, tb=50)], controller, now=0)
+        controller.commit_selection(first.selected, "a", now=0)
+        controller.release_owner("a")
+        later = selector.select([trig(e=20000, tb=50)], controller, now=10**8)
+        assert later.selected["k"].signature() == first.selected["k"].signature()
+        assert "k" in later.covered_free
+
+    def test_duplicate_trigger_rejected(self, selector, controller):
+        with pytest.raises(ReproError):
+            selector.select([trig(), trig()], controller, now=0)
+
+    def test_unknown_kernel_rejected(self, selector, controller):
+        with pytest.raises(ReproError):
+            selector.select([trig(kernel="nope")], controller, now=0)
+
+    def test_counters_populated(self, selector, controller):
+        result = selector.select([trig()], controller, now=0)
+        assert result.profit_evaluations > 0
+        assert result.candidates_considered > 0
+        assert result.rounds >= 1
+
+    def test_zero_forecast_executions_selects_nothing(self, selector, controller):
+        result = selector.select([trig(e=0.0)], controller, now=0)
+        assert result.selected["k"] is None
+
+
+class TestMultiKernelContention:
+    @pytest.fixture
+    def two_kernel_library(self, kernel, cond_spec, filt_spec):
+        from repro.fabric.datapath import DataPathSpec
+        from repro.ise.kernel import Kernel
+
+        other = Kernel(
+            "k2",
+            base_cycles=100,
+            datapaths=[
+                DataPathSpec(
+                    name="k2.a", word_ops=20, bit_ops=30, mem_bytes=16,
+                    fg_depth=8, sw_cycles=200, invocations=8,
+                )
+            ],
+        )
+        budget = ResourceBudget(n_prcs=1, n_cg_fabrics=1)
+        return ISELibrary([kernel, other], budget), budget
+
+    def test_greedy_serves_higher_profit_kernel_first(self, two_kernel_library):
+        library, budget = two_kernel_library
+        controller = ReconfigurationController(budget)
+        result = ISESelector(library).select(
+            [trig("k", e=5000, tb=50), trig("k2", e=10, tb=50)], controller, now=0
+        )
+        order = result.selection_order()
+        assert order.index("k") < order.index("k2")
+
+    def test_both_kernels_get_a_decision(self, two_kernel_library):
+        library, budget = two_kernel_library
+        controller = ReconfigurationController(budget)
+        result = ISESelector(library).select(
+            [trig("k"), trig("k2")], controller, now=0
+        )
+        assert set(result.selected) == {"k", "k2"}
+
+
+class TestPredictRecT:
+    def test_cold_fg_serialises(self, kernel, cost_model):
+        cm = cost_model
+        ise = ISE(
+            kernel,
+            "k/fg2",
+            [
+                DataPathInstance(cm.implement(kernel.datapaths[0], FabricType.FG)),
+                DataPathInstance(cm.implement(kernel.datapaths[1], FabricType.FG)),
+            ],
+        )
+        schedule, port = predict_recT(ise, {}, {}, now=0, fg_port_free_at=0)
+        r = [inst.impl.reconfig_cycles for inst in ise.instances]
+        assert schedule == [r[0], r[0] + r[1]]
+        assert port == r[0] + r[1]
+
+    def test_port_backlog_shifts_schedule(self, kernel, cost_model):
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[0], FabricType.FG))
+        ise = ISE(kernel, "k/fg1", [inst])
+        cold, _ = predict_recT(ise, {}, {}, now=0, fg_port_free_at=0)
+        busy, _ = predict_recT(ise, {}, {}, now=0, fg_port_free_at=10**6)
+        assert busy[0] == cold[0] + 10**6
+
+    def test_covered_instance_uses_existing_ready(self, kernel, cost_model):
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[0], FabricType.FG))
+        ise = ISE(kernel, "k/fg1", [inst])
+        schedule, port = predict_recT(
+            ise, {inst.impl.name: 1}, {inst.impl.name: 700.0}, now=500,
+            fg_port_free_at=500,
+        )
+        assert schedule == [200.0]
+        assert port == 500, "no new port traffic"
+
+    def test_cg_ready_after_context_load(self, kernel, cost_model):
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[1], FabricType.CG))
+        ise = ISE(kernel, "k/cg1", [inst])
+        schedule, _ = predict_recT(ise, {}, {}, now=1000, fg_port_free_at=10**9)
+        assert schedule == [inst.impl.reconfig_cycles]
+
+
+class TestReservationCharges:
+    def test_fresh_ise_charged_fully(self, kernel, cost_model):
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[0], FabricType.FG))
+        ise = ISE(kernel, "k/fg1", [inst])
+        charge = reservation_charge(ise, {}, {})
+        assert charge[FabricType.FG] == inst.area
+
+    def test_exempt_copies_not_charged(self, kernel, cost_model):
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[0], FabricType.FG))
+        ise = ISE(kernel, "k/fg1", [inst])
+        charge = reservation_charge(ise, {}, {inst.impl.name: 1})
+        assert charge[FabricType.FG] == 0
+
+    def test_shared_datapath_charged_once(self, kernel, cost_model):
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[0], FabricType.FG))
+        ise = ISE(kernel, "k/fg1", [inst])
+        reserved = {}
+        first = reservation_charge(ise, reserved, {})
+        apply_reservation(ise, reserved)
+        second = reservation_charge(ise, reserved, {})
+        assert first[FabricType.FG] == inst.area
+        assert second[FabricType.FG] == 0
+
+    def test_exempt_copies_helper(self, controller, kernel, cost_model):
+        inst = DataPathInstance(cost_model.implement(kernel.datapaths[0], FabricType.FG))
+        controller.ensure_configured([inst], "a", now=0)  # pinned + in flight
+        exempt = exempt_copies(controller.resources, now=0)
+        assert exempt[inst.impl.name] == 1
+        controller.release_owner("a")
+        # still in flight at now=0
+        assert exempt_copies(controller.resources, now=0)[inst.impl.name] == 1
+        # ready and unpinned afterwards -> no longer exempt
+        assert exempt_copies(controller.resources, now=10**7) == {}

@@ -1,0 +1,118 @@
+"""The simulator: timing arithmetic, traces, statistics."""
+
+import pytest
+
+from repro.baselines.riscmode import RiscModePolicy
+from repro.core.mrts import MRTS
+from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.program import Application, BlockIteration, FunctionalBlock, KernelIteration
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def app(kernel):
+    block = FunctionalBlock("B", [kernel])
+    iterations = [
+        BlockIteration("B", [KernelIteration("k", 20, 100)]),
+        BlockIteration("B", [KernelIteration("k", 40, 100)]),
+    ]
+    return Application("tiny", [block], iterations)
+
+
+class TestRiscReference:
+    def test_total_cycles_closed_form(self, app, kernel, budget):
+        """In RISC mode total time = sum over executions of (gap + latency)."""
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, RiscModePolicy()).run()
+        expected = (20 + 40) * (100 + kernel.risc_latency)
+        assert result.total_cycles == expected
+
+    def test_stats_split_gap_and_kernel_cycles(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        stats = Simulator(app, library, budget, RiscModePolicy()).run().stats
+        assert stats.gap_cycles == 60 * 100
+        assert stats.kernel_cycles == 60 * kernel.risc_latency
+        assert stats.total_cycles == stats.gap_cycles + stats.kernel_cycles
+
+    def test_mode_counters(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        stats = Simulator(app, library, budget, RiscModePolicy()).run().stats
+        assert stats.executions("risc") == 60
+        assert stats.total_executions == 60
+        assert stats.accelerated_fraction() == 0.0
+
+
+class TestMRTSRun:
+    def test_faster_than_risc(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        risc = Simulator(app, library, budget, RiscModePolicy()).run()
+        mrts = Simulator(app, library, budget, MRTS()).run()
+        assert mrts.total_cycles <= risc.total_cycles
+
+    def test_overhead_accounted(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        stats = Simulator(app, library, budget, MRTS()).run().stats
+        assert stats.overhead_cycles_charged > 0
+        assert stats.overhead_cycles_full >= stats.overhead_cycles_charged
+        assert stats.selections == 2
+
+    def test_reconfigurations_counted(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS()).run()
+        assert result.stats.reconfigurations == result.controller.reconfig_count
+        assert result.stats.reconfigurations > 0
+
+
+class TestTrace:
+    def test_trace_records_every_execution(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS(), collect_trace=True).run()
+        assert len(result.trace.executions) == 60
+        assert len(result.trace.executions_of("k")) == 60
+
+    def test_trace_times_strictly_increase(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS(), collect_trace=True).run()
+        times = [r.time for r in result.trace.executions]
+        assert times == sorted(times)
+
+    def test_block_windows_cover_executions(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS(), collect_trace=True).run()
+        windows = result.trace.block_windows["B"]
+        assert len(windows) == 2
+        for record in result.trace.executions:
+            assert any(lo <= record.time <= hi for lo, hi in windows)
+
+    def test_trace_disabled_by_default(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        assert Simulator(app, library, budget, MRTS()).run().trace is None
+
+    def test_mode_sequence_upgrades_over_time(self, app, kernel, budget):
+        """Within a block the execution only gets faster as reconfigurations
+        complete (the ECU always picks the best available implementation)."""
+        library = ISELibrary([kernel], budget)
+        result = Simulator(app, library, budget, MRTS(), collect_trace=True).run()
+        latencies = [r.latency for r in result.trace.executions if r.block == "B"]
+        assert min(latencies[-10:]) <= min(latencies[:10])
+        assert latencies[-1] <= latencies[0]
+
+
+class TestObservedTimings:
+    def test_mpu_sees_actual_executions(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        policy = MRTS()
+        Simulator(app, library, budget, policy).run()
+        stats = policy.mpu.stats("B", "k")
+        assert stats is not None
+        assert stats.observed_iterations == 2
+        assert stats.total_executions == 60
+
+    def test_stats_speedup_helper(self, app, kernel, budget):
+        library = ISELibrary([kernel], budget)
+        risc = Simulator(app, library, budget, RiscModePolicy()).run().stats
+        mrts = Simulator(app, library, budget, MRTS()).run().stats
+        assert mrts.speedup_over(risc) == pytest.approx(
+            risc.total_cycles / mrts.total_cycles
+        )

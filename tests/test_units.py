@@ -1,0 +1,59 @@
+"""Unit conversions and the published timing constants."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestClockConstants:
+    def test_core_and_cg_share_a_clock_domain(self):
+        assert units.CORE_CLOCK_HZ == units.CG_CLOCK_HZ == 400_000_000
+
+    def test_fg_runs_at_100mhz(self):
+        assert units.FG_CLOCK_HZ == 100_000_000
+
+    def test_one_fg_cycle_is_four_core_cycles(self):
+        assert units.CYCLES_PER_FG_CYCLE == 4
+
+
+class TestConversions:
+    def test_cycles_to_seconds_roundtrip(self):
+        assert units.seconds_to_cycles(units.cycles_to_seconds(123_456)) == 123_456
+
+    def test_us_to_cycles(self):
+        assert units.us_to_cycles(1.0) == 400
+
+    def test_ms_to_cycles(self):
+        assert units.ms_to_cycles(1.0) == 400_000
+
+    def test_cycles_to_us(self):
+        assert units.cycles_to_us(400) == pytest.approx(1.0)
+
+    def test_cycles_to_ms(self):
+        assert units.cycles_to_ms(400_000) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles_rounds_up(self):
+        # 1 cycle = 2.5 ns; 2.6 ns must round to 2 cycles.
+        assert units.seconds_to_cycles(2.6e-9) == 2
+
+    def test_fg_cycles_to_core_cycles(self):
+        assert units.fg_cycles_to_core_cycles(10) == 40
+
+
+class TestReconfigBandwidth:
+    def test_paper_bitstream_takes_about_1_2_ms(self):
+        """Section 5.1: 67584 KB/s port; a ~79 KB data path bitstream should
+        land near the paper's 'around 1.2 ms' per FG data path."""
+        cycles = units.kb_to_reconfig_cycles(79.2)
+        assert 1.1 <= units.cycles_to_ms(cycles) <= 1.25
+
+    def test_reconfig_cycles_scale_linearly_with_size(self):
+        one = units.kb_to_reconfig_cycles(40.0)
+        two = units.kb_to_reconfig_cycles(80.0)
+        # within one cycle of exact (each conversion rounds up independently)
+        assert abs(two - 2 * one) <= 1
+
+    def test_zero_kilobytes_is_zero_cycles(self):
+        assert units.kb_to_reconfig_cycles(0.0) == 0

@@ -1,0 +1,106 @@
+"""RNG determinism, table rendering, and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.tables import render_series, render_table
+from repro.util.validation import (
+    ValidationError,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9)
+        b = make_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(5)
+        assert make_rng(rng) is rng
+
+    def test_spawn_rng_is_deterministic(self):
+        a = spawn_rng(make_rng(9), 3).integers(0, 10**9)
+        b = spawn_rng(make_rng(9), 3).integers(0, 10**9)
+        assert a == b
+
+    def test_spawned_children_are_independent(self):
+        parent = make_rng(9)
+        a = spawn_rng(parent, 0).integers(0, 10**9)
+        b = spawn_rng(parent, 1).integers(0, 10**9)
+        assert a != b
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        out = render_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert lines[-1].endswith("22")
+
+    def test_float_precision(self):
+        out = render_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out and "1.235" not in out
+
+    def test_title_line(self):
+        out = render_table(["x"], [[1]], title="Fig. 1")
+        assert out.splitlines()[0] == "Fig. 1"
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_series_columns(self):
+        out = render_series({"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, x_label="e")
+        assert "s1" in out and "s2" in out and "e" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            render_series({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_custom_x_values(self):
+        out = render_series({"a": [1.0, 2.0]}, x_values=[10, 20])
+        assert "10" in out and "20" in out
+
+    def test_x_values_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="x_values"):
+            render_series({"a": [1.0, 2.0]}, x_values=[1])
+
+    def test_empty_series_returns_title(self):
+        assert render_series({}, title="t") == "t"
+
+
+class TestValidation:
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", 0)
+
+    def test_check_non_negative_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -1)
+
+    def test_check_type_rejects_bool_as_int(self):
+        with pytest.raises(ValidationError):
+            check_type("x", True, int)
+
+    def test_check_type_accepts_match(self):
+        check_type("x", 3, int)
+
+    def test_check_type_rejects_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_type("x", "3", int)

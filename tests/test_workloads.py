@@ -1,0 +1,160 @@
+"""The H.264 workload and the synthetic generator."""
+
+import pytest
+
+from repro.fabric.datapath import FabricType
+from repro.fabric.resources import ResourceBudget
+from repro.workloads.h264 import (
+    deblocking_case_study,
+    frame_activity,
+    deblock_executions_per_frame,
+    h264_application,
+    h264_blocks,
+    h264_kernels,
+    h264_library,
+)
+from repro.workloads.h264.traces import H264_DEMANDS
+from repro.workloads.synthetic import SyntheticWorkloadConfig, synthetic_application
+
+
+class TestH264Structure:
+    def test_three_functional_blocks(self):
+        blocks = h264_blocks()
+        assert [b.name for b in blocks] == ["ME", "EE", "LF"]
+
+    def test_biggest_block_has_more_than_six_kernels(self):
+        """Paper Section 2: 'the biggest one contains more than six kernels'."""
+        ee = next(b for b in h264_blocks() if b.name == "EE")
+        assert len(ee.kernels) > 6
+
+    def test_eleven_kernels_total(self):
+        assert len(h264_kernels()) == 11
+
+    def test_deblocking_kernels_in_lf(self):
+        lf = next(b for b in h264_blocks() if b.name == "LF")
+        assert set(lf.kernel_names()) == {"lf.deblock_luma", "lf.deblock_chroma"}
+
+    def test_demand_model_covers_all_kernels(self):
+        assert set(H264_DEMANDS) == set(h264_kernels())
+
+
+class TestFrameActivity:
+    def test_reproducible(self):
+        assert frame_activity(16, seed=3) == frame_activity(16, seed=3)
+
+    def test_seeds_differ(self):
+        assert frame_activity(16, seed=3) != frame_activity(16, seed=4)
+
+    def test_bounded(self):
+        for a in frame_activity(200, seed=1):
+            assert 0.05 <= a <= 1.2
+
+    def test_fig2_series_varies_substantially(self):
+        """Fig. 2: the per-frame execution counts swing enough that the best
+        ISE changes across frames."""
+        counts = deblock_executions_per_frame(frames=64, seed=0)
+        assert max(counts) > 3 * min(counts)
+
+    def test_intra_prediction_anticorrelated_with_motion(self):
+        low = H264_DEMANDS["ee.ipred"].executions(0.1)
+        high = H264_DEMANDS["ee.ipred"].executions(1.0)
+        assert low > high
+
+    def test_motion_kernels_scale_with_activity(self):
+        assert H264_DEMANDS["me.sad"].executions(1.0) > H264_DEMANDS[
+            "me.sad"
+        ].executions(0.2)
+
+
+class TestH264Application:
+    def test_iterations_per_frame(self):
+        app = h264_application(frames=4, seed=0)
+        assert len(app.iterations) == 12, "ME, EE, LF per frame"
+        assert [it.block for it in app.iterations[:3]] == ["ME", "EE", "LF"]
+
+    def test_scale_reduces_counts(self):
+        full = h264_application(frames=2, seed=0, scale=1.0)
+        half = h264_application(frames=2, seed=0, scale=0.5)
+        total = lambda app: sum(
+            kit.executions for it in app.iterations for kit in it.kernels
+        )
+        assert total(half) < total(full)
+
+    def test_library_candidates_for_every_kernel(self):
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+        library = h264_library(budget)
+        for name in h264_kernels():
+            assert library.candidates(name), name
+
+    def test_zero_budget_library_has_no_candidates(self):
+        library = h264_library(ResourceBudget(0, 0))
+        assert all(not library.candidates(k) for k in h264_kernels())
+
+
+class TestDeblockingCaseStudy:
+    def test_three_ises(self):
+        _, ises = deblocking_case_study()
+        assert set(ises) == {"ISE-1", "ISE-2", "ISE-3"}
+
+    def test_granularities_match_the_paper(self):
+        _, ises = deblocking_case_study()
+        assert ises["ISE-1"].is_pure(FabricType.FG)
+        assert ises["ISE-2"].is_pure(FabricType.CG)
+        assert ises["ISE-3"].is_multigrained
+
+    def test_latency_and_reconfig_orderings(self):
+        _, ises = deblocking_case_study()
+        assert (
+            ises["ISE-1"].full_latency
+            < ises["ISE-3"].full_latency
+            < ises["ISE-2"].full_latency
+        )
+        assert (
+            ises["ISE-2"].total_reconfig_cycles
+            < ises["ISE-3"].total_reconfig_cycles
+            < ises["ISE-1"].total_reconfig_cycles
+        )
+
+    def test_case_study_kernel_has_two_datapaths(self):
+        kernel, _ = deblocking_case_study()
+        assert len(kernel.datapaths) == 2
+
+
+class TestSyntheticGenerator:
+    def test_reproducible(self):
+        a = synthetic_application(seed=11)
+        b = synthetic_application(seed=11)
+        assert [it.block for it in a.iterations] == [it.block for it in b.iterations]
+        assert [
+            kit.executions for it in a.iterations for kit in it.kernels
+        ] == [kit.executions for it in b.iterations for kit in it.kernels]
+
+    def test_respects_config_shape(self):
+        config = SyntheticWorkloadConfig(
+            n_blocks=3, kernels_per_block=(2, 2), iterations=4
+        )
+        app = synthetic_application(config, seed=0)
+        assert len(app.blocks) == 3
+        assert all(len(b.kernels) == 2 for b in app.blocks)
+        assert len(app.iterations) == 12
+
+    def test_invalid_ranges_rejected(self):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            SyntheticWorkloadConfig(kernels_per_block=(3, 2))
+        with pytest.raises(ValidationError):
+            SyntheticWorkloadConfig(bit_dominant_probability=1.5)
+
+    def test_generated_app_simulates(self):
+        from repro.core.mrts import MRTS
+        from repro.ise.library import ISELibrary
+        from repro.sim.simulator import Simulator
+
+        app = synthetic_application(
+            SyntheticWorkloadConfig(iterations=2, executions_range=(5, 20)), seed=2
+        )
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+        library = ISELibrary(app.all_kernels(), budget)
+        result = Simulator(app, library, budget, MRTS()).run()
+        assert result.total_cycles > 0
