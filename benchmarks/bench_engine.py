@@ -1,0 +1,60 @@
+"""The sweep engine: parallel fan-out and cache-hit throughput.
+
+Demonstrates the scaling properties the engine exists for, on a 36-cell
+(budget x seed x policy) sweep:
+
+* a cold run simulates every cell (through ``--jobs`` worker processes
+  when given);
+* a warm re-run serves every cell from the content-addressed cache and
+  must be at least 5x faster than the cold run;
+* cold and warm runs return byte-identical records.
+"""
+
+import json
+import time
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.engine import SweepCell, SweepEngine
+
+#: 3 budgets x 6 seeds x 2 policies = 36 cells.
+BUDGETS = [(1, 1), (2, 2), (3, 3)]
+SEEDS = list(range(6))
+POLICY_NAMES = ["risc", "mrts"]
+WORKLOAD_PARAMS = {"frames": 4, "scale": 0.5}
+
+
+def _cells():
+    return [
+        SweepCell.make(budget, seed, policy, workload_params=WORKLOAD_PARAMS)
+        for budget in BUDGETS
+        for seed in SEEDS
+        for policy in POLICY_NAMES
+    ]
+
+
+def test_engine_cache_hit_speedup(benchmark, sweep_engine):
+    if not sweep_engine.use_cache:
+        pytest.skip("cache-hit bench is meaningless with --no-cache")
+    cells = _cells()
+    assert len(cells) >= 32
+
+    cold_start = time.perf_counter()
+    cold = run_once(benchmark, lambda: sweep_engine.run(cells))
+    cold_elapsed = time.perf_counter() - cold_start
+    assert sweep_engine.stats.executed == len(cells)
+
+    warm_start = time.perf_counter()
+    warm = sweep_engine.run(cells)
+    warm_elapsed = time.perf_counter() - warm_start
+
+    print(
+        f"\ncold: {cold_elapsed:.2f}s ({sweep_engine.jobs} job(s)), "
+        f"warm: {warm_elapsed:.3f}s, "
+        f"speedup {cold_elapsed / warm_elapsed:.0f}x"
+    )
+    assert sweep_engine.stats.cache_hits == len(cells)
+    assert sweep_engine.stats.executed == 0
+    assert json.dumps(cold) == json.dumps(warm)
+    assert cold_elapsed / warm_elapsed >= 5.0

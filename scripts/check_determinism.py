@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Determinism and regression gate for the sweep engine.
+
+Three checks, all byte-level:
+
+1. **Serial == parallel**: a reference 36-cell sweep executed in-process
+   and through a ``--jobs``-wide process pool must serialise identically.
+2. **Fresh == cached**: re-running the same sweep against the cache it
+   just populated must serialise identically.
+3. **Golden trace**: the committed reference snapshot under
+   ``tests/golden/`` must match a fresh simulation exactly.
+
+Exit status is non-zero on any mismatch, so CI can gate on it::
+
+    PYTHONPATH=src python scripts/check_determinism.py --jobs 4
+
+After an *intentional* simulation-behaviour change, refresh the snapshot::
+
+    PYTHONPATH=src python scripts/check_determinism.py --update-golden
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+from repro.experiments.engine import SweepCell, SweepEngine
+from repro.verification.golden import (
+    GOLDEN_PATH,
+    diff_golden,
+    golden_payload,
+    load_golden,
+    write_golden,
+)
+
+#: 3 budgets x 6 seeds x 2 policies = 36 reference cells.
+REFERENCE_CELLS = [
+    dict(budget=budget, seed=seed, policy=policy)
+    for budget in [(1, 1), (2, 2), (3, 3)]
+    for seed in range(6)
+    for policy in ("risc", "mrts")
+]
+WORKLOAD_PARAMS = {"frames": 3, "scale": 0.4}
+
+
+def reference_cells():
+    return [
+        SweepCell.make(workload_params=WORKLOAD_PARAMS, **spec)
+        for spec in REFERENCE_CELLS
+    ]
+
+
+def check_engine(jobs: int) -> bool:
+    cells = reference_cells()
+    with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
+        serial = SweepEngine(jobs=1, use_cache=False).run(cells)
+        parallel_engine = SweepEngine(jobs=jobs, use_cache=True, cache_dir=tmp)
+        parallel = parallel_engine.run(cells)
+        cached = parallel_engine.run(cells)
+    ok = True
+    if json.dumps(serial) != json.dumps(parallel):
+        print(f"FAIL: serial and --jobs {jobs} records differ")
+        ok = False
+    else:
+        print(f"ok: serial == parallel ({len(cells)} cells, {jobs} jobs)")
+    if json.dumps(parallel) != json.dumps(cached):
+        print("FAIL: fresh and cache-served records differ")
+        ok = False
+    elif parallel_engine.stats.cache_hits != len(cells):
+        print(
+            f"FAIL: expected {len(cells)} cache hits, "
+            f"got {parallel_engine.stats.cache_hits}"
+        )
+        ok = False
+    else:
+        print(f"ok: fresh == cached ({parallel_engine.stats.cache_hits} hits)")
+    return ok
+
+
+def check_golden() -> bool:
+    if not GOLDEN_PATH.exists():
+        print(f"FAIL: golden snapshot missing at {GOLDEN_PATH}")
+        return False
+    problems = diff_golden(load_golden(), golden_payload())
+    if problems:
+        print("FAIL: golden trace diverged:")
+        for problem in problems:
+            print(f"  - {problem}")
+        print("  (intentional change? re-run with --update-golden)")
+        return False
+    print(f"ok: golden trace matches {GOLDEN_PATH.name}")
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="pool width for the parallel leg (default 4)")
+    parser.add_argument("--skip-engine", action="store_true",
+                        help="only check the golden trace")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="regenerate the golden snapshot and exit")
+    args = parser.parse_args(argv)
+
+    if args.update_golden:
+        path = write_golden()
+        print(f"wrote {path}")
+        return 0
+
+    ok = True
+    if not args.skip_engine:
+        ok &= check_engine(args.jobs)
+    ok &= check_golden()
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,38 +7,26 @@ Commands
 ``library``      inspect the compile-time ISE library for a budget
 ``case-study``   print the Section 2 deblocking-filter case study
 ``experiments``  run the full figure-reproduction suite
+``sweep``        run a (budget x seed x policy) sweep through the engine
 ``report``       write the full markdown experiment dossier
 ``export``       run one experiment and write its data as CSV/JSON
+
+The sweep-shaped commands accept ``--jobs`` (process fan-out),
+``--no-cache`` and ``--cache-dir`` (the content-addressed cell cache under
+``.repro_cache/``); see ``docs/sweeps.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
 
-from repro.baselines import (
-    Morpheus4SPolicy,
-    OfflineOptimalPolicy,
-    OnlineOptimalPolicy,
-    RiscModePolicy,
-    RisppLikePolicy,
-    TaskLevelPolicy,
-)
-from repro.core.mrts import MRTS
+#: The single policy registry, shared with the sweep engine.
+from repro.experiments.engine import POLICIES, WORKLOADS
 from repro.fabric.resources import ResourceBudget
 from repro.sim.simulator import Simulator
 from repro.util.tables import render_table
-
-POLICIES: Dict[str, Callable] = {
-    "risc": RiscModePolicy,
-    "mrts": MRTS,
-    "rispp": RisppLikePolicy,
-    "morpheus4s": Morpheus4SPolicy,
-    "offline-optimal": OfflineOptimalPolicy,
-    "online-optimal": OnlineOptimalPolicy,
-    "task-level": TaskLevelPolicy,
-}
+from repro.util.validation import ReproError
 
 EXPERIMENTS = (
     "fig1", "fig2", "fig5", "fig8", "fig9", "fig10",
@@ -148,10 +136,59 @@ def cmd_case_study(args) -> int:
     return 0
 
 
+def _engine_kwargs(args) -> dict:
+    return dict(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for sweep cells")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read/write the on-disk cell cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cell cache location (default: .repro_cache)")
+
+
 def cmd_experiments(args) -> int:
     from repro.experiments.runner import run_all
 
-    run_all(fast=args.fast)
+    run_all(fast=args.fast, **_engine_kwargs(args))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments.sweep import run_sweep
+
+    try:
+        budgets = []
+        for label in args.budgets.split(","):
+            label = label.strip()
+            if len(label) != 2 or not label.isdigit():
+                raise ReproError(
+                    f"budget {label!r} must be a two-digit combination label "
+                    "(CG fabrics then PRCs, e.g. 21)"
+                )
+            budgets.append((int(label[0]), int(label[1])))
+        seeds = [int(s) for s in args.seeds.split(",")]
+        policies = [p.strip() for p in args.policies.split(",")]
+        result = run_sweep(
+            budgets,
+            seeds,
+            policies,
+            workload=args.workload,
+            workload_params={
+                "images" if args.workload == "jpeg" else "frames": args.frames
+            },
+            **_engine_kwargs(args),
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
     return 0
 
 
@@ -171,13 +208,14 @@ def cmd_export(args) -> int:
     )
     from repro.experiments.export import export_csv, export_json
 
+    engine_kwargs = _engine_kwargs(args)
     runners = {
         "fig1": run_fig1,
         "fig2": run_fig2,
         "fig5": run_fig5,
-        "fig8": lambda: run_fig8(frames=args.frames),
-        "fig9": lambda: run_fig9(frames=args.frames),
-        "fig10": lambda: run_fig10(frames=args.frames),
+        "fig8": lambda: run_fig8(frames=args.frames, **engine_kwargs),
+        "fig9": lambda: run_fig9(frames=args.frames, **engine_kwargs),
+        "fig10": lambda: run_fig10(frames=args.frames, **engine_kwargs),
         "overhead": lambda: run_overhead(frames=args.frames),
         "search-space": run_search_space,
         "ablations": lambda: run_ablations(frames=args.frames),
@@ -221,7 +259,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiments", help="run the full figure suite")
     p_exp.add_argument("--fast", action="store_true")
+    _add_engine_arguments(p_exp)
     p_exp.set_defaults(fn=cmd_experiments)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="(budget x seed x policy) sweep through the engine"
+    )
+    p_sweep.add_argument(
+        "--budgets", default="11,22,33",
+        help="comma-separated combination labels, CG then PRC (e.g. 01,11,23)",
+    )
+    p_sweep.add_argument("--seeds", default="7", help="comma-separated seeds")
+    p_sweep.add_argument(
+        "--policies", default="mrts",
+        help=f"comma-separated policy names from {sorted(POLICIES)}",
+    )
+    p_sweep.add_argument("--workload", choices=sorted(WORKLOADS), default="h264")
+    p_sweep.add_argument("--frames", type=int, default=8,
+                         help="frames (h264/deblocking) or images (jpeg)")
+    _add_engine_arguments(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_rep = sub.add_parser("report", help="write the markdown experiment dossier")
     p_rep.add_argument("--out", default="results/report.md")
@@ -233,6 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_out.add_argument("--frames", type=int, default=16)
     p_out.add_argument("--out", default="results")
     p_out.add_argument("--format", choices=("csv", "json"), default="csv")
+    _add_engine_arguments(p_out)
     p_out.set_defaults(fn=cmd_export)
     return parser
 

@@ -17,6 +17,15 @@ paper's figure shows.  ``repro.experiments.runner`` executes all of them
 | DESIGN.md ablations                        | ``ablations`` |
 """
 
+from repro.experiments.engine import (
+    POLICIES,
+    SweepCell,
+    SweepEngine,
+    WORKLOADS,
+    execute_cell,
+    register_policy,
+    register_workload,
+)
 from repro.experiments.fig1_pif import run_fig1, Fig1Result
 from repro.experiments.fig2_executions import run_fig2, Fig2Result
 from repro.experiments.fig5_timeline import run_fig5, Fig5Result
@@ -34,6 +43,13 @@ from repro.experiments.search_space import run_search_space, SearchSpaceResult
 from repro.experiments.ablations import run_ablations, AblationResult
 
 __all__ = [
+    "POLICIES",
+    "SweepCell",
+    "SweepEngine",
+    "WORKLOADS",
+    "execute_cell",
+    "register_policy",
+    "register_workload",
     "run_fig1",
     "Fig1Result",
     "run_fig2",

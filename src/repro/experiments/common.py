@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro.experiments.engine import SweepCell, SweepEngine, policy_name_of
 from repro.fabric.resources import ResourceBudget
 from repro.sim.policy import RuntimePolicy
 from repro.sim.program import Application
@@ -21,12 +22,55 @@ class MatrixRunner:
 
     The comparison figures share many cells (e.g. the RISC reference), so
     results are memoised per ``(budget.label, policy name)``.
+
+    With an ``engine`` attached (and no custom ``application``), grid
+    experiments can :meth:`prefetch` their cycle counts through the
+    parallel/cached sweep engine; :meth:`cycles` then serves from the
+    prefetched records and only falls back to in-process simulation for
+    cells the engine did not cover (e.g. trace collection).
     """
 
     def __init__(self, application: Application = None, frames: int = DEFAULT_FRAMES,
-                 seed: int = DEFAULT_SEED):
+                 seed: int = DEFAULT_SEED, engine: Optional[SweepEngine] = None):
         self.application = application or h264_application(frames=frames, seed=seed)
+        self.frames = frames
+        self.seed = seed
+        # Engine cells rebuild the canonical h264 application from
+        # (frames, seed); a hand-built application has no such recipe.
+        self.engine = engine if application is None else None
         self._cache: Dict[Tuple[str, str], SimulationResult] = {}
+        self._prefetched_cycles: Dict[Tuple[str, str], int] = {}
+
+    def _cell(self, budget: ResourceBudget, policy_name: str) -> SweepCell:
+        return SweepCell.make(
+            (budget.n_cg_fabrics, budget.n_prcs),
+            self.seed,
+            policy_name,
+            workload="h264",
+            workload_params={"frames": self.frames},
+        )
+
+    def prefetch(
+        self,
+        budgets: Sequence[ResourceBudget],
+        policy_names: Sequence[str],
+    ) -> None:
+        """Run the (budget x policy) grid through the engine in one batch.
+
+        No-op without an engine, so grid experiments can call this
+        unconditionally and keep working serially in-process by default.
+        """
+        if self.engine is None:
+            return
+        cells = [
+            self._cell(budget, name)
+            for budget in budgets
+            for name in policy_names
+        ]
+        records = self.engine.run(cells)
+        for cell, record in zip(cells, records):
+            key = (record["budget_label"], cell.policy)
+            self._prefetched_cycles[key] = record["total_cycles"]
 
     def run(
         self,
@@ -44,6 +88,11 @@ class MatrixRunner:
         return self._cache[key]
 
     def cycles(self, budget: ResourceBudget, policy_factory) -> int:
+        name = policy_name_of(policy_factory)
+        if name is not None:
+            prefetched = self._prefetched_cycles.get((budget.label, name))
+            if prefetched is not None:
+                return prefetched
         return self.run(budget, policy_factory).total_cycles
 
 

@@ -1,0 +1,516 @@
+"""Parallel, cached execution engine for simulation sweeps.
+
+The figure modules and :mod:`repro.experiments.sweep` all reduce to the
+same shape of work: simulate many independent *cells* -- one (budget, seed,
+policy, workload) combination each -- and aggregate the per-cell numbers.
+This module turns that shape into infrastructure:
+
+* **Declarative cells.**  A :class:`SweepCell` names its workload and
+  policy through registries instead of carrying closures, so a cell can be
+  pickled to a worker process and hashed into a cache key.
+* **Parallel fan-out.**  :class:`SweepEngine` dispatches cells over a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers, chunked
+  ``map``) and collects results in submission order, so a parallel run is
+  bit-identical to a serial one -- both call :func:`execute_cell`.
+* **Content-addressed cache.**  Each cell's record is stored as JSON under
+  ``.repro_cache/`` keyed by a stable hash of the cell *and* a structural
+  fingerprint of the compile-time ISE library, so editing the library
+  builder, the cost model or any cell parameter invalidates exactly the
+  affected cells.
+
+The engine is the scaling foundation: sharding and multi-backend dispatch
+plug in behind :meth:`SweepEngine.run` without touching the experiment
+modules again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.baselines import (
+    Morpheus4SPolicy,
+    OfflineOptimalPolicy,
+    OnlineOptimalPolicy,
+    RiscModePolicy,
+    RisppLikePolicy,
+    TaskLevelPolicy,
+)
+from repro.core.mrts import MRTS
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import Simulator
+from repro.util.validation import ReproError
+
+#: Bump when the record layout or the simulation semantics change in a way
+#: the library fingerprint cannot see; invalidates every cached record.
+ENGINE_SCHEMA = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+# ------------------------------------------------------------- registries
+
+#: Every runnable policy, by the name used in cells, cache keys and the CLI.
+POLICIES: Dict[str, Callable] = {
+    "risc": RiscModePolicy,
+    "mrts": MRTS,
+    "rispp": RisppLikePolicy,
+    "morpheus4s": Morpheus4SPolicy,
+    "offline-optimal": OfflineOptimalPolicy,
+    "online-optimal": OnlineOptimalPolicy,
+    "task-level": TaskLevelPolicy,
+}
+
+#: Reverse map: registry factory -> name (for callers holding a factory).
+_POLICY_NAMES: Dict[Callable, str] = {f: n for n, f in POLICIES.items()}
+
+
+def register_policy(name: str, factory: Callable) -> None:
+    """Register a policy factory for declarative cells.
+
+    For parallel runs the registration must happen at import time of a
+    module the workers also import (worker processes re-resolve the name).
+    """
+    POLICIES[name] = factory
+    _POLICY_NAMES[factory] = name
+
+
+def policy_name_of(factory: Callable) -> Optional[str]:
+    """Registry name of ``factory``, or ``None`` if it is not registered."""
+    return _POLICY_NAMES.get(factory)
+
+
+@dataclass(frozen=True)
+class WorkloadFamily:
+    """A declarative workload: builds the application and its ISE library.
+
+    ``application(seed, params)`` and ``library(budget, params)`` receive
+    the cell's ``workload_params`` as a plain dict.
+    """
+
+    name: str
+    application: Callable
+    library: Callable
+
+
+def _h264_application(seed, params):
+    from repro.workloads.h264 import h264_application
+
+    return h264_application(
+        frames=params.get("frames", 8),
+        seed=seed,
+        scale=params.get("scale", 0.6),
+    )
+
+
+def _h264_library(budget, params):
+    from repro.workloads.h264 import h264_library
+
+    return h264_library(budget)
+
+
+def _jpeg_application(seed, params):
+    from repro.workloads.jpeg import jpeg_application
+
+    return jpeg_application(
+        images=params.get("images", 8),
+        blocks_per_image=params.get("blocks_per_image", 300),
+        seed=seed,
+    )
+
+
+def _jpeg_library(budget, params):
+    from repro.workloads.jpeg import jpeg_library
+
+    return jpeg_library(budget)
+
+
+def _deblocking_application(seed, params):
+    from repro.workloads.h264 import deblocking_application
+
+    return deblocking_application(
+        frames=params.get("frames", 8),
+        seed=seed,
+        scale=params.get("scale", 0.6),
+    )
+
+
+def _deblocking_library(budget, params):
+    from repro.workloads.h264 import deblocking_library
+
+    return deblocking_library(budget)
+
+
+WORKLOADS: Dict[str, WorkloadFamily] = {
+    "h264": WorkloadFamily("h264", _h264_application, _h264_library),
+    "jpeg": WorkloadFamily("jpeg", _jpeg_application, _jpeg_library),
+    "deblocking": WorkloadFamily(
+        "deblocking", _deblocking_application, _deblocking_library
+    ),
+}
+
+
+def register_workload(name: str, application: Callable, library: Callable) -> None:
+    """Register a workload family (same import-time caveat as policies)."""
+    WORKLOADS[name] = WorkloadFamily(name, application, library)
+
+
+# ------------------------------------------------------------------ cells
+
+Params = Union[None, Mapping[str, object], Tuple[Tuple[str, object], ...]]
+
+
+def _normalize_params(params: Params) -> Tuple[Tuple[str, object], ...]:
+    if not params:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: (budget, seed, policy, workload).
+
+    ``budget`` is ``(n_cg_fabrics, n_prcs)`` -- the order of the paper's
+    combination labels ("21" = 2 CG fabrics, 1 PRC).  Params are stored as
+    sorted key/value tuples so cells are hashable and canonical.
+    """
+
+    budget: Tuple[int, int]
+    seed: int
+    policy: str
+    policy_params: Tuple[Tuple[str, object], ...] = ()
+    workload: str = "h264"
+    workload_params: Tuple[Tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(
+        budget: Tuple[int, int],
+        seed: int,
+        policy: str,
+        policy_params: Params = None,
+        workload: str = "h264",
+        workload_params: Params = None,
+    ) -> "SweepCell":
+        """Validated constructor (use this, not the raw dataclass)."""
+        if policy not in POLICIES:
+            raise ReproError(
+                f"unknown policy {policy!r}; registered: {sorted(POLICIES)}"
+            )
+        if workload not in WORKLOADS:
+            raise ReproError(
+                f"unknown workload {workload!r}; registered: {sorted(WORKLOADS)}"
+            )
+        cg, prc = budget
+        return SweepCell(
+            budget=(int(cg), int(prc)),
+            seed=int(seed),
+            policy=policy,
+            policy_params=_normalize_params(policy_params),
+            workload=workload,
+            workload_params=_normalize_params(workload_params),
+        )
+
+    def resource_budget(self) -> ResourceBudget:
+        cg, prc = self.budget
+        return ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+
+    def payload(self) -> Dict[str, object]:
+        """Canonical JSON-able description (the hashed part of the key)."""
+        return {
+            "budget": list(self.budget),
+            "seed": self.seed,
+            "policy": self.policy,
+            "policy_params": [list(p) for p in self.policy_params],
+            "workload": self.workload,
+            "workload_params": [list(p) for p in self.workload_params],
+        }
+
+
+# ------------------------------------------------------- cache key / hash
+
+
+def _stable_hash(payload: object) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: (workload, workload_params, budget) -> fingerprint, memoised per process.
+_FINGERPRINTS: Dict[Tuple, str] = {}
+
+
+def library_fingerprint(
+    workload: str,
+    budget: Tuple[int, int],
+    workload_params: Params = None,
+) -> str:
+    """Structural hash of the compile-time ISE library a cell will see.
+
+    Covers every latency, area and reconfiguration number that feeds the
+    simulation, so changes to the ISE builder, the cost model or the data
+    paths invalidate cached records without a manual version bump.
+    """
+    params = _normalize_params(workload_params)
+    memo_key = (workload, params, tuple(budget))
+    if memo_key in _FINGERPRINTS:
+        return _FINGERPRINTS[memo_key]
+    family = WORKLOADS[workload]
+    cg, prc = budget
+    resource_budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+    library = family.library(resource_budget, dict(params))
+    description: List[object] = []
+    for kernel_name in sorted(library.kernel_names()):
+        kernel = library.kernel(kernel_name)
+        monocg = library.monocg(kernel_name)
+        candidates = sorted(
+            [
+                [
+                    sorted(list(pair) for pair in ise.signature()),
+                    list(ise.latencies),
+                    list(ise.reconfig_schedule()),
+                ]
+                for ise in library.candidates(kernel_name)
+            ],
+            key=lambda entry: json.dumps(entry, sort_keys=True),
+        )
+        description.append(
+            [kernel_name, kernel.risc_latency, monocg.latency, candidates]
+        )
+    fingerprint = _stable_hash(description)
+    _FINGERPRINTS[memo_key] = fingerprint
+    return fingerprint
+
+
+def cell_key(cell: SweepCell) -> str:
+    """Content address of ``cell``: cell description + library fingerprint."""
+    return _stable_hash(
+        {
+            "schema": ENGINE_SCHEMA,
+            "cell": cell.payload(),
+            "library": library_fingerprint(
+                cell.workload, cell.budget, cell.workload_params
+            ),
+        }
+    )
+
+
+# ----------------------------------------------------------- cell workers
+
+#: Simulations actually executed in this process (cache-hit tests read it).
+SIMULATIONS_RUN = 0
+
+
+def execute_cell(cell: SweepCell) -> Dict[str, object]:
+    """Simulate one cell and return its plain-data record.
+
+    This is the single execution path of the engine: the serial loop and
+    every pool worker call exactly this function, which is what makes
+    serial and parallel runs bit-identical.
+    """
+    global SIMULATIONS_RUN
+    family = WORKLOADS[cell.workload]
+    budget = cell.resource_budget()
+    workload_params = dict(cell.workload_params)
+    application = family.application(cell.seed, workload_params)
+    library = family.library(budget, workload_params)
+    policy = POLICIES[cell.policy](**dict(cell.policy_params))
+    result = Simulator(application, library, budget, policy).run()
+    SIMULATIONS_RUN += 1
+    stats = result.stats
+    return {
+        "budget_label": budget.label,
+        "seed": cell.seed,
+        "policy": cell.policy,
+        "workload": cell.workload,
+        "total_cycles": stats.total_cycles,
+        "kernel_cycles": stats.kernel_cycles,
+        "gap_cycles": stats.gap_cycles,
+        "overhead_cycles_charged": stats.overhead_cycles_charged,
+        "overhead_cycles_full": stats.overhead_cycles_full,
+        "accelerated_fraction": stats.accelerated_fraction(),
+        "reconfigurations": stats.reconfigurations,
+        "selections": stats.selections,
+        "executions_by_mode": dict(sorted(stats.executions_by_mode.items())),
+    }
+
+
+# ----------------------------------------------------------------- engine
+
+
+@dataclass
+class EngineStats:
+    """What one :meth:`SweepEngine.run` call did."""
+
+    cells: int = 0          #: cells requested (incl. duplicates)
+    unique_cells: int = 0   #: distinct cache keys among them
+    cache_hits: int = 0     #: unique cells served from disk
+    executed: int = 0       #: unique cells actually simulated
+
+    def reset(self) -> None:
+        self.cells = self.unique_cells = self.cache_hits = self.executed = 0
+
+
+class SweepEngine:
+    """Runs sweep cells -- parallel, cached, deterministically ordered.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs in-process; results are
+        identical either way.
+    cache_dir / use_cache:
+        Where cell records live and whether to consult them.  The cache is
+        content-addressed: stale entries are never *read* (their key no
+        longer matches), only overwritten or left to garbage-collect.
+    chunk_size:
+        Cells per worker dispatch; defaults to ``len(cells) / (4 * jobs)``
+        (clamped to >= 1) so each worker gets a few chunks and stragglers
+        do not serialise the tail.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Union[str, Path, None] = None,
+        use_cache: bool = True,
+        chunk_size: Optional[int] = None,
+    ):
+        if jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else Path(
+            DEFAULT_CACHE_DIR
+        )
+        self.use_cache = use_cache
+        self.chunk_size = chunk_size
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------- cache
+    def _record_path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def _read_record(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._record_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if envelope.get("schema") != ENGINE_SCHEMA or envelope.get("key") != key:
+            return None
+        record = envelope.get("record")
+        return record if isinstance(record, dict) else None
+
+    def _write_record(self, key: str, cell: SweepCell, record: Dict[str, object]) -> None:
+        path = self._record_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": ENGINE_SCHEMA,
+            "key": key,
+            "cell": cell.payload(),
+            "record": record,
+        }
+        # Atomic publish: a crashed/parallel writer never leaves a torn file.
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # --------------------------------------------------------------- run
+    def run(self, cells: Sequence[SweepCell]) -> List[Dict[str, object]]:
+        """Execute ``cells``; returns one record per cell, in input order.
+
+        Duplicate cells are simulated once and share the record.
+        """
+        self.stats.reset()
+        self.stats.cells = len(cells)
+        keys = [cell_key(cell) for cell in cells]
+        by_key: Dict[str, SweepCell] = {}
+        for cell, key in zip(cells, keys):
+            by_key.setdefault(key, cell)
+        self.stats.unique_cells = len(by_key)
+
+        records: Dict[str, Dict[str, object]] = {}
+        if self.use_cache:
+            for key in by_key:
+                cached = self._read_record(key)
+                if cached is not None:
+                    records[key] = cached
+            self.stats.cache_hits = len(records)
+
+        missing = [(key, cell) for key, cell in by_key.items() if key not in records]
+        fresh = self._execute_missing(missing)
+        for (key, cell), record in zip(missing, fresh):
+            records[key] = record
+            if self.use_cache:
+                self._write_record(key, cell, record)
+        self.stats.executed = len(missing)
+        # Canonical key order, so fresh and cache-served records serialise
+        # byte-identically (cached JSON comes back sorted).
+        return [
+            {field: records[key][field] for field in sorted(records[key])}
+            for key in keys
+        ]
+
+    def _execute_missing(
+        self, missing: Sequence[Tuple[str, SweepCell]]
+    ) -> List[Dict[str, object]]:
+        cells = [cell for _, cell in missing]
+        if not cells:
+            return []
+        if self.jobs == 1 or len(cells) == 1:
+            return [execute_cell(cell) for cell in cells]
+        workers = min(self.jobs, len(cells))
+        chunk = self.chunk_size or max(1, len(cells) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_cell, cells, chunksize=chunk))
+
+
+def resolve_engine(
+    engine: Optional[SweepEngine] = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Union[str, Path, None] = None,
+) -> Optional[SweepEngine]:
+    """Engine for the experiment entry points' convenience flags.
+
+    Returns ``engine`` when given; otherwise builds one from the flags, or
+    returns ``None`` when the flags ask for nothing beyond the classic
+    serial in-process path (so default calls stay dependency-free).
+    """
+    if engine is not None:
+        return engine
+    if jobs == 1 and not use_cache and cache_dir is None:
+        return None
+    return SweepEngine(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ENGINE_SCHEMA",
+    "EngineStats",
+    "POLICIES",
+    "SweepCell",
+    "SweepEngine",
+    "WORKLOADS",
+    "WorkloadFamily",
+    "cell_key",
+    "execute_cell",
+    "library_fingerprint",
+    "policy_name_of",
+    "register_policy",
+    "register_workload",
+    "resolve_engine",
+]

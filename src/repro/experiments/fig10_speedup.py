@@ -15,6 +15,7 @@ from typing import Dict, List
 from repro.baselines.riscmode import RiscModePolicy
 from repro.core.mrts import MRTS
 from repro.experiments.common import MatrixRunner, budget_grid, geometric_mean
+from repro.experiments.engine import SweepEngine, resolve_engine
 from repro.fabric.resources import ResourceBudget
 from repro.util.tables import render_table
 
@@ -93,10 +94,21 @@ def run_fig10(
     seed: int = 7,
     max_cg: int = 3,
     max_prc: int = 3,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    engine: SweepEngine = None,
 ) -> Fig10Result:
-    """Reproduce Fig. 10 over the (CG 0..max_cg) x (PRC 0..max_prc) grid."""
-    runner = MatrixRunner(frames=frames, seed=seed)
+    """Reproduce Fig. 10 over the (CG 0..max_cg) x (PRC 0..max_prc) grid.
+
+    Engine flags as in :func:`repro.experiments.fig8_comparison.run_fig8`.
+    """
+    runner = MatrixRunner(
+        frames=frames, seed=seed,
+        engine=resolve_engine(engine, jobs, use_cache, cache_dir),
+    )
     budgets = budget_grid(max_cg, max_prc)
+    runner.prefetch(budgets, ["risc", "mrts"])
     speedups = []
     for budget in budgets:
         risc = runner.cycles(budget, RiscModePolicy)

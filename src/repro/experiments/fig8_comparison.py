@@ -18,6 +18,7 @@ from repro.baselines import Morpheus4SPolicy, OfflineOptimalPolicy, RisppLikePol
 from repro.baselines.riscmode import RiscModePolicy
 from repro.core.mrts import MRTS
 from repro.experiments.common import MatrixRunner, budget_grid, geometric_mean
+from repro.experiments.engine import SweepEngine, resolve_engine
 from repro.fabric.resources import ResourceBudget
 from repro.util.tables import render_table
 
@@ -98,10 +99,23 @@ def run_fig8(
     seed: int = 7,
     max_cg: int = 4,
     max_prc: int = 3,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    engine: SweepEngine = None,
 ) -> Fig8Result:
-    """Reproduce Fig. 8 over the (CG 0..max_cg) x (PRC 0..max_prc) grid."""
-    runner = MatrixRunner(frames=frames, seed=seed)
+    """Reproduce Fig. 8 over the (CG 0..max_cg) x (PRC 0..max_prc) grid.
+
+    ``jobs``/``use_cache``/``cache_dir`` (or a pre-built ``engine``) route
+    the grid through the parallel cached sweep engine; the default stays
+    serial in-process and produces identical numbers.
+    """
+    runner = MatrixRunner(
+        frames=frames, seed=seed,
+        engine=resolve_engine(engine, jobs, use_cache, cache_dir),
+    )
     budgets = budget_grid(max_cg, max_prc)
+    runner.prefetch(budgets, ["risc"] + list(APPROACHES))
     cycles: Dict[str, List[int]] = {name: [] for name in APPROACHES}
     risc: List[int] = []
     for budget in budgets:

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 from repro.baselines import OnlineOptimalPolicy
 from repro.core.mrts import MRTS
 from repro.experiments.common import MatrixRunner, budget_grid
+from repro.experiments.engine import SweepEngine, resolve_engine
 from repro.fabric.resources import ResourceBudget
 from repro.util.tables import render_table
 
@@ -78,10 +79,21 @@ def run_fig9(
     seed: int = 7,
     max_cg: int = 3,
     max_prc: int = 6,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    engine: SweepEngine = None,
 ) -> Fig9Result:
-    """Reproduce Fig. 9 over the (CG 0..max_cg) x (PRC 0..max_prc) grid."""
-    runner = MatrixRunner(frames=frames, seed=seed)
+    """Reproduce Fig. 9 over the (CG 0..max_cg) x (PRC 0..max_prc) grid.
+
+    Engine flags as in :func:`repro.experiments.fig8_comparison.run_fig8`.
+    """
+    runner = MatrixRunner(
+        frames=frames, seed=seed,
+        engine=resolve_engine(engine, jobs, use_cache, cache_dir),
+    )
     budgets = budget_grid(max_cg, max_prc)
+    runner.prefetch(budgets, ["mrts", "online-optimal"])
     heuristic = [runner.cycles(b, MRTS) for b in budgets]
     optimal = [runner.cycles(b, OnlineOptimalPolicy) for b in budgets]
     return Fig9Result(

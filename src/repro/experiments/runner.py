@@ -30,17 +30,30 @@ from repro.experiments import (
 )
 
 
-def run_all(fast: bool = False, stream=None) -> None:
-    """Execute every experiment, printing each report as it completes."""
+def run_all(
+    fast: bool = False,
+    stream=None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+) -> None:
+    """Execute every experiment, printing each report as it completes.
+
+    ``jobs``/``use_cache``/``cache_dir`` route the grid experiments
+    (Figs. 8-10) through the parallel cached sweep engine; the remaining
+    experiments are trace- or structure-bound and run in-process.
+    """
     stream = stream or sys.stdout
     frames = 6 if fast else 16
+    engine_kwargs = dict(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
     experiments = [
         ("Fig. 1", lambda: run_fig1(points=20 if fast else 50)),
         ("Fig. 2", lambda: run_fig2(frames=frames)),
         ("Fig. 5 (measured)", lambda: run_fig5(frames=4)),
-        ("Fig. 8", lambda: run_fig8(frames=frames)),
-        ("Fig. 9", lambda: run_fig9(frames=frames, max_prc=4 if fast else 6)),
-        ("Fig. 10", lambda: run_fig10(frames=frames)),
+        ("Fig. 8", lambda: run_fig8(frames=frames, **engine_kwargs)),
+        ("Fig. 9", lambda: run_fig9(frames=frames, max_prc=4 if fast else 6,
+                                    **engine_kwargs)),
+        ("Fig. 10", lambda: run_fig10(frames=frames, **engine_kwargs)),
         ("Overhead (5.4)", lambda: run_overhead(frames=frames)),
         ("Search space (4.1)", run_search_space),
         ("Ablations", lambda: run_ablations(frames=frames)),
@@ -63,8 +76,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fast", action="store_true", help="reduced frame counts (quick check)"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the grid experiments (Figs. 8-10)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read/write the on-disk sweep cell cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="sweep cell cache location (default: .repro_cache)",
+    )
     args = parser.parse_args(argv)
-    run_all(fast=args.fast)
+    run_all(
+        fast=args.fast,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
     return 0
 
 

@@ -5,14 +5,29 @@ yours: run a cartesian sweep, collect per-cell metrics, aggregate across
 seeds, and dump everything as records for plotting.  Used by the
 calibration scripts and the robustness tests (are the headline shapes
 stable across seeds?).
+
+Declarative sweeps (registered workload + registered policy names) route
+through :class:`repro.experiments.engine.SweepEngine`: pass ``jobs`` to fan
+cells out over worker processes and ``use_cache``/``cache_dir`` to reuse
+cell records across invocations.  Sweeps over ad-hoc factories
+(``application_factory``/``library_factory``) cannot be hashed or pickled,
+so they always run serially in-process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.riscmode import RiscModePolicy
+from repro.experiments.engine import (
+    POLICIES,
+    SweepCell,
+    SweepEngine,
+    policy_name_of,
+    resolve_engine,
+)
 from repro.fabric.resources import ResourceBudget
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.util.tables import render_table
@@ -32,12 +47,26 @@ class SweepPoint:
     reconfigurations: int
 
 
+#: Legal criteria names for :meth:`SweepResult.filtered`.
+_POINT_ATTRIBUTES = frozenset(f.name for f in fields(SweepPoint))
+
+
 @dataclass
 class SweepResult:
     points: List[SweepPoint] = field(default_factory=list)
 
     def filtered(self, **criteria) -> List[SweepPoint]:
-        """Points matching all keyword criteria (attribute == value)."""
+        """Points matching all keyword criteria (attribute == value).
+
+        Unknown attribute names raise :class:`ReproError` -- a typo in a
+        criteria keyword must not masquerade as an empty result.
+        """
+        unknown = sorted(set(criteria) - _POINT_ATTRIBUTES)
+        if unknown:
+            raise ReproError(
+                f"unknown sweep point attribute(s) {unknown}; "
+                f"valid: {sorted(_POINT_ATTRIBUTES)}"
+            )
         out = []
         for point in self.points:
             if all(getattr(point, key) == value for key, value in criteria.items()):
@@ -76,20 +105,152 @@ class SweepResult:
         return render_table(headers, rows, title="Parameter sweep")
 
 
+PolicySpec = Union[Dict[str, Optional[Callable]], Sequence[str]]
+
+
+def _declarative_policies(policies: PolicySpec) -> Optional[List[str]]:
+    """Policy names if every entry resolves to the engine registry.
+
+    Accepts a sequence of registered names, or the classic name->factory
+    dict when each factory is exactly the registered one (or ``None``).
+    Returns ``None`` when any entry is ad-hoc.
+    """
+    if not isinstance(policies, dict):
+        names = list(policies)
+        if not all(isinstance(name, str) for name in names):
+            return None
+        unknown = sorted(set(names) - set(POLICIES))
+        if unknown:
+            raise ReproError(
+                f"unknown policy name(s) {unknown}; "
+                f"registered: {sorted(POLICIES)}"
+            )
+        return names
+    names = []
+    for name, factory in policies.items():
+        if factory is not None and policy_name_of(factory) != name:
+            return None
+        if name not in POLICIES:
+            return None
+        names.append(name)
+    return names
+
+
 def run_sweep(
     budgets: Sequence[Tuple[int, int]],
     seeds: Sequence[int],
-    policies: Dict[str, Callable],
+    policies: PolicySpec,
     application_factory: Optional[Callable] = None,
     library_factory: Optional[Callable] = None,
+    *,
+    workload: str = "h264",
+    workload_params: Optional[Dict[str, object]] = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Union[str, Path, None] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> SweepResult:
     """Run every (budget, seed, policy) combination.
 
-    ``application_factory(seed)`` builds the workload;
-    ``library_factory(budget)`` the ISE library.  Both default to the H.264
-    canon.  A RISC reference is simulated once per (budget, seed) for the
-    speedup column.
+    ``budgets`` are ``(n_cg_fabrics, n_prcs)`` pairs.  ``policies`` is a
+    sequence of registered policy names, or a ``name -> factory`` dict.  A
+    RISC reference is simulated once per (budget, seed) for the speedup
+    column.
+
+    Two execution paths produce identical points:
+
+    * **Engine path** (default): cells go through a
+      :class:`~repro.experiments.engine.SweepEngine`, honouring ``jobs``,
+      ``use_cache``/``cache_dir`` (or a pre-built ``engine``), and
+      ``workload``/``workload_params`` select a registered workload.
+    * **Legacy path**: when ``application_factory(seed)`` /
+      ``library_factory(budget)`` or unregistered policy factories are
+      given, everything runs serially in-process (closures cannot be
+      cached or shipped to workers).
     """
+    names = _declarative_policies(policies)
+    if names is not None and application_factory is None and library_factory is None:
+        params = dict(workload_params) if workload_params is not None else {}
+        if workload == "h264":
+            params.setdefault("frames", 8)
+        eng = resolve_engine(engine, jobs, use_cache, cache_dir) or SweepEngine(
+            jobs=1, use_cache=False
+        )
+        return _run_sweep_engine(eng, budgets, seeds, names, workload, params)
+    if isinstance(policies, dict):
+        factories = {
+            name: factory if factory is not None else POLICIES[name]
+            for name, factory in policies.items()
+        }
+    else:
+        factories = {name: POLICIES[name] for name in policies}
+    return _run_sweep_legacy(
+        budgets, seeds, factories, application_factory, library_factory
+    )
+
+
+def _run_sweep_engine(
+    eng: SweepEngine,
+    budgets: Sequence[Tuple[int, int]],
+    seeds: Sequence[int],
+    policy_names: Sequence[str],
+    workload: str,
+    workload_params: Dict[str, object],
+) -> SweepResult:
+    cells: List[SweepCell] = []
+    for budget in budgets:
+        for seed in seeds:
+            for name in ["risc"] + list(policy_names):
+                cells.append(
+                    SweepCell.make(
+                        budget,
+                        seed,
+                        name,
+                        workload=workload,
+                        workload_params=workload_params,
+                    )
+                )
+    records = eng.run(cells)
+    per_cell = dict(zip(cells, records))
+
+    result = SweepResult()
+    for budget in budgets:
+        for seed in seeds:
+            def record_of(name: str) -> Dict[str, object]:
+                return per_cell[
+                    SweepCell.make(
+                        budget,
+                        seed,
+                        name,
+                        workload=workload,
+                        workload_params=workload_params,
+                    )
+                ]
+
+            risc_cycles = record_of("risc")["total_cycles"]
+            for name in policy_names:
+                record = record_of(name)
+                result.points.append(
+                    SweepPoint(
+                        budget_label=record["budget_label"],
+                        seed=seed,
+                        policy=name,
+                        total_cycles=record["total_cycles"],
+                        speedup_vs_risc=risc_cycles / record["total_cycles"],
+                        accelerated_fraction=record["accelerated_fraction"],
+                        reconfigurations=record["reconfigurations"],
+                    )
+                )
+    return result
+
+
+def _run_sweep_legacy(
+    budgets: Sequence[Tuple[int, int]],
+    seeds: Sequence[int],
+    policies: Dict[str, Callable],
+    application_factory: Optional[Callable],
+    library_factory: Optional[Callable],
+) -> SweepResult:
     if application_factory is None:
         from repro.workloads.h264 import h264_application
 

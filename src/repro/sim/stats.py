@@ -79,5 +79,23 @@ class SimulationStats:
             return 0.0
         return baseline.total_cycles / self.total_cycles
 
+    # ------------------------------------------------------ serialisation
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical JSON-able form (sorted keys throughout) -- the stats
+        half of the golden-trace regression snapshots."""
+        return {
+            "total_cycles": self.total_cycles,
+            "gap_cycles": self.gap_cycles,
+            "kernel_cycles": self.kernel_cycles,
+            "overhead_cycles_charged": self.overhead_cycles_charged,
+            "overhead_cycles_full": self.overhead_cycles_full,
+            "executions_by_mode": dict(sorted(self.executions_by_mode.items())),
+            "cycles_by_mode": dict(sorted(self.cycles_by_mode.items())),
+            "block_cycles": dict(sorted(self.block_cycles.items())),
+            "block_entries": dict(sorted(self.block_entries.items())),
+            "reconfigurations": self.reconfigurations,
+            "selections": self.selections,
+        }
+
 
 __all__ = ["SimulationStats"]

@@ -51,5 +51,27 @@ class SimulationTrace:
         then intermediates, then the full ISE)."""
         return [r.mode.value for r in self.executions_of(kernel)]
 
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical JSON-able form -- the trace half of the golden-trace
+        regression snapshots (modes as their string values)."""
+        return {
+            "executions": [
+                {
+                    "time": r.time,
+                    "block": r.block,
+                    "kernel": r.kernel,
+                    "mode": r.mode.value,
+                    "latency": r.latency,
+                    "level": r.level,
+                    "ise_name": r.ise_name,
+                }
+                for r in self.executions
+            ],
+            "block_windows": {
+                block: [list(window) for window in windows]
+                for block, windows in sorted(self.block_windows.items())
+            },
+        }
+
 
 __all__ = ["ExecutionRecord", "SimulationTrace"]

@@ -6,6 +6,10 @@ robustness conveniences of the production implementation.  The test suite
 evaluates both sides on randomised inputs and asserts agreement wherever
 the paper's formulas are well-defined -- so any drift between the code we
 run and the math the paper states is caught mechanically.
+
+:mod:`repro.verification.golden` pins the complete execution trace of a
+reference scenario as a committed snapshot -- the regression lock that
+keeps selector/ECU refactors from silently shifting the paper figures.
 """
 
 from repro.verification.equations import (
@@ -14,5 +18,24 @@ from repro.verification.equations import (
     eq3_noe,
     eq4_profit,
 )
+from repro.verification.golden import (
+    GOLDEN_PATH,
+    GOLDEN_SPEC,
+    diff_golden,
+    golden_payload,
+    load_golden,
+    write_golden,
+)
 
-__all__ = ["eq1_pif", "eq2_per_imp", "eq3_noe", "eq4_profit"]
+__all__ = [
+    "eq1_pif",
+    "eq2_per_imp",
+    "eq3_noe",
+    "eq4_profit",
+    "GOLDEN_PATH",
+    "GOLDEN_SPEC",
+    "diff_golden",
+    "golden_payload",
+    "load_golden",
+    "write_golden",
+]

@@ -1,0 +1,129 @@
+"""Golden-trace regression machinery.
+
+A *golden trace* is a committed JSON snapshot of one complete simulation --
+every execution record plus the aggregate statistics -- for a small,
+deterministic reference scenario.  The regression test asserts an **exact**
+match, so any refactor of the selector, ECU, MPU or simulator that shifts
+even a single execution's cycle or mode is caught before it silently moves
+the paper figures.
+
+The reference scenario is mRTS on the deblocking workload (the paper's
+Section 2 case study) at (1 CG fabric, 2 PRCs): small enough for a
+committed snapshot, rich enough to exercise the full ECU cascade (risc,
+intermediate and selected executions all occur).
+
+Regenerate the snapshot after an *intentional* behaviour change with::
+
+    python scripts/check_determinism.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.mrts import MRTS
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import Simulator
+from repro.workloads.h264 import deblocking_application, deblocking_library
+
+#: The reference scenario, recorded inside the snapshot for self-description.
+GOLDEN_SPEC: Dict[str, object] = {
+    "workload": "deblocking",
+    "frames": 2,
+    "seed": 0,
+    "scale": 0.05,
+    "budget": [1, 2],  # (n_cg_fabrics, n_prcs)
+    "policy": "mrts",
+}
+
+#: Default snapshot location: tests/golden/ at the repository root.
+GOLDEN_PATH = (
+    Path(__file__).resolve().parents[3] / "tests" / "golden" / "deblocking_mrts.json"
+)
+
+
+def golden_payload() -> Dict[str, object]:
+    """Simulate the reference scenario and return its canonical payload."""
+    cg, prc = GOLDEN_SPEC["budget"]
+    budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+    application = deblocking_application(
+        frames=GOLDEN_SPEC["frames"],
+        seed=GOLDEN_SPEC["seed"],
+        scale=GOLDEN_SPEC["scale"],
+    )
+    library = deblocking_library(budget)
+    result = Simulator(
+        application, library, budget, MRTS(), collect_trace=True
+    ).run()
+    return {
+        "spec": dict(GOLDEN_SPEC),
+        "stats": result.stats.to_payload(),
+        "trace": result.trace.to_payload(),
+    }
+
+
+def load_golden(path: Path = GOLDEN_PATH) -> Dict[str, object]:
+    """Read the committed golden snapshot from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def write_golden(path: Path = GOLDEN_PATH) -> Path:
+    """Regenerate the golden snapshot at ``path`` (intentional changes only)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(golden_payload(), handle, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def diff_golden(expected: Dict, actual: Dict) -> List[str]:
+    """Human-readable mismatch summary (empty when payloads are equal).
+
+    The exact-match assertion compares whole payloads; this pinpoints
+    *where* a regression bit: a stats counter, the execution count, or the
+    first diverging execution record.
+    """
+    if expected == actual:
+        return []
+    problems: List[str] = []
+    if expected.get("spec") != actual.get("spec"):
+        problems.append(
+            f"spec changed: {expected.get('spec')} -> {actual.get('spec')}"
+        )
+    exp_stats, act_stats = expected.get("stats", {}), actual.get("stats", {})
+    for counter in sorted(set(exp_stats) | set(act_stats)):
+        if exp_stats.get(counter) != act_stats.get(counter):
+            problems.append(
+                f"stats.{counter}: {exp_stats.get(counter)} -> {act_stats.get(counter)}"
+            )
+    exp_trace = expected.get("trace", {}).get("executions", [])
+    act_trace = actual.get("trace", {}).get("executions", [])
+    if len(exp_trace) != len(act_trace):
+        problems.append(
+            f"execution count: {len(exp_trace)} -> {len(act_trace)}"
+        )
+    for index, (exp_record, act_record) in enumerate(zip(exp_trace, act_trace)):
+        if exp_record != act_record:
+            problems.append(
+                f"first diverging execution #{index}: "
+                f"{exp_record} -> {act_record}"
+            )
+            break
+    if expected.get("trace", {}).get("block_windows") != actual.get(
+        "trace", {}
+    ).get("block_windows"):
+        problems.append("block windows differ")
+    return problems or ["payloads differ (outside stats/trace)"]
+
+
+__all__ = [
+    "GOLDEN_PATH",
+    "GOLDEN_SPEC",
+    "diff_golden",
+    "golden_payload",
+    "load_golden",
+    "write_golden",
+]

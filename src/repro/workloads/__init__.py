@@ -6,6 +6,8 @@ from repro.workloads.h264 import (
     h264_library,
     h264_blocks,
     h264_kernels,
+    deblocking_application,
+    deblocking_library,
     deblocking_case_study,
     frame_activity,
     deblock_executions_per_frame,
@@ -25,6 +27,8 @@ __all__ = [
     "h264_library",
     "h264_blocks",
     "h264_kernels",
+    "deblocking_application",
+    "deblocking_library",
     "deblocking_case_study",
     "frame_activity",
     "deblock_executions_per_frame",

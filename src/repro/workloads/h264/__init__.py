@@ -15,7 +15,12 @@ from repro.workloads.h264.traces import (
     deblock_executions_per_frame,
     h264_iterations,
 )
-from repro.workloads.h264.app import h264_application, h264_library
+from repro.workloads.h264.app import (
+    h264_application,
+    h264_library,
+    deblocking_application,
+    deblocking_library,
+)
 from repro.workloads.h264.pixels import (
     synthesize_frame,
     filtered_edge_count,
@@ -32,6 +37,8 @@ __all__ = [
     "h264_iterations",
     "h264_application",
     "h264_library",
+    "deblocking_application",
+    "deblocking_library",
     "deblocking_case_study",
     "synthesize_frame",
     "filtered_edge_count",

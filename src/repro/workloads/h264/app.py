@@ -46,4 +46,48 @@ def h264_library(
     return ISELibrary(kernels, budget, cost_model=cost_model, builder=builder)
 
 
-__all__ = ["h264_application", "h264_library"]
+def deblocking_application(
+    frames: int = 16,
+    seed: SeedLike = 0,
+    scale: float = 0.6,
+) -> Application:
+    """The encoder reduced to its in-loop deblocking filter (Section 2).
+
+    One LF block iteration per frame, with the same seeded scene-activity
+    trace as the full encoder -- the workload of the golden-trace
+    regression tests, small enough for an exact committed snapshot."""
+    blocks = [block for block in h264_blocks() if block.name == "LF"]
+    iterations = [
+        iteration
+        for iteration in h264_iterations(frames=frames, seed=seed, scale=scale)
+        if iteration.block == "LF"
+    ]
+    return Application(
+        name=f"deblocking-{frames}f", blocks=blocks, iterations=iterations
+    )
+
+
+def deblocking_library(
+    budget: ResourceBudget,
+    cost_model: TechnologyCostModel = DEFAULT_COST_MODEL,
+    builder_config: Optional[BuilderConfig] = None,
+) -> ISELibrary:
+    """The ISE library restricted to the deblocking-filter kernels."""
+    builder = ISEBuilder(
+        cost_model=cost_model, config=builder_config or BuilderConfig()
+    )
+    kernels = [
+        k
+        for block in h264_blocks()
+        if block.name == "LF"
+        for k in block.kernels
+    ]
+    return ISELibrary(kernels, budget, cost_model=cost_model, builder=builder)
+
+
+__all__ = [
+    "h264_application",
+    "h264_library",
+    "deblocking_application",
+    "deblocking_library",
+]

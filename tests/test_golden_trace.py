@@ -1,0 +1,70 @@
+"""Golden-trace regression lock.
+
+``tests/golden/deblocking_mrts.json`` is the committed cycle-exact record
+of mRTS on the deblocking workload: every execution (time, mode, level,
+ISE) plus all aggregate statistics.  A selector, ECU, MPU or simulator
+refactor that shifts any of it -- even one cycle -- fails here instead of
+silently moving the paper figures.
+
+After an *intentional* behaviour change, regenerate with::
+
+    PYTHONPATH=src python scripts/check_determinism.py --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verification.golden import (
+    GOLDEN_SPEC,
+    diff_golden,
+    golden_payload,
+)
+
+GOLDEN_FILE = Path(__file__).parent / "golden" / "deblocking_mrts.json"
+
+
+@pytest.fixture(scope="module")
+def committed():
+    with open(GOLDEN_FILE, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return golden_payload()
+
+
+def test_snapshot_spec_is_current(committed):
+    """The snapshot was generated from the scenario this code defines."""
+    assert committed["spec"] == GOLDEN_SPEC
+
+
+def test_stats_match_exactly(committed, fresh):
+    assert fresh["stats"] == committed["stats"]
+
+
+def test_trace_matches_exactly(committed, fresh):
+    problems = diff_golden(committed, fresh)
+    assert not problems, "golden trace diverged:\n" + "\n".join(problems)
+    assert fresh == committed
+
+
+def test_scenario_exercises_the_ecu_cascade(committed):
+    """Keep the reference scenario meaningful: a run that only ever
+    executes in one mode would let whole ECU branches drift unpinned."""
+    modes = committed["stats"]["executions_by_mode"]
+    assert set(modes) >= {"risc", "intermediate", "selected"}
+    assert all(count > 0 for count in modes.values())
+
+
+def test_trace_is_internally_consistent(committed):
+    """The snapshot itself obeys the simulator's accounting identities."""
+    stats = committed["stats"]
+    executions = committed["trace"]["executions"]
+    assert len(executions) == sum(stats["executions_by_mode"].values())
+    assert sum(r["latency"] for r in executions) == stats["kernel_cycles"]
+    assert all(
+        a["time"] <= b["time"] for a, b in zip(executions, executions[1:])
+    )

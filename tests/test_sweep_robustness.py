@@ -38,6 +38,12 @@ class TestSweepMachinery:
         with pytest.raises(ReproError):
             sweep.mean_speedup("99", "mrts")
 
+    def test_unknown_filter_attribute_raises(self, sweep):
+        with pytest.raises(ReproError, match="unknown sweep point attribute"):
+            sweep.filtered(budget="11")  # the attribute is budget_label
+        with pytest.raises(ReproError, match="valid:"):
+            sweep.filtered(budget_label="11", polcy="mrts")
+
     def test_records_and_render(self, sweep):
         headers, rows = sweep.records()
         assert len(rows) == len(sweep.points)
