@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The repo's verification gate: tier-1 tests, byte-level determinism, and
+# the selector benchmark smoke job.
+#
+#   bash scripts/verify.sh [--jobs N]
+#
+# The bench step writes BENCH_selector.json (quick variant) and fails if
+# the incremental selector recomputes more profits than the naive one or
+# their results differ (repro.bench.check_gate).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="$PWD/src"
+JOBS=4
+if [ "${1:-}" = "--jobs" ]; then
+    JOBS="$2"
+fi
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== determinism gate =="
+python scripts/check_determinism.py --jobs "$JOBS"
+
+echo "== selector bench smoke =="
+python benchmarks/bench_selector.py --quick --out BENCH_selector.quick.json
+
+echo "verify: all gates passed"

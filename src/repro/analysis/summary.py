@@ -24,6 +24,16 @@ def run_summary(result: SimulationResult) -> str:
     ]
     for mode, count in sorted(stats.executions_by_mode.items()):
         rows.append([f"  mode: {mode}", f"{count:,}"])
+    if stats.profit_evaluations:
+        rows += [
+            ["selector rounds", f"{stats.selector_rounds:,}"],
+            ["profit evaluations (logical)", f"{stats.profit_evaluations:,}"],
+            ["  recomputed", f"{stats.evaluations_recomputed:,}"],
+            ["  cache hits", f"{stats.evaluations_skipped:,}"],
+            ["  bound-pruned", f"{stats.evaluations_pruned:,}"],
+            ["  cache invalidations", f"{stats.selector_invalidations:,}"],
+            ["selector cache hit rate", f"{100 * stats.selector_cache_hit_rate():.1f}%"],
+        ]
     parts = [render_table(["metric", "value"], rows, title="Run summary")]
     if result.controller is not None:
         parts.append(fabric_utilization(result).render())

@@ -1,0 +1,195 @@
+"""Selector hot-path microbenchmark: naive vs. incremental, A/B measured.
+
+Runs the mRTS policy over the Fig. 8 reference workload (the H.264 encoder
+on the (CG fabrics x PRCs) budget grid) once per selector implementation
+and reports the evaluation counters and wall time side by side.  The run
+doubles as an equivalence check: the per-budget stats payloads of both
+modes must be byte-identical, and the incremental selector must never
+compute more profits than the naive one -- :func:`main` exits non-zero
+otherwise, which is what the verify script's smoke job relies on.
+
+The JSON written by ``repro bench`` / ``python benchmarks/bench_selector.py``
+(``BENCH_selector.json`` by default) is the start of the perf trajectory:
+each entry is one selector implementation's totals over the grid.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MRTSConfig
+from repro.core.mrts import MRTS
+from repro.core.selector import SELECTOR_MODES
+from repro.fabric.resources import ResourceBudget
+from repro.sim.simulator import Simulator
+from repro.workloads.h264 import h264_application, h264_library
+
+#: The Fig. 8 budget grid (CG fabrics 0..4 x PRCs 0..3).
+FIG8_BUDGETS: Tuple[Tuple[int, int], ...] = tuple(
+    (cg, prc) for cg in range(5) for prc in range(4)
+)
+
+#: Representative cut of the grid for the quick smoke run.
+QUICK_BUDGETS: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 2), (3, 2))
+
+
+def run_selector_bench(
+    frames: int = 16,
+    seed: int = 7,
+    budgets: Optional[Sequence[Tuple[int, int]]] = None,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Benchmark both selector implementations on the fig8 workload.
+
+    Returns a JSON-able payload with per-mode counter totals, wall times,
+    the profit-evaluation reduction factor and the equivalence verdict.
+    """
+    if budgets is None:
+        budgets = QUICK_BUDGETS if quick else FIG8_BUDGETS
+    if quick:
+        frames = min(frames, 4)
+    application = h264_application(frames=frames, seed=seed)
+
+    modes: Dict[str, Dict[str, object]] = {}
+    payloads: Dict[str, List[Dict[str, object]]] = {}
+    for mode in SELECTOR_MODES:
+        totals = {
+            "profit_evaluations": 0,
+            "evaluations_recomputed": 0,
+            "evaluations_skipped": 0,
+            "evaluations_pruned": 0,
+            "selector_invalidations": 0,
+            "selector_rounds": 0,
+            "selections": 0,
+            "total_cycles": 0,
+        }
+        payloads[mode] = []
+        started = time.perf_counter()
+        for cg, prc in budgets:
+            budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+            library = h264_library(budget)
+            policy = MRTS(MRTSConfig(selector_mode=mode))
+            result = Simulator(application, library, budget, policy).run()
+            stats = result.stats
+            payloads[mode].append(stats.to_payload())
+            totals["profit_evaluations"] += stats.profit_evaluations
+            totals["evaluations_recomputed"] += stats.evaluations_recomputed
+            totals["evaluations_skipped"] += stats.evaluations_skipped
+            totals["evaluations_pruned"] += stats.evaluations_pruned
+            totals["selector_invalidations"] += stats.selector_invalidations
+            totals["selector_rounds"] += stats.selector_rounds
+            totals["selections"] += stats.selections
+            totals["total_cycles"] += stats.total_cycles
+        wall = time.perf_counter() - started
+        logical = totals["profit_evaluations"]
+        avoided = totals["evaluations_skipped"] + totals["evaluations_pruned"]
+        modes[mode] = dict(
+            totals,
+            wall_seconds=round(wall, 4),
+            cache_hit_rate=(avoided / logical) if logical else 0.0,
+        )
+
+    naive = modes["naive"]
+    incremental = modes["incremental"]
+    identical = payloads["naive"] == payloads["incremental"]
+    recomputed = incremental["evaluations_recomputed"]
+    reduction = (
+        naive["evaluations_recomputed"] / recomputed
+        if recomputed
+        else float("inf")
+    )
+    return {
+        "benchmark": "selector",
+        "workload": "h264 fig8 grid",
+        "frames": frames,
+        "seed": seed,
+        "budgets": [list(b) for b in budgets],
+        "quick": quick,
+        "modes": modes,
+        "identical_results": identical,
+        "evaluation_reduction_factor": round(reduction, 3),
+    }
+
+
+def render(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a bench payload."""
+    lines = [
+        f"selector bench on {payload['workload']} "
+        f"(frames={payload['frames']}, seed={payload['seed']}, "
+        f"{len(payload['budgets'])} budgets)"
+    ]
+    for mode, totals in payload["modes"].items():
+        lines.append(
+            f"  {mode:11s} recomputed={totals['evaluations_recomputed']:,} "
+            f"skipped={totals['evaluations_skipped']:,} "
+            f"pruned={totals['evaluations_pruned']:,} "
+            f"of {totals['profit_evaluations']:,} logical "
+            f"({totals['wall_seconds']}s)"
+        )
+    lines.append(
+        f"  reduction: {payload['evaluation_reduction_factor']}x fewer "
+        f"profit computations; identical results: "
+        f"{payload['identical_results']}"
+    )
+    return "\n".join(lines)
+
+
+def check_gate(payload: Dict[str, object]) -> List[str]:
+    """The regression conditions the verify smoke job enforces.
+
+    Returns a list of failure messages (empty = pass): the two selector
+    implementations must produce byte-identical stats, and the incremental
+    one must not compute more profits than the naive one.
+    """
+    failures = []
+    if not payload["identical_results"]:
+        failures.append("naive and incremental selector stats differ")
+    naive = payload["modes"]["naive"]["evaluations_recomputed"]
+    incremental = payload["modes"]["incremental"]["evaluations_recomputed"]
+    if incremental > naive:
+        failures.append(
+            f"incremental selector recomputed more profits than naive "
+            f"({incremental} > {naive})"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point: run the bench, write the JSON payload, gate."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="benchmark the naive vs. incremental ISE selector"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small frame count and budget cut (CI smoke)")
+    parser.add_argument("--frames", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_selector.json",
+                        help="where to write the JSON payload")
+    args = parser.parse_args(argv)
+
+    payload = run_selector_bench(
+        frames=args.frames, seed=args.seed, quick=args.quick
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(render(payload))
+    print(f"wrote {args.out}")
+    failures = check_gate(payload)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+__all__ = [
+    "FIG8_BUDGETS",
+    "QUICK_BUDGETS",
+    "check_gate",
+    "main",
+    "render",
+    "run_selector_bench",
+]

@@ -10,10 +10,13 @@ Commands
 ``sweep``        run a (budget x seed x policy) sweep through the engine
 ``report``       write the full markdown experiment dossier
 ``export``       run one experiment and write its data as CSV/JSON
+``bench``        A/B-benchmark the ISE selector, write BENCH_selector.json
+``cache``        inspect or clear the on-disk sweep cell cache
 
 The sweep-shaped commands accept ``--jobs`` (process fan-out),
 ``--no-cache`` and ``--cache-dir`` (the content-addressed cell cache under
-``.repro_cache/``); see ``docs/sweeps.md``.
+``.repro_cache/``); ``sweep`` additionally takes ``--cache-max-bytes``
+(LRU eviction budget).  See ``docs/sweeps.md``.
 """
 
 from __future__ import annotations
@@ -183,12 +186,43 @@ def cmd_sweep(args) -> int:
             workload_params={
                 "images" if args.workload == "jpeg" else "frames": args.frames
             },
+            cache_max_bytes=args.cache_max_bytes,
             **_engine_kwargs(args),
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(result.render())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import main as bench_main
+
+    argv = ["--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    argv += ["--frames", str(args.frames), "--seed", str(args.seed)]
+    return bench_main(argv)
+
+
+def cmd_cache(args) -> int:
+    from repro.experiments.engine import cache_stats, clear_cache, evict_cache
+
+    if args.action == "clear":
+        removed = clear_cache(args.cache_dir)
+        print(f"removed {removed} cached records")
+        return 0
+    if args.max_bytes is not None:
+        report = evict_cache(args.cache_dir, args.max_bytes)
+        print(
+            f"evicted {report['evicted']} records "
+            f"({report['freed_bytes']:,} bytes freed)"
+        )
+    stats = cache_stats(args.cache_dir)
+    print(f"cache dir:    {stats['cache_dir']}")
+    print(f"records:      {stats['records']}")
+    print(f"total bytes:  {stats['total_bytes']:,}")
     return 0
 
 
@@ -278,7 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--frames", type=int, default=8,
                          help="frames (h264/deblocking) or images (jpeg)")
     _add_engine_arguments(p_sweep)
+    p_sweep.add_argument("--cache-max-bytes", type=int, default=None,
+                         help="shrink the cell cache to this many bytes "
+                              "after the run (LRU eviction)")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench", help="A/B-benchmark the ISE selector implementations"
+    )
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small frame count and budget cut")
+    p_bench.add_argument("--frames", type=int, default=16)
+    p_bench.add_argument("--seed", type=int, default=7)
+    p_bench.add_argument("--out", default="BENCH_selector.json")
+    p_bench.set_defaults(fn=cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk sweep cell cache"
+    )
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache location (default: .repro_cache)")
+    p_cache.add_argument("--max-bytes", type=int, default=None,
+                         help="with 'stats': first evict down to this size")
+    p_cache.set_defaults(fn=cmd_cache)
 
     p_rep = sub.add_parser("report", help="write the markdown experiment dossier")
     p_rep.add_argument("--out", default="results/report.md")

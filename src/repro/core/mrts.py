@@ -57,7 +57,7 @@ class MRTS(RuntimePolicy):
         self, library: ISELibrary, controller: ReconfigurationController
     ) -> None:
         super().attach(library, controller)
-        self.selector = ISESelector(library)
+        self.selector = ISESelector(library, mode=self.config.selector_mode)
         self.ecu = ExecutionControlUnit(
             controller,
             library,

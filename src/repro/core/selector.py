@@ -13,12 +13,34 @@ forecasted by the trigger instructions:
 
 Complexity O(N*M) profit evaluations per round (N kernels, M ISEs each)
 instead of the O(M^N) of the optimal algorithm.
+
+Two implementations produce byte-identical results (``docs/selector.md``):
+
+* the **naive** selector recomputes every candidate's profit each round --
+  a direct transcription of Fig. 6;
+* the **incremental** selector (the default) keeps each candidate's last
+  ``(charge, schedule, profit)`` across rounds and, after committing a
+  winner, invalidates only the candidates the commit can actually perturb:
+  those whose data-path footprint intersects the winner's (via the
+  library's precompiled inverted index) and -- when the commit moved the
+  FG bitstream port -- those with uncovered FG instances.
+
+Pick the implementation with the ``REPRO_SELECTOR`` environment variable
+(``naive`` | ``incremental``) or the ``mode`` constructor argument.  Both
+report the same ``profit_evaluations`` (the *logical* Fig. 6 count, which
+also feeds the overhead model); the incremental one additionally splits it
+into ``evaluations_recomputed`` and ``evaluations_skipped``.
+
+Ties between equal-profit candidates resolve deterministically by
+``(profit, kernel name, candidate index)``: the lexicographically smallest
+kernel wins, then the earliest candidate in the library's candidate order.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.profit import ise_profit
 from repro.fabric.datapath import FabricType
@@ -27,6 +49,13 @@ from repro.ise.ise import ISE
 from repro.ise.library import ISELibrary
 from repro.sim.trigger import TriggerInstruction
 from repro.util.validation import ReproError
+
+#: Environment variable selecting the implementation (``naive`` |
+#: ``incremental``); the constructor argument takes precedence.
+SELECTOR_MODE_ENV = "REPRO_SELECTOR"
+
+#: Valid selector implementations; ``incremental`` is the default.
+SELECTOR_MODES = ("naive", "incremental")
 
 
 def predict_recT(
@@ -50,19 +79,18 @@ def predict_recT(
     """
     port = max(float(now), fg_port_free_at)
     ready_abs: List[float] = []
-    for instance in ise.instances:
-        name = instance.impl.name
-        covered_qty = min(coverage.get(name, 0), instance.quantity)
-        missing = instance.quantity - covered_qty
+    for name, quantity, fabric, reconfig_cycles in ise.instance_rows:
+        covered_qty = min(coverage.get(name, 0), quantity)
+        missing = quantity - covered_qty
         ready = float(now)
         if covered_qty > 0:
             ready = max(ready, existing_ready.get(name, float(now)))
         if missing > 0:
-            if instance.fabric is FabricType.FG:
-                port += instance.impl.reconfig_cycles * missing
+            if fabric is FabricType.FG:
+                port += reconfig_cycles * missing
                 ready = max(ready, port)
             else:
-                ready = max(ready, now + instance.impl.reconfig_cycles)
+                ready = max(ready, now + reconfig_cycles)
         ready_abs.append(ready)
     schedule: List[float] = []
     completed = 0.0
@@ -123,9 +151,31 @@ def apply_reservation(ise: ISE, reserved: Dict[str, int]) -> None:
         reserved[name] = max(reserved.get(name, 0), instance.quantity)
 
 
+def resolve_selector_mode(mode: Optional[str] = None) -> str:
+    """The selector implementation to use: the explicit ``mode`` if given,
+    else ``$REPRO_SELECTOR``, else ``incremental``."""
+    resolved = mode or os.environ.get(SELECTOR_MODE_ENV) or "incremental"
+    if resolved not in SELECTOR_MODES:
+        raise ReproError(
+            f"unknown selector mode {resolved!r}; valid: {list(SELECTOR_MODES)}"
+        )
+    return resolved
+
+
 @dataclass
 class SelectionResult:
-    """Outcome of one selection round for a functional block."""
+    """Outcome of one selection round for a functional block.
+
+    ``profit_evaluations`` is the *logical* Fig. 6 count -- one per fitting
+    candidate per greedy round -- and is identical for both selector
+    implementations (the overhead model charges it, so the modelled
+    hardware cost does not depend on how the reproduction computes it).
+    The incremental selector splits it into ``evaluations_recomputed``
+    (profits actually recomputed), ``evaluations_skipped`` (served from
+    the round-to-round cache) and ``evaluations_pruned`` (discarded by the
+    static profit upper bound without computing Eqs. 2-4); the naive
+    selector recomputes everything.
+    """
 
     selected: Dict[str, Optional[ISE]] = field(default_factory=dict)
     profits: Dict[str, float] = field(default_factory=dict)
@@ -133,21 +183,81 @@ class SelectionResult:
     profit_evaluations: int = 0
     candidates_considered: int = 0
     rounds: int = 0
+    evaluations_recomputed: int = 0
+    evaluations_skipped: int = 0
+    evaluations_pruned: int = 0
+    invalidations: int = 0
+    mode: str = "naive"
 
     @property
     def total_profit(self) -> float:
         return sum(self.profits.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of logical evaluations served from the profit cache."""
+        if self.profit_evaluations == 0:
+            return 0.0
+        return self.evaluations_skipped / self.profit_evaluations
+
+    @property
+    def evaluations_avoided(self) -> int:
+        """Logical evaluations that needed no Eq. 2-4 computation: served
+        from the round-to-round cache or pruned by the profit upper bound."""
+        return self.evaluations_skipped + self.evaluations_pruned
 
     def selection_order(self) -> List[str]:
         """Kernels in the order their ISEs were selected (greedy order)."""
         return list(self.selected)
 
 
-class ISESelector:
-    """The heuristic multi-grained ISE selector (Section 4.1)."""
+class _CandidateEntry:
+    """Round-to-round cached state of one candidate ISE.
 
-    def __init__(self, library: ISELibrary):
+    ``charge`` stays valid until a committed winner's footprint intersects
+    this candidate's; ``profit``/``schedule``/``port_after`` stay valid
+    until that happens *or* the effective FG bitstream port moves while the
+    candidate still has uncovered FG instances (``fg_sensitive``).
+    """
+
+    __slots__ = (
+        "ise",
+        "index",
+        "bound_coeff",
+        "charge",
+        "charge_valid",
+        "profit",
+        "schedule",
+        "port_after",
+        "fg_sensitive",
+        "profit_valid",
+    )
+
+    def __init__(self, ise: ISE, index: int):
+        self.ise = ise
+        self.index = index
+        self.bound_coeff = ise.profit_bound_per_execution
+        self.charge: Dict[FabricType, int] = {}
+        self.charge_valid = False
+        self.profit = 0.0
+        self.schedule: List[float] = []
+        self.port_after = 0.0
+        self.fg_sensitive = False
+        self.profit_valid = False
+
+
+class ISESelector:
+    """The heuristic multi-grained ISE selector (Section 4.1).
+
+    ``mode`` picks the implementation (``naive`` | ``incremental``); when
+    omitted it falls back to ``$REPRO_SELECTOR`` and finally to
+    ``incremental``.  Both produce byte-identical :class:`SelectionResult`
+    decisions and logical counters.
+    """
+
+    def __init__(self, library: ISELibrary, mode: Optional[str] = None):
         self.library = library
+        self.mode = resolve_selector_mode(mode)
 
     def select(
         self,
@@ -161,7 +271,6 @@ class ISESelector:
         backlog); committing the selection is the caller's responsibility so
         that alternative policies can reuse this selector.
         """
-        result = SelectionResult()
         triggers_by_kernel: Dict[str, TriggerInstruction] = {}
         for trig in triggers:
             if trig.kernel in triggers_by_kernel:
@@ -169,40 +278,91 @@ class ISESelector:
             if trig.kernel not in self.library.kernels:
                 raise ReproError(f"trigger for unknown kernel {trig.kernel!r}")
             triggers_by_kernel[trig.kernel] = trig
+        if self.mode == "incremental":
+            return self._select_incremental(triggers_by_kernel, controller, now)
+        return self._select_naive(triggers_by_kernel, controller, now)
 
-        # Step 1: candidate list of the ISEs of all kernels in the TIs.
-        candidates: Dict[str, List[ISE]] = {
-            kernel: self.library.candidates(kernel) for kernel in triggers_by_kernel
-        }
-        result.candidates_considered = sum(len(c) for c in candidates.values())
+    # ----------------------------------------------------------- shared
+    def _setup(
+        self,
+        triggers_by_kernel: Dict[str, TriggerInstruction],
+        controller: ReconfigurationController,
+        now: int,
+    ):
+        """The working state both implementations start from.
 
-        # Fabric the selection may claim (free + evictable-unpinned), and the
-        # copies whose area is exempt from charging (pinned or in flight).
+        ``free`` is the fabric the selection may claim (free plus
+        evictable-unpinned area), ``exempt`` the copies whose area is not
+        charged (pinned or in flight), ``coverage``/``existing_ready`` the
+        data paths usable without new reconfigurations, and
+        ``fg_port_free_at`` the bitstream-port backlog.
+        """
         free = {
             fabric: controller.resources.allocatable_area(fabric, now)
             for fabric in FabricType
         }
         exempt = exempt_copies(controller.resources, now)
-        reserved: Dict[str, int] = {}
-        # Data paths usable without new reconfigurations: everything currently
-        # configured or in flight, plus (as rounds progress) the selections.
-        coverage: Dict[str, int] = dict(controller.resources.snapshot())
+        snapshot = dict(controller.resources.snapshot())
+        coverage: Dict[str, int] = dict(snapshot)
         existing_ready: Dict[str, float] = {}
         for name, qty in coverage.items():
             ready_at = controller.resources.ready_at(name, qty)
             if ready_at is not None:
                 existing_ready[name] = float(ready_at)
         fg_port_free_at = float(controller.fg.port_available_at)
+        return free, exempt, snapshot, coverage, existing_ready, fg_port_free_at
 
-        def fits(ise: ISE) -> bool:
-            charge = reservation_charge(ise, reserved, exempt)
-            return all(charge[fabric] <= free[fabric] for fabric in FabricType)
+    @staticmethod
+    def _commit_coverage(
+        ise: ISE,
+        schedule: Sequence[float],
+        coverage: Dict[str, int],
+        existing_ready: Dict[str, float],
+        now: int,
+    ) -> Set[str]:
+        """Fold a committed winner into the working coverage state.
 
-        def claim(ise: ISE) -> None:
-            charge = reservation_charge(ise, reserved, exempt)
-            for fabric in FabricType:
-                free[fabric] -= charge[fabric]
-            apply_reservation(ise, reserved)
+        Returns the data-path names whose coverage or ready time actually
+        *changed* -- the exact set of inputs a cached profit can depend on
+        (a covered winner that raises nothing perturbs no profit cache).
+        """
+        changed: Set[str] = set()
+        for level_index, instance in enumerate(ise.instances):
+            name = instance.impl.name
+            if instance.quantity > coverage.get(name, 0):
+                coverage[name] = instance.quantity
+                changed.add(name)
+            ready_abs = now + schedule[level_index]
+            if ready_abs > existing_ready.get(name, 0.0):
+                existing_ready[name] = ready_abs
+                changed.add(name)
+        return changed
+
+    # ------------------------------------------------------------ naive
+    def _select_naive(
+        self,
+        triggers_by_kernel: Dict[str, TriggerInstruction],
+        controller: ReconfigurationController,
+        now: int,
+    ) -> SelectionResult:
+        result = SelectionResult(mode="naive")
+
+        # Step 1: candidate list of the ISEs of all kernels in the TIs.
+        candidates: Dict[str, Tuple[ISE, ...]] = {
+            kernel: self.library.candidate_tuple(kernel)
+            for kernel in triggers_by_kernel
+        }
+        result.candidates_considered = sum(len(c) for c in candidates.values())
+
+        (
+            free,
+            exempt,
+            snapshot,
+            coverage,
+            existing_ready,
+            fg_port_free_at,
+        ) = self._setup(triggers_by_kernel, controller, now)
+        reserved: Dict[str, int] = {}
 
         pending = set(triggers_by_kernel)
         while pending:
@@ -213,20 +373,27 @@ class ISESelector:
             # this selection brought in) is charged no fabric and predicted
             # available at its existing ready times, so it needs no new
             # reconfiguration and its profit reflects that head start.
-            best_choice: Optional[Tuple[float, str, ISE, List[float], float]] = None
+            best: Optional[Tuple[float, str, int, ISE, List[float], float]] = None
             for kernel in sorted(pending):
                 trig = triggers_by_kernel[kernel]
-                for ise in candidates[kernel]:
-                    if not fits(ise):
+                for index, ise in enumerate(candidates[kernel]):
+                    charge = reservation_charge(ise, reserved, exempt)
+                    if (
+                        charge[FabricType.FG] > free[FabricType.FG]
+                        or charge[FabricType.CG] > free[FabricType.CG]
+                    ):
                         continue
                     result.profit_evaluations += 1
+                    result.evaluations_recomputed += 1
                     profit, schedule, port_after = self._profit_of(
                         ise, trig, coverage, existing_ready, now, fg_port_free_at
                     )
-                    if best_choice is None or profit > best_choice[0]:
-                        best_choice = (profit, kernel, ise, schedule, port_after)
+                    if best is None or _beats(
+                        profit, kernel, index, best[0], best[1], best[2]
+                    ):
+                        best = (profit, kernel, index, ise, schedule, port_after)
 
-            if best_choice is None or best_choice[0] <= 0:
+            if best is None or best[0] <= 0:
                 # Nothing fits (or nothing helps): remaining kernels run in
                 # RISC mode / on monoCG-Extensions via the ECU.
                 for kernel in sorted(pending):
@@ -235,21 +402,192 @@ class ISESelector:
                 break
 
             # Step 4: commit the winner into the working state.
-            _, kernel, ise, schedule, port_after = best_choice
+            profit, kernel, _, ise, schedule, port_after = best
             result.selected[kernel] = ise
-            result.profits[kernel] = best_choice[0]
-            if ise.covered_by(dict(controller.resources.snapshot())):
+            result.profits[kernel] = profit
+            if ise.covered_by(snapshot):
                 result.covered_free.append(kernel)
-            claim(ise)
-            for level_index, instance in enumerate(ise.instances):
-                name = instance.impl.name
-                coverage[name] = max(coverage.get(name, 0), instance.quantity)
-                ready_rel = schedule[level_index]
-                existing_ready[name] = max(
-                    existing_ready.get(name, 0.0), now + ready_rel
-                )
+            charge = reservation_charge(ise, reserved, exempt)
+            for fabric in FabricType:
+                free[fabric] -= charge[fabric]
+            apply_reservation(ise, reserved)
+            self._commit_coverage(ise, schedule, coverage, existing_ready, now)
             fg_port_free_at = port_after
             pending.discard(kernel)
+
+        return result
+
+    # ------------------------------------------------------ incremental
+    def _select_incremental(
+        self,
+        triggers_by_kernel: Dict[str, TriggerInstruction],
+        controller: ReconfigurationController,
+        now: int,
+    ) -> SelectionResult:
+        result = SelectionResult(mode="incremental")
+
+        entries: Dict[str, List[_CandidateEntry]] = {
+            kernel: [
+                _CandidateEntry(ise, index)
+                for index, ise in enumerate(self.library.candidate_tuple(kernel))
+            ]
+            for kernel in triggers_by_kernel
+        }
+        result.candidates_considered = sum(len(e) for e in entries.values())
+        # Scan each kernel's candidates in descending profit-upper-bound
+        # order: once the running argmax exceeds a candidate's bound, it --
+        # and everything after it -- can be pruned without evaluation.  The
+        # argmax (with the explicit tie-break) is order-independent, so this
+        # cannot change the selection.
+        scan_order: Dict[str, List[_CandidateEntry]] = {
+            kernel: sorted(
+                kernel_entries, key=lambda e: (-e.bound_coeff, e.index)
+            )
+            for kernel, kernel_entries in entries.items()
+        }
+
+        (
+            free,
+            exempt,
+            snapshot,
+            coverage,
+            existing_ready,
+            fg_port_free_at,
+        ) = self._setup(triggers_by_kernel, controller, now)
+        reserved: Dict[str, int] = {}
+
+        pending = set(triggers_by_kernel)
+        while pending:
+            result.rounds += 1
+            best: Optional[Tuple[float, str, int, _CandidateEntry]] = None
+            for kernel in sorted(pending):
+                trig = triggers_by_kernel[kernel]
+                executions = trig.executions
+                for entry in scan_order[kernel]:
+                    if not entry.charge_valid:
+                        entry.charge = reservation_charge(entry.ise, reserved, exempt)
+                        entry.charge_valid = True
+                    charge = entry.charge
+                    if (
+                        charge[FabricType.FG] > free[FabricType.FG]
+                        or charge[FabricType.CG] > free[FabricType.CG]
+                    ):
+                        continue
+                    result.profit_evaluations += 1
+                    if entry.profit_valid:
+                        result.evaluations_skipped += 1
+                    else:
+                        # Profit upper bound (see ISE.profit_bound_per_execution):
+                        # prune when even the bound cannot win the round -- it
+                        # loses outright, or at best ties a candidate that the
+                        # (profit, kernel, index) order already prefers.  A
+                        # non-positive bound cannot produce a committable
+                        # (> 0) winner either.
+                        bound = executions * entry.bound_coeff
+                        if best is None:
+                            if bound <= 0.0:
+                                result.evaluations_pruned += 1
+                                continue
+                        elif bound < best[0] or (
+                            bound == best[0]
+                            and (best[1], best[2]) < (kernel, entry.index)
+                        ):
+                            result.evaluations_pruned += 1
+                            continue
+                        profit, schedule, port_after = self._profit_of(
+                            entry.ise,
+                            trig,
+                            coverage,
+                            existing_ready,
+                            now,
+                            fg_port_free_at,
+                        )
+                        entry.profit = profit
+                        entry.schedule = schedule
+                        entry.port_after = port_after
+                        entry.fg_sensitive = any(
+                            coverage.get(name, 0) < quantity
+                            for name, quantity in entry.ise.fg_requirements
+                        )
+                        entry.profit_valid = True
+                        result.evaluations_recomputed += 1
+                    if best is None or _beats(
+                        entry.profit, kernel, entry.index, best[0], best[1], best[2]
+                    ):
+                        best = (entry.profit, kernel, entry.index, entry)
+
+            if best is None or best[0] <= 0:
+                for kernel in sorted(pending):
+                    result.selected[kernel] = None
+                    result.profits[kernel] = 0.0
+                break
+
+            profit, kernel, _, winner = best
+            ise = winner.ise
+            result.selected[kernel] = ise
+            result.profits[kernel] = profit
+            if ise.covered_by(snapshot):
+                result.covered_free.append(kernel)
+            charge = reservation_charge(ise, reserved, exempt)
+            for fabric in FabricType:
+                free[fabric] -= charge[fabric]
+            raised_reservations = {
+                name
+                for name, quantity, _, _ in ise.instance_rows
+                if quantity > reserved.get(name, 0)
+            }
+            apply_reservation(ise, reserved)
+            changed_coverage = self._commit_coverage(
+                ise, winner.schedule, coverage, existing_ready, now
+            )
+
+            # The naive selector assigns the winner's freshly computed
+            # ``port_after``.  The cached value is only that fresh value for
+            # FG-sensitive winners (which the port-move rule below keeps
+            # valid); a winner without uncovered FG instances never advanced
+            # the port, so its commit clamps the backlog to ``now`` exactly
+            # as ``predict_recT`` would have.
+            effective_before = max(float(now), fg_port_free_at)
+            if winner.fg_sensitive:
+                fg_port_free_at = winner.port_after
+            else:
+                fg_port_free_at = effective_before
+            port_moved = max(float(now), fg_port_free_at) != effective_before
+
+            pending.discard(kernel)
+            del entries[kernel]
+            del scan_order[kernel]
+
+            # Invalidate exactly what the commit perturbed, via the
+            # library's precompiled inverted index:
+            # (a) charges of candidates touching a data path whose
+            #     *reservation* rose (shared paths are charged once);
+            # (b) profits of candidates touching a data path whose coverage
+            #     or predicted ready time actually *changed*;
+            # (c) if the FG bitstream port moved, profits of candidates
+            #     whose schedule queues behind it (uncovered FG instances).
+            for other_kernel, index in self.library.ises_sharing(
+                raised_reservations
+            ):
+                kernel_entries = entries.get(other_kernel)
+                if kernel_entries is not None:
+                    entry = kernel_entries[index]
+                    if entry.charge_valid:
+                        entry.charge_valid = False
+                        result.invalidations += 1
+            for other_kernel, index in self.library.ises_sharing(changed_coverage):
+                kernel_entries = entries.get(other_kernel)
+                if kernel_entries is not None:
+                    entry = kernel_entries[index]
+                    if entry.profit_valid:
+                        entry.profit_valid = False
+                        result.invalidations += 1
+            if port_moved:
+                for kernel_entries in entries.values():
+                    for entry in kernel_entries:
+                        if entry.profit_valid and entry.fg_sensitive:
+                            entry.profit_valid = False
+                            result.invalidations += 1
 
         return result
 
@@ -275,4 +613,28 @@ class ISESelector:
         return breakdown.profit, schedule, port_after
 
 
-__all__ = ["ISESelector", "SelectionResult", "predict_recT"]
+def _beats(
+    profit: float,
+    kernel: str,
+    index: int,
+    best_profit: float,
+    best_kernel: str,
+    best_index: int,
+) -> bool:
+    """The deterministic argmax order: higher profit wins; equal profits
+    resolve by ``(kernel name, candidate index)`` ascending.  This makes the
+    historical ``sorted(pending)``-iteration tie-break explicit, so the
+    incremental argmax cannot silently reorder ties."""
+    if profit != best_profit:
+        return profit > best_profit
+    return (kernel, index) < (best_kernel, best_index)
+
+
+__all__ = [
+    "ISESelector",
+    "SELECTOR_MODES",
+    "SELECTOR_MODE_ENV",
+    "SelectionResult",
+    "predict_recT",
+    "resolve_selector_mode",
+]

@@ -111,7 +111,25 @@ def _h264_application(seed, params):
 def _h264_library(budget, params):
     from repro.workloads.h264 import h264_library
 
-    return h264_library(budget)
+    return h264_library(budget, cost_model=_cost_model_of(params))
+
+
+def _cost_model_of(params):
+    """The cost model a cell's ``workload_params`` ask for.
+
+    The ``cost_model`` param is a tuple of ``(field, value)`` overrides on
+    the default :class:`~repro.fabric.cost_model.TechnologyCostModel` --
+    hashable, JSON-able, and part of the cache key, so perturbed-model cells
+    (the sensitivity experiment) never collide with baseline records.
+    """
+    import dataclasses
+
+    from repro.fabric.cost_model import DEFAULT_COST_MODEL
+
+    overrides = dict(params.get("cost_model", ()))
+    if not overrides:
+        return DEFAULT_COST_MODEL
+    return dataclasses.replace(DEFAULT_COST_MODEL, **overrides)
 
 
 def _jpeg_application(seed, params):
@@ -187,6 +205,8 @@ class SweepCell:
     policy_params: Tuple[Tuple[str, object], ...] = ()
     workload: str = "h264"
     workload_params: Tuple[Tuple[str, object], ...] = ()
+    #: extra :class:`ResourceBudget` kwargs (e.g. ``contexts_per_cg_fabric``)
+    budget_params: Tuple[Tuple[str, object], ...] = ()
 
     @staticmethod
     def make(
@@ -196,6 +216,7 @@ class SweepCell:
         policy_params: Params = None,
         workload: str = "h264",
         workload_params: Params = None,
+        budget_params: Params = None,
     ) -> "SweepCell":
         """Validated constructor (use this, not the raw dataclass)."""
         if policy not in POLICIES:
@@ -214,15 +235,18 @@ class SweepCell:
             policy_params=_normalize_params(policy_params),
             workload=workload,
             workload_params=_normalize_params(workload_params),
+            budget_params=_normalize_params(budget_params),
         )
 
     def resource_budget(self) -> ResourceBudget:
         cg, prc = self.budget
-        return ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+        return ResourceBudget(
+            n_prcs=prc, n_cg_fabrics=cg, **dict(self.budget_params)
+        )
 
     def payload(self) -> Dict[str, object]:
         """Canonical JSON-able description (the hashed part of the key)."""
-        return {
+        payload: Dict[str, object] = {
             "budget": list(self.budget),
             "seed": self.seed,
             "policy": self.policy,
@@ -230,6 +254,11 @@ class SweepCell:
             "workload": self.workload,
             "workload_params": [list(p) for p in self.workload_params],
         }
+        # Only non-default budget params enter the payload, so every cache
+        # key minted before the field existed stays valid.
+        if self.budget_params:
+            payload["budget_params"] = [list(p) for p in self.budget_params]
+        return payload
 
 
 # ------------------------------------------------------- cache key / hash
@@ -248,20 +277,26 @@ def library_fingerprint(
     workload: str,
     budget: Tuple[int, int],
     workload_params: Params = None,
+    budget_params: Params = None,
 ) -> str:
     """Structural hash of the compile-time ISE library a cell will see.
 
     Covers every latency, area and reconfiguration number that feeds the
     simulation, so changes to the ISE builder, the cost model or the data
     paths invalidate cached records without a manual version bump.
+    ``budget_params`` matter because the fitting filter depends on the
+    budget (e.g. ``contexts_per_cg_fabric``).
     """
     params = _normalize_params(workload_params)
-    memo_key = (workload, params, tuple(budget))
+    extra_budget = _normalize_params(budget_params)
+    memo_key = (workload, params, tuple(budget), extra_budget)
     if memo_key in _FINGERPRINTS:
         return _FINGERPRINTS[memo_key]
     family = WORKLOADS[workload]
     cg, prc = budget
-    resource_budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+    resource_budget = ResourceBudget(
+        n_prcs=prc, n_cg_fabrics=cg, **dict(extra_budget)
+    )
     library = family.library(resource_budget, dict(params))
     description: List[object] = []
     for kernel_name in sorted(library.kernel_names()):
@@ -293,10 +328,99 @@ def cell_key(cell: SweepCell) -> str:
             "schema": ENGINE_SCHEMA,
             "cell": cell.payload(),
             "library": library_fingerprint(
-                cell.workload, cell.budget, cell.workload_params
+                cell.workload, cell.budget, cell.workload_params, cell.budget_params
             ),
         }
     )
+
+
+# ------------------------------------------------------ cache maintenance
+
+
+def _cache_files(cache_dir: Union[str, Path]) -> List[Path]:
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return []
+    return [p for p in root.glob("*/*.json") if p.is_file()]
+
+
+def cache_stats(cache_dir: Union[str, Path, None] = None) -> Dict[str, object]:
+    """Size report of the on-disk sweep cell cache."""
+    root = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+    files = _cache_files(root)
+    sizes = []
+    oldest: Optional[float] = None
+    newest: Optional[float] = None
+    for path in files:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        sizes.append(stat.st_size)
+        oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
+        newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+    return {
+        "cache_dir": str(root),
+        "records": len(sizes),
+        "total_bytes": sum(sizes),
+        "oldest_mtime": oldest,
+        "newest_mtime": newest,
+    }
+
+
+def clear_cache(cache_dir: Union[str, Path, None] = None) -> int:
+    """Delete every cached record; returns how many were removed."""
+    root = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+    removed = 0
+    for path in _cache_files(root):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+    for shard in root.glob("*"):
+        if shard.is_dir():
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+    return removed
+
+
+def evict_cache(
+    cache_dir: Union[str, Path, None] = None,
+    max_bytes: int = 0,
+) -> Dict[str, int]:
+    """Shrink the cache to ``max_bytes`` by deleting least-recently-used
+    records (mtime order; cache hits touch their record's mtime, so reads
+    count as use).  Returns ``{"evicted": n, "freed_bytes": b}``.
+    """
+    if max_bytes < 0:
+        raise ReproError(f"max_bytes must be >= 0, got {max_bytes}")
+    root = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+    entries = []
+    total = 0
+    for path in _cache_files(root):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, str(path), path, stat.st_size))
+        total += stat.st_size
+    evicted = freed = 0
+    # Oldest first; the path string breaks mtime ties deterministically.
+    entries.sort()
+    for _, _, path, size in entries:
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        freed += size
+        evicted += 1
+    return {"evicted": evicted, "freed_bytes": freed}
 
 
 # ----------------------------------------------------------- cell workers
@@ -371,6 +495,10 @@ class SweepEngine:
         Cells per worker dispatch; defaults to ``len(cells) / (4 * jobs)``
         (clamped to >= 1) so each worker gets a few chunks and stragglers
         do not serialise the tail.
+    cache_max_bytes:
+        Byte budget for the on-disk cache.  After every :meth:`run` the
+        cache is shrunk to this size by evicting least-recently-used
+        records (``None`` disables eviction).
     """
 
     def __init__(
@@ -379,15 +507,21 @@ class SweepEngine:
         cache_dir: Union[str, Path, None] = None,
         use_cache: bool = True,
         chunk_size: Optional[int] = None,
+        cache_max_bytes: Optional[int] = None,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
+        if cache_max_bytes is not None and cache_max_bytes < 0:
+            raise ReproError(
+                f"cache_max_bytes must be >= 0, got {cache_max_bytes}"
+            )
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else Path(
             DEFAULT_CACHE_DIR
         )
         self.use_cache = use_cache
         self.chunk_size = chunk_size
+        self.cache_max_bytes = cache_max_bytes
         self.stats = EngineStats()
 
     # ------------------------------------------------------------- cache
@@ -404,7 +538,15 @@ class SweepEngine:
         if envelope.get("schema") != ENGINE_SCHEMA or envelope.get("key") != key:
             return None
         record = envelope.get("record")
-        return record if isinstance(record, dict) else None
+        if isinstance(record, dict):
+            # A hit counts as use: bump the mtime so LRU eviction keeps the
+            # records sweeps actually reach for.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+            return record
+        return None
 
     def _write_record(self, key: str, cell: SweepCell, record: Dict[str, object]) -> None:
         path = self._record_path(key)
@@ -457,6 +599,8 @@ class SweepEngine:
             if self.use_cache:
                 self._write_record(key, cell, record)
         self.stats.executed = len(missing)
+        if self.use_cache and self.cache_max_bytes is not None:
+            evict_cache(self.cache_dir, self.cache_max_bytes)
         # Canonical key order, so fresh and cache-served records serialise
         # byte-identically (cached JSON comes back sorted).
         return [
@@ -483,6 +627,7 @@ def resolve_engine(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir: Union[str, Path, None] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> Optional[SweepEngine]:
     """Engine for the experiment entry points' convenience flags.
 
@@ -492,9 +637,14 @@ def resolve_engine(
     """
     if engine is not None:
         return engine
-    if jobs == 1 and not use_cache and cache_dir is None:
+    if jobs == 1 and not use_cache and cache_dir is None and cache_max_bytes is None:
         return None
-    return SweepEngine(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    return SweepEngine(
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        cache_max_bytes=cache_max_bytes,
+    )
 
 
 __all__ = [
@@ -506,7 +656,10 @@ __all__ = [
     "SweepEngine",
     "WORKLOADS",
     "WorkloadFamily",
+    "cache_stats",
     "cell_key",
+    "clear_cache",
+    "evict_cache",
     "execute_cell",
     "library_fingerprint",
     "policy_name_of",

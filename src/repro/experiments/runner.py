@@ -40,8 +40,9 @@ def run_all(
     """Execute every experiment, printing each report as it completes.
 
     ``jobs``/``use_cache``/``cache_dir`` route the grid experiments
-    (Figs. 8-10) through the parallel cached sweep engine; the remaining
-    experiments are trace- or structure-bound and run in-process.
+    (Figs. 8-10 and the cost-model sensitivity table) through the parallel
+    cached sweep engine; the remaining experiments are trace- or
+    structure-bound and run in-process.
     """
     stream = stream or sys.stdout
     frames = 6 if fast else 16
@@ -61,7 +62,8 @@ def run_all(
         ("Selection granularity (Sec. 1, [11])", lambda: run_granularity(frames=6 if fast else 12)),
         ("Multi-task sharing (Sec. 1, variation b)", lambda: run_multitask(frames=4 if fast else 6, images=4 if fast else 6)),
         ("Energy (extension)", lambda: run_energy(frames=6 if fast else 12)),
-        ("Cost-model sensitivity (extension)", lambda: run_sensitivity(frames=4 if fast else 8)),
+        ("Cost-model sensitivity (extension)",
+         lambda: run_sensitivity(frames=4 if fast else 8, **engine_kwargs)),
     ]
     for name, fn in experiments:
         start = time.time()

@@ -12,53 +12,49 @@ only holds at one magic constant, this table shows it.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.baselines.riscmode import RiscModePolicy
-from repro.core.mrts import MRTS
-from repro.fabric.cost_model import TechnologyCostModel
-from repro.fabric.resources import ResourceBudget
-from repro.sim.simulator import Simulator
+from repro.experiments.engine import SweepCell, SweepEngine, resolve_engine
 from repro.util.tables import render_table
-from repro.workloads.h264 import h264_application, h264_library
 
 
 @dataclass(frozen=True)
 class Variant:
-    """One perturbed modelling assumption."""
+    """One perturbed modelling assumption.
+
+    ``cost_overrides`` are ``(field, value)`` pairs applied to the default
+    :class:`~repro.fabric.cost_model.TechnologyCostModel` by the workload
+    registry (see ``engine._cost_model_of``).
+    """
 
     name: str
-    cost_model: TechnologyCostModel
+    cost_overrides: Tuple[Tuple[str, object], ...] = ()
     contexts_per_cg_fabric: int = 4
     bitstream_kb: float = 79.2  # informational; folded into the cost model
 
 
 def _variants() -> List[Variant]:
-    base = TechnologyCostModel()
     return [
-        Variant("baseline", base),
+        Variant("baseline"),
         Variant(
             "CG bit-op penalty 2x (worse CG for control code)",
-            dataclasses.replace(base, cg_bit_op_cycles=6),
+            (("cg_bit_op_cycles", 6),),
         ),
         Variant(
             "CG bit-op penalty 1 cycle (CG as good as FG at bits)",
-            dataclasses.replace(base, cg_bit_op_cycles=1),
+            (("cg_bit_op_cycles", 1),),
         ),
         Variant(
             "FG multiplies cheap (hard DSP blocks)",
-            dataclasses.replace(base, fg_mul_extra_depth=0),
+            (("fg_mul_extra_depth", 0),),
         ),
         Variant(
             "2 contexts per CG fabric (scarcer CG)",
-            base,
             contexts_per_cg_fabric=2,
         ),
         Variant(
             "8 contexts per CG fabric (abundant CG)",
-            base,
             contexts_per_cg_fabric=8,
         ),
     ]
@@ -98,25 +94,66 @@ class SensitivityResult:
         )
 
 
-def run_sensitivity(frames: int = 8, seed: int = 7) -> SensitivityResult:
-    """Re-measure the headline speedups under each model variant."""
+BUDGETS: Tuple[Tuple[int, int], ...] = ((3, 3), (1, 1), (3, 0), (0, 3))
+
+
+def _variant_cell(
+    variant: Variant, budget: Tuple[int, int], policy: str, frames: int, seed: int
+) -> SweepCell:
+    workload_params: Dict[str, object] = {"frames": frames}
+    if variant.cost_overrides:
+        workload_params["cost_model"] = variant.cost_overrides
+    budget_params: Dict[str, object] = {}
+    if variant.contexts_per_cg_fabric != 4:
+        budget_params["contexts_per_cg_fabric"] = variant.contexts_per_cg_fabric
+    return SweepCell.make(
+        budget,
+        seed,
+        policy,
+        workload="h264",
+        workload_params=workload_params,
+        budget_params=budget_params,
+    )
+
+
+def run_sensitivity(
+    frames: int = 8,
+    seed: int = 7,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    engine: Optional[SweepEngine] = None,
+) -> SensitivityResult:
+    """Re-measure the headline speedups under each model variant.
+
+    The (variant x budget x policy) grid runs as declarative
+    :class:`SweepCell`\\ s -- through the parallel/cached engine when the
+    flags ask for one, serially through :func:`execute_cell` otherwise --
+    so cost-model perturbations are part of each cell's cache key.
+    """
+    variants = _variants()
+    grid = [
+        _variant_cell(variant, budget, policy, frames, seed)
+        for variant in variants
+        for budget in BUDGETS
+        for policy in ("risc", "mrts")
+    ]
+    resolved = resolve_engine(engine, jobs=jobs, use_cache=use_cache,
+                              cache_dir=cache_dir)
+    if resolved is not None:
+        records = resolved.run(grid)
+    else:
+        from repro.experiments.engine import execute_cell
+
+        records = [execute_cell(cell) for cell in grid]
+
     cells: Dict[str, Tuple[float, float, float, float]] = {}
-    application = h264_application(frames=frames, seed=seed)
-    for variant in _variants():
+    cursor = iter(records)
+    for variant in variants:
         speedups = []
-        for cg, prc in ((3, 3), (1, 1), (3, 0), (0, 3)):
-            budget = ResourceBudget(
-                n_prcs=prc,
-                n_cg_fabrics=cg,
-                contexts_per_cg_fabric=variant.contexts_per_cg_fabric,
-            )
-            library = h264_library(budget, cost_model=variant.cost_model)
-            risc = Simulator(
-                application, library, budget, RiscModePolicy()
-            ).run().total_cycles
-            mrts = Simulator(
-                application, library, budget, MRTS()
-            ).run().total_cycles
+        for _ in BUDGETS:
+            risc = next(cursor)["total_cycles"]
+            mrts = next(cursor)["total_cycles"]
             speedups.append(risc / mrts)
         cells[variant.name] = tuple(speedups)
     return SensitivityResult(cells=cells)

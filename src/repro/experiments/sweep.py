@@ -148,6 +148,7 @@ def run_sweep(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir: Union[str, Path, None] = None,
+    cache_max_bytes: Optional[int] = None,
     engine: Optional[SweepEngine] = None,
 ) -> SweepResult:
     """Run every (budget, seed, policy) combination.
@@ -173,9 +174,9 @@ def run_sweep(
         params = dict(workload_params) if workload_params is not None else {}
         if workload == "h264":
             params.setdefault("frames", 8)
-        eng = resolve_engine(engine, jobs, use_cache, cache_dir) or SweepEngine(
-            jobs=1, use_cache=False
-        )
+        eng = resolve_engine(
+            engine, jobs, use_cache, cache_dir, cache_max_bytes
+        ) or SweepEngine(jobs=1, use_cache=False)
         return _run_sweep_engine(eng, budgets, seeds, names, workload, params)
     if isinstance(policies, dict):
         factories = {

@@ -38,6 +38,28 @@ class ISE:
         ``i``-th intermediate ISE; ``latencies[0]`` is RISC mode.  The
         staircase is non-increasing by construction: the ECU would simply not
         use an extra data path that slowed the kernel down.
+
+    Besides the dataclass fields, construction precompiles the static
+    structures the run-time selector hammers on every greedy round (they are
+    plain attributes, excluded from equality/hash):
+
+    ``footprint``
+        Frozen set of qualified implementation names this ISE touches --
+        the key the selector's inverted index and invalidation sets use.
+    ``instance_rows``
+        Flattened ``(impl_name, quantity, fabric, reconfig_cycles)`` tuples
+        in reconfiguration order, saving attribute chains in the hot loop.
+    ``fg_requirements``
+        ``(impl_name, quantity)`` of the FG instances only: a candidate's
+        predicted schedule depends on the bitstream-port backlog exactly
+        when one of these is not fully covered.
+    ``profit_bound_per_execution``
+        ``max(0, latencies[0] - min(level latencies))`` -- the most cycles
+        one kernel execution can save on this ISE.  Since the profit phases
+        (Eqs. 2-4) distribute at most ``e`` executions over the levels,
+        ``e * profit_bound_per_execution`` upper-bounds the profit for any
+        schedule, which lets the incremental selector prune candidates that
+        cannot beat the current argmax without evaluating them.
     """
 
     kernel: Kernel
@@ -74,6 +96,45 @@ class ISE:
         object.__setattr__(
             self, "latencies", tuple(self._compute_latencies(kernel, instances, interconnect))
         )
+        # Precompiled static structures (see the class docstring).  These are
+        # set once at library-build time so the per-trigger selector never
+        # rebuilds them; they are not dataclass fields and therefore do not
+        # participate in equality or hashing.
+        object.__setattr__(
+            self, "footprint", frozenset(inst.impl.name for inst in self.instances)
+        )
+        object.__setattr__(
+            self,
+            "instance_rows",
+            tuple(
+                (inst.impl.name, inst.quantity, inst.fabric, inst.impl.reconfig_cycles)
+                for inst in self.instances
+            ),
+        )
+        object.__setattr__(
+            self,
+            "fg_requirements",
+            tuple(
+                (inst.impl.name, inst.quantity)
+                for inst in self.instances
+                if inst.fabric is FabricType.FG
+            ),
+        )
+        object.__setattr__(
+            self,
+            "profit_bound_per_execution",
+            max(0, self.latencies[0] - min(self.latencies[1:])),
+        )
+        object.__setattr__(
+            self,
+            "_area_by_fabric",
+            {
+                fabric: sum(
+                    inst.area for inst in self.instances if inst.fabric is fabric
+                )
+                for fabric in FabricType
+            },
+        )
 
     @staticmethod
     def _compute_latencies(
@@ -108,8 +169,9 @@ class ISE:
         return len(self.instances)
 
     def area(self, fabric: FabricType) -> int:
-        """Fabric area (PRCs or CG fabrics) the full ISE occupies."""
-        return sum(inst.area for inst in self.instances if inst.fabric is fabric)
+        """Fabric area (PRCs or CG fabrics) the full ISE occupies
+        (precomputed at construction)."""
+        return self._area_by_fabric[fabric]
 
     @property
     def fg_area(self) -> int:
@@ -201,9 +263,7 @@ class ISE:
 
     def shares_datapaths_with(self, other: "ISE") -> bool:
         """Whether the two ISEs have at least one implementation in common."""
-        mine = {inst.impl.name for inst in self.instances}
-        theirs = {inst.impl.name for inst in other.instances}
-        return bool(mine & theirs)
+        return bool(self.footprint & other.footprint)
 
     # ----------------------------------------------------------- equality
     def signature(self) -> frozenset:

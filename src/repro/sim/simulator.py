@@ -22,7 +22,7 @@ from repro.ise.library import ISELibrary
 from repro.sim.policy import RuntimePolicy
 from repro.sim.program import Application, interleave
 from repro.sim.stats import SimulationStats
-from repro.sim.trace import ExecutionRecord, SimulationTrace
+from repro.sim.trace import ExecutionRecord, SelectionRecord, SimulationTrace
 
 
 @dataclass
@@ -91,6 +91,26 @@ class Simulator:
             stats.overhead_cycles_charged += outcome.charged_overhead_cycles
             stats.overhead_cycles_full += outcome.full_overhead_cycles
             stats.selections += 1
+            # Selector-core observability: policies whose selection outcome
+            # carries a SelectionResult-shaped detail (duck-typed) feed the
+            # cache/evaluation counters; baselines without one are skipped.
+            detail = outcome.detail
+            if detail is not None and hasattr(detail, "profit_evaluations"):
+                stats.record_selection_detail(detail)
+                if trace is not None:
+                    trace.record_selection(
+                        SelectionRecord(
+                            time=block_entry,
+                            block=iteration.block,
+                            mode=getattr(detail, "mode", "?"),
+                            rounds=detail.rounds,
+                            profit_evaluations=detail.profit_evaluations,
+                            evaluations_recomputed=detail.evaluations_recomputed,
+                            evaluations_skipped=detail.evaluations_skipped,
+                            evaluations_pruned=detail.evaluations_pruned,
+                            invalidations=detail.invalidations,
+                        )
+                    )
 
             first: Dict[str, int] = {}
             last: Dict[str, int] = {}

@@ -30,6 +30,17 @@ class SimulationStats:
     block_entries: Dict[str, int] = field(default_factory=dict)
     reconfigurations: int = 0
     selections: int = 0
+    # Selector-core counters (policies exposing a selection detail only;
+    # see repro.core.selector.SelectionResult).  Deliberately NOT part of
+    # :meth:`to_payload`: the golden-trace snapshots compare whole payloads,
+    # and these describe how the reproduction computed the selection, not
+    # what the modelled hardware did.
+    profit_evaluations: int = 0         #: logical Fig. 6 evaluations
+    evaluations_recomputed: int = 0     #: Eq. 2-4 computations actually run
+    evaluations_skipped: int = 0        #: served from the incremental cache
+    evaluations_pruned: int = 0         #: discarded by the profit upper bound
+    selector_invalidations: int = 0     #: cache entries dirtied by commits
+    selector_rounds: int = 0            #: greedy rounds across all selections
 
     # ------------------------------------------------------------ update
     def record_execution(self, mode: "ExecutionMode", latency: int) -> None:
@@ -41,6 +52,21 @@ class SimulationStats:
     def record_block(self, block: str, cycles: int) -> None:
         self.block_cycles[block] = self.block_cycles.get(block, 0) + cycles
         self.block_entries[block] = self.block_entries.get(block, 0) + 1
+
+    def record_selection_detail(self, detail) -> None:
+        """Accumulate the selector-core counters of one selection.
+
+        ``detail`` is duck-typed (any object with the
+        :class:`~repro.core.selector.SelectionResult` counter attributes),
+        so baseline policies without a selection detail simply never call
+        this.
+        """
+        self.profit_evaluations += detail.profit_evaluations
+        self.evaluations_recomputed += detail.evaluations_recomputed
+        self.evaluations_skipped += detail.evaluations_skipped
+        self.evaluations_pruned += detail.evaluations_pruned
+        self.selector_invalidations += detail.invalidations
+        self.selector_rounds += detail.rounds
 
     # ----------------------------------------------------------- queries
     @property
@@ -72,6 +98,32 @@ class SimulationStats:
         if entries == 0:
             return 0.0
         return sum(self.block_cycles.values()) / entries
+
+    def selector_cache_hit_rate(self) -> float:
+        """Fraction of logical evaluations the selector did not compute
+        (cache hits plus bound prunes); 0.0 when nothing was recorded."""
+        if self.profit_evaluations == 0:
+            return 0.0
+        return (
+            self.evaluations_skipped + self.evaluations_pruned
+        ) / self.profit_evaluations
+
+    def selector_payload(self) -> Dict[str, object]:
+        """The selector-core counters as a JSON-able dict.
+
+        Kept separate from :meth:`to_payload` on purpose -- the golden
+        snapshots compare the full payload and must not depend on the
+        selector implementation.
+        """
+        return {
+            "profit_evaluations": self.profit_evaluations,
+            "evaluations_recomputed": self.evaluations_recomputed,
+            "evaluations_skipped": self.evaluations_skipped,
+            "evaluations_pruned": self.evaluations_pruned,
+            "selector_invalidations": self.selector_invalidations,
+            "selector_rounds": self.selector_rounds,
+            "cache_hit_rate": self.selector_cache_hit_rate(),
+        }
 
     def speedup_over(self, baseline: "SimulationStats") -> float:
         """Speedup of this run relative to ``baseline`` (e.g. RISC mode)."""

@@ -28,6 +28,27 @@ class ExecutionRecord:
     ise_name: Optional[str]
 
 
+@dataclass(frozen=True)
+class SelectionRecord:
+    """Selector-core counters of one functional-block selection.
+
+    Captured from the policy's selection detail (duck-typed against
+    :class:`~repro.core.selector.SelectionResult`); excluded from
+    :meth:`SimulationTrace.to_payload` so the golden snapshots stay
+    independent of the selector implementation.
+    """
+
+    time: int            #: cycle of the block entry
+    block: str
+    mode: str            #: selector implementation ("naive" | "incremental")
+    rounds: int
+    profit_evaluations: int
+    evaluations_recomputed: int
+    evaluations_skipped: int
+    evaluations_pruned: int
+    invalidations: int
+
+
 @dataclass
 class SimulationTrace:
     """Chronological record of a simulation run."""
@@ -35,12 +56,35 @@ class SimulationTrace:
     executions: List[ExecutionRecord] = field(default_factory=list)
     #: block name -> list of (entry_cycle, exit_cycle)
     block_windows: Dict[str, List[tuple]] = field(default_factory=dict)
+    #: per-selection selector counters (policies with a selection detail)
+    selections: List[SelectionRecord] = field(default_factory=list)
 
     def record_execution(self, record: ExecutionRecord) -> None:
         self.executions.append(record)
 
     def record_block_window(self, block: str, entry: int, exit_: int) -> None:
         self.block_windows.setdefault(block, []).append((entry, exit_))
+
+    def record_selection(self, record: SelectionRecord) -> None:
+        self.selections.append(record)
+
+    def selections_payload(self) -> List[Dict[str, object]]:
+        """The selection records as JSON-able dicts (not part of
+        :meth:`to_payload`; see :class:`SelectionRecord`)."""
+        return [
+            {
+                "time": r.time,
+                "block": r.block,
+                "mode": r.mode,
+                "rounds": r.rounds,
+                "profit_evaluations": r.profit_evaluations,
+                "evaluations_recomputed": r.evaluations_recomputed,
+                "evaluations_skipped": r.evaluations_skipped,
+                "evaluations_pruned": r.evaluations_pruned,
+                "invalidations": r.invalidations,
+            }
+            for r in self.selections
+        ]
 
     def executions_of(self, kernel: str) -> List[ExecutionRecord]:
         return [r for r in self.executions if r.kernel == kernel]
@@ -74,4 +118,4 @@ class SimulationTrace:
         }
 
 
-__all__ = ["ExecutionRecord", "SimulationTrace"]
+__all__ = ["ExecutionRecord", "SelectionRecord", "SimulationTrace"]

@@ -1,0 +1,207 @@
+"""Cache maintenance (LRU eviction, stats, clear) and the cell-key
+extensions that route the sensitivity experiment through the engine
+(``budget_params`` and cost-model overrides)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.engine import (
+    SweepCell,
+    SweepEngine,
+    cache_stats,
+    cell_key,
+    clear_cache,
+    evict_cache,
+    execute_cell,
+)
+from repro.util.validation import ReproError
+
+FAST = {"frames": 2, "scale": 0.4}
+
+
+def _fake_record(cache_dir, name, size, mtime):
+    """Plant a cache record of a known size and age."""
+    shard = cache_dir / name[:2]
+    shard.mkdir(parents=True, exist_ok=True)
+    path = shard / f"{name}.json"
+    path.write_bytes(b"x" * size)
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestEviction:
+    def test_evicts_oldest_first(self, tmp_path):
+        old = _fake_record(tmp_path, "aa1", 100, mtime=1_000)
+        mid = _fake_record(tmp_path, "bb2", 100, mtime=2_000)
+        new = _fake_record(tmp_path, "cc3", 100, mtime=3_000)
+        report = evict_cache(tmp_path, max_bytes=250)
+        assert report == {"evicted": 1, "freed_bytes": 100}
+        assert not old.exists() and mid.exists() and new.exists()
+
+    def test_evicts_until_under_budget(self, tmp_path):
+        for i, mtime in enumerate((1_000, 2_000, 3_000, 4_000)):
+            _fake_record(tmp_path, f"e{i}x", 100, mtime=mtime)
+        report = evict_cache(tmp_path, max_bytes=150)
+        assert report["evicted"] == 3
+        assert cache_stats(tmp_path)["total_bytes"] == 100
+
+    def test_zero_budget_clears_everything(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 50, mtime=1_000)
+        _fake_record(tmp_path, "bb2", 50, mtime=2_000)
+        assert evict_cache(tmp_path, max_bytes=0)["evicted"] == 2
+        assert cache_stats(tmp_path)["records"] == 0
+
+    def test_under_budget_is_a_no_op(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 50, mtime=1_000)
+        assert evict_cache(tmp_path, max_bytes=10_000) == {
+            "evicted": 0, "freed_bytes": 0,
+        }
+
+    def test_mtime_ties_break_deterministically(self, tmp_path):
+        _fake_record(tmp_path, "bb2", 100, mtime=1_000)
+        _fake_record(tmp_path, "aa1", 100, mtime=1_000)
+        evict_cache(tmp_path, max_bytes=100)
+        # Same age: lexicographically smaller path goes first.
+        assert not (tmp_path / "aa" / "aa1.json").exists()
+        assert (tmp_path / "bb" / "bb2.json").exists()
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            evict_cache(tmp_path, max_bytes=-1)
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        ghost = tmp_path / "nope"
+        assert evict_cache(ghost, max_bytes=0) == {"evicted": 0, "freed_bytes": 0}
+        assert cache_stats(ghost)["records"] == 0
+
+    def test_cache_hit_refreshes_mtime(self, tmp_path):
+        """Reads count as use: a record served from cache must not be the
+        next eviction victim."""
+        cell = SweepCell.make((1, 1), 0, "risc", workload_params=FAST)
+        engine = SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        engine.run([cell])
+        [path] = [p for p in tmp_path.glob("*/*.json")]
+        os.utime(path, (1_000, 1_000))
+        engine.run([cell])  # cache hit -> touch
+        assert path.stat().st_mtime > 1_000
+
+    def test_engine_enforces_budget_after_run(self, tmp_path):
+        cells = [
+            SweepCell.make((1, 1), seed, "risc", workload_params=FAST)
+            for seed in range(3)
+        ]
+        engine = SweepEngine(
+            jobs=1, use_cache=True, cache_dir=tmp_path, cache_max_bytes=1
+        )
+        records = engine.run(cells)
+        assert len(records) == 3
+        assert cache_stats(tmp_path)["total_bytes"] <= 1
+
+    def test_engine_rejects_negative_budget(self):
+        with pytest.raises(ReproError):
+            SweepEngine(jobs=1, use_cache=True, cache_max_bytes=-5)
+
+
+class TestStatsAndClear:
+    def test_stats_counts_bytes_and_ages(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 30, mtime=1_000)
+        _fake_record(tmp_path, "bb2", 70, mtime=2_000)
+        stats = cache_stats(tmp_path)
+        assert stats["records"] == 2
+        assert stats["total_bytes"] == 100
+        assert stats["oldest_mtime"] == pytest.approx(1_000)
+        assert stats["newest_mtime"] == pytest.approx(2_000)
+
+    def test_clear_removes_records_and_shards(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 10, mtime=1_000)
+        _fake_record(tmp_path, "bb2", 10, mtime=1_000)
+        assert clear_cache(tmp_path) == 2
+        assert cache_stats(tmp_path)["records"] == 0
+        assert not any(tmp_path.glob("*"))
+
+
+class TestCliCache:
+    def test_cache_stats_command(self, tmp_path, capsys):
+        _fake_record(tmp_path, "aa1", 42, mtime=1_000)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records:      1" in out
+        assert "42" in out
+
+    def test_cache_stats_with_eviction(self, tmp_path, capsys):
+        _fake_record(tmp_path, "aa1", 100, mtime=1_000)
+        _fake_record(tmp_path, "bb2", 100, mtime=2_000)
+        assert main([
+            "cache", "stats", "--cache-dir", str(tmp_path),
+            "--max-bytes", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 records" in out
+        assert "records:      1" in out
+
+    def test_cache_clear_command(self, tmp_path, capsys):
+        _fake_record(tmp_path, "aa1", 10, mtime=1_000)
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 cached records" in capsys.readouterr().out
+        assert cache_stats(tmp_path)["records"] == 0
+
+    def test_sweep_accepts_cache_max_bytes(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--budgets", "11", "--seeds", "0", "--policies", "risc",
+            "--frames", "2", "--cache-dir", str(tmp_path),
+            "--cache-max-bytes", "1",
+        ]) == 0
+        assert cache_stats(tmp_path)["total_bytes"] <= 1
+
+
+class TestBudgetParams:
+    def test_empty_budget_params_keep_legacy_keys(self):
+        """Cells without budget overrides hash exactly as before the field
+        existed -- pre-existing caches stay valid."""
+        cell = SweepCell.make((1, 1), 0, "mrts", workload_params=FAST)
+        assert cell.budget_params == ()
+        assert "budget_params" not in cell.payload()
+
+    def test_budget_params_change_the_key(self):
+        base = SweepCell.make((1, 1), 0, "mrts", workload_params=FAST)
+        tuned = SweepCell.make(
+            (1, 1), 0, "mrts", workload_params=FAST,
+            budget_params={"contexts_per_cg_fabric": 2},
+        )
+        assert cell_key(base) != cell_key(tuned)
+        assert "budget_params" in tuned.payload()
+
+    def test_budget_params_reach_the_simulation(self):
+        base = SweepCell.make((1, 2), 0, "mrts", workload_params=FAST)
+        tuned = SweepCell.make(
+            (1, 2), 0, "mrts", workload_params=FAST,
+            budget_params={"contexts_per_cg_fabric": 1},
+        )
+        assert tuned.resource_budget().contexts_per_cg_fabric == 1
+        assert execute_cell(base) != execute_cell(tuned)
+
+    def test_cost_model_overrides_change_key_and_result(self):
+        base = SweepCell.make((2, 2), 0, "mrts", workload_params=FAST)
+        tuned = SweepCell.make(
+            (2, 2), 0, "mrts",
+            workload_params={**FAST, "cost_model": (("cg_bit_op_cycles", 9),)},
+        )
+        assert cell_key(base) != cell_key(tuned)
+        assert execute_cell(base) != execute_cell(tuned)
+
+    def test_sensitivity_cells_cache_cleanly(self, tmp_path):
+        """The closure-free sensitivity path: serial == engine == cached."""
+        from repro.experiments.sensitivity import run_sensitivity
+
+        serial = run_sensitivity(frames=2, jobs=1, use_cache=False)
+        cached = run_sensitivity(
+            frames=2, jobs=1, use_cache=True, cache_dir=tmp_path
+        )
+        rerun = run_sensitivity(
+            frames=2, jobs=1, use_cache=True, cache_dir=tmp_path
+        )
+        assert serial.cells == cached.cells == rerun.cells
+        assert cache_stats(tmp_path)["records"] > 0
