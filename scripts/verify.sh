@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # The repo's verification gate: tier-1 tests, byte-level determinism, and
-# the selector benchmark smoke job.
+# the benchmark smoke jobs.
 #
 #   bash scripts/verify.sh [--jobs N]
 #
-# The bench step writes BENCH_selector.json (quick variant) and fails if
-# the incremental selector recomputes more profits than the naive one or
-# their results differ (repro.bench.check_gate).
+# The bench steps write the quick variants of BENCH_selector.json and
+# BENCH_sim.json and fail on any A/B regression: differing results,
+# the incremental selector recomputing more profits than the naive one
+# (repro.bench.check_gate), or the event engine reducing ECU cascade
+# calls by less than the 5x threshold (repro.bench.check_sim_gate).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,5 +26,8 @@ python scripts/check_determinism.py --jobs "$JOBS"
 
 echo "== selector bench smoke =="
 python benchmarks/bench_selector.py --quick --out BENCH_selector.quick.json
+
+echo "== sim engine bench smoke =="
+python benchmarks/bench_sim.py --quick --out BENCH_sim.quick.json
 
 echo "verify: all gates passed"

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.ecu import ExecutionDecision, ExecutionMode
+from repro.core.ecu import ExecutionDecision, ExecutionMode, ExecutionRun
 from repro.sim.policy import RuntimePolicy, SelectionOutcome
 from repro.sim.trigger import TriggerInstruction
 
@@ -34,6 +34,20 @@ class RiscModePolicy(RuntimePolicy):
             mode=ExecutionMode.RISC,
             latency=kernel.risc_latency,
             level=0,
+        )
+
+    def execute_run(
+        self,
+        kernel_name: str,
+        now: int,
+        max_executions: int,
+        gap: int,
+    ) -> ExecutionRun:
+        """RISC latency is time-invariant, so a whole run is one decision."""
+        return ExecutionRun(
+            decision=self.execute(kernel_name, now),
+            count=max_executions,
+            horizon=float("inf"),
         )
 
 

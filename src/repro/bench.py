@@ -1,16 +1,21 @@
-"""Selector hot-path microbenchmark: naive vs. incremental, A/B measured.
+"""A/B microbenchmarks of the reproduction's hot paths.
 
-Runs the mRTS policy over the Fig. 8 reference workload (the H.264 encoder
-on the (CG fabrics x PRCs) budget grid) once per selector implementation
-and reports the evaluation counters and wall time side by side.  The run
-doubles as an equivalence check: the per-budget stats payloads of both
-modes must be byte-identical, and the incremental selector must never
-compute more profits than the naive one -- :func:`main` exits non-zero
-otherwise, which is what the verify script's smoke job relies on.
+Two suites, both over the Fig. 8 reference workload (the H.264 encoder on
+the (CG fabrics x PRCs) budget grid), both doubling as regression gates:
 
-The JSON written by ``repro bench`` / ``python benchmarks/bench_selector.py``
-(``BENCH_selector.json`` by default) is the start of the perf trajectory:
-each entry is one selector implementation's totals over the grid.
+* ``selector`` -- naive vs. incremental ISE selector: per-budget stats
+  payloads must be byte-identical and the incremental implementation must
+  never compute more profits than the naive one
+  (``BENCH_selector.json``).
+* ``sim`` -- stepped vs. event-driven execution engine: per-budget stats
+  payloads must be byte-identical and the event engine must evaluate the
+  ECU cascade at least :data:`SIM_REDUCTION_THRESHOLD` times less often
+  (``BENCH_sim.json``).
+
+:func:`main` (also reachable as ``repro bench --suite ...`` and via the
+``benchmarks/bench_selector.py`` / ``benchmarks/bench_sim.py`` wrappers)
+exits non-zero when a gate fails, which is what the verify script's smoke
+jobs rely on.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from repro.core.config import MRTSConfig
 from repro.core.mrts import MRTS
 from repro.core.selector import SELECTOR_MODES
 from repro.fabric.resources import ResourceBudget
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import ENGINE_MODES, Simulator
 from repro.workloads.h264 import h264_application, h264_library
 
 #: The Fig. 8 budget grid (CG fabrics 0..4 x PRCs 0..3).
@@ -33,6 +38,10 @@ FIG8_BUDGETS: Tuple[Tuple[int, int], ...] = tuple(
 
 #: Representative cut of the grid for the quick smoke run.
 QUICK_BUDGETS: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 2), (3, 2))
+
+#: Minimum factor by which the event engine must reduce ECU cascade calls
+#: on the fig8 reference grid (the sim suite's perf gate).
+SIM_REDUCTION_THRESHOLD = 5.0
 
 
 def run_selector_bench(
@@ -113,6 +122,85 @@ def run_selector_bench(
     }
 
 
+def run_sim_bench(
+    frames: int = 16,
+    seed: int = 7,
+    budgets: Optional[Sequence[Tuple[int, int]]] = None,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Benchmark both execution engines on the fig8 workload.
+
+    Runs the mRTS policy over the budget grid once per engine and returns
+    a JSON-able payload with per-engine counter totals, wall times, the
+    ECU-call reduction factor and the equivalence verdict.
+    """
+    if budgets is None:
+        budgets = QUICK_BUDGETS if quick else FIG8_BUDGETS
+    if quick:
+        frames = min(frames, 4)
+    application = h264_application(frames=frames, seed=seed)
+
+    engines: Dict[str, Dict[str, object]] = {}
+    payloads: Dict[str, List[Dict[str, object]]] = {}
+    for engine in ENGINE_MODES:
+        totals = {
+            "ecu_calls": 0,
+            "executions_fastforwarded": 0,
+            "events_processed": 0,
+            "total_executions": 0,
+            "total_cycles": 0,
+        }
+        payloads[engine] = []
+        started = time.perf_counter()
+        for cg, prc in budgets:
+            budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+            library = h264_library(budget)
+            policy = MRTS(MRTSConfig())
+            result = Simulator(
+                application, library, budget, policy, engine=engine
+            ).run()
+            stats = result.stats
+            payloads[engine].append(stats.to_payload())
+            totals["ecu_calls"] += stats.ecu_calls
+            totals["executions_fastforwarded"] += (
+                stats.executions_fastforwarded
+            )
+            totals["events_processed"] += stats.events_processed
+            totals["total_executions"] += stats.total_executions
+            totals["total_cycles"] += stats.total_cycles
+        wall = time.perf_counter() - started
+        executions = totals["total_executions"]
+        engines[engine] = dict(
+            totals,
+            wall_seconds=round(wall, 4),
+            fastforward_fraction=(
+                totals["executions_fastforwarded"] / executions
+                if executions
+                else 0.0
+            ),
+        )
+
+    stepped = engines["stepped"]
+    event = engines["event"]
+    identical = payloads["stepped"] == payloads["event"]
+    event_calls = event["ecu_calls"]
+    reduction = (
+        stepped["ecu_calls"] / event_calls if event_calls else float("inf")
+    )
+    return {
+        "benchmark": "sim",
+        "workload": "h264 fig8 grid",
+        "frames": frames,
+        "seed": seed,
+        "budgets": [list(b) for b in budgets],
+        "quick": quick,
+        "engines": engines,
+        "identical_results": identical,
+        "ecu_call_reduction_factor": round(reduction, 3),
+        "reduction_threshold": SIM_REDUCTION_THRESHOLD,
+    }
+
+
 def render(payload: Dict[str, object]) -> str:
     """Human-readable summary of a bench payload."""
     lines = [
@@ -132,6 +220,29 @@ def render(payload: Dict[str, object]) -> str:
         f"  reduction: {payload['evaluation_reduction_factor']}x fewer "
         f"profit computations; identical results: "
         f"{payload['identical_results']}"
+    )
+    return "\n".join(lines)
+
+
+def render_sim(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a sim bench payload."""
+    lines = [
+        f"sim engine bench on {payload['workload']} "
+        f"(frames={payload['frames']}, seed={payload['seed']}, "
+        f"{len(payload['budgets'])} budgets)"
+    ]
+    for engine, totals in payload["engines"].items():
+        lines.append(
+            f"  {engine:8s} ecu_calls={totals['ecu_calls']:,} "
+            f"fastforwarded={totals['executions_fastforwarded']:,} "
+            f"events={totals['events_processed']:,} "
+            f"of {totals['total_executions']:,} executions "
+            f"({totals['wall_seconds']}s)"
+        )
+    lines.append(
+        f"  reduction: {payload['ecu_call_reduction_factor']}x fewer ECU "
+        f"cascade calls (threshold {payload['reduction_threshold']}x); "
+        f"identical results: {payload['identical_results']}"
     )
     return "\n".join(lines)
 
@@ -156,30 +267,60 @@ def check_gate(payload: Dict[str, object]) -> List[str]:
     return failures
 
 
+def check_sim_gate(payload: Dict[str, object]) -> List[str]:
+    """The regression conditions of the sim suite (empty = pass): both
+    engines must produce byte-identical stats, and the event engine must
+    reduce ECU cascade calls by at least the threshold factor."""
+    failures = []
+    if not payload["identical_results"]:
+        failures.append("stepped and event engine stats differ")
+    reduction = payload["ecu_call_reduction_factor"]
+    threshold = payload["reduction_threshold"]
+    if reduction < threshold:
+        failures.append(
+            f"event engine reduced ECU calls only {reduction}x "
+            f"(threshold {threshold}x)"
+        )
+    return failures
+
+
+#: suite name -> (runner, renderer, gate, default output file)
+SUITES = {
+    "selector": (
+        run_selector_bench, render, check_gate, "BENCH_selector.json"
+    ),
+    "sim": (run_sim_bench, render_sim, check_sim_gate, "BENCH_sim.json"),
+}
+
+
 def main(argv=None) -> int:
-    """CLI entry point: run the bench, write the JSON payload, gate."""
+    """CLI entry point: run the suite, write the JSON payload, gate."""
     import argparse
 
     parser = argparse.ArgumentParser(
-        description="benchmark the naive vs. incremental ISE selector"
+        description="A/B benchmark the repro's hot paths "
+        "(selector implementations, simulator engines)"
     )
+    parser.add_argument("--suite", choices=sorted(SUITES), default="selector",
+                        help="which benchmark to run (default: selector)")
     parser.add_argument("--quick", action="store_true",
                         help="small frame count and budget cut (CI smoke)")
     parser.add_argument("--frames", type=int, default=16)
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--out", default="BENCH_selector.json",
-                        help="where to write the JSON payload")
+    parser.add_argument("--out", default=None,
+                        help="where to write the JSON payload "
+                        "(default: BENCH_<suite>.json)")
     args = parser.parse_args(argv)
 
-    payload = run_selector_bench(
-        frames=args.frames, seed=args.seed, quick=args.quick
-    )
-    with open(args.out, "w", encoding="utf-8") as handle:
+    run, render_suite, gate, default_out = SUITES[args.suite]
+    out = args.out or default_out
+    payload = run(frames=args.frames, seed=args.seed, quick=args.quick)
+    with open(out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(render(payload))
-    print(f"wrote {args.out}")
-    failures = check_gate(payload)
+    print(render_suite(payload))
+    print(f"wrote {out}")
+    failures = gate(payload)
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0
@@ -188,8 +329,13 @@ def main(argv=None) -> int:
 __all__ = [
     "FIG8_BUDGETS",
     "QUICK_BUDGETS",
+    "SIM_REDUCTION_THRESHOLD",
+    "SUITES",
     "check_gate",
+    "check_sim_gate",
     "main",
     "render",
+    "render_sim",
     "run_selector_bench",
+    "run_sim_bench",
 ]

@@ -10,7 +10,7 @@ Commands
 ``sweep``        run a (budget x seed x policy) sweep through the engine
 ``report``       write the full markdown experiment dossier
 ``export``       run one experiment and write its data as CSV/JSON
-``bench``        A/B-benchmark the ISE selector, write BENCH_selector.json
+``bench``        A/B-benchmark a hot path, write BENCH_<suite>.json
 ``cache``        inspect or clear the on-disk sweep cell cache
 
 The sweep-shaped commands accept ``--jobs`` (process fan-out),
@@ -199,7 +199,9 @@ def cmd_sweep(args) -> int:
 def cmd_bench(args) -> int:
     from repro.bench import main as bench_main
 
-    argv = ["--out", args.out]
+    argv = ["--suite", args.suite]
+    if args.out is not None:
+        argv += ["--out", args.out]
     if args.quick:
         argv.append("--quick")
     argv += ["--frames", str(args.frames), "--seed", str(args.seed)]
@@ -318,13 +320,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_bench = sub.add_parser(
-        "bench", help="A/B-benchmark the ISE selector implementations"
+        "bench", help="A/B-benchmark a hot path (selector or sim engine)"
     )
+    p_bench.add_argument("--suite", choices=("selector", "sim"),
+                         default="selector",
+                         help="selector implementations or simulator "
+                              "engines (default: selector)")
     p_bench.add_argument("--quick", action="store_true",
                          help="small frame count and budget cut")
     p_bench.add_argument("--frames", type=int, default=16)
     p_bench.add_argument("--seed", type=int, default=7)
-    p_bench.add_argument("--out", default="BENCH_selector.json")
+    p_bench.add_argument("--out", default=None,
+                         help="JSON output (default: BENCH_<suite>.json)")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_cache = sub.add_parser(

@@ -125,11 +125,11 @@ def write_markdown_report(
         "Regenerate with `python -m repro report`.",
         "",
     ]
-    total_start = time.time()
+    total_start = time.perf_counter()
     for title, claim, factory in SECTIONS:
-        start = time.time()
+        start = time.perf_counter()
         result = factory(fast)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         lines += [
             f"## {title}",
             "",
@@ -142,7 +142,7 @@ def write_markdown_report(
             f"_({elapsed:.1f}s)_",
             "",
         ]
-    lines.append(f"Total: {time.time() - total_start:.0f}s.")
+    lines.append(f"Total: {time.perf_counter() - total_start:.0f}s.")
     path.write_text("\n".join(lines))
     return path
 

@@ -66,9 +66,9 @@ def run_all(
          lambda: run_sensitivity(frames=4 if fast else 8, **engine_kwargs)),
     ]
     for name, fn in experiments:
-        start = time.time()
+        start = time.perf_counter()
         result = fn()
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         print(f"\n{'=' * 72}\n{name}  [{elapsed:.1f}s]\n{'=' * 72}", file=stream)
         print(result.render(), file=stream)
 

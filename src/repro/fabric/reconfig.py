@@ -212,6 +212,12 @@ class ReconfigurationController:
         return skipped
 
     # --------------------------------------------------------------- misc
+    def next_event_after(self, now: int) -> Optional[int]:
+        """The next cycle after ``now`` at which fabric availability changes
+        (the earliest pending ``ready_at``), or ``None`` when nothing is in
+        flight -- the event-driven simulator's global fast-forward bound."""
+        return self.resources.next_event_after(now)
+
     def free_cg_fabric_available(self, now: int) -> bool:
         """Whether a CG context slot is free (or evictable) for a
         monoCG-Extension."""

@@ -9,6 +9,7 @@ on when a new selection needs fabric that stale configurations occupy.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -110,7 +111,20 @@ class ResourceState:
 
     def __init__(self, budget: ResourceBudget):
         self.budget = budget
+        #: per implementation, kept sorted by ``ready_at`` at insertion so
+        #: :meth:`ready_at` and :meth:`next_event_after` never re-sort.  The
+        #: order survives every mutation: new copies of one implementation
+        #: are never scheduled to finish before existing ones (the FG
+        #: bitstream port is FIFO, CG context loads take a fixed time), and
+        #: port-cancellation reflows shift only *later* transfers earlier,
+        #: which preserves per-implementation finish order.
         self._copies: Dict[str, List[ConfiguredCopy]] = {}
+        #: monotonic counter bumped by every mutation that can change an
+        #: execution decision (copies added/removed, pins changed, reset).
+        #: ``touch`` does NOT bump it: ``last_used`` is only read at
+        #: eviction points, which bump the version themselves.  The ECU's
+        #: fast-forward cache tags cached decisions with this version.
+        self.version: int = 0
         #: (cycle, qualified implementation name, area) of every eviction,
         #: for the fabric-utilization analyses.
         self.eviction_log: List[Tuple[int, str, int]] = []
@@ -165,11 +179,26 @@ class ResourceState:
 
     def ready_at(self, impl_name: str, quantity: int) -> Optional[int]:
         """Cycle at which ``quantity`` copies of ``impl_name`` are ready,
-        or ``None`` if fewer copies exist."""
-        times = sorted(c.ready_at for c in self._copies.get(impl_name, ()))
-        if len(times) < quantity:
+        or ``None`` if fewer copies exist.  O(1): copies are maintained in
+        ``ready_at`` order (see ``__init__``), so no per-call sort."""
+        copies = self._copies.get(impl_name, ())
+        if len(copies) < quantity:
             return None
-        return times[quantity - 1]
+        return copies[quantity - 1].ready_at
+
+    def next_event_after(self, now: int) -> Optional[int]:
+        """The earliest ``ready_at`` strictly after ``now`` across every
+        configured copy -- the next cycle at which fabric availability (and
+        with it any ECU decision) can change.  ``None`` if nothing is in
+        flight beyond ``now``.  Uses the per-implementation sorted order."""
+        best: Optional[int] = None
+        for copies in self._copies.values():
+            index = bisect.bisect_right(copies, now, key=lambda c: c.ready_at)
+            if index < len(copies):
+                candidate = copies[index].ready_at
+                if best is None or candidate < best:
+                    best = candidate
+        return best
 
     # ---------------------------------------------------------- mutation
     def add_copy(
@@ -185,7 +214,10 @@ class ResourceState:
                 f"{impl.fabric}, only {self.free_area(impl.fabric)} free"
             )
         copy = ConfiguredCopy(impl=impl, ready_at=ready_at, pinned_by=pinned_by, last_used=ready_at)
-        self._copies.setdefault(impl.name, []).append(copy)
+        bisect.insort_right(
+            self._copies.setdefault(impl.name, []), copy, key=lambda c: c.ready_at
+        )
+        self.version += 1
         return copy
 
     def touch(self, impl_name: str, now: int) -> None:
@@ -200,6 +232,7 @@ class ResourceState:
         Returns the number of copies pinned for the owner after the call.
         """
         pinned = 0
+        changed = False
         for copy in self._copies.get(impl_name, ()):
             if pinned >= quantity:
                 break
@@ -208,13 +241,20 @@ class ResourceState:
             elif copy.pinned_by is None:
                 copy.pinned_by = owner
                 pinned += 1
+                changed = True
+        if changed:
+            self.version += 1
         return pinned
 
     def unpin_owner(self, owner: str) -> None:
         """Release every pin held by ``owner`` (e.g. at functional-block exit)."""
+        changed = False
         for copy in self.iter_copies():
             if copy.pinned_by == owner:
                 copy.pinned_by = None
+                changed = True
+        if changed:
+            self.version += 1
 
     def remove_owner(self, owner: str, now: int) -> int:
         """Remove (not merely unpin) every copy pinned by ``owner``.
@@ -266,11 +306,13 @@ class ResourceState:
         copies.remove(victim)
         if not copies:
             self._copies.pop(victim.impl.name, None)
+        self.version += 1
 
     def clear(self) -> None:
         """Drop every configuration (simulation reset)."""
         self._copies.clear()
         self.eviction_log.clear()
+        self.version += 1
 
     # --------------------------------------------------------- reporting
     def snapshot(self) -> Dict[str, int]:

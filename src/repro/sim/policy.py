@@ -19,7 +19,7 @@ from repro.ise.library import ISELibrary
 from repro.sim.trigger import TriggerInstruction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
-    from repro.core.ecu import ExecutionDecision
+    from repro.core.ecu import ExecutionDecision, ExecutionRun
     from repro.sim.program import Application
 
 
@@ -71,6 +71,33 @@ class RuntimePolicy(abc.ABC):
     @abc.abstractmethod
     def execute(self, kernel_name: str, now: int) -> "ExecutionDecision":
         """Steer one kernel execution (the ECU hook)."""
+
+    def execute_run(
+        self,
+        kernel_name: str,
+        now: int,
+        max_executions: int,
+        gap: int,
+    ) -> "ExecutionRun":
+        """Steer up to ``max_executions`` back-to-back executions of
+        ``kernel_name`` (the first at ``now``, each next one ``gap`` cycles
+        after the previous one finished) -- the event-driven simulator's
+        batch hook.
+
+        Policies steering through an :class:`ExecutionControlUnit` (an
+        ``ecu`` attribute) inherit its horizon-aware fast-forwarding; any
+        other policy falls back to one :meth:`execute` per call, which
+        makes the event engine behave exactly like the stepped loop.
+        """
+        from repro.core.ecu import ExecutionRun
+
+        ecu = getattr(self, "ecu", None)
+        if ecu is not None:
+            return ecu.execute_run(kernel_name, now, max_executions, gap)
+        decision = self.execute(kernel_name, now)
+        return ExecutionRun(
+            decision=decision, count=1, horizon=float(now + 1)
+        )
 
     def on_block_exit(
         self,

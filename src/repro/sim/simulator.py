@@ -9,12 +9,28 @@ cycles the reconfiguration controller scheduled.
 The simulator is deliberately policy-agnostic -- mRTS, the RISPP-like,
 Morpheus/4S-like, offline-optimal and online-optimal systems all run through
 the exact same loop, so the comparisons of Figs. 8-10 are apples-to-apples.
+
+Two interchangeable execution engines drive the kernel loop:
+
+* ``stepped`` -- the reference implementation: one
+  :meth:`~repro.sim.policy.RuntimePolicy.execute` call per kernel
+  execution.
+* ``event`` (default) -- event-driven fast-forwarding: between
+  availability events the ECU cascade's verdict is piecewise-constant, so
+  runs of identical executions are advanced with O(1) arithmetic through
+  :meth:`~repro.sim.policy.RuntimePolicy.execute_run` (see
+  docs/simulator.md for the equivalence argument).
+
+Both engines produce byte-identical statistics and traces; pick one
+explicitly via ``Simulator(engine=...)`` or globally via the ``REPRO_SIM``
+environment variable (mirroring the ``REPRO_SELECTOR`` A/B pattern).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.fabric.reconfig import ReconfigurationController
 from repro.fabric.resources import ResourceBudget
@@ -22,7 +38,30 @@ from repro.ise.library import ISELibrary
 from repro.sim.policy import RuntimePolicy
 from repro.sim.program import Application, interleave
 from repro.sim.stats import SimulationStats
-from repro.sim.trace import ExecutionRecord, SelectionRecord, SimulationTrace
+from repro.sim.trace import (
+    ExecutionRecord,
+    ExecutionRunRecord,
+    SelectionRecord,
+    SimulationTrace,
+)
+from repro.util.validation import ReproError
+
+#: Environment variable selecting the execution engine.
+ENGINE_MODE_ENV = "REPRO_SIM"
+
+#: Valid engine implementations.
+ENGINE_MODES = ("stepped", "event")
+
+
+def resolve_engine_mode(mode: Optional[str] = None) -> str:
+    """The engine to use: the explicit ``mode`` if given, else
+    ``$REPRO_SIM``, else ``event``."""
+    resolved = mode or os.environ.get(ENGINE_MODE_ENV) or "event"
+    if resolved not in ENGINE_MODES:
+        raise ReproError(
+            f"unknown simulator engine {resolved!r}; valid: {list(ENGINE_MODES)}"
+        )
+    return resolved
 
 
 @dataclass
@@ -51,11 +90,15 @@ class Simulator:
         policy: RuntimePolicy,
         collect_trace: bool = False,
         contention=None,
+        engine: Optional[str] = None,
     ):
         """``contention`` optionally supplies a
         :class:`repro.sim.contention.ContentionSchedule`: background tasks
         claiming/releasing fabric at run time (the paper's run-time
         variation (b)).  Events are applied at functional-block boundaries.
+
+        ``engine`` picks the execution engine (``"stepped"`` | ``"event"``);
+        ``None`` defers to ``$REPRO_SIM`` and finally to ``event``.
         """
         self.application = application
         self.library = library
@@ -63,9 +106,11 @@ class Simulator:
         self.policy = policy
         self.collect_trace = collect_trace
         self.contention = contention
+        self.engine = engine
 
     def run(self) -> SimulationResult:
         """Execute the application start to finish; returns the result."""
+        engine = resolve_engine_mode(self.engine)
         controller = ReconfigurationController(self.budget)
         self.policy.attach(self.library, controller)
         self.policy.prepare(self.application)
@@ -78,6 +123,11 @@ class Simulator:
             block.name: self.application.profiled_triggers(block.name)
             for block in self.application.blocks
         }
+        run_kernels = (
+            self._run_kernels_event
+            if engine == "event"
+            else self._run_kernels_stepped
+        )
 
         t = 0
         for iteration in self.application.iterations:
@@ -116,30 +166,9 @@ class Simulator:
             last: Dict[str, int] = {}
             counts: Dict[str, int] = {}
             latency_sums: Dict[str, int] = {}
-            for kernel_name, gap in interleave(iteration.kernels):
-                t += gap
-                stats.gap_cycles += gap
-                decision = self.policy.execute(kernel_name, t)
-                first.setdefault(kernel_name, t)
-                counts[kernel_name] = counts.get(kernel_name, 0) + 1
-                latency_sums[kernel_name] = (
-                    latency_sums.get(kernel_name, 0) + decision.latency
-                )
-                stats.record_execution(decision.mode, decision.latency)
-                if trace is not None:
-                    trace.record_execution(
-                        ExecutionRecord(
-                            time=t,
-                            block=iteration.block,
-                            kernel=kernel_name,
-                            mode=decision.mode,
-                            latency=decision.latency,
-                            level=decision.level,
-                            ise_name=decision.ise_name,
-                        )
-                    )
-                t += decision.latency
-                last[kernel_name] = t
+            t = run_kernels(
+                iteration, t, stats, trace, first, last, counts, latency_sums
+            )
 
             observed = self._observed_timings(
                 iteration, block_entry, first, last, counts, latency_sums
@@ -158,6 +187,111 @@ class Simulator:
             trace=trace,
             controller=controller,
         )
+
+    # ------------------------------------------------------------ engines
+    def _run_kernels_stepped(
+        self,
+        iteration,
+        t: int,
+        stats: SimulationStats,
+        trace: Optional[SimulationTrace],
+        first: Dict[str, int],
+        last: Dict[str, int],
+        counts: Dict[str, int],
+        latency_sums: Dict[str, int],
+    ) -> int:
+        """The reference loop: one policy call per kernel execution."""
+        for kernel_name, gap in interleave(iteration.kernels):
+            t += gap
+            stats.gap_cycles += gap
+            decision = self.policy.execute(kernel_name, t)
+            stats.ecu_calls += 1
+            first.setdefault(kernel_name, t)
+            counts[kernel_name] = counts.get(kernel_name, 0) + 1
+            latency_sums[kernel_name] = (
+                latency_sums.get(kernel_name, 0) + decision.latency
+            )
+            stats.record_execution(decision.mode, decision.latency)
+            if trace is not None:
+                trace.record_execution(
+                    ExecutionRecord(
+                        time=t,
+                        block=iteration.block,
+                        kernel=kernel_name,
+                        mode=decision.mode,
+                        latency=decision.latency,
+                        level=decision.level,
+                        ise_name=decision.ise_name,
+                    )
+                )
+            t += decision.latency
+            last[kernel_name] = t
+        return t
+
+    def _run_kernels_event(
+        self,
+        iteration,
+        t: int,
+        stats: SimulationStats,
+        trace: Optional[SimulationTrace],
+        first: Dict[str, int],
+        last: Dict[str, int],
+        counts: Dict[str, int],
+        latency_sums: Dict[str, int],
+    ) -> int:
+        """Event-driven fast-forwarding: maximal runs of back-to-back
+        executions of one kernel are advanced in O(1) per regime instead of
+        O(1) per execution.  The policy's :meth:`execute_run` bounds each
+        batch by the next availability event, so the resulting statistics
+        and (expanded) trace are byte-identical to the stepped loop."""
+        steps = interleave(iteration.kernels)
+        n_steps = len(steps)
+        index = 0
+        while index < n_steps:
+            kernel_name, gap = steps[index]
+            stop = index + 1
+            while stop < n_steps and steps[stop] == (kernel_name, gap):
+                stop += 1
+            remaining = stop - index
+            index = stop
+            while remaining > 0:
+                start = t + gap
+                run = self.policy.execute_run(kernel_name, start, remaining, gap)
+                decision = run.decision
+                count = run.count
+                period = gap + decision.latency
+                if run.cascade_called:
+                    stats.ecu_calls += 1
+                    stats.executions_fastforwarded += count - 1
+                else:
+                    stats.executions_fastforwarded += count
+                if run.event_crossed:
+                    stats.events_processed += 1
+                stats.gap_cycles += count * gap
+                first.setdefault(kernel_name, start)
+                counts[kernel_name] = counts.get(kernel_name, 0) + count
+                latency_sums[kernel_name] = (
+                    latency_sums.get(kernel_name, 0) + count * decision.latency
+                )
+                stats.record_execution_run(decision.mode, decision.latency, count)
+                if trace is not None:
+                    trace.record_execution_run(
+                        ExecutionRunRecord(
+                            time=start,
+                            block=iteration.block,
+                            kernel=kernel_name,
+                            mode=decision.mode,
+                            latency=decision.latency,
+                            level=decision.level,
+                            ise_name=decision.ise_name,
+                            count=count,
+                            period=period,
+                        )
+                    )
+                t = start + (count - 1) * period + decision.latency
+                last[kernel_name] = t
+                remaining -= count
+        return t
 
     @staticmethod
     def _observed_timings(
@@ -192,4 +326,10 @@ class Simulator:
         return observed
 
 
-__all__ = ["Simulator", "SimulationResult"]
+__all__ = [
+    "ENGINE_MODES",
+    "ENGINE_MODE_ENV",
+    "Simulator",
+    "SimulationResult",
+    "resolve_engine_mode",
+]

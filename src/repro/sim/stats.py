@@ -41,6 +41,13 @@ class SimulationStats:
     evaluations_pruned: int = 0         #: discarded by the profit upper bound
     selector_invalidations: int = 0     #: cache entries dirtied by commits
     selector_rounds: int = 0            #: greedy rounds across all selections
+    # Engine counters (how the reproduction *executed* the run, not what the
+    # modelled hardware did -- excluded from :meth:`to_payload` like the
+    # selector counters, so golden snapshots stay engine-independent).
+    ecu_calls: int = 0                  #: Fig. 7 cascade evaluations
+    executions_fastforwarded: int = 0   #: executions served without a cascade
+    events_processed: int = 0           #: regime recomputations (horizon
+                                        #: crossings / fabric mutations)
 
     # ------------------------------------------------------------ update
     def record_execution(self, mode: "ExecutionMode", latency: int) -> None:
@@ -48,6 +55,19 @@ class SimulationStats:
         self.executions_by_mode[key] = self.executions_by_mode.get(key, 0) + 1
         self.cycles_by_mode[key] = self.cycles_by_mode.get(key, 0) + latency
         self.kernel_cycles += latency
+
+    def record_execution_run(
+        self, mode: "ExecutionMode", latency: int, count: int
+    ) -> None:
+        """O(1) accounting for ``count`` identical executions."""
+        key = mode.value
+        self.executions_by_mode[key] = (
+            self.executions_by_mode.get(key, 0) + count
+        )
+        self.cycles_by_mode[key] = (
+            self.cycles_by_mode.get(key, 0) + count * latency
+        )
+        self.kernel_cycles += count * latency
 
     def record_block(self, block: str, cycles: int) -> None:
         self.block_cycles[block] = self.block_cycles.get(block, 0) + cycles
@@ -123,6 +143,24 @@ class SimulationStats:
             "selector_invalidations": self.selector_invalidations,
             "selector_rounds": self.selector_rounds,
             "cache_hit_rate": self.selector_cache_hit_rate(),
+        }
+
+    def engine_payload(self) -> Dict[str, object]:
+        """The execution-engine counters as a JSON-able dict.
+
+        Like :meth:`selector_payload`, deliberately separate from
+        :meth:`to_payload`: the stepped and event-driven engines must
+        produce byte-identical golden payloads while reporting how much
+        cascade work each actually performed.
+        """
+        total = self.total_executions
+        return {
+            "ecu_calls": self.ecu_calls,
+            "executions_fastforwarded": self.executions_fastforwarded,
+            "events_processed": self.events_processed,
+            "fastforward_fraction": (
+                self.executions_fastforwarded / total if total else 0.0
+            ),
         }
 
     def speedup_over(self, baseline: "SimulationStats") -> float:

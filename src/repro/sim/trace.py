@@ -29,6 +29,43 @@ class ExecutionRecord:
 
 
 @dataclass(frozen=True)
+class ExecutionRunRecord:
+    """A fast-forwarded batch of identical executions (event engine).
+
+    ``count`` executions of ``kernel``, the first starting at ``time``,
+    each subsequent one ``period`` (= gap + latency) cycles later, all
+    served by the same cascade decision.  :meth:`expand` reconstructs the
+    exact per-execution records the stepped loop would have emitted, so
+    run-length recording never changes a trace payload.
+    """
+
+    time: int            #: cycle at which the first execution started
+    block: str
+    kernel: str
+    mode: "ExecutionMode"
+    latency: int
+    level: int
+    ise_name: Optional[str]
+    count: int
+    period: int
+
+    def expand(self) -> List[ExecutionRecord]:
+        """The equivalent per-execution records, in execution order."""
+        return [
+            ExecutionRecord(
+                time=self.time + index * self.period,
+                block=self.block,
+                kernel=self.kernel,
+                mode=self.mode,
+                latency=self.latency,
+                level=self.level,
+                ise_name=self.ise_name,
+            )
+            for index in range(self.count)
+        ]
+
+
+@dataclass(frozen=True)
 class SelectionRecord:
     """Selector-core counters of one functional-block selection.
 
@@ -58,9 +95,20 @@ class SimulationTrace:
     block_windows: Dict[str, List[tuple]] = field(default_factory=dict)
     #: per-selection selector counters (policies with a selection detail)
     selections: List[SelectionRecord] = field(default_factory=list)
+    #: run-length records of the event engine (empty under the stepped
+    #: engine); their expansions are already part of ``executions``
+    runs: List[ExecutionRunRecord] = field(default_factory=list)
 
     def record_execution(self, record: ExecutionRecord) -> None:
         self.executions.append(record)
+
+    def record_execution_run(self, run: ExecutionRunRecord) -> None:
+        """Record a fast-forwarded batch: the run is kept for engine
+        observability and expanded back into per-execution records so
+        every trace consumer (and the golden snapshots) sees the exact
+        stepped-loop sequence."""
+        self.runs.append(run)
+        self.executions.extend(run.expand())
 
     def record_block_window(self, block: str, entry: int, exit_: int) -> None:
         self.block_windows.setdefault(block, []).append((entry, exit_))
@@ -118,4 +166,9 @@ class SimulationTrace:
         }
 
 
-__all__ = ["ExecutionRecord", "SelectionRecord", "SimulationTrace"]
+__all__ = [
+    "ExecutionRecord",
+    "ExecutionRunRecord",
+    "SelectionRecord",
+    "SimulationTrace",
+]

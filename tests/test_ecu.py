@@ -4,8 +4,10 @@ import pytest
 
 from repro.core.ecu import ExecutionControlUnit, ExecutionMode
 from repro.core.selector import ISESelector
+from repro.fabric.datapath import DataPathSpec
 from repro.fabric.reconfig import ReconfigurationController
 from repro.fabric.resources import ResourceBudget
+from repro.ise.kernel import Kernel
 from repro.ise.library import ISELibrary
 from repro.sim.trigger import TriggerInstruction
 
@@ -141,6 +143,91 @@ class TestMonoCGGating:
         ecu.release_monocg_pins()
         after = controller.resources.unpinned_area(FabricType.CG)
         assert after > before
+
+    def test_release_visits_only_configured_owners(self, setup, monkeypatch):
+        """Block exit releases the monoCG pins the ECU actually created
+        this block -- not one owner per library kernel."""
+        library, controller, ecu = setup
+        ecu.set_selection({"k": None})
+        ecu.execute("k", now=0)
+        released = []
+        monkeypatch.setattr(
+            controller, "release_owner", lambda owner: released.append(owner)
+        )
+        ecu.release_monocg_pins()
+        assert released == ["monocg:k"]
+        released.clear()
+        ecu.release_monocg_pins()  # nothing configured since the last release
+        assert released == []
+
+    def test_breakeven_exact_boundary_does_not_configure(self, setup):
+        """``next_improvement_at - now == breakeven`` is *not* worth a
+        monoCG-Extension (the gate is a strict >); one cycle less is."""
+        library, controller, _ = setup
+        selection = select_and_commit(library, controller, e=50000, tb=10)
+        ise = selection["k"]
+        probe = ExecutionControlUnit(controller, library)
+        next_at = probe._next_improvement_at(ise, 0)
+        assert next_at != float("inf")
+        boundary = int(next_at)
+        assert boundary == next_at  # reconfig completions are whole cycles
+
+        at_boundary = ExecutionControlUnit(
+            controller, library, monocg_breakeven_cycles=boundary
+        )
+        at_boundary.set_selection(selection)
+        at_boundary.execute("k", now=0)
+        assert at_boundary.monocg_configured_count == 0
+
+        below_boundary = ExecutionControlUnit(
+            controller, library, monocg_breakeven_cycles=boundary - 1
+        )
+        below_boundary.set_selection(selection)
+        below_boundary.execute("k", now=0)
+        assert below_boundary.monocg_configured_count == 1
+
+    def test_no_monocg_when_cg_fabric_pinned_by_another_owner(self, kernel):
+        """A CG fabric that exists but is pinned is not 'free': the cascade
+        must skip the monoCG-Extension instead of evicting the pin."""
+        budget = ResourceBudget(
+            n_prcs=2, n_cg_fabrics=1, contexts_per_cg_fabric=1
+        )
+        other = Kernel(
+            "m",
+            base_cycles=120,
+            datapaths=[
+                DataPathSpec(
+                    name="m.filt",
+                    word_ops=24,
+                    mem_bytes=32,
+                    fg_depth=10,
+                    sw_cycles=200,
+                    invocations=6,
+                    parallelizable=True,
+                )
+            ],
+        )
+        library = ISELibrary([kernel, other], budget)
+        controller = ReconfigurationController(budget)
+        controller.ensure_configured(
+            [library.monocg("m").instance], owner="monocg:m", now=0
+        )
+        ecu = ExecutionControlUnit(controller, library)
+        ecu.set_selection({"k": None})
+        decision = ecu.execute("k", now=0)
+        assert ecu.monocg_configured_count == 0
+        assert decision.mode is ExecutionMode.RISC
+
+    def test_next_improvement_inf_when_fully_ready(self, setup):
+        """With the selected ISE completely reconfigured there is no deeper
+        level left: no pending event can improve the decision."""
+        library, controller, ecu = setup
+        selection = select_and_commit(library, controller)
+        ecu.set_selection(selection)
+        ise = selection["k"]
+        late = ise.total_reconfig_cycles + 10**6
+        assert ecu._ready_level(ise, late) == ise.n_levels
+        assert ecu._next_improvement_at(ise, ise.n_levels) == float("inf")
 
 
 class TestIntermediateFlag:
