@@ -14,6 +14,12 @@ Exit status is non-zero on any mismatch, so CI can gate on it::
 
     PYTHONPATH=src python scripts/check_determinism.py --jobs 4
 
+``--json [PATH]`` additionally emits a machine-readable summary (to stdout
+when PATH is ``-``), shape-aligned with ``repro lint --format json``::
+
+    {"gate": "determinism", "ok": true, "checks": [
+        {"name": "serial-parallel", "ok": true, "details": [...]}, ...]}
+
 After an *intentional* simulation-behaviour change, refresh the snapshot::
 
     PYTHONPATH=src python scripts/check_determinism.py --update-golden
@@ -25,6 +31,7 @@ import argparse
 import json
 import sys
 import tempfile
+from typing import Dict, List
 
 from repro.experiments.engine import SweepCell, SweepEngine
 from repro.verification.golden import (
@@ -52,46 +59,76 @@ def reference_cells():
     ]
 
 
-def check_engine(jobs: int) -> bool:
+def _check(name: str, ok: bool, details: List[str]) -> Dict[str, object]:
+    return {"name": name, "ok": ok, "details": details}
+
+
+def check_engine(jobs: int) -> List[Dict[str, object]]:
+    """The serial/parallel and fresh/cached checks, as summary records."""
     cells = reference_cells()
     with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
         serial = SweepEngine(jobs=1, use_cache=False).run(cells)
         parallel_engine = SweepEngine(jobs=jobs, use_cache=True, cache_dir=tmp)
         parallel = parallel_engine.run(cells)
         cached = parallel_engine.run(cells)
-    ok = True
+
+    checks: List[Dict[str, object]] = []
     if json.dumps(serial) != json.dumps(parallel):
-        print(f"FAIL: serial and --jobs {jobs} records differ")
-        ok = False
+        checks.append(_check(
+            "serial-parallel", False,
+            [f"serial and --jobs {jobs} records differ"],
+        ))
     else:
-        print(f"ok: serial == parallel ({len(cells)} cells, {jobs} jobs)")
+        checks.append(_check(
+            "serial-parallel", True,
+            [f"{len(cells)} cells, {jobs} jobs"],
+        ))
+
+    cache_details: List[str] = []
+    cache_ok = True
     if json.dumps(parallel) != json.dumps(cached):
-        print("FAIL: fresh and cache-served records differ")
-        ok = False
+        cache_ok = False
+        cache_details.append("fresh and cache-served records differ")
     elif parallel_engine.stats.cache_hits != len(cells):
-        print(
-            f"FAIL: expected {len(cells)} cache hits, "
+        cache_ok = False
+        cache_details.append(
+            f"expected {len(cells)} cache hits, "
             f"got {parallel_engine.stats.cache_hits}"
         )
-        ok = False
     else:
-        print(f"ok: fresh == cached ({parallel_engine.stats.cache_hits} hits)")
-    return ok
+        cache_details.append(f"{parallel_engine.stats.cache_hits} hits")
+    checks.append(_check("fresh-cached", cache_ok, cache_details))
+    return checks
 
 
-def check_golden() -> bool:
+def check_golden() -> Dict[str, object]:
+    """The golden-trace check, as a summary record."""
     if not GOLDEN_PATH.exists():
-        print(f"FAIL: golden snapshot missing at {GOLDEN_PATH}")
-        return False
+        return _check(
+            "golden-trace", False,
+            [f"golden snapshot missing at {GOLDEN_PATH}"],
+        )
     problems = diff_golden(load_golden(), golden_payload())
     if problems:
-        print("FAIL: golden trace diverged:")
-        for problem in problems:
-            print(f"  - {problem}")
-        print("  (intentional change? re-run with --update-golden)")
-        return False
-    print(f"ok: golden trace matches {GOLDEN_PATH.name}")
-    return True
+        return _check("golden-trace", False, list(problems))
+    return _check("golden-trace", True, [f"matches {GOLDEN_PATH.name}"])
+
+
+def render_text(checks: List[Dict[str, object]]) -> str:
+    lines = []
+    for check in checks:
+        if check["ok"]:
+            detail = "; ".join(check["details"])
+            lines.append(f"ok: {check['name']} ({detail})")
+        else:
+            lines.append(f"FAIL: {check['name']}")
+            for detail in check["details"]:
+                lines.append(f"  - {detail}")
+            if check["name"] == "golden-trace":
+                lines.append(
+                    "  (intentional change? re-run with --update-golden)"
+                )
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -102,6 +139,10 @@ def main(argv=None) -> int:
                         help="only check the golden trace")
     parser.add_argument("--update-golden", action="store_true",
                         help="regenerate the golden snapshot and exit")
+    parser.add_argument("--json", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="write a machine-readable summary to PATH "
+                             "('-' or no value: stdout)")
     args = parser.parse_args(argv)
 
     if args.update_golden:
@@ -109,10 +150,22 @@ def main(argv=None) -> int:
         print(f"wrote {path}")
         return 0
 
-    ok = True
+    checks: List[Dict[str, object]] = []
     if not args.skip_engine:
-        ok &= check_engine(args.jobs)
-    ok &= check_golden()
+        checks.extend(check_engine(args.jobs))
+    checks.append(check_golden())
+    ok = all(check["ok"] for check in checks)
+
+    summary = {"gate": "determinism", "ok": ok, "checks": checks}
+    if args.json == "-":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_text(checks))
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(summary, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.json}")
     return 0 if ok else 1
 
 

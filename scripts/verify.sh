@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# The repo's verification gate: tier-1 tests, byte-level determinism, and
-# the benchmark smoke jobs.
+# The repo's verification gate: static lint, tier-1 tests, byte-level
+# determinism, and the benchmark smoke jobs.
 #
 #   bash scripts/verify.sh [--jobs N]
 #
@@ -18,11 +18,19 @@ if [ "${1:-}" = "--jobs" ]; then
     JOBS="$2"
 fi
 
+echo "== static lint gate =="
+python -m repro lint
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests scripts benchmarks
+else
+    echo "ruff not installed; skipping (CI runs it)"
+fi
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo "== determinism gate =="
-python scripts/check_determinism.py --jobs "$JOBS"
+python scripts/check_determinism.py --jobs "$JOBS" --json determinism.json
 
 echo "== selector bench smoke =="
 python benchmarks/bench_selector.py --quick --out BENCH_selector.quick.json

@@ -13,6 +13,11 @@ run-time system actually did*:
   the selected ISE of a kernel changes between block iterations, and how
   much reconfiguration traffic that causes;
 * :mod:`repro.analysis.summary` -- a one-stop human-readable run report.
+
+One subpackage works on the *source tree* instead of simulation results:
+
+* :mod:`repro.analysis.lint` -- the static determinism & invariant linter
+  behind ``repro lint`` (imported lazily; see ``docs/analysis.md``).
 """
 
 from repro.analysis.timeline import KernelTimeline, Phase, kernel_timeline

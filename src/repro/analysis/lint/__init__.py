@@ -1,0 +1,48 @@
+"""Static determinism & invariant linter (``repro lint``).
+
+The dynamic gates -- golden traces, serial/parallel equivalence, the
+hypothesis A/B suites -- catch nondeterminism *after* it runs.  This
+package catches the usual sources before run time, with an AST pass over
+the shipped tree:
+
+* :mod:`~repro.analysis.lint.core` -- visitor framework: rules, findings,
+  suppression comments, the :func:`run_lint` driver;
+* :mod:`~repro.analysis.lint.rules` -- determinism rules (wall-clock reads,
+  unseeded RNGs, set-order leakage, float equality, mutable defaults,
+  ad-hoc ``os.environ`` access);
+* :mod:`~repro.analysis.lint.invariants` -- project contracts (dual
+  implementation signatures, golden-payload key exclusion, cache-key field
+  coverage);
+* :mod:`~repro.analysis.lint.config` -- per-path allowlist and per-rule
+  severities.
+
+See ``docs/analysis.md`` for every rule's rationale and the suppression
+syntax (``# repro-lint: disable=<rule>``).
+"""
+
+from repro.analysis.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.lint.core import (
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    default_lint_root,
+    lint_source,
+    run_lint,
+)
+from repro.analysis.lint.invariants import run_invariants
+from repro.analysis.lint.rules import default_rules
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "default_lint_root",
+    "default_rules",
+    "lint_source",
+    "run_invariants",
+    "run_lint",
+]

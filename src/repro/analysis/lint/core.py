@@ -1,0 +1,354 @@
+"""Visitor core of the determinism & invariant linter.
+
+The framework is deliberately small:
+
+* a :class:`Rule` inspects AST nodes of the types it declares interest in
+  (``node_types``) and yields :class:`Finding`\\ s; ``begin_module`` lets it
+  reset per-file state;
+* :class:`FileContext` gives rules the parsed module, the raw source lines,
+  and a resolved import-alias table, so a rule can ask "what dotted name
+  does this call really target?" without re-deriving imports itself;
+* :func:`lint_source` runs every rule in **one** AST walk per file and
+  applies suppression comments and the per-path allowlist from
+  :mod:`repro.analysis.lint.config`;
+* :func:`run_lint` maps that over a file tree and finishes with the
+  project-level invariant checkers
+  (:mod:`repro.analysis.lint.invariants`), returning a :class:`LintReport`
+  whose ``ok`` gates CI.
+
+Suppression syntax (checked against the finding's physical line, or
+anywhere in the file for the ``disable-file`` form)::
+
+    risky_call()  # repro-lint: disable=wall-clock
+    # repro-lint: disable-file=float-equality
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.util.validation import ReproError
+
+#: Marker introducing a suppression comment.
+SUPPRESS_MARK = "# repro-lint:"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str           #: posix-style path as given to the linter
+    line: int           #: 1-based line of the offending node
+    col: int            #: 0-based column
+    message: str
+    severity: str = "error"   #: ``error`` gates the exit code; ``warning`` does not
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class FileContext:
+    """Per-file state shared by every rule during one walk.
+
+    ``aliases`` maps local names to the dotted origin they were imported
+    as: ``import numpy as np`` yields ``{"np": "numpy"}``, ``from time
+    import perf_counter as pc`` yields ``{"pc": "time.perf_counter"}``.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The fully resolved dotted name of a ``Name``/``Attribute`` chain,
+        or ``None`` for anything dynamic (subscripts, calls, ...)."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class of all single-file lint rules."""
+
+    #: Unique kebab-case identifier (used in suppressions and config).
+    name: str = ""
+    #: One-line description of what the rule flags.
+    summary: str = ""
+    #: Which determinism invariant the rule protects (docs / --list-rules).
+    rationale: str = ""
+    #: AST node classes the rule wants to see; empty means module-only.
+    node_types: Tuple[type, ...] = ()
+
+    def begin_module(self, ctx: FileContext) -> Iterable[Finding]:
+        """Called once per file before the walk; may yield findings."""
+        return ()
+
+    def check_node(self, node: ast.AST, ctx: FileContext) -> Iterable[Finding]:
+        """Called for every node whose type is in ``node_types``."""
+        return ()
+
+    # ------------------------------------------------------------ helpers
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _suppressed(finding: Finding, ctx: FileContext) -> bool:
+    """True when a suppression comment disables ``finding``."""
+    def _rules_of(text: str, directive: str) -> List[str]:
+        mark = SUPPRESS_MARK + " " + directive + "="
+        index = text.find(mark)
+        if index < 0:
+            # tolerate no space after the colon
+            mark = SUPPRESS_MARK + directive + "="
+            index = text.find(mark)
+            if index < 0:
+                return []
+        spec = text[index + len(mark):].split("#")[0]
+        return [rule.strip() for rule in spec.split(",") if rule.strip()]
+
+    line = ctx.line_text(finding.line)
+    if finding.rule in _rules_of(line, "disable") or "all" in _rules_of(
+        line, "disable"
+    ):
+        return True
+    for text in ctx.lines:
+        if SUPPRESS_MARK in text:
+            rules = _rules_of(text, "disable-file")
+            if finding.rule in rules or "all" in rules:
+                return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    config=None,
+) -> List[Finding]:
+    """Lint one module's source text; returns surviving findings.
+
+    Findings are dropped when a suppression comment disables them or the
+    config's per-path allowlist exempts the file from the rule, and
+    re-labelled with the config's severity for the rule otherwise.
+    """
+    from repro.analysis.lint.config import DEFAULT_CONFIG
+    from repro.analysis.lint.rules import default_rules
+
+    cfg = config if config is not None else DEFAULT_CONFIG
+    active = list(rules) if rules is not None else default_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule="syntax",
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+
+    raw: List[Finding] = []
+    dispatch: Dict[type, List[Rule]] = {}
+    for rule in active:
+        if cfg.path_allowed(rule.name, path):
+            continue
+        raw.extend(rule.begin_module(ctx))
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    if dispatch:
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                raw.extend(rule.check_node(node, ctx))
+
+    findings = []
+    for finding in raw:
+        if cfg.path_allowed(finding.rule, path) or _suppressed(finding, ctx):
+            continue
+        severity = cfg.severity_of(finding.rule)
+        if severity != finding.severity:
+            finding = Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                severity=severity,
+            )
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+@dataclass
+class LintReport:
+    """Everything one :func:`run_lint` pass produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity finding survived."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def render_text(self) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(
+                f"{finding.location()}: {finding.severity}[{finding.rule}] "
+                f"{finding.message}"
+            )
+        lines.append(
+            f"repro lint: {len(self.errors)} error(s), "
+            f"{len(self.findings) - len(self.errors)} warning(s) "
+            f"in {self.files_checked} file(s)"
+        )
+        return "\n".join(lines)
+
+    def to_payload(self) -> Dict[str, object]:
+        """Machine-readable form, shape-aligned with the determinism gate's
+        ``--json`` output (``scripts/check_determinism.py``)."""
+        return {
+            "gate": "lint",
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "errors": len(self.errors),
+            "warnings": len(self.findings) - len(self.errors),
+            "rules": list(self.rules_run),
+            "findings": [f.to_payload() for f in self.findings],
+        }
+
+
+def _python_files(root: Path) -> List[Path]:
+    if root.is_file():
+        return [root]
+    # Sorted for deterministic report order (and determinism is the point).
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def default_lint_root() -> Path:
+    """The shipped source tree: the installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run_lint(
+    paths: Optional[Sequence] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    config=None,
+    invariants: bool = True,
+) -> LintReport:
+    """Lint ``paths`` (files or directory trees; default: the shipped
+    ``repro`` package) and run the project invariant checkers."""
+    from repro.analysis.lint.config import DEFAULT_CONFIG
+    from repro.analysis.lint.invariants import run_invariants
+    from repro.analysis.lint.rules import default_rules
+
+    cfg = config if config is not None else DEFAULT_CONFIG
+    active = list(rules) if rules is not None else default_rules()
+    roots = [Path(p) for p in paths] if paths else [default_lint_root()]
+
+    report = LintReport(rules_run=[rule.name for rule in active])
+    sources: Dict[str, str] = {}
+    for root in roots:
+        if not root.exists():
+            raise ReproError(f"lint path does not exist: {root}")
+        for file_path in _python_files(root):
+            posix = file_path.as_posix()
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError as error:
+                report.findings.append(
+                    Finding(
+                        rule="io",
+                        path=posix,
+                        line=1,
+                        col=0,
+                        message=f"unreadable: {error}",
+                    )
+                )
+                continue
+            sources[posix] = source
+            report.files_checked += 1
+            report.findings.extend(
+                lint_source(source, path=posix, rules=active, config=cfg)
+            )
+    if invariants:
+        report.findings.extend(run_invariants(sources, config=cfg))
+        report.rules_run += [
+            name for name in INVARIANT_RULE_NAMES if name not in report.rules_run
+        ]
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+#: Filled in by repro.analysis.lint.invariants at import; listed here to
+#: avoid a circular import in run_lint's rules_run bookkeeping.
+INVARIANT_RULE_NAMES: List[str] = []
+
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "SUPPRESS_MARK",
+    "default_lint_root",
+    "lint_source",
+    "run_lint",
+]

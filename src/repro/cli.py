@@ -12,6 +12,7 @@ Commands
 ``export``       run one experiment and write its data as CSV/JSON
 ``bench``        A/B-benchmark a hot path, write BENCH_<suite>.json
 ``cache``        inspect or clear the on-disk sweep cell cache
+``lint``         static determinism & invariant linter (CI gate)
 
 The sweep-shaped commands accept ``--jobs`` (process fan-out),
 ``--no-cache`` and ``--cache-dir`` (the content-addressed cell cache under
@@ -228,6 +229,47 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import json as json_module
+
+    from repro.analysis.lint import default_rules, run_lint
+
+    rules = default_rules()
+    if args.list_rules:
+        # Importing the invariants module populates INVARIANT_RULE_NAMES.
+        import repro.analysis.lint.invariants  # noqa: F401
+        from repro.analysis.lint.core import INVARIANT_RULE_NAMES
+
+        for rule in rules:
+            print(f"{rule.name:22s} {rule.summary}")
+        for name in INVARIANT_RULE_NAMES:
+            print(f"{name:22s} project invariant (see docs/analysis.md)")
+        return 0
+    if args.rules:
+        wanted = {name.strip() for name in args.rules.split(",")}
+        known = {rule.name for rule in rules}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(f"error: unknown rule(s) {unknown}; "
+                  f"known: {sorted(known)}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.name in wanted]
+    try:
+        report = run_lint(
+            paths=args.paths or None,
+            rules=rules,
+            invariants=not args.no_invariants,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json_module.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     from repro.experiments.report import write_markdown_report
 
@@ -343,6 +385,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="with 'stats': first evict down to this size")
     p_cache.set_defaults(fn=cmd_cache)
+
+    p_lint = sub.add_parser(
+        "lint", help="static determinism & invariant linter (exit 1 on findings)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the shipped repro package)",
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated subset of rule names to run")
+    p_lint.add_argument("--no-invariants", action="store_true",
+                        help="skip the project-level invariant checkers")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print every rule with its summary and exit")
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_rep = sub.add_parser("report", help="write the markdown experiment dossier")
     p_rep.add_argument("--out", default="results/report.md")

@@ -38,10 +38,12 @@ def pif(
     check_non_negative("hw_time", hw_time)
     check_non_negative("reconfiguration_latency", reconfiguration_latency)
     check_non_negative("executions", executions)
-    if executions == 0:
+    # Ordering comparisons instead of float ==: every operand is validated
+    # non-negative above, so <= 0 is exactly the zero case.
+    if executions <= 0:
         return 0.0
     denominator = reconfiguration_latency + hw_time * executions
-    if denominator == 0:
+    if denominator <= 0:
         raise ValidationError(
             "pif undefined: zero reconfiguration latency and zero hw_time"
         )

@@ -38,7 +38,6 @@ kernel wins, then the earliest candidate in the library's candidate order.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -51,8 +50,9 @@ from repro.sim.trigger import TriggerInstruction
 from repro.util.validation import ReproError
 
 #: Environment variable selecting the implementation (``naive`` |
-#: ``incremental``); the constructor argument takes precedence.
-SELECTOR_MODE_ENV = "REPRO_SELECTOR"
+#: ``incremental``); the constructor argument takes precedence.  Re-exported
+#: from the central registry in :mod:`repro.config_env`.
+from repro.config_env import SELECTOR_MODE_ENV
 
 #: Valid selector implementations; ``incremental`` is the default.
 SELECTOR_MODES = ("naive", "incremental")
@@ -154,12 +154,9 @@ def apply_reservation(ise: ISE, reserved: Dict[str, int]) -> None:
 def resolve_selector_mode(mode: Optional[str] = None) -> str:
     """The selector implementation to use: the explicit ``mode`` if given,
     else ``$REPRO_SELECTOR``, else ``incremental``."""
-    resolved = mode or os.environ.get(SELECTOR_MODE_ENV) or "incremental"
-    if resolved not in SELECTOR_MODES:
-        raise ReproError(
-            f"unknown selector mode {resolved!r}; valid: {list(SELECTOR_MODES)}"
-        )
-    return resolved
+    from repro.config_env import selector_mode
+
+    return selector_mode(mode)
 
 
 @dataclass
@@ -552,7 +549,12 @@ class ISESelector:
                 fg_port_free_at = winner.port_after
             else:
                 fg_port_free_at = effective_before
-            port_moved = max(float(now), fg_port_free_at) != effective_before
+            # Ordering comparison instead of float !=: a valid FG-sensitive
+            # entry was computed against the current backlog (port moves
+            # invalidate it), and predict_recT only pushes the port forward
+            # from max(now, backlog), so fg_port_free_at >= effective_before
+            # always -- "moved" is exactly "strictly later".
+            port_moved = fg_port_free_at > effective_before
 
             pending.discard(kernel)
             del entries[kernel]
@@ -624,9 +626,17 @@ def _beats(
     """The deterministic argmax order: higher profit wins; equal profits
     resolve by ``(kernel name, candidate index)`` ascending.  This makes the
     historical ``sorted(pending)``-iteration tie-break explicit, so the
-    incremental argmax cannot silently reorder ties."""
-    if profit != best_profit:
-        return profit > best_profit
+    incremental argmax cannot silently reorder ties.
+
+    Only ordering comparisons: ties are the fall-through case, so the
+    tie-break needs no float ``==`` -- both selector implementations compute
+    candidate profits through the identical expression and produce
+    bit-identical values, which is what makes this ordering total.
+    """
+    if profit > best_profit:
+        return True
+    if profit < best_profit:
+        return False
     return (kernel, index) < (best_kernel, best_index)
 
 

@@ -42,6 +42,7 @@ from repro.baselines import (
     RisppLikePolicy,
     TaskLevelPolicy,
 )
+from repro.config_env import DEFAULT_CACHE_DIR, cache_dir as resolve_cache_dir
 from repro.core.mrts import MRTS
 from repro.fabric.resources import ResourceBudget
 from repro.sim.simulator import Simulator
@@ -50,8 +51,6 @@ from repro.util.validation import ReproError
 #: Bump when the record layout or the simulation semantics change in a way
 #: the library fingerprint cannot see; invalidates every cached record.
 ENGINE_SCHEMA = 1
-
-DEFAULT_CACHE_DIR = ".repro_cache"
 
 # ------------------------------------------------------------- registries
 
@@ -346,7 +345,7 @@ def _cache_files(cache_dir: Union[str, Path]) -> List[Path]:
 
 def cache_stats(cache_dir: Union[str, Path, None] = None) -> Dict[str, object]:
     """Size report of the on-disk sweep cell cache."""
-    root = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+    root = Path(resolve_cache_dir(cache_dir if cache_dir is None else str(cache_dir)))
     files = _cache_files(root)
     sizes = []
     oldest: Optional[float] = None
@@ -370,7 +369,7 @@ def cache_stats(cache_dir: Union[str, Path, None] = None) -> Dict[str, object]:
 
 def clear_cache(cache_dir: Union[str, Path, None] = None) -> int:
     """Delete every cached record; returns how many were removed."""
-    root = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+    root = Path(resolve_cache_dir(cache_dir if cache_dir is None else str(cache_dir)))
     removed = 0
     for path in _cache_files(root):
         try:
@@ -397,7 +396,7 @@ def evict_cache(
     """
     if max_bytes < 0:
         raise ReproError(f"max_bytes must be >= 0, got {max_bytes}")
-    root = Path(cache_dir) if cache_dir is not None else Path(DEFAULT_CACHE_DIR)
+    root = Path(resolve_cache_dir(cache_dir if cache_dir is None else str(cache_dir)))
     entries = []
     total = 0
     for path in _cache_files(root):
@@ -516,8 +515,8 @@ class SweepEngine:
                 f"cache_max_bytes must be >= 0, got {cache_max_bytes}"
             )
         self.jobs = jobs
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else Path(
-            DEFAULT_CACHE_DIR
+        self.cache_dir = Path(
+            resolve_cache_dir(cache_dir if cache_dir is None else str(cache_dir))
         )
         self.use_cache = use_cache
         self.chunk_size = chunk_size

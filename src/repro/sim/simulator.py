@@ -28,7 +28,6 @@ environment variable (mirroring the ``REPRO_SELECTOR`` A/B pattern).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -44,10 +43,9 @@ from repro.sim.trace import (
     SelectionRecord,
     SimulationTrace,
 )
-from repro.util.validation import ReproError
-
-#: Environment variable selecting the execution engine.
-ENGINE_MODE_ENV = "REPRO_SIM"
+#: Environment variable selecting the execution engine (re-exported from
+#: the central registry in :mod:`repro.config_env`).
+from repro.config_env import ENGINE_MODE_ENV
 
 #: Valid engine implementations.
 ENGINE_MODES = ("stepped", "event")
@@ -56,12 +54,9 @@ ENGINE_MODES = ("stepped", "event")
 def resolve_engine_mode(mode: Optional[str] = None) -> str:
     """The engine to use: the explicit ``mode`` if given, else
     ``$REPRO_SIM``, else ``event``."""
-    resolved = mode or os.environ.get(ENGINE_MODE_ENV) or "event"
-    if resolved not in ENGINE_MODES:
-        raise ReproError(
-            f"unknown simulator engine {resolved!r}; valid: {list(ENGINE_MODES)}"
-        )
-    return resolved
+    from repro.config_env import sim_engine_mode
+
+    return sim_engine_mode(mode)
 
 
 @dataclass

@@ -263,3 +263,381 @@ class TestPortReport:
         report = port_report(result)
         assert report.transfers == 0
         assert report.busy_fraction == 0.0
+
+
+# --------------------------------------------------------------------------
+# The static determinism & invariant linter (repro.analysis.lint).
+# One known-bad and one known-good fixture per rule, the suppression and
+# allowlist machinery, the project invariant checkers, the CLI gate, and
+# the self-check that the shipped tree lints clean.
+
+
+def _rules_hit(source, path="fixture.py", **kwargs):
+    from repro.analysis.lint import lint_source
+
+    return {f.rule for f in lint_source(source, path=path, **kwargs)}
+
+
+class TestWallClockRule:
+    BAD = "import time\n\ndef stamp():\n    return time.time()\n"
+    GOOD = "def stamp(sim_now):\n    return sim_now\n"
+
+    def test_bad(self):
+        assert "wall-clock" in _rules_hit(self.BAD)
+
+    def test_good(self):
+        assert "wall-clock" not in _rules_hit(self.GOOD)
+
+    def test_from_import_alias(self):
+        src = "from time import perf_counter as pc\nx = pc()\n"
+        assert "wall-clock" in _rules_hit(src)
+
+    def test_datetime_now(self):
+        src = "from datetime import datetime\nx = datetime.now()\n"
+        assert "wall-clock" in _rules_hit(src)
+
+    def test_allowlisted_timing_paths(self):
+        # The report/runner/bench progress timing is sanctioned by config.
+        assert "wall-clock" not in _rules_hit(
+            self.BAD, path="src/repro/experiments/report.py"
+        )
+        assert "wall-clock" not in _rules_hit(self.BAD, path="src/repro/bench.py")
+
+
+class TestUnseededRandomRule:
+    BAD = "import random\nx = random.random()\n"
+    GOOD = (
+        "from repro.util.rng import make_rng\n"
+        "rng = make_rng(7)\nx = rng.integers(10)\n"
+    )
+
+    def test_bad(self):
+        assert "unseeded-random" in _rules_hit(self.BAD)
+
+    def test_good(self):
+        assert "unseeded-random" not in _rules_hit(self.GOOD)
+
+    def test_numpy_global_state(self):
+        src = "import numpy as np\nnp.random.seed(0)\nx = np.random.rand()\n"
+        assert "unseeded-random" in _rules_hit(src)
+
+    def test_seeded_default_rng_ok(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert "unseeded-random" not in _rules_hit(src)
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert "unseeded-random" in _rules_hit(src)
+
+
+class TestUnsortedIterationRule:
+    BAD = "def f(items):\n    for x in set(items):\n        print(x)\n"
+    GOOD = "def f(items):\n    for x in sorted(set(items)):\n        print(x)\n"
+
+    def test_bad(self):
+        assert "unsorted-iteration" in _rules_hit(self.BAD)
+
+    def test_good(self):
+        assert "unsorted-iteration" not in _rules_hit(self.GOOD)
+
+    def test_comprehension_over_set_literal(self):
+        src = "ys = [y for y in {3, 1, 2}]\n"
+        assert "unsorted-iteration" in _rules_hit(src)
+
+    def test_list_of_set_call(self):
+        src = "def f(items):\n    return list(set(items))\n"
+        assert "unsorted-iteration" in _rules_hit(src)
+
+    def test_order_insensitive_consumers_ok(self):
+        src = "def f(items):\n    return sum(set(items)) + len(set(items))\n"
+        assert "unsorted-iteration" not in _rules_hit(src)
+
+
+class TestFloatEqualityRule:
+    BAD = "def eq(profit: float, other: float):\n    return profit == other\n"
+    GOOD = (
+        "import math\n\n"
+        "def eq(profit: float, other: float):\n"
+        "    return math.isclose(profit, other)\n"
+    )
+
+    def test_bad(self):
+        assert "float-equality" in _rules_hit(self.BAD)
+
+    def test_good(self):
+        assert "float-equality" not in _rules_hit(self.GOOD)
+
+    def test_float_literal(self):
+        assert "float-equality" in _rules_hit("ok = (x == 0.5)\n")
+
+    def test_inf_sentinel_exempt(self):
+        src = (
+            "def f(horizon: float):\n"
+            "    return horizon == float('inf')\n"
+        )
+        assert "float-equality" not in _rules_hit(src)
+
+    def test_ordering_comparison_ok(self):
+        src = "def f(profit: float, other: float):\n    return profit > other\n"
+        assert "float-equality" not in _rules_hit(src)
+
+
+class TestMutableDefaultRule:
+    BAD = "def f(acc=[]):\n    acc.append(1)\n    return acc\n"
+    GOOD = (
+        "def f(acc=None):\n"
+        "    if acc is None:\n        acc = []\n"
+        "    acc.append(1)\n    return acc\n"
+    )
+
+    def test_bad(self):
+        assert "mutable-default" in _rules_hit(self.BAD)
+
+    def test_good(self):
+        assert "mutable-default" not in _rules_hit(self.GOOD)
+
+    def test_dict_constructor_default(self):
+        assert "mutable-default" in _rules_hit("def f(cfg=dict()):\n    return cfg\n")
+
+
+class TestEnvReadRule:
+    BAD = "import os\nmode = os.environ.get('REPRO_SELECTOR')\n"
+    GOOD = (
+        "from repro.config_env import selector_mode\n"
+        "mode = selector_mode()\n"
+    )
+
+    def test_bad(self):
+        assert "env-read" in _rules_hit(self.BAD)
+
+    def test_good(self):
+        assert "env-read" not in _rules_hit(self.GOOD)
+
+    def test_getenv_and_subscript(self):
+        assert "env-read" in _rules_hit("import os\nx = os.getenv('X')\n")
+        assert "env-read" in _rules_hit("import os\nx = os.environ['X']\n")
+
+    def test_from_import_alias(self):
+        src = "from os import environ\nx = environ.get('X')\n"
+        assert "env-read" in _rules_hit(src)
+
+    def test_config_env_is_allowlisted(self):
+        assert "env-read" not in _rules_hit(
+            self.BAD, path="src/repro/config_env.py"
+        )
+
+
+class TestSuppressionAndConfig:
+    def test_line_suppression(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=wall-clock\n"
+        )
+        assert "wall-clock" not in _rules_hit(src)
+
+    def test_file_suppression(self):
+        src = (
+            "# repro-lint: disable-file=wall-clock\n"
+            "import time\nt = time.time()\n"
+        )
+        assert "wall-clock" not in _rules_hit(src)
+
+    def test_suppression_is_rule_specific(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=env-read\n"
+        )
+        assert "wall-clock" in _rules_hit(src)
+
+    def test_severity_override_does_not_gate(self):
+        from repro.analysis.lint import LintConfig, lint_source
+        from repro.analysis.lint.core import LintReport
+
+        findings = lint_source(
+            TestWallClockRule.BAD,
+            path="fixture.py",
+            config=LintConfig(severity={"wall-clock": "warning"}),
+        )
+        assert [f.severity for f in findings] == ["warning"]
+        report = LintReport(findings=findings, files_checked=1)
+        assert report.ok
+
+    def test_invalid_severity_rejected(self):
+        from repro.analysis.lint import LintConfig
+
+        with pytest.raises(ReproError):
+            LintConfig(severity={"wall-clock": "fatal"})
+
+    def test_syntax_error_is_a_finding(self):
+        assert "syntax" in _rules_hit("def broken(:\n")
+
+
+class TestInvariantCheckers:
+    def test_shipped_tree_contracts_hold(self):
+        import repro
+        from pathlib import Path
+        from repro.analysis.lint import run_invariants
+
+        root = Path(repro.__file__).parent
+        sources = {
+            p.as_posix(): p.read_text(encoding="utf-8")
+            for p in root.rglob("*.py")
+        }
+        assert run_invariants(sources) == []
+
+    def test_signature_drift_detected(self):
+        from repro.analysis.lint import run_invariants
+
+        sources = {
+            "core/selector.py": (
+                "class ISESelector:\n"
+                "    def _select_naive(self, triggers, controller, now):\n"
+                "        pass\n"
+                "    def _select_incremental(self, triggers, controller):\n"
+                "        pass\n"
+            )
+        }
+        rules = {f.rule for f in run_invariants(sources)}
+        assert "dual-impl-signature" in rules
+
+    def test_missing_dual_impl_detected(self):
+        from repro.analysis.lint import run_invariants
+
+        sources = {
+            "sim/simulator.py": (
+                "class Simulator:\n"
+                "    def _run_kernels_stepped(self, iteration, t):\n"
+                "        pass\n"
+            )
+        }
+        rules = {f.rule for f in run_invariants(sources)}
+        assert "dual-impl-signature" in rules
+
+    def test_payload_key_leak_detected(self):
+        from repro.analysis.lint import run_invariants
+
+        sources = {
+            "sim/stats.py": (
+                "class SimulationStats:\n"
+                "    def to_payload(self):\n"
+                "        return {'total_cycles': 1}\n"
+                "    def selector_payload(self):\n"
+                "        return {'total_cycles': 2}\n"
+                "    def engine_payload(self):\n"
+                "        return {'ecu_calls': 3}\n"
+            )
+        }
+        findings = run_invariants(sources)
+        assert any(
+            f.rule == "golden-payload-exclusion" and "total_cycles" in f.message
+            for f in findings
+        )
+
+    def test_cache_key_field_omission_detected(self):
+        from repro.analysis.lint import run_invariants
+
+        sources = {
+            "experiments/engine.py": (
+                "class SweepCell:\n"
+                "    budget: tuple\n"
+                "    seed: int\n"
+                "    budget_params: tuple\n"
+                "    def payload(self):\n"
+                "        return {'budget': self.budget, 'seed': self.seed}\n"
+                "def cell_key(cell):\n"
+                "    return hashit(cell.payload())\n"
+            )
+        }
+        findings = run_invariants(sources)
+        messages = [f.message for f in findings if f.rule == "cache-key-fields"]
+        assert any("budget_params" in m for m in messages)
+
+    def test_out_of_scope_sources_skip_checkers(self):
+        from repro.analysis.lint import run_invariants
+
+        assert run_invariants({"somewhere/else.py": "x = 1\n"}) == []
+
+
+class TestLintGate:
+    def test_shipped_tree_is_clean(self):
+        from repro.analysis.lint import run_lint
+
+        report = run_lint()
+        assert report.findings == []
+        assert report.ok
+        assert report.files_checked > 100
+
+    def test_report_payload_shape(self):
+        from repro.analysis.lint import run_lint
+
+        payload = run_lint().to_payload()
+        assert payload["gate"] == "lint"
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert "wall-clock" in payload["rules"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock" in out
+
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(good)]) == 0
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(acc=[]):\n    return acc\n", encoding="utf-8")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gate"] == "lint"
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "mutable-default"
+
+    def test_cli_rule_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n", encoding="utf-8")
+        assert main(["lint", "--rules", "env-read", str(bad)]) == 0
+        assert main(["lint", "--rules", "wall-clock", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_cli_unknown_rule(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "--rules", "nope", str(tmp_path)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_cli_missing_path(self, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "/nonexistent/lint/path"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_each_bad_fixture_fails_each_good_passes(self, tmp_path):
+        from repro.cli import main
+
+        fixtures = [
+            (TestWallClockRule.BAD, TestWallClockRule.GOOD),
+            (TestUnseededRandomRule.BAD, TestUnseededRandomRule.GOOD),
+            (TestUnsortedIterationRule.BAD, TestUnsortedIterationRule.GOOD),
+            (TestFloatEqualityRule.BAD, TestFloatEqualityRule.GOOD),
+            (TestMutableDefaultRule.BAD, TestMutableDefaultRule.GOOD),
+            (TestEnvReadRule.BAD, TestEnvReadRule.GOOD),
+        ]
+        for index, (bad, good) in enumerate(fixtures):
+            bad_path = tmp_path / f"bad_{index}.py"
+            bad_path.write_text(bad, encoding="utf-8")
+            good_path = tmp_path / f"good_{index}.py"
+            good_path.write_text(good, encoding="utf-8")
+            assert main(["lint", str(bad_path)]) == 1, f"fixture {index}"
+            assert main(["lint", str(good_path)]) == 0, f"fixture {index}"
