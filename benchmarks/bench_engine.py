@@ -1,22 +1,38 @@
-"""The sweep engine: parallel fan-out and cache-hit throughput.
+"""The sweep engine: backends, construction memos and cache throughput.
 
-Demonstrates the scaling properties the engine exists for, on a 36-cell
-(budget x seed x policy) sweep:
+Three entry points share :mod:`repro.bench`'s ``engine`` suite:
 
-* a cold run simulates every cell (through ``--jobs`` worker processes
-  when given);
-* a warm re-run serves every cell from the content-addressed cache and
-  must be at least 5x faster than the cold run;
-* cold and warm runs return byte-identical records.
+* under pytest-benchmark (``pytest benchmarks/bench_engine.py``) the
+  quick backend A/B run executes once under timing and asserts the
+  regression gate -- serial/pool/distributed byte-identical, and the
+  per-worker construction memos cutting application builds + library
+  compiles by at least the threshold factor;
+* the cache-hit test demonstrates the content-addressed cache on a
+  36-cell sweep: a warm re-run must be at least 5x faster than cold and
+  byte-identical;
+* as a standalone script (``python benchmarks/bench_engine.py [--quick]
+  [--out BENCH_engine.json]``) it writes the perf-trajectory JSON, the
+  same artifact as ``repro bench --suite engine``.  The verify script
+  runs this with ``--quick`` as its benchmark smoke job.
 """
 
 import json
+import sys
 import time
+from pathlib import Path
 
-import pytest
-from conftest import run_once
+# Standalone invocation does not go through pytest's rootdir machinery.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments.engine import SweepCell, SweepEngine
+import pytest  # noqa: E402
+
+from repro.bench import (  # noqa: E402
+    ENGINE_REDUCTION_THRESHOLD,
+    check_engine_gate,
+    render_engine,
+    run_engine_bench,
+)
+from repro.experiments.engine import SweepCell, SweepEngine  # noqa: E402
 
 #: 3 budgets x 6 seeds x 2 policies = 36 cells.
 BUDGETS = [(1, 1), (2, 2), (3, 3)]
@@ -34,7 +50,22 @@ def _cells():
     ]
 
 
+def test_engine_backend_memoization(benchmark):
+    from conftest import run_once
+
+    payload = run_once(benchmark, lambda: run_engine_bench(quick=True))
+    print()
+    print(render_engine(payload))
+    assert check_engine_gate(payload) == []
+    assert (
+        payload["construction_reduction_factor"]
+        >= ENGINE_REDUCTION_THRESHOLD
+    )
+
+
 def test_engine_cache_hit_speedup(benchmark, sweep_engine):
+    from conftest import run_once
+
     if not sweep_engine.use_cache:
         pytest.skip("cache-hit bench is meaningless with --no-cache")
     cells = _cells()
@@ -58,3 +89,9 @@ def test_engine_cache_hit_speedup(benchmark, sweep_engine):
     assert sweep_engine.stats.executed == 0
     assert json.dumps(cold) == json.dumps(warm)
     assert cold_elapsed / warm_elapsed >= 5.0
+
+
+if __name__ == "__main__":
+    from repro.bench import main
+
+    sys.exit(main(["--suite", "engine"] + sys.argv[1:]))

@@ -1,18 +1,21 @@
 #!/usr/bin/env python
 """Determinism and regression gate for the sweep engine.
 
-Three checks, all byte-level:
+Four checks, all byte-level:
 
 1. **Serial == parallel**: a reference 36-cell sweep executed in-process
    and through a ``--jobs``-wide process pool must serialise identically.
 2. **Fresh == cached**: re-running the same sweep against the cache it
    just populated must serialise identically.
-3. **Golden trace**: the committed reference snapshot under
+3. **Backends agree**: the same sweep routed through every registered
+   executor backend (serial, pool, and a distributed coordinator with
+   ``--workers`` local socket workers) must serialise identically.
+4. **Golden trace**: the committed reference snapshot under
    ``tests/golden/`` must match a fresh simulation exactly.
 
 Exit status is non-zero on any mismatch, so CI can gate on it::
 
-    PYTHONPATH=src python scripts/check_determinism.py --jobs 4
+    PYTHONPATH=src python scripts/check_determinism.py --jobs 4 --workers 2
 
 ``--json [PATH]`` additionally emits a machine-readable summary (to stdout
 when PATH is ``-``), shape-aligned with ``repro lint --format json``::
@@ -101,6 +104,43 @@ def check_engine(jobs: int) -> List[Dict[str, object]]:
     return checks
 
 
+def check_backends(jobs: int, workers: int) -> Dict[str, object]:
+    """Every registered executor backend must serialise identically."""
+    from repro.experiments.backends import backend_names
+
+    cells = reference_cells()
+    serialised: Dict[str, str] = {}
+    stats: Dict[str, str] = {}
+    for name in backend_names():
+        engine = SweepEngine(
+            jobs=jobs if name == "pool" else 1,
+            use_cache=False,
+            backend=name,
+            workers=workers if name == "distributed" else None,
+        )
+        serialised[name] = json.dumps(engine.run(cells))
+        stats[name] = (
+            f"{name}: saved {engine.stats.builds_saved} builds, "
+            f"{engine.stats.frames_sent} frames, "
+            f"{engine.stats.worker_restarts} restarts"
+        )
+    reference = serialised["serial"]
+    differing = sorted(
+        name for name, blob in serialised.items() if blob != reference
+    )
+    if differing:
+        return _check(
+            "backends-agree", False,
+            [f"backend {name!r} records differ from serial"
+             for name in differing],
+        )
+    return _check(
+        "backends-agree", True,
+        [f"{len(cells)} cells through {sorted(serialised)}"]
+        + [stats[name] for name in sorted(stats)],
+    )
+
+
 def check_golden() -> Dict[str, object]:
     """The golden-trace check, as a summary record."""
     if not GOLDEN_PATH.exists():
@@ -135,6 +175,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4,
                         help="pool width for the parallel leg (default 4)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="socket workers for the distributed leg "
+                             "(default 2)")
     parser.add_argument("--skip-engine", action="store_true",
                         help="only check the golden trace")
     parser.add_argument("--update-golden", action="store_true",
@@ -153,6 +196,7 @@ def main(argv=None) -> int:
     checks: List[Dict[str, object]] = []
     if not args.skip_engine:
         checks.extend(check_engine(args.jobs))
+        checks.append(check_backends(args.jobs, args.workers))
     checks.append(check_golden())
     ok = all(check["ok"] for check in checks)
 

@@ -4,11 +4,14 @@
 #
 #   bash scripts/verify.sh [--jobs N]
 #
-# The bench steps write the quick variants of BENCH_selector.json and
-# BENCH_sim.json and fail on any A/B regression: differing results,
-# the incremental selector recomputing more profits than the naive one
-# (repro.bench.check_gate), or the event engine reducing ECU cascade
-# calls by less than the 5x threshold (repro.bench.check_sim_gate).
+# The bench steps write the quick variants of BENCH_selector.json,
+# BENCH_sim.json and BENCH_engine.json and fail on any A/B regression:
+# differing results, the incremental selector recomputing more profits
+# than the naive one (repro.bench.check_gate), the event engine reducing
+# ECU cascade calls by less than the 5x threshold
+# (repro.bench.check_sim_gate), or the construction memos cutting builds
+# by less than 3x / the executor backends disagreeing
+# (repro.bench.check_engine_gate).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,12 +33,16 @@ echo "== tier-1 tests =="
 python -m pytest -x -q
 
 echo "== determinism gate =="
-python scripts/check_determinism.py --jobs "$JOBS" --json determinism.json
+python scripts/check_determinism.py --jobs "$JOBS" --workers 2 \
+    --json determinism.json
 
 echo "== selector bench smoke =="
 python benchmarks/bench_selector.py --quick --out BENCH_selector.quick.json
 
 echo "== sim engine bench smoke =="
 python benchmarks/bench_sim.py --quick --out BENCH_sim.quick.json
+
+echo "== sweep backend bench smoke =="
+python benchmarks/bench_engine.py --quick --out BENCH_engine.quick.json
 
 echo "verify: all gates passed"

@@ -16,7 +16,14 @@ hold:
   implementation choice;
 * ``cache-key-fields`` -- every declared ``SweepCell`` override field must
   flow into the cache key: referenced by ``SweepCell.payload`` and carried
-  into the ``library_fingerprint`` call inside ``cell_key``.
+  into the ``library_fingerprint`` call inside ``cell_key``;
+* ``backend-run-signature`` -- every registered executor backend's
+  ``run()`` must keep the serial backend's arguments as a prefix, so the
+  engine can route any grid through any backend unchanged;
+* ``engine-stats-exclusion`` -- every key of
+  ``EngineStats.engine_payload`` (how the *sweep* was executed) must stay
+  out of ``SimulationStats.to_payload`` (what the modelled hardware did),
+  or golden traces start depending on the executor backend.
 
 Each checker targets a file by trailing path (e.g. ``sim/stats.py``), so
 the same pass works on the shipped tree and on synthetic fixtures in
@@ -230,6 +237,102 @@ def check_payload_exclusion(sources: Dict[str, str]) -> Iterable[Finding]:
             )
 
 
+# --------------------------------------------------- backend run signatures
+
+
+def check_backend_run_signatures(sources: Dict[str, str]) -> Iterable[Finding]:
+    rule = "backend-run-signature"
+    backend_paths = sorted(
+        path for path in sources
+        if "experiments/backends/" in path.replace("\\", "/")
+        and path.replace("\\", "/").endswith(".py")
+    )
+    if not backend_paths:
+        return  # backends not part of this lint scope
+    serial_ctx = _module_for(sources, "experiments/backends/serial.py")
+    serial_run = None
+    if serial_ctx is not None:
+        serial_class = _find_class(serial_ctx.tree, "SerialBackend")
+        if serial_class is not None:
+            serial_run = _find_function(serial_class, "run")
+    if serial_run is None:
+        yield _finding(
+            rule, serial_ctx, None,
+            "SerialBackend.run not found; the backend run() signature "
+            "contract has no reference to check against",
+            fallback_path=backend_paths[0],
+        )
+        return
+    reference = _signature_of(serial_run)
+    for path in backend_paths:
+        try:
+            tree = ast.parse(sources[path])
+        except SyntaxError:
+            continue  # the determinism rules already report unparsable files
+        ctx = FileContext(path, sources[path], tree)
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith("Backend")
+            ):
+                continue
+            run_fn = _find_function(node, "run")
+            if run_fn is None:
+                continue  # abstract carriers without run() are fine
+            signature = _signature_of(run_fn)
+            if not _extends(reference, signature):
+                yield _finding(
+                    rule, ctx, run_fn,
+                    f"{node.name}.run{_render(signature)} does not keep "
+                    f"SerialBackend.run{_render(reference)}'s arguments as "
+                    "a prefix; the engine must be able to route any grid "
+                    "through any registered backend",
+                )
+
+
+# ----------------------------------------------------- engine stats exclusion
+
+
+def check_engine_stats_exclusion(sources: Dict[str, str]) -> Iterable[Finding]:
+    rule = "engine-stats-exclusion"
+    engine_ctx = _module_for(sources, "experiments/engine.py")
+    stats_ctx = _module_for(sources, "sim/stats.py")
+    if engine_ctx is None or stats_ctx is None:
+        return  # the pair is only checkable with both halves in scope
+    stats_class = _find_class(stats_ctx.tree, "SimulationStats")
+    to_payload = (
+        _find_function(stats_class, "to_payload")
+        if stats_class is not None else None
+    )
+    if to_payload is None:
+        return  # golden-payload-exclusion already reports the broken anchor
+    golden_keys = _dict_keys_returned(to_payload)
+    engine_stats = _find_class(engine_ctx.tree, "EngineStats")
+    if engine_stats is None:
+        yield _finding(
+            rule, engine_ctx, None,
+            "class EngineStats not found; the engine counters have no "
+            "payload to keep out of golden records",
+        )
+        return
+    engine_payload = _find_function(engine_stats, "engine_payload")
+    if engine_payload is None:
+        yield _finding(
+            rule, engine_ctx, engine_stats,
+            "EngineStats.engine_payload missing; the sweep-executor "
+            "counters must stay in their own payload",
+        )
+        return
+    overlap = sorted(_dict_keys_returned(engine_payload) & golden_keys)
+    if overlap:
+        yield _finding(
+            rule, engine_ctx, engine_payload,
+            f"EngineStats.engine_payload keys {overlap} also appear in "
+            "SimulationStats.to_payload; executor observability must never "
+            "enter golden payloads",
+        )
+
+
 # ------------------------------------------------------ cache key coverage
 
 
@@ -319,12 +422,16 @@ _CHECKERS = (
     check_dual_signatures,
     check_payload_exclusion,
     check_cache_key_fields,
+    check_backend_run_signatures,
+    check_engine_stats_exclusion,
 )
 
 INVARIANT_RULE_NAMES[:] = [
     "dual-impl-signature",
     "golden-payload-exclusion",
     "cache-key-fields",
+    "backend-run-signature",
+    "engine-stats-exclusion",
 ]
 
 
@@ -360,8 +467,10 @@ __all__ = [
     "DUAL_IMPLEMENTATIONS",
     "FINGERPRINT_FIELDS",
     "PAYLOAD_EXCLUSIONS",
+    "check_backend_run_signatures",
     "check_cache_key_fields",
     "check_dual_signatures",
+    "check_engine_stats_exclusion",
     "check_payload_exclusion",
     "run_invariants",
 ]

@@ -147,4 +147,52 @@ def _phase_from(data: dict) -> Phase:
     )
 
 
-__all__ = ["Phase", "KernelTimeline", "kernel_timeline"]
+def timeline_payload(timeline: KernelTimeline) -> dict:
+    """Plain-data form of a timeline (the ``kernel_timeline`` sweep metric
+    stores this in cell records; round-trips through JSON exactly)."""
+    return {
+        "kernel": timeline.kernel,
+        "risc_latency": timeline.risc_latency,
+        "phases": [
+            {
+                "mode": p.mode,
+                "level": p.level,
+                "ise_name": p.ise_name,
+                "start": p.start,
+                "end": p.end,
+                "executions": p.executions,
+                "latency": p.latency,
+            }
+            for p in timeline.phases
+        ],
+    }
+
+
+def timeline_from_payload(payload: dict) -> KernelTimeline:
+    """Rebuild a :class:`KernelTimeline` from :func:`timeline_payload`."""
+    phases = [
+        Phase(
+            mode=entry["mode"],
+            level=entry["level"],
+            ise_name=entry["ise_name"],
+            start=entry["start"],
+            end=entry["end"],
+            executions=entry["executions"],
+            latency=entry["latency"],
+        )
+        for entry in payload["phases"]
+    ]
+    return KernelTimeline(
+        kernel=payload["kernel"],
+        phases=phases,
+        risc_latency=payload["risc_latency"],
+    )
+
+
+__all__ = [
+    "Phase",
+    "KernelTimeline",
+    "kernel_timeline",
+    "timeline_from_payload",
+    "timeline_payload",
+]

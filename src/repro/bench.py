@@ -1,7 +1,7 @@
 """A/B microbenchmarks of the reproduction's hot paths.
 
-Two suites, both over the Fig. 8 reference workload (the H.264 encoder on
-the (CG fabrics x PRCs) budget grid), both doubling as regression gates:
+Three suites, all over the Fig. 8 reference workload (the H.264 encoder on
+the (CG fabrics x PRCs) budget grid), all doubling as regression gates:
 
 * ``selector`` -- naive vs. incremental ISE selector: per-budget stats
   payloads must be byte-identical and the incremental implementation must
@@ -11,11 +11,16 @@ the (CG fabrics x PRCs) budget grid), both doubling as regression gates:
   payloads must be byte-identical and the event engine must evaluate the
   ECU cascade at least :data:`SIM_REDUCTION_THRESHOLD` times less often
   (``BENCH_sim.json``).
+* ``engine`` -- serial vs. pool vs. distributed sweep executor backends:
+  cell records must be byte-identical across all three, and the per-worker
+  construction memos must cut application builds + library compiles by at
+  least :data:`ENGINE_REDUCTION_THRESHOLD` on the serial backend
+  (``BENCH_engine.json``).
 
 :func:`main` (also reachable as ``repro bench --suite ...`` and via the
-``benchmarks/bench_selector.py`` / ``benchmarks/bench_sim.py`` wrappers)
-exits non-zero when a gate fails, which is what the verify script's smoke
-jobs rely on.
+``benchmarks/bench_selector.py`` / ``benchmarks/bench_sim.py`` /
+``benchmarks/bench_engine.py`` wrappers) exits non-zero when a gate
+fails, which is what the verify script's smoke jobs rely on.
 """
 
 from __future__ import annotations
@@ -42,6 +47,14 @@ QUICK_BUDGETS: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 2), (3, 2))
 #: Minimum factor by which the event engine must reduce ECU cascade calls
 #: on the fig8 reference grid (the sim suite's perf gate).
 SIM_REDUCTION_THRESHOLD = 5.0
+
+#: Minimum factor by which the construction memos must cut application
+#: builds + library compiles on the fig8 grid (the engine suite's gate,
+#: measured on the serial backend where all cells share one memo).
+ENGINE_REDUCTION_THRESHOLD = 3.0
+
+#: Backends exercised by the engine suite, reference first.
+ENGINE_BACKENDS = ("serial", "pool", "distributed")
 
 
 def run_selector_bench(
@@ -201,6 +214,82 @@ def run_sim_bench(
     }
 
 
+def run_engine_bench(
+    frames: int = 16,
+    seed: int = 7,
+    budgets: Optional[Sequence[Tuple[int, int]]] = None,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Benchmark every executor backend on the fig8 sweep grid.
+
+    Runs the same (budget x policy) cell grid through each backend of a
+    fresh :class:`~repro.experiments.engine.SweepEngine` (cache off, memos
+    cleared per backend so counters are comparable) and returns a
+    JSON-able payload with per-backend engine counters, wall times, the
+    construction-reduction factor and the equivalence verdict.
+    """
+    from repro.experiments.engine import SweepCell, SweepEngine, clear_build_memo
+
+    if budgets is None:
+        budgets = QUICK_BUDGETS if quick else FIG8_BUDGETS
+    if quick:
+        frames = min(frames, 4)
+    policies = ("risc", "rispp", "offline-optimal", "morpheus4s", "mrts")
+    cells = [
+        SweepCell.make(
+            (cg, prc), seed, policy,
+            workload="h264", workload_params={"frames": frames},
+        )
+        for cg, prc in budgets
+        for policy in policies
+    ]
+
+    backends: Dict[str, Dict[str, object]] = {}
+    payloads: Dict[str, List[Dict[str, object]]] = {}
+    for name in ENGINE_BACKENDS:
+        clear_build_memo()
+        eng = SweepEngine(
+            jobs=2 if name == "pool" else 1,
+            use_cache=False,
+            backend=name,
+            workers=2 if name == "distributed" else None,
+        )
+        started = time.perf_counter()
+        payloads[name] = eng.run(cells)
+        wall = time.perf_counter() - started
+        stats = eng.stats
+        built = stats.applications_built + stats.libraries_built
+        logical = 2 * len(cells)
+        backends[name] = dict(
+            stats.engine_payload(),
+            wall_seconds=round(wall, 4),
+            construction_reduction_factor=(
+                round(logical / built, 3) if built else float("inf")
+            ),
+        )
+    clear_build_memo()
+
+    identical = all(
+        payloads[name] == payloads["serial"] for name in ENGINE_BACKENDS
+    )
+    return {
+        "benchmark": "engine",
+        "workload": "h264 fig8 grid",
+        "frames": frames,
+        "seed": seed,
+        "budgets": [list(b) for b in budgets],
+        "policies": list(policies),
+        "cells": len(cells),
+        "quick": quick,
+        "backends": backends,
+        "identical_results": identical,
+        "construction_reduction_factor": (
+            backends["serial"]["construction_reduction_factor"]
+        ),
+        "reduction_threshold": ENGINE_REDUCTION_THRESHOLD,
+    }
+
+
 def render(payload: Dict[str, object]) -> str:
     """Human-readable summary of a bench payload."""
     lines = [
@@ -247,6 +336,30 @@ def render_sim(payload: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def render_engine(payload: Dict[str, object]) -> str:
+    """Human-readable summary of an engine bench payload."""
+    lines = [
+        f"sweep backend bench on {payload['workload']} "
+        f"(frames={payload['frames']}, seed={payload['seed']}, "
+        f"{payload['cells']} cells over {len(payload['budgets'])} budgets)"
+    ]
+    for name, totals in payload["backends"].items():
+        lines.append(
+            f"  {name:11s} apps_built={totals['applications_built']:,} "
+            f"libs_built={totals['libraries_built']:,} "
+            f"saved={totals['builds_saved']:,} "
+            f"frames={totals['frames_sent']:,} "
+            f"restarts={totals['worker_restarts']:,} "
+            f"({totals['wall_seconds']}s)"
+        )
+    lines.append(
+        f"  reduction: {payload['construction_reduction_factor']}x fewer "
+        f"constructions (threshold {payload['reduction_threshold']}x); "
+        f"identical results: {payload['identical_results']}"
+    )
+    return "\n".join(lines)
+
+
 def check_gate(payload: Dict[str, object]) -> List[str]:
     """The regression conditions the verify smoke job enforces.
 
@@ -284,12 +397,35 @@ def check_sim_gate(payload: Dict[str, object]) -> List[str]:
     return failures
 
 
+def check_engine_gate(payload: Dict[str, object]) -> List[str]:
+    """The regression conditions of the engine suite (empty = pass): every
+    backend must produce byte-identical cell records, and the construction
+    memos must cut builds by at least the threshold factor on the serial
+    backend (the pool/distributed backends split the memo across worker
+    processes, so only the serial counters are deterministic)."""
+    failures = []
+    if not payload["identical_results"]:
+        failures.append("executor backends produced differing cell records")
+    reduction = payload["construction_reduction_factor"]
+    threshold = payload["reduction_threshold"]
+    if reduction < threshold:
+        failures.append(
+            f"memos reduced constructions only {reduction}x "
+            f"(threshold {threshold}x)"
+        )
+    return failures
+
+
 #: suite name -> (runner, renderer, gate, default output file)
 SUITES = {
     "selector": (
         run_selector_bench, render, check_gate, "BENCH_selector.json"
     ),
     "sim": (run_sim_bench, render_sim, check_sim_gate, "BENCH_sim.json"),
+    "engine": (
+        run_engine_bench, render_engine, check_engine_gate,
+        "BENCH_engine.json",
+    ),
 }
 
 
@@ -327,15 +463,20 @@ def main(argv=None) -> int:
 
 
 __all__ = [
+    "ENGINE_BACKENDS",
+    "ENGINE_REDUCTION_THRESHOLD",
     "FIG8_BUDGETS",
     "QUICK_BUDGETS",
     "SIM_REDUCTION_THRESHOLD",
     "SUITES",
+    "check_engine_gate",
     "check_gate",
     "check_sim_gate",
     "main",
     "render",
+    "render_engine",
     "render_sim",
+    "run_engine_bench",
     "run_selector_bench",
     "run_sim_bench",
 ]

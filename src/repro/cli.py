@@ -12,12 +12,15 @@ Commands
 ``export``       run one experiment and write its data as CSV/JSON
 ``bench``        A/B-benchmark a hot path, write BENCH_<suite>.json
 ``cache``        inspect or clear the on-disk sweep cell cache
+``worker``       join a distributed sweep coordinator as a worker process
 ``lint``         static determinism & invariant linter (CI gate)
 
 The sweep-shaped commands accept ``--jobs`` (process fan-out),
 ``--no-cache`` and ``--cache-dir`` (the content-addressed cell cache under
-``.repro_cache/``); ``sweep`` additionally takes ``--cache-max-bytes``
-(LRU eviction budget).  See ``docs/sweeps.md``.
+``.repro_cache/``), plus the executor knobs ``--backend``
+(serial/pool/distributed), ``--workers`` and ``--coordinator``; ``sweep``
+additionally takes ``--cache-max-bytes`` (LRU eviction budget).  See
+``docs/sweeps.md``.
 """
 
 from __future__ import annotations
@@ -145,16 +148,30 @@ def _engine_kwargs(args) -> dict:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        backend=args.backend,
+        workers=args.workers,
+        coordinator=args.coordinator,
     )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.experiments.backends import backend_names
+
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for sweep cells")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read/write the on-disk cell cache")
     parser.add_argument("--cache-dir", default=None,
                         help="cell cache location (default: .repro_cache)")
+    parser.add_argument("--backend", default=None, choices=backend_names(),
+                        help="executor backend (default: pool when "
+                             "--jobs > 1, else serial)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes spawned by the distributed "
+                             "backend (default: max(2, --jobs))")
+    parser.add_argument("--coordinator", default=None,
+                        help="HOST:PORT the distributed coordinator binds "
+                             "(default: 127.0.0.1, ephemeral port)")
 
 
 def cmd_experiments(args) -> int:
@@ -227,6 +244,12 @@ def cmd_cache(args) -> int:
     print(f"records:      {stats['records']}")
     print(f"total bytes:  {stats['total_bytes']:,}")
     return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.experiments.backends.worker import main as worker_main
+
+    return worker_main(["--coordinator", args.coordinator])
 
 
 def cmd_lint(args) -> int:
@@ -361,13 +384,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "after the run (LRU eviction)")
     p_sweep.set_defaults(fn=cmd_sweep)
 
+    from repro.bench import SUITES
+
     p_bench = sub.add_parser(
-        "bench", help="A/B-benchmark a hot path (selector or sim engine)"
+        "bench", help="A/B-benchmark a hot path (selector, sim or engine)"
     )
-    p_bench.add_argument("--suite", choices=("selector", "sim"),
+    p_bench.add_argument("--suite", choices=tuple(sorted(SUITES)),
                          default="selector",
-                         help="selector implementations or simulator "
-                              "engines (default: selector)")
+                         help="selector implementations, simulator engines "
+                              "or sweep executor backends (default: selector)")
     p_bench.add_argument("--quick", action="store_true",
                          help="small frame count and budget cut")
     p_bench.add_argument("--frames", type=int, default=16)
@@ -385,6 +410,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--max-bytes", type=int, default=None,
                          help="with 'stats': first evict down to this size")
     p_cache.set_defaults(fn=cmd_cache)
+
+    p_worker = sub.add_parser(
+        "worker", help="join a distributed sweep coordinator as a worker"
+    )
+    p_worker.add_argument("--coordinator", required=True,
+                          help="HOST:PORT of the coordinator to join")
+    p_worker.set_defaults(fn=cmd_worker)
 
     p_lint = sub.add_parser(
         "lint", help="static determinism & invariant linter (exit 1 on findings)"

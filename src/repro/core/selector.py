@@ -57,6 +57,18 @@ from repro.config_env import SELECTOR_MODE_ENV
 #: Valid selector implementations; ``incremental`` is the default.
 SELECTOR_MODES = ("naive", "incremental")
 
+#: Relative slack applied to the static profit upper bound before pruning.
+#: ``e * profit_bound_per_execution`` dominates the profit in real
+#: arithmetic, but ``ise_profit`` sums a handful of non-negative float
+#: terms, so its computed value can exceed the bound by a few ulps of
+#: accumulated rounding.  Pruning therefore requires the bound to lose to
+#: the running argmax by more than this relative margin -- orders of
+#: magnitude above the worst-case summation error, vanishingly small
+#: against any real profit gap -- so a candidate is only pruned when its
+#: *computed* profit provably cannot win the round, keeping the
+#: incremental selector byte-identical to the naive one.
+BOUND_PRUNE_SLACK = 1e-9
+
 
 def predict_recT(
     ise: ISE,
@@ -475,20 +487,19 @@ class ISESelector:
                         result.evaluations_skipped += 1
                     else:
                         # Profit upper bound (see ISE.profit_bound_per_execution):
-                        # prune when even the bound cannot win the round -- it
-                        # loses outright, or at best ties a candidate that the
-                        # (profit, kernel, index) order already prefers.  A
-                        # non-positive bound cannot produce a committable
-                        # (> 0) winner either.
+                        # prune when even the bound -- widened by
+                        # BOUND_PRUNE_SLACK to absorb the float summation
+                        # error of ise_profit -- cannot beat the running
+                        # argmax.  A non-positive bound cannot produce a
+                        # committable (> 0) winner either: with all savings
+                        # or executions zero every profit term is an exact
+                        # float zero.
                         bound = executions * entry.bound_coeff
                         if best is None:
                             if bound <= 0.0:
                                 result.evaluations_pruned += 1
                                 continue
-                        elif bound < best[0] or (
-                            bound == best[0]
-                            and (best[1], best[2]) < (kernel, entry.index)
-                        ):
+                        elif bound + bound * BOUND_PRUNE_SLACK < best[0]:
                             result.evaluations_pruned += 1
                             continue
                         profit, schedule, port_after = self._profit_of(

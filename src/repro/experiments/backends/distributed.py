@@ -1,0 +1,409 @@
+"""The distributed backend: a TCP coordinator driving socket workers.
+
+The coordinator binds a listening socket (loopback + ephemeral port by
+default, any ``host:port`` for multi-host runs), spawns N local worker
+processes, and accepts any additional workers that connect from elsewhere
+(``python -m repro.experiments.backends.worker --coordinator host:port``).
+
+Wire protocol -- length-prefixed JSON frames (a 4-byte big-endian length
+followed by that many bytes of UTF-8 JSON):
+
+* worker -> coordinator: ``{"type": "hello", "schema": ..., "protocol": ...}``
+* coordinator -> worker: ``{"type": "welcome", "schema": ...,
+  "fingerprints": [...]}`` -- the handshake carries every library
+  fingerprint of the run, and each batch repeats its own, so a worker with
+  divergent workload code refuses the work instead of poisoning records.
+* coordinator -> worker: ``{"type": "batch", "batch": id,
+  "fingerprint": ..., "cells": [cell payloads]}``
+* worker -> coordinator: ``{"type": "result", "batch": id,
+  "records": [...], "built": {...}}`` or ``{"type": "error", ...}``
+* coordinator -> worker: ``{"type": "shutdown"}``
+
+Failure handling: a worker that disconnects mid-batch gets its batch
+requeued at the *front* of the pending queue (deterministic reassignment:
+the next free worker takes exactly the failed batch), ``worker_restarts``
+is counted, and a replacement local worker is spawned while the restart
+budget lasts.  Records are keyed by batch id, so scheduling and failures
+never change the assembled output -- byte-identical to the serial backend.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import queue
+import socket
+import struct
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import engine as engine_module
+from repro.experiments.backends.base import (
+    ExecutorBackend,
+    merge_counters,
+    plan_batches,
+)
+from repro.util.validation import ReproError
+
+#: Bump when the frame vocabulary changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame ceiling -- a corrupt length prefix must not allocate GBs.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Handshake / connect socket timeout (seconds).  Liveness only: no value
+#: derived from it ever reaches a record.
+HANDSHAKE_TIMEOUT = 30.0
+
+
+def encode_frame(obj) -> bytes:
+    """Serialise one frame: 4-byte big-endian length + canonical JSON."""
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ReproError(
+            f"frame of {len(blob)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+        )
+    return struct.pack(">I", len(blob)) + blob
+
+
+def send_frame(sock: socket.socket, obj) -> None:
+    sock.sendall(encode_frame(obj))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 65536))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket):
+    """Read one length-prefixed JSON frame (blocking)."""
+    (length,) = struct.unpack(">I", _recv_exact(sock, 4))
+    if length > MAX_FRAME_BYTES:
+        raise ReproError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES} limit"
+        )
+    return json.loads(_recv_exact(sock, length).decode("utf-8"))
+
+
+def parse_address(address: Optional[str]) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``; ``None`` means ephemeral loopback."""
+    if address is None:
+        return ("127.0.0.1", 0)
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ReproError(
+            f"coordinator address {address!r} must look like host:port"
+        )
+    try:
+        return (host, int(port))
+    except ValueError:
+        raise ReproError(f"coordinator port {port!r} is not an integer")
+
+
+class _WorkerLink:
+    """Coordinator-side view of one connected worker."""
+
+    def __init__(self, worker_id: int, conn: socket.socket):
+        self.worker_id = worker_id
+        self.conn = conn
+        self.batch: Optional[int] = None  #: outstanding batch id
+
+
+class DistributedBackend(ExecutorBackend):
+    """Coordinator + N socket worker processes (local by default).
+
+    ``workers`` local processes are spawned per run; external workers that
+    dial the coordinator address join the same pool.  ``worker_specs``
+    (tests only) overrides the kwargs of each spawned local worker, e.g.
+    ``{"fail_after": 0}`` to simulate a crash on its first batch.
+    """
+
+    name = "distributed"
+
+    #: Default local worker processes when neither ``workers`` nor ``jobs``
+    #: say otherwise.
+    DEFAULT_WORKERS = 2
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        workers: Optional[int] = None,
+        coordinator: Optional[str] = None,
+        worker_specs: Optional[Sequence[Dict[str, object]]] = None,
+        max_restarts: Optional[int] = None,
+        stall_timeout: float = 300.0,
+    ):
+        super().__init__(
+            jobs=jobs, chunk_size=chunk_size, workers=workers,
+            coordinator=coordinator,
+        )
+        if workers is None:
+            workers = max(self.DEFAULT_WORKERS, jobs if jobs > 1 else 0)
+        # ``workers == 0`` is coordinator-only mode: spawn nothing locally
+        # and wait for external workers to dial in.  That only makes sense
+        # with an explicit, advertisable address.
+        if workers < 1 and not worker_specs and coordinator is None:
+            raise ReproError(
+                f"distributed backend needs >= 1 local worker (got "
+                f"{workers}) unless --coordinator names an address for "
+                "external workers to join"
+            )
+        self.n_workers = len(worker_specs) if worker_specs else workers
+        self.worker_specs = list(worker_specs) if worker_specs else None
+        self.max_restarts = (
+            max_restarts if max_restarts is not None else self.n_workers
+        )
+        self.stall_timeout = stall_timeout
+        self._events: "queue.Queue[Tuple]" = queue.Queue()
+        self._fingerprints: List[str] = []
+        self._next_worker_id = 0
+        self._id_lock = threading.Lock()
+        self._processes: List[multiprocessing.Process] = []
+        self._address: Tuple[str, int] = ("127.0.0.1", 0)
+
+    # --------------------------------------------------------- accept side
+    def _handshake(self, conn: socket.socket) -> bool:
+        conn.settimeout(HANDSHAKE_TIMEOUT)
+        hello = recv_frame(conn)
+        if (
+            hello.get("type") != "hello"
+            or hello.get("schema") != engine_module.ENGINE_SCHEMA
+            or hello.get("protocol") != PROTOCOL_VERSION
+        ):
+            send_frame(
+                conn,
+                {
+                    "type": "reject",
+                    "reason": (
+                        f"schema/protocol mismatch: coordinator has "
+                        f"schema={engine_module.ENGINE_SCHEMA} "
+                        f"protocol={PROTOCOL_VERSION}, worker sent "
+                        f"schema={hello.get('schema')} "
+                        f"protocol={hello.get('protocol')}"
+                    ),
+                },
+            )
+            return False
+        send_frame(
+            conn,
+            {
+                "type": "welcome",
+                "schema": engine_module.ENGINE_SCHEMA,
+                "protocol": PROTOCOL_VERSION,
+                "fingerprints": list(self._fingerprints),
+            },
+        )
+        conn.settimeout(None)
+        return True
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return  # listener closed: run over
+            try:
+                if not self._handshake(conn):
+                    conn.close()
+                    continue
+            except (OSError, ValueError, ReproError):
+                conn.close()
+                continue
+            with self._id_lock:
+                worker_id = self._next_worker_id
+                self._next_worker_id += 1
+            link = _WorkerLink(worker_id, conn)
+            self._events.put(("joined", link))
+            reader = threading.Thread(
+                target=self._reader_loop, args=(link,), daemon=True
+            )
+            reader.start()
+
+    def _reader_loop(self, link: _WorkerLink) -> None:
+        try:
+            while True:
+                frame = recv_frame(link.conn)
+                self._events.put(("frame", link, frame))
+                if frame.get("type") == "goodbye":
+                    return
+        except (OSError, ValueError, ReproError, ConnectionError):
+            self._events.put(("lost", link))
+
+    # --------------------------------------------------------- worker side
+    def _spawn_worker(self, address: Tuple[str, int], spec: Dict[str, object]) -> None:
+        from repro.experiments.backends import worker as worker_module
+
+        process = multiprocessing.Process(
+            target=worker_module.worker_loop,
+            args=(address,),
+            kwargs=dict(spec),
+            daemon=True,
+        )
+        process.start()
+        self._processes.append(process)
+
+    # ---------------------------------------------------------------- run
+    def run(self, cells):
+        cells = list(cells)
+        if not cells:
+            return []
+        batches = plan_batches(
+            cells, self.chunk_size,
+            parts=self.n_workers or self.DEFAULT_WORKERS,
+        )
+        frames = self._batch_frames(cells, batches)
+        self._fingerprints = sorted({f["fingerprint"] for f in frames})
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(parse_address(self.coordinator))
+        listener.listen(max(8, 2 * self.n_workers))
+        address = listener.getsockname()
+        self._address = (address[0], address[1])
+        acceptor = threading.Thread(
+            target=self._accept_loop, args=(listener,), daemon=True
+        )
+        acceptor.start()
+
+        specs = self.worker_specs or [{} for _ in range(self.n_workers)]
+        for spec in specs:
+            self._spawn_worker(address, spec)
+
+        try:
+            results = self._coordinate(frames)
+        finally:
+            listener.close()
+            self._shutdown_workers()
+
+        records: List[Optional[Dict[str, object]]] = [None] * len(cells)
+        for batch_id, batch in enumerate(batches):
+            batch_records = results[batch_id]
+            for index, record in zip(batch, batch_records):
+                records[index] = record
+        self.counters["frames_sent"] += len(frames)
+        return records
+
+    def _batch_frames(self, cells, batches) -> List[Dict[str, object]]:
+        frames = []
+        for batch_id, batch in enumerate(batches):
+            first = cells[batch[0]]
+            fingerprint = engine_module.library_fingerprint(
+                first.workload, first.budget,
+                first.workload_params, first.budget_params,
+            )
+            frames.append(
+                {
+                    "type": "batch",
+                    "batch": batch_id,
+                    "fingerprint": fingerprint,
+                    "cells": [cells[i].payload() for i in batch],
+                }
+            )
+        return frames
+
+    def _coordinate(self, frames) -> Dict[int, List[Dict[str, object]]]:
+        pending = deque(range(len(frames)))
+        idle: "deque[_WorkerLink]" = deque()
+        live: Dict[int, _WorkerLink] = {}
+        results: Dict[int, List[Dict[str, object]]] = {}
+        restarts_used = 0
+
+        def dispatch() -> None:
+            while pending and idle:
+                link = idle.popleft()
+                if link.worker_id not in live:
+                    continue
+                batch_id = pending.popleft()
+                link.batch = batch_id
+                try:
+                    send_frame(link.conn, frames[batch_id])
+                except OSError:
+                    self._events.put(("lost", link))
+
+        while len(results) < len(frames):
+            dispatch()
+            try:
+                event = self._events.get(timeout=self.stall_timeout)
+            except queue.Empty:
+                raise ReproError(
+                    f"distributed backend stalled: "
+                    f"{len(results)}/{len(frames)} batches done, "
+                    f"{len(live)} live workers"
+                )
+            kind, link = event[0], event[1]
+            if kind == "joined":
+                live[link.worker_id] = link
+                idle.append(link)
+            elif kind == "frame":
+                frame = event[2]
+                ftype = frame.get("type")
+                if ftype == "result":
+                    batch_id = frame.get("batch")
+                    if batch_id not in results:
+                        merge_counters(self.counters, frame.get("built", {}))
+                        results[batch_id] = frame.get("records", [])
+                    link.batch = None
+                    idle.append(link)
+                elif ftype == "error":
+                    raise ReproError(
+                        f"worker {link.worker_id} rejected batch "
+                        f"{frame.get('batch')}: {frame.get('message')}"
+                    )
+            elif kind == "lost":
+                if link.worker_id not in live:
+                    continue  # already reaped (e.g. send + reader both saw it)
+                del live[link.worker_id]
+                try:
+                    link.conn.close()
+                except OSError:
+                    pass
+                if link.batch is not None and link.batch not in results:
+                    # Deterministic reassignment: the interrupted batch goes
+                    # to the *front*, so the next free worker re-runs it.
+                    pending.appendleft(link.batch)
+                    link.batch = None
+                self.counters["worker_restarts"] += 1
+                if restarts_used < self.max_restarts:
+                    restarts_used += 1
+                    # The replacement dials the original coordinator address.
+                    self._spawn_worker(self._address, {})
+                elif not live:
+                    raise ReproError(
+                        "distributed backend lost every worker and the "
+                        f"restart budget ({self.max_restarts}) is spent"
+                    )
+        for link in sorted(live.values(), key=lambda l: l.worker_id):
+            try:
+                send_frame(link.conn, {"type": "shutdown"})
+                link.conn.close()
+            except OSError:
+                pass
+        return results
+
+    def _shutdown_workers(self) -> None:
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._processes = []
+
+
+__all__ = [
+    "DistributedBackend",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,48 @@
+"""The process-pool backend: batches over a local ProcessPoolExecutor.
+
+Each mapped item is one :func:`~repro.experiments.engine.execute_batch`
+call, so a worker builds the batch's library once and serves the whole
+chunk from its memo.  ``pool.map`` preserves submission order, which keeps
+the reassembled records in input order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.experiments import engine as engine_module
+from repro.experiments.backends.base import (
+    ExecutorBackend,
+    merge_counters,
+    plan_batches,
+)
+
+
+class PoolBackend(ExecutorBackend):
+    """Fans batches out over ``jobs`` local worker processes."""
+
+    name = "pool"
+
+    def run(self, cells):
+        cells = list(cells)
+        if not cells:
+            return []
+        workers = max(1, min(self.jobs, len(cells)))
+        if workers == 1 or len(cells) == 1:
+            records, built = engine_module.execute_batch(cells)
+            merge_counters(self.counters, built)
+            return records
+        batches = plan_batches(cells, self.chunk_size, parts=workers)
+        payloads = [[cells[i] for i in batch] for batch in batches]
+        with ProcessPoolExecutor(max_workers=min(workers, len(batches))) as pool:
+            outcomes = list(pool.map(engine_module.execute_batch, payloads))
+        records = [None] * len(cells)
+        for batch, (batch_records, built) in zip(batches, outcomes):
+            merge_counters(self.counters, built)
+            for index, record in zip(batch, batch_records):
+                records[index] = record
+        self.counters["frames_sent"] += len(batches)
+        return records
+
+
+__all__ = ["PoolBackend"]

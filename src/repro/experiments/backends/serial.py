@@ -1,0 +1,25 @@
+"""The in-process backend: one batch, this process, no IPC.
+
+The reference implementation every other backend must be byte-identical
+to -- and the signature anchor of the ``backend-run-signature`` lint
+invariant.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import engine as engine_module
+from repro.experiments.backends.base import ExecutorBackend, merge_counters
+
+
+class SerialBackend(ExecutorBackend):
+    """Runs every cell in the calling process, in input order."""
+
+    name = "serial"
+
+    def run(self, cells):
+        records, built = engine_module.execute_batch(list(cells))
+        merge_counters(self.counters, built)
+        return records
+
+
+__all__ = ["SerialBackend"]

@@ -1,0 +1,165 @@
+"""The socket worker loop (and its ``python -m`` entry point).
+
+A worker dials the coordinator, handshakes (its :data:`ENGINE_SCHEMA` and
+protocol version must match, or it is rejected), then serves batch frames
+until told to shut down.  Every batch's library fingerprint is recomputed
+locally and compared against the coordinator's -- a worker whose checkout
+builds a structurally different ISE library answers with an error frame
+instead of returning records minted from divergent code.
+
+Run a remote worker against a coordinator listening on a routable
+address with::
+
+    python -m repro.experiments.backends.worker --coordinator HOST:PORT
+
+Batch execution funnels through :func:`repro.experiments.engine
+.execute_batch`, so worker-side construction memoisation (one application
+per seed, one compiled library per budget) and the byte-identity to the
+serial backend both come for free.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+from typing import Optional, Tuple
+
+from repro.experiments import engine as engine_module
+from repro.experiments.backends.distributed import (
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.util.validation import ReproError
+
+#: Seconds to wait for the coordinator to accept the dial.
+CONNECT_TIMEOUT = 30.0
+
+
+def worker_loop(
+    address: Tuple[str, int],
+    fail_after: Optional[int] = None,
+) -> int:
+    """Serve batches from the coordinator at ``address`` until shutdown.
+
+    ``fail_after`` is a test hook: after serving that many batches the
+    worker exits hard (no result frame) on its next batch, simulating a
+    crashed host so the coordinator's requeue/restart path can be
+    exercised deterministically.  Returns a process exit code.
+    """
+    try:
+        sock = socket.create_connection(tuple(address), timeout=CONNECT_TIMEOUT)
+    except OSError as error:
+        print(
+            f"error: cannot reach coordinator at "
+            f"{address[0]}:{address[1]}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    sock.settimeout(None)
+    try:
+        send_frame(
+            sock,
+            {
+                "type": "hello",
+                "schema": engine_module.ENGINE_SCHEMA,
+                "protocol": PROTOCOL_VERSION,
+            },
+        )
+        welcome = recv_frame(sock)
+        if welcome.get("type") != "welcome":
+            print(
+                f"worker rejected: {welcome.get('reason', welcome)}",
+                file=sys.stderr,
+            )
+            return 2
+        served = 0
+        while True:
+            frame = recv_frame(sock)
+            ftype = frame.get("type")
+            if ftype == "shutdown":
+                return 0
+            if ftype != "batch":
+                send_frame(
+                    sock,
+                    {
+                        "type": "error",
+                        "batch": frame.get("batch"),
+                        "message": f"unexpected frame type {ftype!r}",
+                    },
+                )
+                continue
+            if fail_after is not None and served >= fail_after:
+                # Simulated crash: die before replying (test hook).
+                os._exit(17)
+            cells = [
+                engine_module.SweepCell.from_payload(payload)
+                for payload in frame["cells"]
+            ]
+            first = cells[0]
+            fingerprint = engine_module.library_fingerprint(
+                first.workload, first.budget,
+                first.workload_params, first.budget_params,
+            )
+            expected = frame.get("fingerprint")
+            if expected is not None and expected != fingerprint:
+                send_frame(
+                    sock,
+                    {
+                        "type": "error",
+                        "batch": frame["batch"],
+                        "message": (
+                            f"library fingerprint mismatch: coordinator "
+                            f"expects {expected[:12]}..., this worker "
+                            f"builds {fingerprint[:12]}... -- workload "
+                            "code has diverged between hosts"
+                        ),
+                    },
+                )
+                continue
+            records, built = engine_module.execute_batch(cells)
+            served += 1
+            send_frame(
+                sock,
+                {
+                    "type": "result",
+                    "batch": frame["batch"],
+                    "records": records,
+                    "built": built,
+                },
+            )
+    except (ConnectionError, OSError):
+        return 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def main(argv=None) -> int:
+    """CLI entry point for cross-host workers."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="repro sweep worker: dial a distributed-backend "
+        "coordinator and serve cell batches"
+    )
+    parser.add_argument(
+        "--coordinator",
+        required=True,
+        help="coordinator address as host:port",
+    )
+    args = parser.parse_args(argv)
+    try:
+        address = parse_address(args.coordinator)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return worker_loop(address)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,22 +5,30 @@ same shape of work: simulate many independent *cells* -- one (budget, seed,
 policy, workload) combination each -- and aggregate the per-cell numbers.
 This module turns that shape into infrastructure:
 
-* **Declarative cells.**  A :class:`SweepCell` names its workload and
-  policy through registries instead of carrying closures, so a cell can be
-  pickled to a worker process and hashed into a cache key.
-* **Parallel fan-out.**  :class:`SweepEngine` dispatches cells over a
-  ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers, chunked
-  ``map``) and collects results in submission order, so a parallel run is
-  bit-identical to a serial one -- both call :func:`execute_cell`.
+* **Declarative cells.**  A :class:`SweepCell` names its workload, policy
+  and derived metrics through registries instead of carrying closures, so
+  a cell can be pickled to a worker process, shipped over a socket as
+  JSON, and hashed into a cache key.
+* **Pluggable fan-out.**  :class:`SweepEngine` dispatches cells through a
+  registered executor backend (:mod:`repro.experiments.backends`):
+  ``serial`` runs in-process, ``pool`` fans out over a local process pool,
+  ``distributed`` drives socket workers that can span hosts.  Every
+  backend funnels into :func:`execute_cell`, so all of them are
+  bit-identical to a serial run.
+* **Construction memoisation.**  Applications are memoised per
+  ``(workload, seed, workload_params)`` and compiled ISE libraries (with
+  their precompiled ``instance_rows``/``footprint_index`` structures) per
+  ``(workload, budget, workload_params, budget_params)``, so a fig8-style
+  grid performs one application build per seed and one library compile per
+  budget instead of one of each per cell.  The memoised objects are
+  immutable after construction (frozen dataclasses, tuple candidate
+  lists), which is what makes reuse byte-identical to rebuilding.
 * **Content-addressed cache.**  Each cell's record is stored as JSON under
   ``.repro_cache/`` keyed by a stable hash of the cell *and* a structural
   fingerprint of the compile-time ISE library, so editing the library
   builder, the cost model or any cell parameter invalidates exactly the
-  affected cells.
-
-The engine is the scaling foundation: sharding and multi-backend dispatch
-plug in behind :meth:`SweepEngine.run` without touching the experiment
-modules again.
+  affected cells.  A sidecar ``index.json`` summarises record sizes and
+  ages so :func:`cache_stats` does not stat every record on every call.
 """
 
 from __future__ import annotations
@@ -29,8 +37,8 @@ import hashlib
 import json
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -177,16 +185,116 @@ def register_workload(name: str, application: Callable, library: Callable) -> No
     WORKLOADS[name] = WorkloadFamily(name, application, library)
 
 
+# ---------------------------------------------------------------- metrics
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """A derived per-cell measurement computed from the simulation result.
+
+    ``compute(result, params)`` receives the cell's
+    :class:`~repro.sim.simulator.SimulationResult` and the metric's params
+    as a plain dict and must return JSON-able plain data (it enters the
+    cached record).  ``needs_trace`` asks the simulator for a full
+    execution trace (``collect_trace=True``) before the metric runs.
+    """
+
+    name: str
+    compute: Callable
+    needs_trace: bool = False
+
+
+#: Every registered metric, by the name used in cells and cache keys.
+METRICS: Dict[str, MetricSpec] = {}
+
+
+def register_metric(name: str, compute: Callable, needs_trace: bool = False) -> None:
+    """Register a derived metric (same import-time caveat as policies)."""
+    METRICS[name] = MetricSpec(name=name, compute=compute, needs_trace=needs_trace)
+
+
+def _metric_kernel_timeline(result, params):
+    """Phase timeline of one kernel (the measured Fig. 5 staircase)."""
+    from repro.analysis.timeline import kernel_timeline, timeline_payload
+
+    timeline = kernel_timeline(
+        result,
+        str(params["kernel"]),
+        block_window=params.get("block_window"),
+    )
+    return timeline_payload(timeline)
+
+
+def _metric_deblock_frame_winners(result, params):
+    """Per-frame execution counts + best case-study ISE (Fig. 2).
+
+    Derived from the seeded video trace and the case-study profit model,
+    not from the carrier simulation -- the cell only provides the cached,
+    backend-routable execution context.
+    """
+    from repro.core.profit import pif
+    from repro.workloads.h264.deblocking import deblocking_case_study
+    from repro.workloads.h264.traces import deblock_executions_per_frame
+
+    frames = int(params.get("frames", 16))
+    seed = int(params.get("seed", 0))
+    _, ises = deblocking_case_study()
+    counts = deblock_executions_per_frame(frames=frames, seed=seed)
+
+    def best_for(e: int) -> str:
+        return max(
+            ises,
+            key=lambda name: pif(
+                ises[name].latencies[0],
+                ises[name].full_latency,
+                ises[name].total_reconfig_cycles,
+                e,
+            ),
+        )
+
+    return {
+        "executions_per_frame": list(counts),
+        "best_ise_per_frame": [best_for(e) for e in counts],
+    }
+
+
+register_metric("kernel_timeline", _metric_kernel_timeline, needs_trace=True)
+register_metric("deblock_frame_winners", _metric_deblock_frame_winners)
+
+
 # ------------------------------------------------------------------ cells
 
 Params = Union[None, Mapping[str, object], Tuple[Tuple[str, object], ...]]
+
+
+def _freeze(value: object) -> object:
+    """Recursively hashable form of a param value.
+
+    Lists become tuples (a JSON round trip through a socket worker turns
+    tuples into lists; freezing makes both hash and compare identically)
+    and mappings become sorted key/value tuples.
+    """
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
 
 
 def _normalize_params(params: Params) -> Tuple[Tuple[str, object], ...]:
     if not params:
         return ()
     items = params.items() if isinstance(params, Mapping) else params
-    return tuple(sorted((str(k), v) for k, v in items))
+    return tuple(sorted((str(k), _freeze(v)) for k, v in items))
+
+
+def _normalize_metrics(metrics) -> Tuple[Tuple[str, Tuple], ...]:
+    if not metrics:
+        return ()
+    items = metrics.items() if isinstance(metrics, Mapping) else metrics
+    return tuple(
+        sorted((str(name), _normalize_params(params)) for name, params in items)
+    )
 
 
 @dataclass(frozen=True)
@@ -206,6 +314,9 @@ class SweepCell:
     workload_params: Tuple[Tuple[str, object], ...] = ()
     #: extra :class:`ResourceBudget` kwargs (e.g. ``contexts_per_cg_fabric``)
     budget_params: Tuple[Tuple[str, object], ...] = ()
+    #: derived measurements to attach to the record: sorted
+    #: ``(metric_name, params)`` tuples resolving through :data:`METRICS`
+    metrics: Tuple[Tuple[str, Tuple], ...] = ()
 
     @staticmethod
     def make(
@@ -216,6 +327,7 @@ class SweepCell:
         workload: str = "h264",
         workload_params: Params = None,
         budget_params: Params = None,
+        metrics=None,
     ) -> "SweepCell":
         """Validated constructor (use this, not the raw dataclass)."""
         if policy not in POLICIES:
@@ -226,6 +338,15 @@ class SweepCell:
             raise ReproError(
                 f"unknown workload {workload!r}; registered: {sorted(WORKLOADS)}"
             )
+        normalized_metrics = _normalize_metrics(metrics)
+        unknown_metrics = sorted(
+            name for name, _ in normalized_metrics if name not in METRICS
+        )
+        if unknown_metrics:
+            raise ReproError(
+                f"unknown metric(s) {unknown_metrics}; "
+                f"registered: {sorted(METRICS)}"
+            )
         cg, prc = budget
         return SweepCell(
             budget=(int(cg), int(prc)),
@@ -235,6 +356,30 @@ class SweepCell:
             workload=workload,
             workload_params=_normalize_params(workload_params),
             budget_params=_normalize_params(budget_params),
+            metrics=normalized_metrics,
+        )
+
+    @staticmethod
+    def from_payload(payload: Mapping[str, object]) -> "SweepCell":
+        """Rebuild a cell from :meth:`payload` output (e.g. off the wire).
+
+        Round-trips exactly: ``SweepCell.from_payload(cell.payload())``
+        equals ``cell``, including after a JSON encode/decode.
+        """
+        return SweepCell.make(
+            budget=tuple(payload["budget"]),
+            seed=payload["seed"],
+            policy=payload["policy"],
+            policy_params=[tuple(p) for p in payload.get("policy_params", ())],
+            workload=payload.get("workload", "h264"),
+            workload_params=[
+                tuple(p) for p in payload.get("workload_params", ())
+            ],
+            budget_params=[tuple(p) for p in payload.get("budget_params", ())],
+            metrics=[
+                (name, [tuple(p) for p in params])
+                for name, params in payload.get("metrics", ())
+            ],
         )
 
     def resource_budget(self) -> ResourceBudget:
@@ -253,10 +398,14 @@ class SweepCell:
             "workload": self.workload,
             "workload_params": [list(p) for p in self.workload_params],
         }
-        # Only non-default budget params enter the payload, so every cache
-        # key minted before the field existed stays valid.
+        # Only non-default budget params / metrics enter the payload, so
+        # every cache key minted before the fields existed stays valid.
         if self.budget_params:
             payload["budget_params"] = [list(p) for p in self.budget_params]
+        if self.metrics:
+            payload["metrics"] = [
+                [name, [list(p) for p in params]] for name, params in self.metrics
+            ]
         return payload
 
 
@@ -266,6 +415,20 @@ class SweepCell:
 def _stable_hash(payload: object) -> str:
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _canonical(value: object) -> object:
+    """Deep canonical plain-data form: dict keys sorted, tuples listified.
+
+    Fresh records pass through this before they are returned or cached, so
+    a record served from disk (written with ``sort_keys=True``) is
+    byte-identical to a freshly computed one at every nesting level.
+    """
+    if isinstance(value, dict):
+        return {key: _canonical(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
 
 
 #: (workload, workload_params, budget) -> fingerprint, memoised per process.
@@ -335,6 +498,10 @@ def cell_key(cell: SweepCell) -> str:
 
 # ------------------------------------------------------ cache maintenance
 
+#: Sidecar stats index at the cache root; bump on layout changes.
+INDEX_SCHEMA = 1
+_INDEX_NAME = "index.json"
+
 
 def _cache_files(cache_dir: Union[str, Path]) -> List[Path]:
     root = Path(cache_dir)
@@ -343,27 +510,146 @@ def _cache_files(cache_dir: Union[str, Path]) -> List[Path]:
     return [p for p in root.glob("*/*.json") if p.is_file()]
 
 
-def cache_stats(cache_dir: Union[str, Path, None] = None) -> Dict[str, object]:
-    """Size report of the on-disk sweep cell cache."""
-    root = Path(resolve_cache_dir(cache_dir if cache_dir is None else str(cache_dir)))
-    files = _cache_files(root)
-    sizes = []
-    oldest: Optional[float] = None
-    newest: Optional[float] = None
-    for path in files:
+def _index_path(root: Union[str, Path]) -> Path:
+    return Path(root) / _INDEX_NAME
+
+
+def _load_index(root: Union[str, Path]) -> Optional[Dict[str, List[float]]]:
+    """The sidecar entries (``key -> [size, mtime]``), or ``None``."""
+    try:
+        with open(_index_path(root), "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != INDEX_SCHEMA:
+        return None
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        return None
+    return entries
+
+
+def _write_index(root: Union[str, Path], entries: Dict[str, List[float]]) -> None:
+    """Atomically publish the sidecar index (best effort: the index is an
+    optimisation, so an unwritable cache dir never fails the caller)."""
+    root = Path(root)
+    if not root.is_dir():
+        return
+    tmp = None
+    try:
+        fd, tmp = tempfile.mkstemp(dir=str(root), suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"schema": INDEX_SCHEMA, "entries": entries},
+                handle,
+                sort_keys=True,
+            )
+        os.replace(tmp, _index_path(root))
+    except OSError:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def _scan_entries(root: Union[str, Path]) -> Dict[str, List[float]]:
+    """Full-scan fallback: stat every record (the O(N) path the index avoids)."""
+    entries: Dict[str, List[float]] = {}
+    for path in _cache_files(root):
         try:
             stat = path.stat()
         except OSError:
             continue
-        sizes.append(stat.st_size)
-        oldest = stat.st_mtime if oldest is None else min(oldest, stat.st_mtime)
-        newest = stat.st_mtime if newest is None else max(newest, stat.st_mtime)
+        entries[path.stem] = [stat.st_size, stat.st_mtime]
+    return entries
+
+
+def _index_fresh(root: Union[str, Path], index_mtime: float) -> bool:
+    """Whether the sidecar still reflects the record tree.
+
+    Any record write, eviction or externally planted file bumps its shard
+    directory's mtime past the index's, which is what we check -- one stat
+    per shard (<= 256) instead of one per record.
+    """
+    root = Path(root)
+    try:
+        children = sorted(root.iterdir())
+    except OSError:
+        return False
+    for child in children:
+        if not child.is_dir():
+            continue
+        try:
+            if child.stat().st_mtime > index_mtime:
+                return False
+        except OSError:
+            return False
+    return True
+
+
+def _index_apply(
+    root: Union[str, Path],
+    updates: Dict[str, List[float]],
+    removed: Sequence[str] = (),
+) -> None:
+    """Fold written/touched/evicted keys into the sidecar index.
+
+    When no index exists yet the record tree is scanned once to seed it --
+    after that, engine runs and evictions keep it incremental.
+    """
+    root = Path(root)
+    entries = _load_index(root)
+    if entries is None:
+        entries = _scan_entries(root)
+        if not entries:
+            return
+    else:
+        entries.update(updates)
+        for key in sorted(removed):
+            entries.pop(key, None)
+    _write_index(root, entries)
+
+
+def cache_stats(cache_dir: Union[str, Path, None] = None) -> Dict[str, object]:
+    """Size report of the on-disk sweep cell cache.
+
+    Served from the sidecar ``index.json`` when it is present and no shard
+    directory changed after it was written; otherwise every record is
+    statted once and the index rebuilt for the next call.  The extra
+    ``source`` key reports which path answered (``"index"`` / ``"scan"``).
+    """
+    root = Path(resolve_cache_dir(cache_dir if cache_dir is None else str(cache_dir)))
+    entries: Optional[Dict[str, List[float]]] = None
+    source = "scan"
+    try:
+        index_mtime = _index_path(root).stat().st_mtime
+    except OSError:
+        index_mtime = None
+    if index_mtime is not None:
+        loaded = _load_index(root)
+        if loaded is not None and _index_fresh(root, index_mtime):
+            entries = loaded
+            source = "index"
+    if entries is None:
+        entries = _scan_entries(root)
+        if entries:
+            _write_index(root, entries)
+    sizes: List[int] = []
+    oldest: Optional[float] = None
+    newest: Optional[float] = None
+    for key in sorted(entries):
+        size, mtime = entries[key][0], entries[key][1]
+        sizes.append(int(size))
+        oldest = mtime if oldest is None else min(oldest, mtime)
+        newest = mtime if newest is None else max(newest, mtime)
     return {
         "cache_dir": str(root),
         "records": len(sizes),
         "total_bytes": sum(sizes),
         "oldest_mtime": oldest,
         "newest_mtime": newest,
+        "source": source,
     }
 
 
@@ -383,6 +669,10 @@ def clear_cache(cache_dir: Union[str, Path, None] = None) -> int:
                 shard.rmdir()
             except OSError:
                 pass
+    try:
+        _index_path(root).unlink()
+    except OSError:
+        pass
     return removed
 
 
@@ -407,6 +697,7 @@ def evict_cache(
         entries.append((stat.st_mtime, str(path), path, stat.st_size))
         total += stat.st_size
     evicted = freed = 0
+    removed_keys: List[str] = []
     # Oldest first; the path string breaks mtime ties deterministically.
     entries.sort()
     for _, _, path, size in entries:
@@ -419,6 +710,9 @@ def evict_cache(
         total -= size
         freed += size
         evicted += 1
+        removed_keys.append(path.stem)
+    if removed_keys or _load_index(root) is not None:
+        _index_apply(root, {}, removed_keys)
     return {"evicted": evicted, "freed_bytes": freed}
 
 
@@ -427,25 +721,107 @@ def evict_cache(
 #: Simulations actually executed in this process (cache-hit tests read it).
 SIMULATIONS_RUN = 0
 
+#: LRU capacity of the per-process application / library memos.  Sized to
+#: cover a whole fig8-grid sweep (one library per budget) without letting
+#: long multi-workload sessions pin unbounded memory.
+APP_MEMO_CAPACITY = 8
+LIBRARY_MEMO_CAPACITY = 32
+
+_APP_MEMO: "OrderedDict[Tuple, object]" = OrderedDict()
+_LIB_MEMO: "OrderedDict[Tuple, object]" = OrderedDict()
+
+#: Construction-counter names, in reporting order.
+BUILD_COUNTER_NAMES: Tuple[str, ...] = (
+    "applications_built",
+    "applications_saved",
+    "libraries_built",
+    "libraries_saved",
+)
+
+#: How many applications / libraries this process built vs. reused.  The
+#: backends snapshot deltas around each batch and ship them home, so
+#: :class:`EngineStats` sees worker-side savings too.
+BUILD_COUNTERS: Dict[str, int] = {name: 0 for name in BUILD_COUNTER_NAMES}
+
+
+def clear_build_memo() -> None:
+    """Drop the per-process construction memos and zero the counters
+    (benchmarks use this to measure cold builds)."""
+    _APP_MEMO.clear()
+    _LIB_MEMO.clear()
+    for name in BUILD_COUNTER_NAMES:
+        BUILD_COUNTERS[name] = 0
+
+
+def _memo_get(
+    memo: "OrderedDict[Tuple, object]",
+    key: Tuple,
+    build: Callable[[], object],
+    built: str,
+    saved: str,
+    capacity: int,
+) -> object:
+    if key in memo:
+        memo.move_to_end(key)
+        BUILD_COUNTERS[saved] += 1
+        return memo[key]
+    value = build()
+    BUILD_COUNTERS[built] += 1
+    memo[key] = value
+    while len(memo) > capacity:
+        memo.popitem(last=False)
+    return value
+
+
+def _application_of(cell: SweepCell):
+    """The cell's application, memoised per (workload, seed, params)."""
+    family = WORKLOADS[cell.workload]
+    return _memo_get(
+        _APP_MEMO,
+        (cell.workload, cell.seed, cell.workload_params),
+        lambda: family.application(cell.seed, dict(cell.workload_params)),
+        "applications_built",
+        "applications_saved",
+        APP_MEMO_CAPACITY,
+    )
+
+
+def _library_of(cell: SweepCell, budget: ResourceBudget):
+    """The cell's compiled ISE library, memoised per (workload, budget,
+    params) -- reuse keeps the precompiled ``instance_rows`` /
+    ``footprint_index`` structures warm across cells."""
+    family = WORKLOADS[cell.workload]
+    return _memo_get(
+        _LIB_MEMO,
+        (cell.workload, cell.budget, cell.workload_params, cell.budget_params),
+        lambda: family.library(budget, dict(cell.workload_params)),
+        "libraries_built",
+        "libraries_saved",
+        LIBRARY_MEMO_CAPACITY,
+    )
+
 
 def execute_cell(cell: SweepCell) -> Dict[str, object]:
     """Simulate one cell and return its plain-data record.
 
     This is the single execution path of the engine: the serial loop and
-    every pool worker call exactly this function, which is what makes
-    serial and parallel runs bit-identical.
+    every pool or socket worker calls exactly this function, which is what
+    makes all backends bit-identical.  The application and library come
+    from the per-process memos; both are immutable after construction, so
+    reuse cannot change a record.
     """
     global SIMULATIONS_RUN
-    family = WORKLOADS[cell.workload]
     budget = cell.resource_budget()
-    workload_params = dict(cell.workload_params)
-    application = family.application(cell.seed, workload_params)
-    library = family.library(budget, workload_params)
+    application = _application_of(cell)
+    library = _library_of(cell, budget)
     policy = POLICIES[cell.policy](**dict(cell.policy_params))
-    result = Simulator(application, library, budget, policy).run()
+    needs_trace = any(METRICS[name].needs_trace for name, _ in cell.metrics)
+    result = Simulator(
+        application, library, budget, policy, collect_trace=needs_trace
+    ).run()
     SIMULATIONS_RUN += 1
     stats = result.stats
-    return {
+    record: Dict[str, object] = {
         "budget_label": budget.label,
         "seed": cell.seed,
         "policy": cell.policy,
@@ -460,6 +836,31 @@ def execute_cell(cell: SweepCell) -> Dict[str, object]:
         "selections": stats.selections,
         "executions_by_mode": dict(sorted(stats.executions_by_mode.items())),
     }
+    if cell.metrics:
+        record["metrics"] = {
+            name: _canonical(METRICS[name].compute(result, dict(params)))
+            for name, params in cell.metrics
+        }
+    return record
+
+
+def execute_batch(
+    cells: Sequence[SweepCell],
+) -> Tuple[List[Dict[str, object]], Dict[str, int]]:
+    """Execute a chunk of cells in this process.
+
+    The unit of work every backend dispatches (one IPC frame carries one
+    batch).  Returns the records plus the construction-counter delta the
+    batch caused, so worker-side memo savings flow back to the coordinator.
+    Calls ``execute_cell`` through the module global, keeping test
+    monkeypatches of the single-cell path effective.
+    """
+    before = dict(BUILD_COUNTERS)
+    records = [execute_cell(cell) for cell in cells]
+    built = {
+        name: BUILD_COUNTERS[name] - before[name] for name in BUILD_COUNTER_NAMES
+    }
+    return records, built
 
 
 # ----------------------------------------------------------------- engine
@@ -467,15 +868,43 @@ def execute_cell(cell: SweepCell) -> Dict[str, object]:
 
 @dataclass
 class EngineStats:
-    """What one :meth:`SweepEngine.run` call did."""
+    """What one :meth:`SweepEngine.run` call did.
 
-    cells: int = 0          #: cells requested (incl. duplicates)
-    unique_cells: int = 0   #: distinct cache keys among them
-    cache_hits: int = 0     #: unique cells served from disk
-    executed: int = 0       #: unique cells actually simulated
+    The construction and transport counters (``builds_saved`` and friends)
+    are implementation observability, surfaced through
+    :meth:`engine_payload` and -- like the selector and sim engine
+    counters -- deliberately kept out of golden record payloads.
+    """
+
+    cells: int = 0               #: cells requested (incl. duplicates)
+    unique_cells: int = 0        #: distinct cache keys among them
+    cache_hits: int = 0          #: unique cells served from disk
+    executed: int = 0            #: unique cells actually simulated
+    applications_built: int = 0  #: applications constructed across workers
+    libraries_built: int = 0     #: ISE libraries compiled across workers
+    builds_saved: int = 0        #: constructions avoided by the memos
+    frames_sent: int = 0         #: IPC frames dispatched (0 for serial)
+    worker_restarts: int = 0     #: dead distributed workers replaced
 
     def reset(self) -> None:
         self.cells = self.unique_cells = self.cache_hits = self.executed = 0
+        self.applications_built = self.libraries_built = 0
+        self.builds_saved = self.frames_sent = self.worker_restarts = 0
+
+    def engine_payload(self) -> Dict[str, object]:
+        """The sweep-engine counters as a JSON-able dict -- never merged
+        into cell records, so golden payloads stay backend-independent."""
+        return {
+            "cells": self.cells,
+            "unique_cells": self.unique_cells,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "applications_built": self.applications_built,
+            "libraries_built": self.libraries_built,
+            "builds_saved": self.builds_saved,
+            "frames_sent": self.frames_sent,
+            "worker_restarts": self.worker_restarts,
+        }
 
 
 class SweepEngine:
@@ -484,20 +913,27 @@ class SweepEngine:
     Parameters
     ----------
     jobs:
-        Worker processes.  ``1`` (the default) runs in-process; results are
-        identical either way.
+        Worker processes for the auto-selected backend.  ``1`` (the
+        default) runs in-process; results are identical either way.
     cache_dir / use_cache:
         Where cell records live and whether to consult them.  The cache is
         content-addressed: stale entries are never *read* (their key no
         longer matches), only overwritten or left to garbage-collect.
     chunk_size:
-        Cells per worker dispatch; defaults to ``len(cells) / (4 * jobs)``
-        (clamped to >= 1) so each worker gets a few chunks and stragglers
-        do not serialise the tail.
+        Cells per dispatched batch; defaults to a few batches per worker
+        so stragglers do not serialise the tail.  Batches never span
+        library fingerprints, so each one is a single-compile unit of work.
     cache_max_bytes:
         Byte budget for the on-disk cache.  After every :meth:`run` the
         cache is shrunk to this size by evicting least-recently-used
         records (``None`` disables eviction).
+    backend:
+        Executor backend name (see :mod:`repro.experiments.backends`).
+        ``None`` selects ``"pool"`` when ``jobs > 1``, else ``"serial"``.
+    workers / coordinator:
+        Distributed-backend knobs: how many local socket workers to spawn
+        and the ``host:port`` to bind the coordinator on (``None`` binds an
+        ephemeral loopback port).  Ignored by the other backends.
     """
 
     def __init__(
@@ -507,6 +943,9 @@ class SweepEngine:
         use_cache: bool = True,
         chunk_size: Optional[int] = None,
         cache_max_bytes: Optional[int] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        coordinator: Optional[str] = None,
     ):
         if jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -514,6 +953,18 @@ class SweepEngine:
             raise ReproError(
                 f"cache_max_bytes must be >= 0, got {cache_max_bytes}"
             )
+        if workers is not None and workers < 0:
+            # 0 is coordinator-only mode (external workers join); the
+            # distributed backend validates it against the address.
+            raise ReproError(f"workers must be >= 0, got {workers}")
+        if backend is not None:
+            from repro.experiments.backends import BACKENDS
+
+            if backend not in BACKENDS:
+                raise ReproError(
+                    f"unknown backend {backend!r}; "
+                    f"registered: {sorted(BACKENDS)}"
+                )
         self.jobs = jobs
         self.cache_dir = Path(
             resolve_cache_dir(cache_dir if cache_dir is None else str(cache_dir))
@@ -521,6 +972,9 @@ class SweepEngine:
         self.use_cache = use_cache
         self.chunk_size = chunk_size
         self.cache_max_bytes = cache_max_bytes
+        self.backend = backend
+        self.workers = workers
+        self.coordinator = coordinator
         self.stats = EngineStats()
 
     # ------------------------------------------------------------- cache
@@ -569,6 +1023,13 @@ class SweepEngine:
                 pass
             raise
 
+    def _stat_entry(self, key: str) -> Optional[List[float]]:
+        try:
+            stat = self._record_path(key).stat()
+        except OSError:
+            return None
+        return [stat.st_size, stat.st_mtime]
+
     # --------------------------------------------------------------- run
     def run(self, cells: Sequence[SweepCell]) -> List[Dict[str, object]]:
         """Execute ``cells``; returns one record per cell, in input order.
@@ -584,11 +1045,15 @@ class SweepEngine:
         self.stats.unique_cells = len(by_key)
 
         records: Dict[str, Dict[str, object]] = {}
+        index_updates: Dict[str, List[float]] = {}
         if self.use_cache:
             for key in by_key:
                 cached = self._read_record(key)
                 if cached is not None:
                     records[key] = cached
+                    entry = self._stat_entry(key)
+                    if entry is not None:
+                        index_updates[key] = entry
             self.stats.cache_hits = len(records)
 
         missing = [(key, cell) for key, cell in by_key.items() if key not in records]
@@ -597,15 +1062,17 @@ class SweepEngine:
             records[key] = record
             if self.use_cache:
                 self._write_record(key, cell, record)
+                entry = self._stat_entry(key)
+                if entry is not None:
+                    index_updates[key] = entry
         self.stats.executed = len(missing)
+        if self.use_cache and index_updates:
+            _index_apply(self.cache_dir, index_updates)
         if self.use_cache and self.cache_max_bytes is not None:
             evict_cache(self.cache_dir, self.cache_max_bytes)
-        # Canonical key order, so fresh and cache-served records serialise
-        # byte-identically (cached JSON comes back sorted).
-        return [
-            {field: records[key][field] for field in sorted(records[key])}
-            for key in keys
-        ]
+        # Canonical form at every nesting level, so fresh and cache-served
+        # records serialise byte-identically (cached JSON comes back sorted).
+        return [_canonical(records[key]) for key in keys]
 
     def _execute_missing(
         self, missing: Sequence[Tuple[str, SweepCell]]
@@ -613,12 +1080,25 @@ class SweepEngine:
         cells = [cell for _, cell in missing]
         if not cells:
             return []
-        if self.jobs == 1 or len(cells) == 1:
-            return [execute_cell(cell) for cell in cells]
-        workers = min(self.jobs, len(cells))
-        chunk = self.chunk_size or max(1, len(cells) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_cell, cells, chunksize=chunk))
+        from repro.experiments.backends import resolve_backend
+
+        backend = resolve_backend(
+            self.backend,
+            jobs=self.jobs,
+            chunk_size=self.chunk_size,
+            workers=self.workers,
+            coordinator=self.coordinator,
+        )
+        records = backend.run(cells)
+        counters = backend.counters
+        self.stats.applications_built += counters["applications_built"]
+        self.stats.libraries_built += counters["libraries_built"]
+        self.stats.builds_saved += (
+            counters["applications_saved"] + counters["libraries_saved"]
+        )
+        self.stats.frames_sent += counters["frames_sent"]
+        self.stats.worker_restarts += counters["worker_restarts"]
+        return records
 
 
 def resolve_engine(
@@ -627,6 +1107,9 @@ def resolve_engine(
     use_cache: bool = False,
     cache_dir: Union[str, Path, None] = None,
     cache_max_bytes: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    coordinator: Optional[str] = None,
 ) -> Optional[SweepEngine]:
     """Engine for the experiment entry points' convenience flags.
 
@@ -636,20 +1119,38 @@ def resolve_engine(
     """
     if engine is not None:
         return engine
-    if jobs == 1 and not use_cache and cache_dir is None and cache_max_bytes is None:
+    if (
+        jobs == 1
+        and not use_cache
+        and cache_dir is None
+        and cache_max_bytes is None
+        and backend is None
+        and workers is None
+        and coordinator is None
+    ):
         return None
     return SweepEngine(
         jobs=jobs,
         use_cache=use_cache,
         cache_dir=cache_dir,
         cache_max_bytes=cache_max_bytes,
+        backend=backend,
+        workers=workers,
+        coordinator=coordinator,
     )
 
 
 __all__ = [
+    "APP_MEMO_CAPACITY",
+    "BUILD_COUNTERS",
+    "BUILD_COUNTER_NAMES",
     "DEFAULT_CACHE_DIR",
     "ENGINE_SCHEMA",
     "EngineStats",
+    "INDEX_SCHEMA",
+    "LIBRARY_MEMO_CAPACITY",
+    "METRICS",
+    "MetricSpec",
     "POLICIES",
     "SweepCell",
     "SweepEngine",
@@ -657,11 +1158,14 @@ __all__ = [
     "WorkloadFamily",
     "cache_stats",
     "cell_key",
+    "clear_build_memo",
     "clear_cache",
     "evict_cache",
+    "execute_batch",
     "execute_cell",
     "library_fingerprint",
     "policy_name_of",
+    "register_metric",
     "register_policy",
     "register_workload",
     "resolve_engine",

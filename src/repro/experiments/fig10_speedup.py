@@ -97,6 +97,9 @@ def run_fig10(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir=None,
+    backend=None,
+    workers=None,
+    coordinator=None,
     engine: SweepEngine = None,
 ) -> Fig10Result:
     """Reproduce Fig. 10 over the (CG 0..max_cg) x (PRC 0..max_prc) grid.
@@ -105,7 +108,9 @@ def run_fig10(
     """
     runner = MatrixRunner(
         frames=frames, seed=seed,
-        engine=resolve_engine(engine, jobs, use_cache, cache_dir),
+        engine=resolve_engine(engine, jobs, use_cache, cache_dir,
+                              backend=backend, workers=workers,
+                              coordinator=coordinator),
     )
     budgets = budget_grid(max_cg, max_prc)
     runner.prefetch(budgets, ["risc", "mrts"])

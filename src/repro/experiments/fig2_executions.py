@@ -4,17 +4,20 @@ Plots the number of deblocking-filter executions in each encoded frame and
 annotates which case-study ISE would be the best choice for that frame --
 showing that "the performance-wise best ISE during one iteration of the
 kernel does not remain the best option for the next iteration".
+
+The numbers come from the ``deblock_frame_winners`` sweep metric riding on
+a minimal deblocking carrier cell, so Fig. 2 shares the engine's caching
+and backend fan-out with fig8-10 instead of carrying its own closure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from pathlib import Path
+from typing import List, Optional, Union
 
-from repro.core.profit import pif
+from repro.experiments.engine import SweepCell, SweepEngine, resolve_engine
 from repro.util.tables import render_table
-from repro.workloads.h264.deblocking import deblocking_case_study
-from repro.workloads.h264.traces import deblock_executions_per_frame
 
 
 @dataclass
@@ -59,26 +62,45 @@ class Fig2Result:
         )
 
 
-def run_fig2(frames: int = 16, seed: int = 0) -> Fig2Result:
-    """Reproduce Fig. 2 for ``frames`` frames of the seeded video trace."""
-    _, ises = deblocking_case_study()
-    counts = deblock_executions_per_frame(frames=frames, seed=seed)
+def fig2_cell(frames: int = 16, seed: int = 0) -> SweepCell:
+    """The declarative cell behind Fig. 2.
 
-    def best_for(e: int) -> str:
-        return max(
-            ises,
-            key=lambda name: pif(
-                ises[name].latencies[0],
-                ises[name].full_latency,
-                ises[name].total_reconfig_cycles,
-                e,
-            ),
-        )
-
-    return Fig2Result(
-        executions_per_frame=counts,
-        best_ise_per_frame=[best_for(e) for e in counts],
+    The metric derives everything from the seeded trace and the case-study
+    profit model; the carrier simulation (one tiny deblocking frame in
+    RISC mode) only provides a cached, backend-routable execution context.
+    """
+    return SweepCell.make(
+        (0, 0),
+        seed,
+        "risc",
+        workload="deblocking",
+        workload_params={"frames": 1, "scale": 0.05},
+        metrics={"deblock_frame_winners": {"frames": frames, "seed": seed}},
     )
 
 
-__all__ = ["run_fig2", "Fig2Result"]
+def run_fig2(
+    frames: int = 16,
+    seed: int = 0,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Union[str, Path, None] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    coordinator: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Fig2Result:
+    """Reproduce Fig. 2 for ``frames`` frames of the seeded video trace."""
+    eng = resolve_engine(
+        engine, jobs, use_cache, cache_dir,
+        backend=backend, workers=workers, coordinator=coordinator,
+    ) or SweepEngine(jobs=1, use_cache=False)
+    [record] = eng.run([fig2_cell(frames=frames, seed=seed)])
+    data = record["metrics"]["deblock_frame_winners"]
+    return Fig2Result(
+        executions_per_frame=[int(e) for e in data["executions_per_frame"]],
+        best_ise_per_frame=list(data["best_ise_per_frame"]),
+    )
+
+
+__all__ = ["run_fig2", "fig2_cell", "Fig2Result"]

@@ -6,18 +6,20 @@ reconfiguring (the ``NoE`` quantities of Eq. 3).  Our simulator can measure
 the real staircase: this experiment runs the encoder, extracts the phase
 timeline of the deblocking-filter kernel within one functional-block
 iteration, and reports the measured NoE / latency of every phase.
+
+The timeline comes from the ``kernel_timeline`` sweep metric on a regular
+declarative cell, so Fig. 5 shares the engine's caching and backend
+fan-out with fig8-10 instead of running its own traced simulation inline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from pathlib import Path
+from typing import List, Optional, Union
 
-from repro.analysis.timeline import KernelTimeline, kernel_timeline
-from repro.core.mrts import MRTS
-from repro.fabric.resources import ResourceBudget
-from repro.sim.simulator import Simulator
-from repro.workloads.h264 import h264_application, h264_library
+from repro.analysis.timeline import KernelTimeline, timeline_from_payload
+from repro.experiments.engine import SweepCell, SweepEngine, resolve_engine
 
 
 @dataclass
@@ -48,6 +50,28 @@ class Fig5Result:
         )
 
 
+def fig5_cell(
+    frames: int = 4,
+    seed: int = 7,
+    n_cg: int = 2,
+    n_prc: int = 2,
+    kernel: str = "lf.deblock_luma",
+    block_window: int = 0,
+) -> SweepCell:
+    """The declarative cell behind Fig. 5 (mRTS on the H.264 encoder, with
+    the traced ``kernel_timeline`` metric attached)."""
+    return SweepCell.make(
+        (n_cg, n_prc),
+        seed,
+        "mrts",
+        workload="h264",
+        workload_params={"frames": frames},
+        metrics={
+            "kernel_timeline": {"kernel": kernel, "block_window": block_window}
+        },
+    )
+
+
 def run_fig5(
     frames: int = 4,
     seed: int = 7,
@@ -55,16 +79,29 @@ def run_fig5(
     n_prc: int = 2,
     kernel: str = "lf.deblock_luma",
     block_window: int = 0,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Union[str, Path, None] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    coordinator: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig5Result:
     """Measure the Fig. 5 staircase of ``kernel`` in one block iteration."""
-    application = h264_application(frames=frames, seed=seed)
-    budget = ResourceBudget(n_prcs=n_prc, n_cg_fabrics=n_cg)
-    library = h264_library(budget)
-    result = Simulator(
-        application, library, budget, MRTS(), collect_trace=True
-    ).run()
-    timeline = kernel_timeline(result, kernel, block_window=block_window)
+    eng = resolve_engine(
+        engine, jobs, use_cache, cache_dir,
+        backend=backend, workers=workers, coordinator=coordinator,
+    ) or SweepEngine(jobs=1, use_cache=False)
+    [record] = eng.run(
+        [
+            fig5_cell(
+                frames=frames, seed=seed, n_cg=n_cg, n_prc=n_prc,
+                kernel=kernel, block_window=block_window,
+            )
+        ]
+    )
+    timeline = timeline_from_payload(record["metrics"]["kernel_timeline"])
     return Fig5Result(kernel=kernel, timeline=timeline)
 
 
-__all__ = ["run_fig5", "Fig5Result"]
+__all__ = ["run_fig5", "fig5_cell", "Fig5Result"]

@@ -36,21 +36,27 @@ def run_all(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir=None,
+    backend=None,
+    workers=None,
+    coordinator=None,
 ) -> None:
     """Execute every experiment, printing each report as it completes.
 
-    ``jobs``/``use_cache``/``cache_dir`` route the grid experiments
-    (Figs. 8-10 and the cost-model sensitivity table) through the parallel
-    cached sweep engine; the remaining experiments are trace- or
-    structure-bound and run in-process.
+    ``jobs``/``use_cache``/``cache_dir`` (and the executor knobs
+    ``backend``/``workers``/``coordinator``) route the cell-based
+    experiments (Figs. 2, 5, 8-10 and the cost-model sensitivity table)
+    through the parallel cached sweep engine; the remaining experiments
+    are trace- or structure-bound and run in-process.
     """
     stream = stream or sys.stdout
     frames = 6 if fast else 16
-    engine_kwargs = dict(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+    engine_kwargs = dict(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+                         backend=backend, workers=workers,
+                         coordinator=coordinator)
     experiments = [
         ("Fig. 1", lambda: run_fig1(points=20 if fast else 50)),
-        ("Fig. 2", lambda: run_fig2(frames=frames)),
-        ("Fig. 5 (measured)", lambda: run_fig5(frames=4)),
+        ("Fig. 2", lambda: run_fig2(frames=frames, **engine_kwargs)),
+        ("Fig. 5 (measured)", lambda: run_fig5(frames=4, **engine_kwargs)),
         ("Fig. 8", lambda: run_fig8(frames=frames, **engine_kwargs)),
         ("Fig. 9", lambda: run_fig9(frames=frames, max_prc=4 if fast else 6,
                                     **engine_kwargs)),
@@ -90,12 +96,29 @@ def main(argv=None) -> int:
         "--cache-dir", default=None,
         help="sweep cell cache location (default: .repro_cache)",
     )
+    from repro.experiments.backends import backend_names
+
+    parser.add_argument(
+        "--backend", default=None, choices=backend_names(),
+        help="executor backend (default: pool when --jobs > 1, else serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes spawned by the distributed backend",
+    )
+    parser.add_argument(
+        "--coordinator", default=None,
+        help="HOST:PORT the distributed coordinator binds (default loopback)",
+    )
     args = parser.parse_args(argv)
     run_all(
         fast=args.fast,
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        backend=args.backend,
+        workers=args.workers,
+        coordinator=args.coordinator,
     )
     return 0
 

@@ -122,6 +122,9 @@ def run_sensitivity(
     jobs: int = 1,
     use_cache: bool = False,
     cache_dir=None,
+    backend=None,
+    workers=None,
+    coordinator=None,
     engine: Optional[SweepEngine] = None,
 ) -> SensitivityResult:
     """Re-measure the headline speedups under each model variant.
@@ -139,7 +142,8 @@ def run_sensitivity(
         for policy in ("risc", "mrts")
     ]
     resolved = resolve_engine(engine, jobs=jobs, use_cache=use_cache,
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir, backend=backend,
+                              workers=workers, coordinator=coordinator)
     if resolved is not None:
         records = resolved.run(grid)
     else:

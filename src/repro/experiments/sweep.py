@@ -149,6 +149,9 @@ def run_sweep(
     use_cache: bool = False,
     cache_dir: Union[str, Path, None] = None,
     cache_max_bytes: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    coordinator: Optional[str] = None,
     engine: Optional[SweepEngine] = None,
 ) -> SweepResult:
     """Run every (budget, seed, policy) combination.
@@ -175,7 +178,8 @@ def run_sweep(
         if workload == "h264":
             params.setdefault("frames", 8)
         eng = resolve_engine(
-            engine, jobs, use_cache, cache_dir, cache_max_bytes
+            engine, jobs, use_cache, cache_dir, cache_max_bytes,
+            backend=backend, workers=workers, coordinator=coordinator,
         ) or SweepEngine(jobs=1, use_cache=False)
         return _run_sweep_engine(eng, budgets, seeds, names, workload, params)
     if isinstance(policies, dict):

@@ -58,8 +58,11 @@ class ISE:
         one kernel execution can save on this ISE.  Since the profit phases
         (Eqs. 2-4) distribute at most ``e`` executions over the levels,
         ``e * profit_bound_per_execution`` upper-bounds the profit for any
-        schedule, which lets the incremental selector prune candidates that
-        cannot beat the current argmax without evaluating them.
+        schedule in real arithmetic (the *computed* float profit can exceed
+        it by a few ulps of summation rounding), which lets the incremental
+        selector prune candidates that cannot beat the current argmax
+        without evaluating them (with a relative slack covering the
+        rounding -- see ``selector.BOUND_PRUNE_SLACK``).
     """
 
     kernel: Kernel

@@ -1,0 +1,331 @@
+"""Executor backends: registry, batch planning, wire protocol, worker
+handshake/retry, construction memoisation, and the cross-backend
+byte-identity contract (serial == pool == distributed)."""
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.experiments import engine as engine_module
+from repro.experiments.backends import (
+    BACKENDS,
+    DistributedBackend,
+    PoolBackend,
+    SerialBackend,
+    backend_names,
+    plan_batches,
+    resolve_backend,
+)
+from repro.experiments.backends.base import group_key
+from repro.experiments.backends.distributed import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    encode_frame,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.experiments.engine import (
+    BUILD_COUNTERS,
+    SweepCell,
+    SweepEngine,
+    clear_build_memo,
+    execute_batch,
+)
+from repro.util.validation import ReproError
+
+FAST = {"frames": 2, "scale": 0.4}
+
+
+def make_cells(budgets=((1, 1), (2, 1)), seeds=(0, 1),
+               policies=("risc", "mrts")):
+    """2 budgets x 2 seeds x 2 policies = 8 small-but-real cells."""
+    return [
+        SweepCell.make(budget, seed, policy, workload_params=FAST)
+        for budget in budgets
+        for seed in seeds
+        for policy in policies
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Each test starts and ends with empty construction memos."""
+    clear_build_memo()
+    yield
+    clear_build_memo()
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        assert backend_names() == ["distributed", "pool", "serial"]
+        assert set(backend_names()) == set(BACKENDS)
+
+    def test_auto_selection_matches_legacy_behaviour(self):
+        assert isinstance(resolve_backend(None, jobs=1), SerialBackend)
+        assert isinstance(resolve_backend(None, jobs=4), PoolBackend)
+
+    def test_explicit_names(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("pool", jobs=2), PoolBackend)
+        assert isinstance(
+            resolve_backend("distributed", workers=1), DistributedBackend
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="unknown backend"):
+            resolve_backend("warp")
+        with pytest.raises(ReproError, match="unknown backend"):
+            SweepEngine(backend="warp")
+
+
+class TestPlanBatches:
+    def test_batches_never_span_library_groups(self):
+        cells = make_cells()
+        batches = plan_batches(cells, chunk_size=3)
+        for batch in batches:
+            keys = {group_key(cells[i]) for i in batch}
+            assert len(keys) == 1
+
+    def test_every_cell_dispatched_exactly_once(self):
+        cells = make_cells()
+        batches = plan_batches(cells, parts=3)
+        flat = [i for batch in batches for i in batch]
+        assert sorted(flat) == list(range(len(cells)))
+
+    def test_groups_in_first_appearance_order(self):
+        cells = make_cells()
+        batches = plan_batches(cells, chunk_size=100)
+        first_keys = [group_key(cells[batch[0]]) for batch in batches]
+        seen = []
+        for cell in cells:
+            key = group_key(cell)
+            if key not in seen:
+                seen.append(key)
+        assert first_keys == seen
+
+    def test_chunk_size_caps_batches(self):
+        cells = make_cells()
+        assert all(len(b) == 1 for b in plan_batches(cells, chunk_size=1))
+
+    def test_empty_and_plan_is_deterministic(self):
+        assert plan_batches([]) == []
+        cells = make_cells()
+        assert plan_batches(cells, parts=2) == plan_batches(cells, parts=2)
+
+
+class TestWireProtocol:
+    def test_frame_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            frame = {"type": "batch", "batch": 3, "cells": [{"seed": 1}]}
+            send_frame(a, frame)
+            assert recv_frame(b) == frame
+        finally:
+            a.close()
+            b.close()
+
+    def test_length_prefix_is_big_endian(self):
+        blob = encode_frame({"x": 1})
+        (length,) = struct.unpack(">I", blob[:4])
+        assert length == len(blob) - 4
+
+    def test_oversized_incoming_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ReproError, match="exceeds"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_parse_address(self):
+        assert parse_address(None) == ("127.0.0.1", 0)
+        assert parse_address("10.0.0.5:7777") == ("10.0.0.5", 7777)
+        with pytest.raises(ReproError):
+            parse_address("no-port")
+        with pytest.raises(ReproError):
+            parse_address("host:notanint")
+
+
+class TestHandshake:
+    def _handshake_pair(self, hello):
+        backend = DistributedBackend(workers=1)
+        backend._fingerprints = ["abc123"]
+        server, client = socket.socketpair()
+        try:
+            outcome = {}
+
+            def serve():
+                outcome["accepted"] = backend._handshake(server)
+
+            thread = threading.Thread(target=serve)
+            thread.start()
+            send_frame(client, hello)
+            reply = recv_frame(client)
+            thread.join(timeout=10)
+            return outcome["accepted"], reply
+        finally:
+            server.close()
+            client.close()
+
+    def test_matching_hello_welcomed_with_fingerprints(self):
+        accepted, reply = self._handshake_pair({
+            "type": "hello",
+            "schema": engine_module.ENGINE_SCHEMA,
+            "protocol": PROTOCOL_VERSION,
+        })
+        assert accepted
+        assert reply["type"] == "welcome"
+        assert reply["fingerprints"] == ["abc123"]
+
+    def test_schema_mismatch_rejected(self):
+        accepted, reply = self._handshake_pair({
+            "type": "hello", "schema": -1, "protocol": PROTOCOL_VERSION,
+        })
+        assert not accepted
+        assert reply["type"] == "reject"
+        assert "mismatch" in reply["reason"]
+
+    def test_protocol_mismatch_rejected(self):
+        accepted, reply = self._handshake_pair({
+            "type": "hello",
+            "schema": engine_module.ENGINE_SCHEMA,
+            "protocol": PROTOCOL_VERSION + 1,
+        })
+        assert not accepted
+        assert reply["type"] == "reject"
+
+
+class TestConstructionMemo:
+    def test_batch_reuses_applications_and_libraries(self):
+        cells = make_cells()
+        records, built = execute_batch(cells)
+        assert len(records) == len(cells)
+        # 2 seeds -> 2 applications; 2 budgets -> 2 libraries; the other
+        # 12 logical constructions are memo hits.
+        assert built["applications_built"] == 2
+        assert built["libraries_built"] == 2
+        assert built["applications_saved"] == len(cells) - 2
+        assert built["libraries_saved"] == len(cells) - 2
+
+    def test_memoized_records_identical_to_cold(self):
+        cells = make_cells()
+        cold, _ = execute_batch(cells)
+        warm, built = execute_batch(cells)  # memos still populated
+        assert json.dumps(cold) == json.dumps(warm)
+        assert built["applications_built"] == 0
+        assert built["libraries_built"] == 0
+
+    def test_clear_build_memo_resets_counters(self):
+        execute_batch(make_cells())
+        clear_build_memo()
+        assert all(value == 0 for value in BUILD_COUNTERS.values())
+
+
+class TestBackendIdentity:
+    def test_serial_pool_distributed_byte_identical(self):
+        cells = make_cells()
+        blobs = {}
+        for name in backend_names():
+            engine = SweepEngine(
+                jobs=2 if name == "pool" else 1,
+                use_cache=False,
+                backend=name,
+                workers=2 if name == "distributed" else None,
+            )
+            blobs[name] = json.dumps(engine.run(cells))
+            if name == "serial":
+                assert engine.stats.builds_saved > 0
+                assert engine.stats.frames_sent == 0
+            else:
+                assert engine.stats.frames_sent > 0
+        assert blobs["pool"] == blobs["serial"]
+        assert blobs["distributed"] == blobs["serial"]
+
+    def test_engine_payload_surfaces_transport_counters(self):
+        engine = SweepEngine(jobs=1, use_cache=False, backend="serial")
+        engine.run(make_cells(budgets=((1, 1),), seeds=(0,)))
+        payload = engine.stats.engine_payload()
+        for key in ("builds_saved", "frames_sent", "worker_restarts"):
+            assert key in payload
+
+
+class TestDistributedRetry:
+    def test_dead_worker_batch_requeued_and_rerun(self):
+        """A worker crashing mid-run must cost a restart, not correctness."""
+        cells = make_cells()
+        serial = json.loads(json.dumps(execute_batch(cells)[0]))
+        backend = DistributedBackend(
+            worker_specs=[{"fail_after": 0}, {}], stall_timeout=60.0,
+        )
+        records = backend.run(cells)
+        assert records == serial
+        assert backend.counters["worker_restarts"] >= 1
+
+    def test_restart_budget_exhaustion_fails_loudly(self):
+        backend = DistributedBackend(
+            worker_specs=[{"fail_after": 0}], max_restarts=0,
+            stall_timeout=60.0,
+        )
+        with pytest.raises(ReproError, match="restart budget"):
+            backend.run(make_cells(budgets=((1, 1),), seeds=(0,)))
+
+
+class TestCoordinatorOnlyMode:
+    def test_zero_workers_requires_an_address(self):
+        with pytest.raises(ReproError, match="external workers"):
+            DistributedBackend(workers=0)
+        with pytest.raises(ReproError, match="workers must be >= 0"):
+            SweepEngine(backend="distributed", workers=-1)
+
+    def test_external_worker_joins_and_serves(self):
+        """--workers 0 spawns nothing locally; a worker dialing the
+        advertised address serves the whole sweep."""
+        cells = make_cells(budgets=((1, 1),), seeds=(0,))
+        serial = json.loads(json.dumps(execute_batch(cells)[0]))
+        clear_build_memo()
+        backend = DistributedBackend(
+            workers=0, coordinator="127.0.0.1:0", stall_timeout=60.0,
+        )
+        from repro.experiments.backends.worker import worker_loop
+
+        outcome = {}
+
+        def run():
+            outcome["records"] = backend.run(cells)
+
+        coordinator = threading.Thread(target=run)
+        coordinator.start()
+        try:
+            deadline = 200
+            while backend._address[1] == 0 and deadline:
+                coordinator.join(timeout=0.05)
+                deadline -= 1
+            assert backend._address[1] != 0, "coordinator never bound"
+            worker = threading.Thread(
+                target=worker_loop, args=(backend._address,)
+            )
+            worker.start()
+            worker.join(timeout=60)
+        finally:
+            coordinator.join(timeout=60)
+        assert outcome["records"] == serial
+
+
+class TestWorkerCli:
+    def test_bad_coordinator_address_is_a_usage_error(self, capsys):
+        from repro.experiments.backends.worker import main
+
+        assert main(["--coordinator", "nonsense"]) == 2
+        assert "host:port" in capsys.readouterr().err
+
+    def test_repro_worker_subcommand_wired(self, capsys):
+        from repro.cli import main
+
+        assert main(["worker", "--coordinator", "nonsense"]) == 2
+        assert "host:port" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""Concurrent cache writers and crash-mid-write recovery.
+
+The cache's safety story is the atomic-rename publish in
+``SweepEngine._write_record``: readers either miss or see a complete,
+valid envelope — never a torn file — no matter how many processes race
+on the same key, and a writer that dies mid-write leaves nothing behind
+but an ignorable ``.tmp``-free shard.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.engine import (
+    ENGINE_SCHEMA,
+    SweepCell,
+    SweepEngine,
+    cache_stats,
+    cell_key,
+    clear_build_memo,
+)
+
+FAST = {"frames": 2, "scale": 0.4}
+
+
+def make_cell(seed=0, policy="risc"):
+    return SweepCell.make((1, 1), seed, policy, workload_params=FAST)
+
+
+def make_engine(tmp_path):
+    return SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_build_memo()
+    yield
+    clear_build_memo()
+
+
+class TestAtomicPublish:
+    def test_racing_writers_never_expose_a_torn_record(self, tmp_path):
+        """Property: under N writers x M rounds on one key, every read
+        observes either a miss or one complete record — intermediate
+        states are unobservable."""
+        engine = make_engine(tmp_path)
+        cell = make_cell()
+        key = cell_key(cell)
+        payloads = [{"writer": w, "blob": "x" * (200 + 40 * w)} for w in range(6)]
+        start = threading.Barrier(len(payloads) + 1)
+        stop = threading.Event()
+        seen, errors = [], []
+
+        def write(record):
+            start.wait()
+            for _ in range(25):
+                engine._write_record(key, cell, record)
+
+        def read():
+            start.wait()
+            while not stop.is_set():
+                try:
+                    record = engine._read_record(key)
+                except Exception as exc:  # torn JSON would land here
+                    errors.append(exc)
+                    return
+                if record is not None:
+                    seen.append(record)
+
+        writers = [threading.Thread(target=write, args=(p,)) for p in payloads]
+        reader = threading.Thread(target=read)
+        for thread in writers + [reader]:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        reader.join()
+
+        assert not errors
+        assert seen, "reader never observed a published record"
+        for record in seen:
+            assert record in payloads
+        assert engine._read_record(key) in payloads
+
+    def test_crashing_writer_leaves_no_tmp_debris(self, tmp_path):
+        engine = make_engine(tmp_path)
+        cell = make_cell()
+        key = cell_key(cell)
+        with pytest.raises(TypeError):
+            engine._write_record(key, cell, {"bad": object()})
+        shard = engine._record_path(key).parent
+        assert not list(shard.glob("*.tmp"))
+        assert engine._read_record(key) is None
+
+    def test_racing_engines_converge_on_identical_cache(self, tmp_path):
+        """Two engines sweeping the same cells against one cache dir must
+        agree with each other, and leave a cache a third run fully hits."""
+        cells = [make_cell(seed, policy)
+                 for seed in (0, 1) for policy in ("risc", "mrts")]
+        results, start = {}, threading.Barrier(2)
+
+        def sweep(tag):
+            engine = make_engine(tmp_path)
+            start.wait()
+            results[tag] = engine.run(cells)
+
+        threads = [threading.Thread(target=sweep, args=(t,)) for t in "ab"]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert json.dumps(results["a"]) == json.dumps(results["b"])
+
+        warm = make_engine(tmp_path)
+        assert json.dumps(warm.run(cells)) == json.dumps(results["a"])
+        assert warm.stats.cache_hits == len(cells)
+
+
+class TestCrashMidWrite:
+    def _prime(self, tmp_path):
+        engine = make_engine(tmp_path)
+        cell = make_cell()
+        records = engine.run([cell])
+        return engine, cell, engine._record_path(cell_key(cell)), records
+
+    def test_truncated_record_is_a_miss_not_a_crash(self, tmp_path):
+        engine, cell, path, records = self._prime(tmp_path)
+        blob = path.read_text(encoding="utf-8")
+        path.write_text(blob[: len(blob) // 2], encoding="utf-8")
+
+        rerun = make_engine(tmp_path)
+        assert json.dumps(rerun.run([cell])) == json.dumps(records)
+        assert rerun.stats.cache_hits == 0
+
+        healed = make_engine(tmp_path)
+        healed.run([cell])
+        assert healed.stats.cache_hits == 1
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        engine, cell, path, _ = self._prime(tmp_path)
+        path.write_bytes(b"\x00\xff not json")
+        assert engine._read_record(cell_key(cell)) is None
+
+    def test_schema_or_key_mismatch_is_a_miss(self, tmp_path):
+        engine, cell, path, records = self._prime(tmp_path)
+        key = cell_key(cell)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+
+        stale = dict(envelope, schema=ENGINE_SCHEMA - 1)
+        path.write_text(json.dumps(stale), encoding="utf-8")
+        assert engine._read_record(key) is None
+
+        swapped = dict(envelope, key="0" * 64)
+        path.write_text(json.dumps(swapped), encoding="utf-8")
+        assert engine._read_record(key) is None
+
+    def test_orphan_tmp_files_are_invisible(self, tmp_path):
+        engine, cell, path, _ = self._prime(tmp_path)
+        (path.parent / "tmpabc123.tmp").write_text("partial", encoding="utf-8")
+        stats = cache_stats(tmp_path)
+        assert stats["records"] == 1
+        assert engine._read_record(cell_key(cell)) is not None

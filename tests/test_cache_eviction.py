@@ -123,6 +123,78 @@ class TestStatsAndClear:
         assert not any(tmp_path.glob("*"))
 
 
+class TestSidecarIndex:
+    """cache_stats answers from the sidecar index.json when fresh, falls
+    back to a full scan (and rebuilds the index) when the record tree
+    moved underneath it, and never survives clear_cache."""
+
+    def test_scan_seeds_index_then_serves_from_it(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 30, mtime=1_000)
+        _fake_record(tmp_path, "bb2", 70, mtime=2_000)
+        first = cache_stats(tmp_path)
+        assert first["source"] == "scan"
+        assert (tmp_path / "index.json").exists()
+        second = cache_stats(tmp_path)
+        assert second["source"] == "index"
+        assert {k: second[k] for k in ("records", "total_bytes")} == {
+            "records": 2, "total_bytes": 100,
+        }
+
+    def test_index_and_scan_agree(self, tmp_path):
+        cell = SweepCell.make((1, 1), 0, "risc", workload_params=FAST)
+        SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path).run([cell])
+        from_index = cache_stats(tmp_path)
+        (tmp_path / "index.json").unlink()
+        from_scan = cache_stats(tmp_path)
+        assert from_index["source"] == "index" and from_scan["source"] == "scan"
+        for field in ("records", "total_bytes", "oldest_mtime", "newest_mtime"):
+            assert from_index[field] == from_scan[field]
+
+    def test_external_write_invalidates_index(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 30, mtime=1_000)
+        assert cache_stats(tmp_path)["source"] == "scan"
+        assert cache_stats(tmp_path)["source"] == "index"
+        # Another process plants a record: its shard mtime moves past the
+        # index's, forcing a rescan that picks the new record up.
+        _fake_record(tmp_path, "cc3", 70, mtime=3_000)
+        stale = cache_stats(tmp_path)
+        assert stale["source"] == "scan"
+        assert stale["records"] == 2 and stale["total_bytes"] == 100
+
+    def test_engine_run_keeps_index_incremental(self, tmp_path):
+        cells = [
+            SweepCell.make((1, 1), seed, "risc", workload_params=FAST)
+            for seed in range(2)
+        ]
+        engine = SweepEngine(jobs=1, use_cache=True, cache_dir=tmp_path)
+        engine.run(cells)
+        stats = cache_stats(tmp_path)
+        assert stats["source"] == "index"
+        assert stats["records"] == len(cells)
+
+    def test_eviction_keeps_index_consistent(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 100, mtime=1_000)
+        _fake_record(tmp_path, "bb2", 100, mtime=2_000)
+        cache_stats(tmp_path)  # seed the index
+        evict_cache(tmp_path, max_bytes=100)
+        stats = cache_stats(tmp_path)
+        assert stats["records"] == 1 and stats["total_bytes"] == 100
+
+    def test_corrupt_index_falls_back_to_scan(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 30, mtime=1_000)
+        (tmp_path / "index.json").write_text("{torn", encoding="utf-8")
+        stats = cache_stats(tmp_path)
+        assert stats["source"] == "scan" and stats["records"] == 1
+
+    def test_clear_cache_removes_index(self, tmp_path):
+        _fake_record(tmp_path, "aa1", 10, mtime=1_000)
+        cache_stats(tmp_path)
+        assert (tmp_path / "index.json").exists()
+        clear_cache(tmp_path)
+        assert not (tmp_path / "index.json").exists()
+        assert cache_stats(tmp_path)["records"] == 0
+
+
 class TestCliCache:
     def test_cache_stats_command(self, tmp_path, capsys):
         _fake_record(tmp_path, "aa1", 42, mtime=1_000)

@@ -79,6 +79,34 @@ class TestFig2:
         assert set(result.best_ise_per_frame) <= {"ISE-1", "ISE-2", "ISE-3"}
 
 
+class TestFigEnginePath:
+    """fig2/fig5 ride the sweep engine as metric-bearing cells: a cached
+    run must equal the plain run, and a warm rerun must serve from cache."""
+
+    def test_fig2_caches_like_a_grid_cell(self, tmp_path):
+        plain = run_fig2(frames=4, seed=3)
+        cold = run_fig2(frames=4, seed=3, use_cache=True, cache_dir=tmp_path)
+        warm = run_fig2(frames=4, seed=3, use_cache=True, cache_dir=tmp_path)
+        assert plain == cold == warm
+        from repro.experiments.engine import cache_stats
+
+        assert cache_stats(tmp_path)["records"] > 0
+
+    def test_fig5_caches_like_a_grid_cell(self, tmp_path):
+        from repro.experiments.fig5_timeline import run_fig5
+
+        plain = run_fig5(frames=2)
+        cold = run_fig5(frames=2, use_cache=True, cache_dir=tmp_path)
+        warm = run_fig5(frames=2, use_cache=True, cache_dir=tmp_path)
+        assert plain == cold == warm
+        assert plain.staircase_is_monotone
+
+    def test_fig2_backend_kwargs_accepted(self):
+        serial = run_fig2(frames=2, seed=0, backend="serial")
+        pooled = run_fig2(frames=2, seed=0, backend="pool", jobs=2)
+        assert serial == pooled
+
+
 class TestFig8:
     @pytest.fixture(scope="class")
     def result(self):

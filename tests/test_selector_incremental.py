@@ -169,6 +169,34 @@ class TestEquivalence:
         ]
         _select_both(library, triggers, warmup_triggers=warmup)
 
+    def test_ulp_over_bound_profit_is_not_pruned(self):
+        """Regression (found by hypothesis): the float-summed profit of a
+        candidate can exceed ``e * profit_bound_per_execution`` by an ulp
+        (109.00000000000001 vs a bound of exactly 109.0).  The old prune
+        dropped such a candidate whenever its bound merely *tied* the
+        running argmax, so naive selected it and incremental did not --
+        the pruning must keep BOUND_PRUNE_SLACK of headroom."""
+        shapes = [
+            [(1, 0, 4, 2, 60, 1, 0, False)],
+            [
+                (1, 0, 4, 2, 60, 1, 0, False),
+                (1, 0, 5, 2, 60, 1, 0, False),
+                (1, 23, 4, 2, 74, 3, 1, False),
+            ],
+        ]
+        library, kernels = _build_library(shapes, 1, 1)
+        triggers = [
+            TriggerInstruction(kernel.name, *params)
+            for kernel, params in zip(
+                kernels, [(0.0, 0.0, 0.0), (1.0, 0.0, 0.0)]
+            )
+        ]
+        warmup = [
+            TriggerInstruction(kernel.name, 3_000.0, 200.0, 50.0)
+            for kernel in kernels
+        ]
+        _select_both(library, triggers, warmup_triggers=warmup)
+
     def test_h264_block_equivalence_with_cache_hits(self):
         from repro.workloads.h264 import h264_blocks
 
