@@ -10,8 +10,11 @@ Four checks, all byte-level:
 3. **Backends agree**: the same sweep routed through every registered
    executor backend (serial, pool, and a distributed coordinator with
    ``--workers`` local socket workers) must serialise identically.
-4. **Golden trace**: the committed reference snapshot under
-   ``tests/golden/`` must match a fresh simulation exactly.
+4. **Golden traces**: every committed reference snapshot under
+   ``tests/golden/`` (H.264 deblocking and the JPEG encoder) must match a
+   fresh simulation exactly -- under each of the three ``REPRO_SIM``
+   engines (stepped, event, packed), which pins the engines' byte-identity
+   contract at the gate level.
 
 Exit status is non-zero on any mismatch, so CI can gate on it::
 
@@ -37,12 +40,14 @@ import tempfile
 from typing import Dict, List
 
 from repro.experiments.engine import SweepCell, SweepEngine
+from repro.sim.simulator import ENGINE_MODES
 from repro.verification.golden import (
-    GOLDEN_PATH,
+    GOLDEN_SCENARIOS,
     diff_golden,
+    golden_path,
     golden_payload,
     load_golden,
-    write_golden,
+    write_all_golden,
 )
 
 #: 3 budgets x 6 seeds x 2 policies = 36 reference cells.
@@ -142,16 +147,32 @@ def check_backends(jobs: int, workers: int) -> Dict[str, object]:
 
 
 def check_golden() -> Dict[str, object]:
-    """The golden-trace check, as a summary record."""
-    if not GOLDEN_PATH.exists():
-        return _check(
-            "golden-trace", False,
-            [f"golden snapshot missing at {GOLDEN_PATH}"],
+    """The golden-trace check, as a summary record.
+
+    Every committed scenario is replayed under every ``REPRO_SIM`` engine
+    against the same snapshot, so the gate fails both on a behaviour drift
+    and on an engine losing byte-identity."""
+    details: List[str] = []
+    failures: List[str] = []
+    for scenario in sorted(GOLDEN_SCENARIOS):
+        path = golden_path(scenario)
+        if not path.exists():
+            failures.append(f"golden snapshot missing at {path}")
+            continue
+        committed = load_golden(path)
+        for engine in ENGINE_MODES:
+            problems = diff_golden(
+                committed, golden_payload(scenario, engine=engine)
+            )
+            if problems:
+                failures.append(f"{scenario} under engine={engine}:")
+                failures.extend(f"  {problem}" for problem in problems)
+        details.append(
+            f"{path.name} x {len(ENGINE_MODES)} engines"
         )
-    problems = diff_golden(load_golden(), golden_payload())
-    if problems:
-        return _check("golden-trace", False, list(problems))
-    return _check("golden-trace", True, [f"matches {GOLDEN_PATH.name}"])
+    if failures:
+        return _check("golden-trace", False, failures)
+    return _check("golden-trace", True, details)
 
 
 def render_text(checks: List[Dict[str, object]]) -> str:
@@ -181,7 +202,7 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-engine", action="store_true",
                         help="only check the golden trace")
     parser.add_argument("--update-golden", action="store_true",
-                        help="regenerate the golden snapshot and exit")
+                        help="regenerate every golden snapshot and exit")
     parser.add_argument("--json", nargs="?", const="-", default=None,
                         metavar="PATH",
                         help="write a machine-readable summary to PATH "
@@ -189,8 +210,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.update_golden:
-        path = write_golden()
-        print(f"wrote {path}")
+        for path in write_all_golden():
+            print(f"wrote {path}")
         return 0
 
     checks: List[Dict[str, object]] = []

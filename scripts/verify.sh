@@ -8,10 +8,13 @@
 # BENCH_sim.json and BENCH_engine.json and fail on any A/B regression:
 # differing results, the incremental selector recomputing more profits
 # than the naive one (repro.bench.check_gate), the event engine reducing
-# ECU cascade calls by less than the 5x threshold
+# ECU cascade calls by less than the 5x threshold or the packed engine
+# missing its per-cell wall-clock speedup threshold
 # (repro.bench.check_sim_gate), or the construction memos cutting builds
 # by less than 3x / the executor backends disagreeing
-# (repro.bench.check_engine_gate).
+# (repro.bench.check_engine_gate).  The packed-engine identity gate also
+# re-runs the A/B/C and golden suites with REPRO_SIM=packed, pinning the
+# byte-identity contract under the env-selected engine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +34,10 @@ fi
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo "== packed engine identity gate =="
+REPRO_SIM=packed python -m pytest -q \
+    tests/test_sim_packed.py tests/test_golden_trace.py
 
 echo "== determinism gate =="
 python scripts/check_determinism.py --jobs "$JOBS" --workers 2 \

@@ -4,11 +4,12 @@ Unlike the single-file determinism rules, these cross-check *pairs* of
 declarations that must stay in lockstep for the repo's A/B identities to
 hold:
 
-* ``dual-impl-signature`` -- the naive and incremental selector cores, and
-  the stepped and event simulator engines, must keep identical call
-  signatures (one drifting silently breaks ``REPRO_SELECTOR`` /
-  ``REPRO_SIM`` interchangeability), and the dual-entry methods
-  (``RuntimePolicy.execute`` / ``execute_run``) must both exist;
+* ``dual-impl-signature`` -- the naive, incremental and packed selector
+  cores, and the stepped, event and packed simulator engines, must keep
+  identical call signatures (one drifting silently breaks
+  ``REPRO_SELECTOR`` / ``REPRO_SIM`` interchangeability), and the
+  dual-entry methods (``RuntimePolicy.execute`` / ``execute_run``) must
+  both exist;
 * ``golden-payload-exclusion`` -- every key emitted by
   ``SimulationStats.selector_payload`` / ``engine_payload`` (how the
   *reproduction* computed the run) must stay out of ``to_payload`` (what
@@ -46,8 +47,12 @@ from repro.analysis.lint.core import INVARIANT_RULE_NAMES, FileContext, Finding
 DUAL_IMPLEMENTATIONS: Tuple[Tuple[str, Optional[str], str, str, str], ...] = (
     ("core/selector.py", "ISESelector", "_select_naive", "_select_incremental",
      "exact"),
+    ("core/selector.py", "ISESelector", "_select_incremental",
+     "_select_packed", "exact"),
     ("sim/simulator.py", "Simulator", "_run_kernels_stepped",
      "_run_kernels_event", "exact"),
+    ("sim/simulator.py", "Simulator", "_run_kernels_event",
+     "_run_kernels_packed", "exact"),
     ("sim/policy.py", "RuntimePolicy", "execute", "execute_run", "extends"),
 )
 

@@ -3,14 +3,16 @@
 Three suites, all over the Fig. 8 reference workload (the H.264 encoder on
 the (CG fabrics x PRCs) budget grid), all doubling as regression gates:
 
-* ``selector`` -- naive vs. incremental ISE selector: per-budget stats
-  payloads must be byte-identical and the incremental implementation must
-  never compute more profits than the naive one
-  (``BENCH_selector.json``).
-* ``sim`` -- stepped vs. event-driven execution engine: per-budget stats
-  payloads must be byte-identical and the event engine must evaluate the
-  ECU cascade at least :data:`SIM_REDUCTION_THRESHOLD` times less often
-  (``BENCH_sim.json``).
+* ``selector`` -- naive vs. incremental vs. packed ISE selector:
+  per-budget stats payloads must be byte-identical across all three and
+  the incremental implementation must never compute more profits than the
+  naive one (``BENCH_selector.json``).
+* ``sim`` -- stepped vs. event-driven vs. packed execution engine:
+  per-budget stats payloads must be byte-identical across all three, the
+  event engine must evaluate the ECU cascade at least
+  :data:`SIM_REDUCTION_THRESHOLD` times less often, and the packed engine
+  must beat the stepped engine's per-cell wall clock by at least
+  :data:`PACKED_SPEEDUP_THRESHOLD` (``BENCH_sim.json``).
 * ``engine`` -- serial vs. pool vs. distributed sweep executor backends:
   cell records must be byte-identical across all three, and the per-worker
   construction memos must cut application builds + library compiles by at
@@ -47,6 +49,16 @@ QUICK_BUDGETS: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 2), (3, 2))
 #: Minimum factor by which the event engine must reduce ECU cascade calls
 #: on the fig8 reference grid (the sim suite's perf gate).
 SIM_REDUCTION_THRESHOLD = 5.0
+
+#: Minimum per-cell wall-clock speedup of the packed engine over the
+#: stepped reference on the full fig8 grid (the sim suite's second perf
+#: gate; measured ~15x on the reference machine).
+PACKED_SPEEDUP_THRESHOLD = 10.0
+
+#: Quick-run relaxation of the packed gate: tiny frame counts leave the
+#: fixed per-run costs (library compile, selector set-up, packing)
+#: dominant, so the smoke job only asserts a conservative floor.
+PACKED_SPEEDUP_THRESHOLD_QUICK = 2.0
 
 #: Minimum factor by which the construction memos must cut application
 #: builds + library compiles on the fig8 grid (the engine suite's gate,
@@ -115,7 +127,10 @@ def run_selector_bench(
 
     naive = modes["naive"]
     incremental = modes["incremental"]
-    identical = payloads["naive"] == payloads["incremental"]
+    identical = all(
+        payloads[mode] == payloads[SELECTOR_MODES[0]]
+        for mode in SELECTOR_MODES
+    )
     recomputed = incremental["evaluations_recomputed"]
     reduction = (
         naive["evaluations_recomputed"] / recomputed
@@ -195,10 +210,18 @@ def run_sim_bench(
 
     stepped = engines["stepped"]
     event = engines["event"]
-    identical = payloads["stepped"] == payloads["event"]
+    packed = engines["packed"]
+    identical = all(
+        payloads[engine] == payloads[ENGINE_MODES[0]]
+        for engine in ENGINE_MODES
+    )
     event_calls = event["ecu_calls"]
     reduction = (
         stepped["ecu_calls"] / event_calls if event_calls else float("inf")
+    )
+    packed_wall = packed["wall_seconds"]
+    packed_speedup = (
+        stepped["wall_seconds"] / packed_wall if packed_wall else float("inf")
     )
     return {
         "benchmark": "sim",
@@ -211,6 +234,11 @@ def run_sim_bench(
         "identical_results": identical,
         "ecu_call_reduction_factor": round(reduction, 3),
         "reduction_threshold": SIM_REDUCTION_THRESHOLD,
+        "packed_speedup": round(packed_speedup, 3),
+        "packed_speedup_threshold": (
+            PACKED_SPEEDUP_THRESHOLD_QUICK if quick
+            else PACKED_SPEEDUP_THRESHOLD
+        ),
     }
 
 
@@ -333,6 +361,11 @@ def render_sim(payload: Dict[str, object]) -> str:
         f"cascade calls (threshold {payload['reduction_threshold']}x); "
         f"identical results: {payload['identical_results']}"
     )
+    lines.append(
+        f"  packed speedup: {payload['packed_speedup']}x per-cell wall "
+        f"clock over stepped (threshold "
+        f"{payload['packed_speedup_threshold']}x)"
+    )
     return "\n".join(lines)
 
 
@@ -381,18 +414,27 @@ def check_gate(payload: Dict[str, object]) -> List[str]:
 
 
 def check_sim_gate(payload: Dict[str, object]) -> List[str]:
-    """The regression conditions of the sim suite (empty = pass): both
-    engines must produce byte-identical stats, and the event engine must
-    reduce ECU cascade calls by at least the threshold factor."""
+    """The regression conditions of the sim suite (empty = pass): all
+    engines must produce byte-identical stats, the event engine must
+    reduce ECU cascade calls by at least the threshold factor, and the
+    packed engine must beat the stepped wall clock by at least the
+    packed-speedup threshold."""
     failures = []
     if not payload["identical_results"]:
-        failures.append("stepped and event engine stats differ")
+        failures.append("stepped, event and packed engine stats differ")
     reduction = payload["ecu_call_reduction_factor"]
     threshold = payload["reduction_threshold"]
     if reduction < threshold:
         failures.append(
             f"event engine reduced ECU calls only {reduction}x "
             f"(threshold {threshold}x)"
+        )
+    speedup = payload["packed_speedup"]
+    speedup_threshold = payload["packed_speedup_threshold"]
+    if speedup < speedup_threshold:
+        failures.append(
+            f"packed engine sped up wall clock only {speedup}x "
+            f"(threshold {speedup_threshold}x)"
         )
     return failures
 
@@ -466,6 +508,8 @@ __all__ = [
     "ENGINE_BACKENDS",
     "ENGINE_REDUCTION_THRESHOLD",
     "FIG8_BUDGETS",
+    "PACKED_SPEEDUP_THRESHOLD",
+    "PACKED_SPEEDUP_THRESHOLD_QUICK",
     "QUICK_BUDGETS",
     "SIM_REDUCTION_THRESHOLD",
     "SUITES",

@@ -10,11 +10,11 @@ an ad-hoc ``os.environ.get`` in a hot path can never silently make two
 Variables
 ---------
 ``REPRO_SELECTOR``
-    Selector implementation (``naive`` | ``incremental``); see
-    :func:`repro.core.selector.resolve_selector_mode`.
+    Selector implementation (``naive`` | ``incremental`` | ``packed``);
+    see :func:`repro.core.selector.resolve_selector_mode`.
 ``REPRO_SIM``
-    Simulator execution engine (``stepped`` | ``event``); see
-    :func:`repro.sim.simulator.resolve_engine_mode`.
+    Simulator execution engine (``stepped`` | ``event`` | ``packed``);
+    see :func:`repro.sim.simulator.resolve_engine_mode`.
 ``REPRO_CACHE_DIR``
     Default location of the content-addressed sweep cell cache
     (``.repro_cache`` when unset); explicit ``cache_dir`` arguments and the
@@ -73,7 +73,8 @@ def env_choice(
 
 
 def selector_mode(explicit: Optional[str] = None) -> str:
-    """The ISE-selector implementation to use (``naive`` | ``incremental``)."""
+    """The ISE-selector implementation to use
+    (``naive`` | ``incremental`` | ``packed``)."""
     from repro.core.selector import SELECTOR_MODES
 
     return env_choice(
@@ -83,7 +84,8 @@ def selector_mode(explicit: Optional[str] = None) -> str:
 
 
 def sim_engine_mode(explicit: Optional[str] = None) -> str:
-    """The simulator execution engine to use (``stepped`` | ``event``)."""
+    """The simulator execution engine to use
+    (``stepped`` | ``event`` | ``packed``)."""
     from repro.sim.simulator import ENGINE_MODES
 
     return env_choice(

@@ -140,6 +140,26 @@ class ExecutionControlUnit:
         """The ISE currently selected for ``kernel_name`` (None = RISC)."""
         return self._selection.get(kernel_name)
 
+    @property
+    def regimes(self) -> Dict[str, _Regime]:
+        """The per-kernel regime cache (read-only view).
+
+        The packed engine
+        (:meth:`repro.sim.simulator.Simulator._run_kernels_packed`)
+        transcribes the :meth:`execute_run` cache-hit path inline over this
+        mapping; everyone else should go through :meth:`execute_run`."""
+        return self._regimes
+
+    def apply_touches(self, impl_names: Tuple[str, ...], now: int) -> None:
+        """Apply the LRU ``touch`` bookkeeping of one (batched) execution.
+
+        Public counterpart of the internal touch helper for engines that
+        *defer* touches: ``touch`` keeps the maximum timestamp and
+        ``last_used`` is only read at configuration points, so flushing a
+        deferred touch before the next cascade evaluation leaves the fabric
+        state byte-identical to applying it eagerly (docs/simulator.md)."""
+        self._apply_touches(impl_names, now)
+
     def release_monocg_pins(self) -> None:
         """Unpin every monoCG-Extension this ECU configured (called at
         functional-block exit).  Only the kernels whose extensions were

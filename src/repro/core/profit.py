@@ -151,6 +151,34 @@ def per_improvement(noe_i: float, latency_rm: int, latency_i: int) -> float:
     return noe_i * (latency_rm - latency_i)
 
 
+def profit_value(
+    latencies: Sequence[int],
+    rec_schedule: Sequence[float],
+    e: float,
+    tf: float,
+    tb: float,
+) -> float:
+    """Eq. 4's total profit without the :class:`ProfitBreakdown` object.
+
+    Operates on the raw latency staircase instead of an :class:`ISE`, which
+    is what the packed selector has at hand.  The arithmetic is the exact
+    expression :attr:`ProfitBreakdown.profit` evaluates -- the same
+    :func:`expected_executions` phases, the same :func:`per_improvement`
+    terms, summed in the same order -- so both selector families compute
+    bit-identical profits (the byte-identity contract of
+    ``docs/selector.md``).
+    """
+    noe_risc, noe_levels, final_count = expected_executions(
+        latencies, rec_schedule, e, tf, tb
+    )
+    latency_rm = latencies[0]
+    improvements = tuple(
+        per_improvement(noe, latency_rm, latencies[i])
+        for i, noe in enumerate(noe_levels, start=1)
+    )
+    return sum(improvements) + per_improvement(final_count, latency_rm, latencies[-1])
+
+
 def ise_profit(
     ise: ISE,
     e: float,
@@ -189,5 +217,6 @@ __all__ = [
     "ProfitBreakdown",
     "expected_executions",
     "per_improvement",
+    "profit_value",
     "ise_profit",
 ]

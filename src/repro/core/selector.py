@@ -14,7 +14,7 @@ forecasted by the trigger instructions:
 Complexity O(N*M) profit evaluations per round (N kernels, M ISEs each)
 instead of the O(M^N) of the optimal algorithm.
 
-Two implementations produce byte-identical results (``docs/selector.md``):
+Three implementations produce byte-identical results (``docs/selector.md``):
 
 * the **naive** selector recomputes every candidate's profit each round --
   a direct transcription of Fig. 6;
@@ -23,13 +23,21 @@ Two implementations produce byte-identical results (``docs/selector.md``):
   winner, invalidates only the candidates the commit can actually perturb:
   those whose data-path footprint intersects the winner's (via the
   library's precompiled inverted index) and -- when the commit moved the
-  FG bitstream port -- those with uncovered FG instances.
+  FG bitstream port -- those with uncovered FG instances;
+* the **packed** selector runs the incremental algorithm over the
+  structure-of-arrays packing of :mod:`repro.core.packed`: implementation
+  names interned to dense ids, candidate rows / latency staircases / FG
+  requirements flattened into parallel arrays at library-build time, and
+  the per-call working state (coverage, ready times, reservations, cache
+  validity) held in flat arrays indexed by those ids.  Same rounds, same
+  logical counters, same tie-breaks -- only the data layout differs.
 
 Pick the implementation with the ``REPRO_SELECTOR`` environment variable
-(``naive`` | ``incremental``) or the ``mode`` constructor argument.  Both
-report the same ``profit_evaluations`` (the *logical* Fig. 6 count, which
-also feeds the overhead model); the incremental one additionally splits it
-into ``evaluations_recomputed`` and ``evaluations_skipped``.
+(``naive`` | ``incremental`` | ``packed``) or the ``mode`` constructor
+argument.  All report the same ``profit_evaluations`` (the *logical* Fig. 6
+count, which also feeds the overhead model); the incremental and packed
+ones additionally split it into ``evaluations_recomputed`` and
+``evaluations_skipped``.
 
 Ties between equal-profit candidates resolve deterministically by
 ``(profit, kernel name, candidate index)``: the lexicographically smallest
@@ -41,7 +49,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.core.profit import ise_profit
+from repro.core.packed import PackedLibrary, pack_library
+from repro.core.profit import ise_profit, profit_value
 from repro.fabric.datapath import FabricType
 from repro.fabric.reconfig import ReconfigurationController
 from repro.ise.ise import ISE
@@ -55,7 +64,7 @@ from repro.util.validation import ReproError
 from repro.config_env import SELECTOR_MODE_ENV
 
 #: Valid selector implementations; ``incremental`` is the default.
-SELECTOR_MODES = ("naive", "incremental")
+SELECTOR_MODES = ("naive", "incremental", "packed")
 
 #: Relative slack applied to the static profit upper bound before pruning.
 #: ``e * profit_bound_per_execution`` dominates the profit in real
@@ -258,15 +267,20 @@ class _CandidateEntry:
 class ISESelector:
     """The heuristic multi-grained ISE selector (Section 4.1).
 
-    ``mode`` picks the implementation (``naive`` | ``incremental``); when
-    omitted it falls back to ``$REPRO_SELECTOR`` and finally to
-    ``incremental``.  Both produce byte-identical :class:`SelectionResult`
-    decisions and logical counters.
+    ``mode`` picks the implementation (``naive`` | ``incremental`` |
+    ``packed``); when omitted it falls back to ``$REPRO_SELECTOR`` and
+    finally to ``incremental``.  All produce byte-identical
+    :class:`SelectionResult` decisions and logical counters.
     """
 
     def __init__(self, library: ISELibrary, mode: Optional[str] = None):
         self.library = library
         self.mode = resolve_selector_mode(mode)
+        #: structure-of-arrays view of the library (cached per library in
+        #: :mod:`repro.core.packed`); only materialised for the packed mode.
+        self._packed: Optional[PackedLibrary] = (
+            pack_library(library) if self.mode == "packed" else None
+        )
 
     def select(
         self,
@@ -289,6 +303,8 @@ class ISESelector:
             triggers_by_kernel[trig.kernel] = trig
         if self.mode == "incremental":
             return self._select_incremental(triggers_by_kernel, controller, now)
+        if self.mode == "packed":
+            return self._select_packed(triggers_by_kernel, controller, now)
         return self._select_naive(triggers_by_kernel, controller, now)
 
     # ----------------------------------------------------------- shared
@@ -600,6 +616,293 @@ class ISESelector:
                     for entry in kernel_entries:
                         if entry.profit_valid and entry.fg_sensitive:
                             entry.profit_valid = False
+                            result.invalidations += 1
+
+        return result
+
+    # ----------------------------------------------------------- packed
+    def _select_packed(
+        self,
+        triggers_by_kernel: Dict[str, TriggerInstruction],
+        controller: ReconfigurationController,
+        now: int,
+    ) -> SelectionResult:
+        """The incremental algorithm over the structure-of-arrays packing.
+
+        Round structure, caching, invalidation and tie-breaks are a line-
+        for-line transcription of :meth:`_select_incremental`; the only
+        difference is the data layout.  Implementation names are interned
+        ids, candidates are global ``cid`` indices into the library's
+        packed arrays, and the working state lives in flat arrays:
+
+        * ``coverage`` / ``ready_has``+``ready_val`` / ``reserved`` /
+          ``exempt`` -- per implementation id (``ready_has`` models dict
+          *presence*: ``predict_recT`` defaults a missing ready time to
+          ``float(now)``, the commit defaults it to ``0.0``);
+        * charge / profit / schedule / validity caches -- per ``cid``
+          (:class:`_CandidateEntry` exploded into parallel arrays).
+
+        Names configured on the fabric but absent from every candidate row
+        (e.g. monoCG context loads) are not interned; dropping them is
+        safe because coverage, reservations and exemptions are only ever
+        read for candidate instance rows.  Per-impl invalidation loops may
+        visit a candidate once per shared data path where the object model
+        visits each member of the ``ises_sharing`` set once, but the
+        validity flag is cleared on the first visit, so ``invalidations``
+        counts identically.
+        """
+        result = SelectionResult(mode="packed")
+        packed = self._packed
+        if packed is None:
+            packed = self._packed = pack_library(self.library)
+
+        impl_ids = packed.impl_ids
+        kernel_cids = packed.kernel_cids
+        scan_cids = packed.scan_cids
+        users_cids = packed.users_cids
+        cand_bound = packed.cand_bound
+        cand_latencies = packed.cand_latencies
+        cand_local = packed.cand_local
+        cand_ise = packed.cand_ise
+        row_start = packed.row_start
+        row_impl = packed.row_impl
+        row_qty = packed.row_qty
+        row_fg = packed.row_fg
+        row_reconfig = packed.row_reconfig
+        row_area = packed.row_area
+        fgr_start = packed.fgr_start
+        fgr_impl = packed.fgr_impl
+        fgr_qty = packed.fgr_qty
+
+        result.candidates_considered = sum(
+            len(kernel_cids[kernel]) for kernel in triggers_by_kernel
+        )
+
+        (
+            free,
+            exempt,
+            snapshot,
+            coverage_map,
+            existing_ready,
+            fg_port_free_at,
+        ) = self._setup(triggers_by_kernel, controller, now)
+
+        n_impls = packed.n_impls
+        coverage = [0] * n_impls
+        ready_has = bytearray(n_impls)
+        ready_val: List[float] = [0.0] * n_impls
+        reserved = [0] * n_impls
+        exempt_arr = [0] * n_impls
+        for name, quantity in coverage_map.items():
+            impl = impl_ids.get(name)
+            if impl is not None:
+                coverage[impl] = quantity
+        for name, quantity in exempt.items():
+            impl = impl_ids.get(name)
+            if impl is not None:
+                exempt_arr[impl] = quantity
+        for name, ready in existing_ready.items():
+            impl = impl_ids.get(name)
+            if impl is not None:
+                ready_has[impl] = 1
+                ready_val[impl] = ready
+        free_fg = free[FabricType.FG]
+        free_cg = free[FabricType.CG]
+
+        n_cands = packed.n_candidates
+        alive = bytearray(n_cands)
+        for kernel in triggers_by_kernel:
+            for cid in kernel_cids[kernel]:
+                alive[cid] = 1
+        charge_fg = [0] * n_cands
+        charge_cg = [0] * n_cands
+        charge_valid = bytearray(n_cands)
+        profit_arr: List[float] = [0.0] * n_cands
+        schedule_arr: List[Optional[List[float]]] = [None] * n_cands
+        port_after_arr: List[float] = [0.0] * n_cands
+        fg_sensitive = bytearray(n_cands)
+        profit_valid = bytearray(n_cands)
+
+        now_f = float(now)
+        pending = set(triggers_by_kernel)
+        while pending:
+            result.rounds += 1
+            best_cid = -1
+            best_profit = 0.0
+            best_kernel = ""
+            best_index = 0
+            for kernel in sorted(pending):
+                trig = triggers_by_kernel[kernel]
+                executions = trig.executions
+                for cid in scan_cids[kernel]:
+                    start = row_start[cid]
+                    stop = row_start[cid + 1]
+                    if not charge_valid[cid]:
+                        fg_units = 0
+                        cg_units = 0
+                        for r in range(start, stop):
+                            impl = row_impl[r]
+                            quantity = row_qty[r]
+                            r_old = reserved[impl]
+                            if quantity <= r_old:
+                                continue
+                            ex = exempt_arr[impl]
+                            delta_units = max(0, quantity - ex) - max(0, r_old - ex)
+                            if row_fg[r]:
+                                fg_units += row_area[r] * delta_units
+                            else:
+                                cg_units += row_area[r] * delta_units
+                        charge_fg[cid] = fg_units
+                        charge_cg[cid] = cg_units
+                        charge_valid[cid] = 1
+                    if charge_fg[cid] > free_fg or charge_cg[cid] > free_cg:
+                        continue
+                    result.profit_evaluations += 1
+                    if profit_valid[cid]:
+                        result.evaluations_skipped += 1
+                    else:
+                        bound = executions * cand_bound[cid]
+                        if best_cid < 0:
+                            if bound <= 0.0:
+                                result.evaluations_pruned += 1
+                                continue
+                        elif bound + bound * BOUND_PRUNE_SLACK < best_profit:
+                            result.evaluations_pruned += 1
+                            continue
+                        # predict_recT over the packed rows, with the fold
+                        # into the non-decreasing schedule fused in (the
+                        # per-row ready values never depend on it).
+                        port = max(now_f, fg_port_free_at)
+                        schedule: List[float] = []
+                        completed = 0.0
+                        for r in range(start, stop):
+                            impl = row_impl[r]
+                            quantity = row_qty[r]
+                            covered_qty = min(coverage[impl], quantity)
+                            missing = quantity - covered_qty
+                            ready = now_f
+                            if covered_qty > 0 and ready_has[impl]:
+                                ready = max(ready, ready_val[impl])
+                            if missing > 0:
+                                if row_fg[r]:
+                                    port += row_reconfig[r] * missing
+                                    ready = max(ready, port)
+                                else:
+                                    ready = max(ready, now + row_reconfig[r])
+                            completed = max(completed, ready - now)
+                            schedule.append(completed)
+                        profit_arr[cid] = profit_value(
+                            cand_latencies[cid],
+                            schedule,
+                            executions,
+                            trig.time_to_first,
+                            trig.time_between,
+                        )
+                        schedule_arr[cid] = schedule
+                        port_after_arr[cid] = port
+                        sensitive = 0
+                        for p in range(fgr_start[cid], fgr_start[cid + 1]):
+                            if coverage[fgr_impl[p]] < fgr_qty[p]:
+                                sensitive = 1
+                                break
+                        fg_sensitive[cid] = sensitive
+                        profit_valid[cid] = 1
+                        result.evaluations_recomputed += 1
+                    if best_cid < 0 or _beats(
+                        profit_arr[cid],
+                        kernel,
+                        cand_local[cid],
+                        best_profit,
+                        best_kernel,
+                        best_index,
+                    ):
+                        best_cid = cid
+                        best_profit = profit_arr[cid]
+                        best_kernel = kernel
+                        best_index = cand_local[cid]
+
+            if best_cid < 0 or best_profit <= 0:
+                for kernel in sorted(pending):
+                    result.selected[kernel] = None
+                    result.profits[kernel] = 0.0
+                break
+
+            kernel = best_kernel
+            cid = best_cid
+            ise = cand_ise[cid]
+            result.selected[kernel] = ise
+            result.profits[kernel] = best_profit
+            if ise.covered_by(snapshot):
+                result.covered_free.append(kernel)
+            start = row_start[cid]
+            stop = row_start[cid + 1]
+            # Fresh commit charge plus raised reservations in one pass: both
+            # read the pre-commit reservations, and the "raised" condition
+            # (quantity > reserved) is exactly the charge loop's skip test.
+            raised_reservations: List[int] = []
+            for r in range(start, stop):
+                impl = row_impl[r]
+                quantity = row_qty[r]
+                r_old = reserved[impl]
+                if quantity <= r_old:
+                    continue
+                raised_reservations.append(impl)
+                ex = exempt_arr[impl]
+                delta_units = max(0, quantity - ex) - max(0, r_old - ex)
+                if row_fg[r]:
+                    free_fg -= row_area[r] * delta_units
+                else:
+                    free_cg -= row_area[r] * delta_units
+            for r in range(start, stop):
+                impl = row_impl[r]
+                if row_qty[r] > reserved[impl]:
+                    reserved[impl] = row_qty[r]
+            # _commit_coverage over the arrays; rows list each impl once, so
+            # a per-row changed flag reproduces the changed-name set.
+            winner_schedule = schedule_arr[cid]
+            assert winner_schedule is not None
+            changed_coverage: List[int] = []
+            for level_index, r in enumerate(range(start, stop)):
+                impl = row_impl[r]
+                quantity = row_qty[r]
+                changed = False
+                if quantity > coverage[impl]:
+                    coverage[impl] = quantity
+                    changed = True
+                ready_abs = now + winner_schedule[level_index]
+                if ready_abs > (ready_val[impl] if ready_has[impl] else 0.0):
+                    ready_val[impl] = ready_abs
+                    ready_has[impl] = 1
+                    changed = True
+                if changed:
+                    changed_coverage.append(impl)
+
+            effective_before = max(now_f, fg_port_free_at)
+            if fg_sensitive[cid]:
+                fg_port_free_at = port_after_arr[cid]
+            else:
+                fg_port_free_at = effective_before
+            port_moved = fg_port_free_at > effective_before
+
+            pending.discard(kernel)
+            for dead in kernel_cids[kernel]:
+                alive[dead] = 0
+
+            for impl in raised_reservations:
+                for other in users_cids[impl]:
+                    if alive[other] and charge_valid[other]:
+                        charge_valid[other] = 0
+                        result.invalidations += 1
+            for impl in changed_coverage:
+                for other in users_cids[impl]:
+                    if alive[other] and profit_valid[other]:
+                        profit_valid[other] = 0
+                        result.invalidations += 1
+            if port_moved:
+                for other_kernel in pending:
+                    for other in kernel_cids[other_kernel]:
+                        if profit_valid[other] and fg_sensitive[other]:
+                            profit_valid[other] = 0
                             result.invalidations += 1
 
         return result

@@ -10,7 +10,7 @@ The simulator is deliberately policy-agnostic -- mRTS, the RISPP-like,
 Morpheus/4S-like, offline-optimal and online-optimal systems all run through
 the exact same loop, so the comparisons of Figs. 8-10 are apples-to-apples.
 
-Two interchangeable execution engines drive the kernel loop:
+Three interchangeable execution engines drive the kernel loop:
 
 * ``stepped`` -- the reference implementation: one
   :meth:`~repro.sim.policy.RuntimePolicy.execute` call per kernel
@@ -20,8 +20,15 @@ Two interchangeable execution engines drive the kernel loop:
   runs of identical executions are advanced with O(1) arithmetic through
   :meth:`~repro.sim.policy.RuntimePolicy.execute_run` (see
   docs/simulator.md for the equivalence argument).
+* ``packed`` -- the event loop over precompiled structure-of-arrays
+  buffers (:mod:`repro.core.packed`): run-length-encoded kernel
+  interleavings with prefix-sum arrays, the ECU regime cache-hit path
+  transcribed inline (LRU touches deferred), and steady-state iteration
+  suffixes folded in one pass of index arithmetic.  The selector switches
+  to its packed candidate arrays through the policy's ``enable_packed``
+  hook.
 
-Both engines produce byte-identical statistics and traces; pick one
+All engines produce byte-identical statistics and traces; pick one
 explicitly via ``Simulator(engine=...)`` or globally via the ``REPRO_SIM``
 environment variable (mirroring the ``REPRO_SELECTOR`` A/B pattern).
 """
@@ -29,7 +36,10 @@ environment variable (mirroring the ``REPRO_SELECTOR`` A/B pattern).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.packed import PackedIteration
 
 from repro.fabric.reconfig import ReconfigurationController
 from repro.fabric.resources import ResourceBudget
@@ -48,7 +58,7 @@ from repro.sim.trace import (
 from repro.config_env import ENGINE_MODE_ENV
 
 #: Valid engine implementations.
-ENGINE_MODES = ("stepped", "event")
+ENGINE_MODES = ("stepped", "event", "packed")
 
 
 def resolve_engine_mode(mode: Optional[str] = None) -> str:
@@ -92,8 +102,9 @@ class Simulator:
         claiming/releasing fabric at run time (the paper's run-time
         variation (b)).  Events are applied at functional-block boundaries.
 
-        ``engine`` picks the execution engine (``"stepped"`` | ``"event"``);
-        ``None`` defers to ``$REPRO_SIM`` and finally to ``event``.
+        ``engine`` picks the execution engine (``"stepped"`` | ``"event"``
+        | ``"packed"``); ``None`` defers to ``$REPRO_SIM`` and finally to
+        ``event``.
         """
         self.application = application
         self.library = library
@@ -102,6 +113,8 @@ class Simulator:
         self.collect_trace = collect_trace
         self.contention = contention
         self.engine = engine
+        #: id(iteration) -> packed buffers, installed per packed run.
+        self._packed_iterations: Optional[Dict[int, "PackedIteration"]] = None
 
     def run(self) -> SimulationResult:
         """Execute the application start to finish; returns the result."""
@@ -114,15 +127,33 @@ class Simulator:
         trace = SimulationTrace() if self.collect_trace else None
         # Profiled triggers are computed once per block: they are burnt into
         # the binary at compile time and never change.
-        profiled = {
-            block.name: self.application.profiled_triggers(block.name)
-            for block in self.application.blocks
-        }
-        run_kernels = (
-            self._run_kernels_event
-            if engine == "event"
-            else self._run_kernels_stepped
-        )
+        if engine == "packed":
+            # Imported lazily: repro.core.packed pulls in repro.sim.program,
+            # whose package __init__ imports this module.
+            from repro.core.packed import pack_program
+
+            program = pack_program(self.application)
+            profiled = program.profiled
+            self._packed_iterations = {
+                id(iteration): packed_iteration
+                for iteration, packed_iteration in zip(
+                    self.application.iterations, program.iterations
+                )
+            }
+            run_kernels = self._run_kernels_packed
+            enable_packed = getattr(self.policy, "enable_packed", None)
+            if enable_packed is not None:
+                enable_packed()
+        else:
+            profiled = {
+                block.name: self.application.profiled_triggers(block.name)
+                for block in self.application.blocks
+            }
+            run_kernels = (
+                self._run_kernels_event
+                if engine == "event"
+                else self._run_kernels_stepped
+            )
 
         t = 0
         for iteration in self.application.iterations:
@@ -287,6 +318,261 @@ class Simulator:
                 last[kernel_name] = t
                 remaining -= count
         return t
+
+    def _run_kernels_packed(
+        self,
+        iteration,
+        t: int,
+        stats: SimulationStats,
+        trace: Optional[SimulationTrace],
+        first: Dict[str, int],
+        last: Dict[str, int],
+        counts: Dict[str, int],
+        latency_sums: Dict[str, int],
+    ) -> int:
+        """The event loop over precompiled structure-of-arrays buffers.
+
+        Byte-identical to :meth:`_run_kernels_event` by construction (see
+        docs/simulator.md for the full argument):
+
+        * the regime cache-hit branch is a line-for-line transcription of
+          :meth:`repro.core.ecu.ExecutionControlUnit.execute_run`'s hit
+          path (``_batched`` + ``_executions_until``), with the LRU touch
+          deferred -- ``touch`` keeps the maximum timestamp and
+          ``last_used`` is only read at configuration points, all of which
+          flush the deferred touches first;
+        * misses delegate to the very same ``policy.execute_run`` the event
+          engine calls (policies without an ECU regime cache therefore take
+          this path for every run, reproducing the event engine exactly);
+        * the bulk suffix fold only fires when tracing is off and every
+          kernel still owed executions sits in a version-valid regime with
+          an infinite horizon and has already executed this block -- i.e.
+          when every remaining run would be a full-count cache hit -- and
+          folds the per-run arithmetic with the precomputed prefix sums.
+        """
+        assert self._packed_iterations is not None
+        packed = self._packed_iterations[id(iteration)]
+        policy = self.policy
+        ecu = getattr(policy, "ecu", None)
+        regimes = getattr(ecu, "regimes", None)
+        resources = ecu.controller.resources if regimes is not None else None
+        inf = float("inf")
+        block = iteration.block
+
+        # Local accumulators, merged into ``stats`` once at the end.
+        ecu_calls = 0
+        fastforwarded = 0
+        events = 0
+        gap_cycles = 0
+        kernel_cycles = 0
+        exec_by_mode: Dict[str, int] = {}
+        cycles_by_mode: Dict[str, int] = {}
+        # kernel -> (impl names, run-end timestamp): deferred LRU touches.
+        pending_touch: Dict[str, Tuple[Tuple[str, ...], int]] = {}
+
+        runs = packed.runs
+        n_runs = packed.n_runs
+        gap_suffix = packed.gap_suffix
+        cnt_prefix = packed.cnt_prefix
+        total_cnt = packed.total_cnt
+        last_run_of = packed.last_run_of
+        bulk_ok = trace is None and regimes is not None
+        try_bulk = bulk_ok
+
+        j = 0
+        while j < n_runs:
+            if try_bulk:
+                try_bulk = False
+                version = resources.version
+                suffix = []
+                feasible = True
+                for k in packed.kernels:
+                    cnt = total_cnt[k] - cnt_prefix[k][j]
+                    if cnt <= 0:
+                        continue
+                    regime = regimes.get(k)
+                    if (
+                        regime is None
+                        or regime.version != version
+                        or regime.horizon != inf
+                        or k not in first
+                    ):
+                        feasible = False
+                        break
+                    suffix.append((k, cnt, regime))
+                if feasible and suffix:
+                    # Every remaining run is a full-count cache hit: fold
+                    # them.  Each group of length L advances t by
+                    # L * (gap + latency), so the suffix advances t by the
+                    # remaining gap mass plus each kernel's remaining
+                    # executions times its regime latency.
+                    base_gap = gap_suffix[j]
+                    advance = base_gap
+                    for k, cnt, regime in suffix:
+                        advance += cnt * regime.decision.latency
+                    for k, cnt, regime in suffix:
+                        decision = regime.decision
+                        latency = decision.latency
+                        m = last_run_of[k]
+                        # Simulated time at the start of k's last group:
+                        # gaps and executions of every group in runs[j:m].
+                        t_m = t + (base_gap - gap_suffix[m])
+                        for k2, _, regime2 in suffix:
+                            t_m += (
+                                cnt_prefix[k2][m] - cnt_prefix[k2][j]
+                            ) * regime2.decision.latency
+                        _, gap_m, len_m = runs[m]
+                        end = t_m + len_m * (gap_m + latency)
+                        last[k] = end
+                        pending_touch[k] = (regime.touch_impls, end - latency)
+                        counts[k] = counts.get(k, 0) + cnt
+                        latency_sums[k] = latency_sums.get(k, 0) + cnt * latency
+                        key = decision.mode.value
+                        exec_by_mode[key] = exec_by_mode.get(key, 0) + cnt
+                        cycles_by_mode[key] = (
+                            cycles_by_mode.get(key, 0) + cnt * latency
+                        )
+                        kernel_cycles += cnt * latency
+                        fastforwarded += cnt
+                    gap_cycles += base_gap
+                    t += advance
+                    break
+            kernel_name, gap, remaining = runs[j]
+            j += 1
+            while remaining > 0:
+                start = t + gap
+                regime = (
+                    regimes.get(kernel_name) if regimes is not None else None
+                )
+                if (
+                    regime is not None
+                    and regime.version == resources.version
+                    and start < regime.horizon
+                ):
+                    # Transcribed ECU cache hit (touch deferred).
+                    decision = regime.decision
+                    latency = decision.latency
+                    horizon = regime.horizon
+                    period = gap + latency
+                    if horizon == inf or period <= 0:
+                        count = remaining
+                    else:
+                        span = int(horizon) - start
+                        if span <= 0:
+                            count = 1
+                        else:
+                            count = max(
+                                1, min(remaining, (span + period - 1) // period)
+                            )
+                    run_end = start + (count - 1) * period
+                    pending_touch[kernel_name] = (regime.touch_impls, run_end)
+                    fastforwarded += count
+                    gap_cycles += count * gap
+                    if kernel_name not in first:
+                        first[kernel_name] = start
+                        # A kernel's first execution this block may complete
+                        # the bulk fold's preconditions: retry at the next
+                        # group boundary.
+                        try_bulk = bulk_ok
+                    counts[kernel_name] = counts.get(kernel_name, 0) + count
+                    latency_sums[kernel_name] = (
+                        latency_sums.get(kernel_name, 0) + count * latency
+                    )
+                    key = decision.mode.value
+                    exec_by_mode[key] = exec_by_mode.get(key, 0) + count
+                    cycles_by_mode[key] = (
+                        cycles_by_mode.get(key, 0) + count * latency
+                    )
+                    kernel_cycles += count * latency
+                    if trace is not None:
+                        trace.record_execution_run(
+                            ExecutionRunRecord(
+                                time=start,
+                                block=block,
+                                kernel=kernel_name,
+                                mode=decision.mode,
+                                latency=latency,
+                                level=decision.level,
+                                ise_name=decision.ise_name,
+                                count=count,
+                                period=period,
+                            )
+                        )
+                    t = run_end + latency
+                    last[kernel_name] = t
+                    remaining -= count
+                else:
+                    # Cache miss: flush deferred touches (the cascade may
+                    # configure and evict by last_used), then take the very
+                    # call the event engine makes.
+                    if pending_touch:
+                        self._flush_touches(ecu, pending_touch)
+                    run = policy.execute_run(kernel_name, start, remaining, gap)
+                    decision = run.decision
+                    latency = decision.latency
+                    count = run.count
+                    period = gap + latency
+                    if run.cascade_called:
+                        ecu_calls += 1
+                        fastforwarded += count - 1
+                    else:
+                        fastforwarded += count
+                    if run.event_crossed:
+                        events += 1
+                    gap_cycles += count * gap
+                    if kernel_name not in first:
+                        first[kernel_name] = start
+                    counts[kernel_name] = counts.get(kernel_name, 0) + count
+                    latency_sums[kernel_name] = (
+                        latency_sums.get(kernel_name, 0) + count * latency
+                    )
+                    key = decision.mode.value
+                    exec_by_mode[key] = exec_by_mode.get(key, 0) + count
+                    cycles_by_mode[key] = (
+                        cycles_by_mode.get(key, 0) + count * latency
+                    )
+                    kernel_cycles += count * latency
+                    if trace is not None:
+                        trace.record_execution_run(
+                            ExecutionRunRecord(
+                                time=start,
+                                block=block,
+                                kernel=kernel_name,
+                                mode=decision.mode,
+                                latency=latency,
+                                level=decision.level,
+                                ise_name=decision.ise_name,
+                                count=count,
+                                period=period,
+                            )
+                        )
+                    t = start + (count - 1) * period + latency
+                    last[kernel_name] = t
+                    remaining -= count
+                    # The miss may have rebuilt a regime: the bulk fold's
+                    # preconditions may now hold.
+                    try_bulk = bulk_ok
+        if pending_touch:
+            self._flush_touches(ecu, pending_touch)
+        stats.ecu_calls += ecu_calls
+        stats.executions_fastforwarded += fastforwarded
+        stats.events_processed += events
+        stats.gap_cycles += gap_cycles
+        stats.kernel_cycles += kernel_cycles
+        by_mode = stats.executions_by_mode
+        for key, value in exec_by_mode.items():
+            by_mode[key] = by_mode.get(key, 0) + value
+        by_mode = stats.cycles_by_mode
+        for key, value in cycles_by_mode.items():
+            by_mode[key] = by_mode.get(key, 0) + value
+        return t
+
+    @staticmethod
+    def _flush_touches(ecu, pending_touch: Dict[str, Tuple[Tuple[str, ...], int]]) -> None:
+        """Apply and clear the packed engine's deferred LRU touches."""
+        for impl_names, touch_time in pending_touch.values():
+            ecu.apply_touches(impl_names, touch_time)
+        pending_touch.clear()
 
     @staticmethod
     def _observed_timings(

@@ -20,10 +20,13 @@ from repro.verification.equations import (
 )
 from repro.verification.golden import (
     GOLDEN_PATH,
+    GOLDEN_SCENARIOS,
     GOLDEN_SPEC,
     diff_golden,
+    golden_path,
     golden_payload,
     load_golden,
+    write_all_golden,
     write_golden,
 )
 
@@ -33,9 +36,12 @@ __all__ = [
     "eq3_noe",
     "eq4_profit",
     "GOLDEN_PATH",
+    "GOLDEN_SCENARIOS",
     "GOLDEN_SPEC",
     "diff_golden",
+    "golden_path",
     "golden_payload",
     "load_golden",
+    "write_all_golden",
     "write_golden",
 ]

@@ -7,12 +7,21 @@ match, so any refactor of the selector, ECU, MPU or simulator that shifts
 even a single execution's cycle or mode is caught before it silently moves
 the paper figures.
 
-The reference scenario is mRTS on the deblocking workload (the paper's
-Section 2 case study) at (1 CG fabric, 2 PRCs): small enough for a
-committed snapshot, rich enough to exercise the full ECU cascade (risc,
-intermediate and selected executions all occur).
+Two reference scenarios are committed (:data:`GOLDEN_SCENARIOS`):
 
-Regenerate the snapshot after an *intentional* behaviour change with::
+* ``deblocking`` -- mRTS on the H.264 deblocking workload (the paper's
+  Section 2 case study) at (1 CG fabric, 2 PRCs): small enough for a
+  committed snapshot, rich enough to exercise the full ECU cascade (risc,
+  intermediate and selected executions all occur).
+* ``jpeg`` -- mRTS on the JPEG encoder at the same budget: a second
+  workload family so the lock does not overfit to H.264 (risc, monocg and
+  selected executions all occur).
+
+Every scenario replays byte-identically under all three ``REPRO_SIM``
+engines (:func:`golden_payload` takes an ``engine`` argument, and the
+regression suite asserts all of them against the same snapshot).
+
+Regenerate the snapshots after an *intentional* behaviour change with::
 
     python scripts/check_determinism.py --update-golden
 """
@@ -21,62 +30,134 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.mrts import MRTS
 from repro.fabric.resources import ResourceBudget
+from repro.ise.library import ISELibrary
+from repro.sim.program import Application
 from repro.sim.simulator import Simulator
 from repro.workloads.h264 import deblocking_application, deblocking_library
+from repro.workloads.jpeg import jpeg_application, jpeg_library
 
-#: The reference scenario, recorded inside the snapshot for self-description.
-GOLDEN_SPEC: Dict[str, object] = {
-    "workload": "deblocking",
-    "frames": 2,
-    "seed": 0,
-    "scale": 0.05,
-    "budget": [1, 2],  # (n_cg_fabrics, n_prcs)
-    "policy": "mrts",
+#: The reference scenarios, each recorded inside its snapshot for
+#: self-description.  Keys double as snapshot base names
+#: (``<name>_mrts.json``).
+GOLDEN_SCENARIOS: Dict[str, Dict[str, object]] = {
+    "deblocking": {
+        "workload": "deblocking",
+        "frames": 2,
+        "seed": 0,
+        "scale": 0.05,
+        "budget": [1, 2],  # (n_cg_fabrics, n_prcs)
+        "policy": "mrts",
+    },
+    "jpeg": {
+        "workload": "jpeg",
+        "images": 3,
+        "blocks_per_image": 60,
+        "seed": 0,
+        "budget": [1, 2],  # (n_cg_fabrics, n_prcs)
+        "policy": "mrts",
+    },
 }
 
-#: Default snapshot location: tests/golden/ at the repository root.
-GOLDEN_PATH = (
-    Path(__file__).resolve().parents[3] / "tests" / "golden" / "deblocking_mrts.json"
-)
+#: Execution modes each scenario must keep exercising (a run that only
+#: ever executes in one mode would let whole ECU branches drift
+#: unpinned).  Deliberately *not* part of the spec: the spec is embedded
+#: in the snapshots and describes the scenario, not the test.
+REQUIRED_MODES: Dict[str, frozenset] = {
+    "deblocking": frozenset({"risc", "intermediate", "selected"}),
+    "jpeg": frozenset({"risc", "monocg", "selected"}),
+}
+
+#: The historical single-scenario spec (the deblocking reference).
+GOLDEN_SPEC: Dict[str, object] = GOLDEN_SCENARIOS["deblocking"]
+
+#: Snapshot directory: tests/golden/ at the repository root.
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "golden"
 
 
-def golden_payload() -> Dict[str, object]:
-    """Simulate the reference scenario and return its canonical payload."""
-    cg, prc = GOLDEN_SPEC["budget"]
+def golden_path(scenario: str = "deblocking") -> Path:
+    """Snapshot location of ``scenario`` (``tests/golden/<name>_mrts.json``)."""
+    if scenario not in GOLDEN_SCENARIOS:
+        raise KeyError(
+            f"unknown golden scenario {scenario!r}; "
+            f"valid: {sorted(GOLDEN_SCENARIOS)}"
+        )
+    return GOLDEN_DIR / f"{scenario}_mrts.json"
+
+
+#: Default snapshot location (the deblocking reference), kept for
+#: single-scenario callers.
+GOLDEN_PATH = GOLDEN_DIR / "deblocking_mrts.json"
+
+
+def _build_scenario(
+    scenario: str,
+) -> Tuple[Application, ISELibrary, ResourceBudget]:
+    """Construct the application/library/budget triple of ``scenario``."""
+    spec = GOLDEN_SCENARIOS[scenario]
+    cg, prc = spec["budget"]
     budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
-    application = deblocking_application(
-        frames=GOLDEN_SPEC["frames"],
-        seed=GOLDEN_SPEC["seed"],
-        scale=GOLDEN_SPEC["scale"],
-    )
-    library = deblocking_library(budget)
+    if spec["workload"] == "deblocking":
+        application = deblocking_application(
+            frames=spec["frames"], seed=spec["seed"], scale=spec["scale"]
+        )
+        library = deblocking_library(budget)
+    else:
+        application = jpeg_application(
+            images=spec["images"],
+            blocks_per_image=spec["blocks_per_image"],
+            seed=spec["seed"],
+        )
+        library = jpeg_library(budget)
+    return application, library, budget
+
+
+def golden_payload(
+    scenario: str = "deblocking", engine: Optional[str] = None
+) -> Dict[str, object]:
+    """Simulate ``scenario`` and return its canonical payload.
+
+    ``engine`` picks the simulator engine (``None`` = honour
+    ``$REPRO_SIM``); the payload is engine-independent by the byte-identity
+    contract, which the regression suite asserts explicitly.
+    """
+    application, library, budget = _build_scenario(scenario)
     result = Simulator(
-        application, library, budget, MRTS(), collect_trace=True
+        application, library, budget, MRTS(),
+        collect_trace=True, engine=engine,
     ).run()
     return {
-        "spec": dict(GOLDEN_SPEC),
+        "spec": dict(GOLDEN_SCENARIOS[scenario]),
         "stats": result.stats.to_payload(),
         "trace": result.trace.to_payload(),
     }
 
 
 def load_golden(path: Path = GOLDEN_PATH) -> Dict[str, object]:
-    """Read the committed golden snapshot from ``path``."""
+    """Read a committed golden snapshot from ``path``."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
 
 
-def write_golden(path: Path = GOLDEN_PATH) -> Path:
-    """Regenerate the golden snapshot at ``path`` (intentional changes only)."""
+def write_golden(
+    path: Optional[Path] = None, scenario: str = "deblocking"
+) -> Path:
+    """Regenerate the snapshot of ``scenario`` (intentional changes only)."""
+    if path is None:
+        path = golden_path(scenario)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(golden_payload(), handle, sort_keys=True)
+        json.dump(golden_payload(scenario), handle, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def write_all_golden() -> List[Path]:
+    """Regenerate every scenario's snapshot (intentional changes only)."""
+    return [write_golden(scenario=name) for name in sorted(GOLDEN_SCENARIOS)]
 
 
 def diff_golden(expected: Dict, actual: Dict) -> List[str]:
@@ -120,10 +201,15 @@ def diff_golden(expected: Dict, actual: Dict) -> List[str]:
 
 
 __all__ = [
+    "GOLDEN_DIR",
     "GOLDEN_PATH",
+    "GOLDEN_SCENARIOS",
     "GOLDEN_SPEC",
+    "REQUIRED_MODES",
     "diff_golden",
+    "golden_path",
     "golden_payload",
     "load_golden",
+    "write_all_golden",
     "write_golden",
 ]

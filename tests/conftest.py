@@ -1,7 +1,12 @@
-"""Shared fixtures: a small two-data-path kernel, budgets, and libraries."""
+"""Shared fixtures: a small two-data-path kernel, budgets, and libraries,
+plus an autouse guard restoring the ``REPRO_*`` environment after every
+test."""
+
+import os
 
 import pytest
 
+from repro.config_env import CACHE_DIR_ENV, ENGINE_MODE_ENV, SELECTOR_MODE_ENV
 from repro.fabric.cost_model import DEFAULT_COST_MODEL
 from repro.fabric.datapath import DataPathSpec
 from repro.fabric.reconfig import ReconfigurationController
@@ -9,6 +14,28 @@ from repro.fabric.resources import ResourceBudget
 from repro.ise.builder import ISEBuilder
 from repro.ise.kernel import Kernel
 from repro.ise.library import ISELibrary
+
+
+#: Behaviour-steering environment variables every test leaves restored.
+_REPRO_ENV_VARS = (SELECTOR_MODE_ENV, ENGINE_MODE_ENV, CACHE_DIR_ENV)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_env():
+    """Restore the ``REPRO_*`` variables after every test.
+
+    A test that sets ``REPRO_SIM``/``REPRO_SELECTOR``/``REPRO_CACHE_DIR``
+    directly (instead of through ``monkeypatch``) would otherwise leak the
+    setting into every later test -- silently flipping whole suites onto a
+    different engine or selector.  Tests should still prefer
+    ``monkeypatch.setenv``; this guard is the backstop."""
+    saved = {name: os.environ.get(name) for name in _REPRO_ENV_VARS}
+    yield
+    for name, value in saved.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
 
 
 @pytest.fixture

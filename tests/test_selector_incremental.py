@@ -62,7 +62,8 @@ def _result_view(result: SelectionResult):
 
 
 def _select_both(library, triggers, warmup_triggers=None, now=0):
-    """Run naive and incremental on identical controller states."""
+    """Run every selector implementation on identical controller states and
+    assert their result views match pairwise (naive = incremental = packed)."""
     views = []
     results = []
     for mode in SELECTOR_MODES:
@@ -77,7 +78,8 @@ def _select_both(library, triggers, warmup_triggers=None, now=0):
         assert result.mode == mode
         views.append(_result_view(result))
         results.append(result)
-    assert views[0] == views[1]
+    for mode, view in zip(SELECTOR_MODES[1:], views[1:]):
+        assert view == views[0], f"{mode} diverged from {SELECTOR_MODES[0]}"
     return results
 
 
@@ -135,18 +137,23 @@ class TestEquivalence:
             TriggerInstruction(kernel.name, *params)
             for kernel, params in zip(kernels, trigs)
         ]
-        naive, incremental = _select_both(library, triggers)
+        naive, incremental, packed = _select_both(library, triggers)
         assert naive.evaluations_recomputed == naive.profit_evaluations
         assert naive.evaluations_skipped == naive.evaluations_pruned == 0
-        assert (
-            incremental.evaluations_recomputed
-            + incremental.evaluations_skipped
-            + incremental.evaluations_pruned
-            == incremental.profit_evaluations
-        )
-        assert (
-            incremental.evaluations_recomputed <= naive.evaluations_recomputed
-        )
+        for cached in (incremental, packed):
+            assert (
+                cached.evaluations_recomputed
+                + cached.evaluations_skipped
+                + cached.evaluations_pruned
+                == cached.profit_evaluations
+            )
+            assert cached.evaluations_recomputed <= naive.evaluations_recomputed
+        # The packed selector is the incremental algorithm over arrays: its
+        # cache-split counters must match the incremental ones exactly too.
+        assert packed.evaluations_recomputed == incremental.evaluations_recomputed
+        assert packed.evaluations_skipped == incremental.evaluations_skipped
+        assert packed.evaluations_pruned == incremental.evaluations_pruned
+        assert packed.invalidations == incremental.invalidations
 
     @settings(max_examples=30, deadline=None)
     @given(
@@ -210,12 +217,13 @@ class TestEquivalence:
             TriggerInstruction(k.name, 800.0 + 100.0 * i, 300.0, 40.0)
             for i, k in enumerate(kernels)
         ]
-        naive, incremental = _select_both(library, triggers)
-        assert incremental.evaluations_skipped + incremental.evaluations_pruned > 0
-        assert 0.0 < incremental.cache_hit_rate <= 1.0
-        assert incremental.evaluations_avoided == (
-            incremental.evaluations_skipped + incremental.evaluations_pruned
-        )
+        naive, incremental, packed = _select_both(library, triggers)
+        for cached in (incremental, packed):
+            assert cached.evaluations_skipped + cached.evaluations_pruned > 0
+            assert 0.0 < cached.cache_hit_rate <= 1.0
+            assert cached.evaluations_avoided == (
+                cached.evaluations_skipped + cached.evaluations_pruned
+            )
 
 
 # ------------------------------------------------ footprint index (d)
@@ -326,8 +334,8 @@ class TestTieBreak:
             TriggerInstruction(kernel.name, 1_500.0, 400.0, 80.0)
             for kernel in kernels
         ]
-        naive, incremental = _select_both(library, triggers)
-        for result in (naive, incremental):
+        naive, incremental, packed = _select_both(library, triggers)
+        for result in (naive, incremental, packed):
             order = result.selection_order()
             assert order == sorted(order)
             profits = [result.profits[k] for k in order]

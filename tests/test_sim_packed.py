@@ -1,0 +1,384 @@
+"""The packed structure-of-arrays engine: byte-identical index arithmetic.
+
+The packed engine must produce *byte-identical* stats and trace payloads
+to BOTH the stepped reference loop and the event engine -- on the golden
+workloads, across every policy on fig8/9/10-style budget grids, under
+run-time fabric contention, and on randomized libraries/applications --
+while beating both on wall clock (the ``repro bench --suite sim`` gate).
+
+This is the A/B/C counterpart of ``tests/test_sim_event.py``: where that
+suite pins stepped == event, this one asserts all three engines pairwise,
+with and without trace collection (the bulk suffix fold only runs with
+tracing off, so both configurations must be exercised).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    Morpheus4SPolicy,
+    RiscModePolicy,
+    RisppLikePolicy,
+    TaskLevelPolicy,
+)
+from repro.baselines.static import StaticSelectionPolicy
+from repro.core.config import MRTSConfig
+from repro.core.mrts import MRTS
+from repro.fabric.datapath import DataPathSpec
+from repro.fabric.resources import ResourceBudget
+from repro.ise.kernel import Kernel
+from repro.ise.library import ISELibrary
+from repro.sim.contention import ContentionEvent, ContentionSchedule
+from repro.sim.simulator import (
+    ENGINE_MODE_ENV,
+    ENGINE_MODES,
+    Simulator,
+    resolve_engine_mode,
+)
+from repro.sim.program import (
+    Application,
+    BlockIteration,
+    FunctionalBlock,
+    KernelIteration,
+)
+from repro.workloads.h264 import (
+    deblocking_application,
+    deblocking_library,
+    h264_application,
+    h264_library,
+)
+from repro.workloads.jpeg import jpeg_application, jpeg_library
+
+
+# --------------------------------------------------------------- helpers
+
+
+def _run(application, budget, make_library, make_policy, engine,
+         contention=None, collect_trace=True):
+    return Simulator(
+        application,
+        make_library(),
+        budget,
+        make_policy(),
+        collect_trace=collect_trace,
+        contention=contention,
+        engine=engine,
+    ).run()
+
+
+def _abc(application, budget, make_library, make_policy,
+         contention_factory=None, collect_trace=True):
+    """Run all three engines on identical inputs; assert pairwise
+    byte-identity against the stepped reference.
+
+    Library, policy and contention schedule are built fresh per engine
+    (all three are stateful across a run)."""
+    results = {}
+    for engine in ENGINE_MODES:
+        contention = contention_factory() if contention_factory else None
+        results[engine] = _run(
+            application, budget, make_library, make_policy, engine,
+            contention, collect_trace,
+        )
+    reference = results[ENGINE_MODES[0]]
+    for engine in ENGINE_MODES[1:]:
+        result = results[engine]
+        assert result.stats.to_payload() == reference.stats.to_payload(), (
+            f"stats diverged under engine={engine}"
+        )
+        if collect_trace:
+            assert (
+                result.trace.to_payload() == reference.trace.to_payload()
+            ), f"trace diverged under engine={engine}"
+    return results
+
+
+def _deblocking_scenario():
+    """The golden-trace reference scenario (tests/golden/)."""
+    budget = ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+    application = deblocking_application(frames=2, seed=0, scale=0.05)
+    return application, budget, lambda: deblocking_library(budget)
+
+
+def _jpeg_scenario():
+    """The second golden-trace scenario (tests/golden/jpeg_mrts.json)."""
+    budget = ResourceBudget(n_prcs=2, n_cg_fabrics=1)
+    application = jpeg_application(images=3, blocks_per_image=60, seed=0)
+    return application, budget, lambda: jpeg_library(budget)
+
+
+# ------------------------------------------------- golden-workload identity
+
+
+class TestGoldenWorkloads:
+    @pytest.mark.parametrize("scenario", [_deblocking_scenario, _jpeg_scenario])
+    def test_traced_byte_identical(self, scenario):
+        application, budget, make_library = scenario()
+        _abc(application, budget, make_library, MRTS)
+
+    @pytest.mark.parametrize("scenario", [_deblocking_scenario, _jpeg_scenario])
+    def test_untraced_byte_identical(self, scenario):
+        """Without a trace the packed engine takes its bulk suffix fold --
+        a different code path that must land on the same statistics."""
+        application, budget, make_library = scenario()
+        _abc(application, budget, make_library, MRTS, collect_trace=False)
+
+    def test_packed_counters_match_event(self):
+        """The packed engine transcribes the event engine's bookkeeping:
+        the ECU-call / fast-forward / event counters must agree exactly
+        when both record per-run (tracing on)."""
+        application, budget, make_library = _deblocking_scenario()
+        results = _abc(application, budget, make_library, MRTS)
+        event, packed = results["event"], results["packed"]
+        assert (
+            packed.stats.engine_payload() == event.stats.engine_payload()
+        )
+        assert packed.stats.ecu_calls < results["stepped"].stats.ecu_calls
+
+    def test_untraced_fold_accounts_for_every_execution(self):
+        """With the bulk fold active, every execution is still either a
+        cascade call or a fast-forward -- nothing is double counted."""
+        application, budget, make_library = _deblocking_scenario()
+        stats = _run(
+            application, budget, make_library, MRTS, "packed",
+            collect_trace=False,
+        ).stats
+        assert (
+            stats.ecu_calls + stats.executions_fastforwarded
+            == stats.total_executions
+        )
+        assert stats.executions_fastforwarded > 0
+
+
+# ------------------------------------------------- selector hand-off
+
+
+class TestSelectorHandoff:
+    def test_packed_engine_swaps_default_selector(self):
+        application, budget, make_library = _deblocking_scenario()
+        policy = MRTS()
+        Simulator(
+            application, make_library(), budget, policy, engine="packed"
+        ).run()
+        assert policy.selector.mode == "packed"
+
+    def test_explicit_selector_mode_is_honoured(self):
+        """``enable_packed`` only upgrades the default incremental mode:
+        a user pinning the naive selector keeps it under REPRO_SIM=packed."""
+        application, budget, make_library = _deblocking_scenario()
+        policy = MRTS(MRTSConfig(selector_mode="naive"))
+        Simulator(
+            application, make_library(), budget, policy, engine="packed"
+        ).run()
+        assert policy.selector.mode == "naive"
+
+    def test_event_engine_keeps_incremental_selector(self):
+        application, budget, make_library = _deblocking_scenario()
+        policy = MRTS()
+        Simulator(
+            application, make_library(), budget, policy, engine="event"
+        ).run()
+        assert policy.selector.mode == "incremental"
+
+
+# ----------------------------------------------- policy x budget grid
+
+
+#: Every policy family of the Figs. 8-10 evaluation.
+POLICY_FACTORIES = {
+    "mrts": MRTS,
+    "risc": RiscModePolicy,
+    "rispp": RisppLikePolicy,
+    "morpheus4s": Morpheus4SPolicy,
+    "tasklevel": TaskLevelPolicy,
+    "static": StaticSelectionPolicy,
+}
+
+#: Fig. 8-style cut: FG-only, CG-only, and two mixed budgets.
+GRID_BUDGETS = ((0, 2), (2, 0), (1, 1), (2, 2))
+
+
+class TestPolicyGrid:
+    @pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
+    def test_engines_identical_across_budgets(self, policy_name):
+        application = h264_application(frames=1, seed=11)
+        for cg, prc in GRID_BUDGETS:
+            budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+            _abc(
+                application,
+                budget,
+                lambda budget=budget: h264_library(budget),
+                POLICY_FACTORIES[policy_name],
+            )
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICY_FACTORIES))
+    def test_engines_identical_untraced(self, policy_name):
+        """The bulk-fold path across every policy family: non-ECU policies
+        must fall back to per-run execution and still agree."""
+        application = h264_application(frames=1, seed=11)
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+        _abc(
+            application,
+            budget,
+            lambda: h264_library(budget),
+            POLICY_FACTORIES[policy_name],
+            collect_trace=False,
+        )
+
+
+# --------------------------------------------------------- contention
+
+
+class TestContention:
+    @pytest.mark.parametrize("collect_trace", [True, False])
+    def test_periodic_contention_identical(self, collect_trace):
+        application = h264_application(frames=2, seed=3)
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+        _abc(
+            application,
+            budget,
+            lambda: h264_library(budget),
+            MRTS,
+            contention_factory=lambda: ContentionSchedule.periodic(
+                period=40_000, duty_prcs=1, duty_cg_slots=1, until=400_000
+            ),
+            collect_trace=collect_trace,
+        )
+
+    @pytest.mark.parametrize("collect_trace", [True, False])
+    def test_full_contention_identical(self, collect_trace):
+        """Everything claimed at t=0, released mid-run: the packed engine
+        must drop out of regime hits (and the bulk fold) when
+        block-boundary contention events mutate the fabric."""
+        application = h264_application(frames=2, seed=3)
+        budget = ResourceBudget(n_prcs=2, n_cg_fabrics=2)
+        _abc(
+            application,
+            budget,
+            lambda: h264_library(budget),
+            MRTS,
+            contention_factory=lambda: ContentionSchedule(
+                [
+                    ContentionEvent(time=0, task="bg", n_prcs=2, n_cg_slots=8),
+                    ContentionEvent(time=150_000, task="bg"),
+                ]
+            ),
+            collect_trace=collect_trace,
+        )
+
+
+# ------------------------------------------------- randomized workloads
+
+
+def _spec(kernel_name, index, params):
+    word_ops, bit_ops, mem_bytes, fg_depth, sw_cycles, invocations = params
+    return DataPathSpec(
+        name=f"{kernel_name}.dp{index}",
+        word_ops=word_ops,
+        bit_ops=bit_ops,
+        mem_bytes=mem_bytes,
+        fg_depth=fg_depth,
+        sw_cycles=sw_cycles,
+        invocations=invocations,
+    )
+
+
+datapath_params = st.tuples(
+    st.integers(min_value=1, max_value=48),    # word_ops
+    st.integers(min_value=0, max_value=64),    # bit_ops
+    st.integers(min_value=4, max_value=64),    # mem_bytes
+    st.integers(min_value=2, max_value=16),    # fg_depth
+    st.integers(min_value=60, max_value=600),  # sw_cycles
+    st.integers(min_value=1, max_value=12),    # invocations
+)
+
+kernel_shapes = st.lists(
+    st.lists(datapath_params, min_size=1, max_size=3),
+    min_size=1,
+    max_size=3,
+)
+
+iteration_params = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=40),   # executions
+        st.integers(min_value=0, max_value=200),  # gap
+    ),
+    min_size=2,
+    max_size=4,
+)
+
+
+class TestRandomized:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shapes=kernel_shapes,
+        cg=st.integers(min_value=0, max_value=3),
+        prc=st.integers(min_value=0, max_value=3),
+        demands=iteration_params,
+        collect_trace=st.booleans(),
+    )
+    def test_random_libraries_identical(
+        self, shapes, cg, prc, demands, collect_trace
+    ):
+        kernels = [
+            Kernel(
+                f"k{k_index}",
+                base_cycles=100,
+                datapaths=[
+                    _spec(f"k{k_index}", d_index, params)
+                    for d_index, params in enumerate(datapaths)
+                ],
+            )
+            for k_index, datapaths in enumerate(shapes)
+        ]
+        budget = ResourceBudget(n_prcs=prc, n_cg_fabrics=cg)
+        block = FunctionalBlock("B", kernels)
+        iterations = [
+            BlockIteration(
+                "B",
+                [
+                    KernelIteration(k.name, executions, gap)
+                    for k, (executions, gap) in zip(kernels, demand_cycle)
+                ],
+            )
+            for demand_cycle in [demands[i:] + demands[:i] for i in range(3)]
+        ]
+        application = Application("rand", [block], iterations)
+        _abc(
+            application,
+            budget,
+            lambda: ISELibrary(kernels, budget),
+            MRTS,
+            collect_trace=collect_trace,
+        )
+
+
+# ------------------------------------------------- engine resolution
+
+
+class TestEngineResolution:
+    def test_packed_is_a_registered_mode(self):
+        assert "packed" in ENGINE_MODES
+
+    def test_explicit_packed_accepted(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_MODE_ENV, raising=False)
+        assert resolve_engine_mode("packed") == "packed"
+
+    def test_env_packed_respected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_MODE_ENV, "packed")
+        assert resolve_engine_mode() == "packed"
+
+    def test_default_unchanged(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_MODE_ENV, raising=False)
+        assert resolve_engine_mode() == "event"
+
+    def test_simulator_honours_env(self, monkeypatch):
+        application, budget, make_library = _deblocking_scenario()
+        monkeypatch.setenv(ENGINE_MODE_ENV, "packed")
+        policy = MRTS()
+        result = Simulator(
+            application, make_library(), budget, policy, collect_trace=True
+        ).run()
+        # Only the packed engine swaps the selector implementation.
+        assert policy.selector.mode == "packed"
+        assert result.stats.executions_fastforwarded > 0
