@@ -1,16 +1,20 @@
 #!/usr/bin/env python
 """Determinism and regression gate for the sweep engine.
 
-Four checks, all byte-level:
+Five checks, all byte-level:
 
 1. **Serial == parallel**: a reference 36-cell sweep executed in-process
    and through a ``--jobs``-wide process pool must serialise identically.
 2. **Fresh == cached**: re-running the same sweep against the cache it
    just populated must serialise identically.
 3. **Backends agree**: the same sweep routed through every registered
-   executor backend (serial, pool, and a distributed coordinator with
-   ``--workers`` local socket workers) must serialise identically.
-4. **Golden traces**: every committed reference snapshot under
+   executor backend (serial, pool, a distributed coordinator with
+   ``--workers`` local socket workers, and a self-hosted sweep-service
+   daemon) must serialise identically.
+4. **Service golden cells**: the committed golden scenarios, expressed as
+   sweep cells and routed through ``--backend service``, must serialise
+   identically to the serial backend.
+5. **Golden traces**: every committed reference snapshot under
    ``tests/golden/`` (H.264 deblocking and the JPEG encoder) must match a
    fresh simulation exactly -- under each of the three ``REPRO_SIM``
    engines (stepped, event, packed), which pins the engines' byte-identity
@@ -121,7 +125,7 @@ def check_backends(jobs: int, workers: int) -> Dict[str, object]:
             jobs=jobs if name == "pool" else 1,
             use_cache=False,
             backend=name,
-            workers=workers if name == "distributed" else None,
+            workers=workers if name in ("distributed", "service") else None,
         )
         serialised[name] = json.dumps(engine.run(cells))
         stats[name] = (
@@ -143,6 +147,47 @@ def check_backends(jobs: int, workers: int) -> Dict[str, object]:
         "backends-agree", True,
         [f"{len(cells)} cells through {sorted(serialised)}"]
         + [stats[name] for name in sorted(stats)],
+    )
+
+
+def golden_cells() -> List[SweepCell]:
+    """The committed golden scenarios expressed as sweep cells."""
+    cells = []
+    for scenario in sorted(GOLDEN_SCENARIOS):
+        spec = dict(GOLDEN_SCENARIOS[scenario])
+        workload = spec.pop("workload")
+        policy = spec.pop("policy")
+        budget = spec.pop("budget")
+        seed = spec.pop("seed")
+        # What remains in the spec is the workload's parameter set.
+        cells.append(SweepCell.make(
+            budget=(budget[0], budget[1]),
+            seed=seed,
+            policy=policy,
+            workload=workload,
+            workload_params=spec,
+        ))
+    return cells
+
+
+def check_service_golden(workers: int) -> Dict[str, object]:
+    """The golden scenarios through ``--backend service`` must match the
+    serial backend byte-for-byte (the service acceptance gate)."""
+    cells = golden_cells()
+    serial = json.dumps(SweepEngine(use_cache=False).run(cells))
+    engine = SweepEngine(use_cache=False, backend="service", workers=workers)
+    service = json.dumps(engine.run(cells))
+    if serial != service:
+        return _check(
+            "service-golden-cells", False,
+            ["service-backend records differ from serial on the golden "
+             "scenarios"],
+        )
+    return _check(
+        "service-golden-cells", True,
+        [f"{len(cells)} golden cells, "
+         f"{engine.stats.jobs_completed} service job(s), "
+         f"{engine.stats.frames_sent} frames"],
     )
 
 
@@ -218,6 +263,7 @@ def main(argv=None) -> int:
     if not args.skip_engine:
         checks.extend(check_engine(args.jobs))
         checks.append(check_backends(args.jobs, args.workers))
+        checks.append(check_service_golden(args.workers))
     checks.append(check_golden())
     ok = all(check["ok"] for check in checks)
 

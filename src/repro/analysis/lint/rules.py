@@ -369,6 +369,63 @@ class EnvReadRule(Rule):
                 )
 
 
+# ------------------------------------------------- blocking calls in async
+
+#: Calls that park the whole event loop when awaited code runs them.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "io.open",
+        "os.fdopen",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+    }
+)
+
+
+class BlockingCallInAsyncRule(Rule):
+    name = "blocking-call-in-async"
+    summary = "blocking sleep/socket/file calls inside async def bodies"
+    rationale = (
+        "The sweep service daemon multiplexes every client and worker on "
+        "one event loop; a single time.sleep, blocking socket call or "
+        "synchronous open() inside an async def stalls all of them at "
+        "once.  Use asyncio.sleep, the stream APIs, or push the work into "
+        "asyncio.to_thread."
+    )
+    node_types = (ast.AsyncFunctionDef,)
+
+    def check_node(
+        self, node: ast.AsyncFunctionDef, ctx: FileContext
+    ) -> Iterable[Finding]:
+        # Walk the coroutine body but stop at nested function boundaries:
+        # a sync helper *defined* inside an async def runs wherever it is
+        # called from, which may legitimately be a worker thread.
+        stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+        while stack:
+            child = stack.pop()
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                dotted = ctx.dotted_name(child.func)
+                if dotted is not None and (
+                    dotted in _BLOCKING_CALLS
+                    or dotted.startswith("socket.socket")
+                ):
+                    yield self.finding(
+                        ctx,
+                        child,
+                        f"blocking {dotted}() inside async def "
+                        f"{node.name}() parks the whole event loop; use "
+                        "the asyncio equivalent or asyncio.to_thread",
+                    )
+            stack.extend(ast.iter_child_nodes(child))
+
+
 def default_rules() -> List[Rule]:
     """Fresh instances of every shipped determinism rule."""
     return [
@@ -378,10 +435,12 @@ def default_rules() -> List[Rule]:
         FloatEqualityRule(),
         MutableDefaultRule(),
         EnvReadRule(),
+        BlockingCallInAsyncRule(),
     ]
 
 
 __all__ = [
+    "BlockingCallInAsyncRule",
     "EnvReadRule",
     "FloatEqualityRule",
     "MutableDefaultRule",

@@ -1,6 +1,6 @@
 """A/B microbenchmarks of the reproduction's hot paths.
 
-Three suites, all over the Fig. 8 reference workload (the H.264 encoder on
+Four suites, all over the Fig. 8 reference workload (the H.264 encoder on
 the (CG fabrics x PRCs) budget grid), all doubling as regression gates:
 
 * ``selector`` -- naive vs. incremental vs. packed ISE selector:
@@ -18,6 +18,13 @@ the (CG fabrics x PRCs) budget grid), all doubling as regression gates:
   construction memos must cut application builds + library compiles by at
   least :data:`ENGINE_REDUCTION_THRESHOLD` on the serial backend
   (``BENCH_engine.json``).
+* ``service`` -- the always-on sweep daemon vs. one-shot fleets: four
+  concurrent submissions of the same sweep through one ``repro serve``
+  daemon must finish at least :data:`SERVICE_THROUGHPUT_THRESHOLD` times
+  faster in aggregate than the same four sweeps run sequentially through
+  one-shot distributed backends, byte-identical to serial throughout
+  (``BENCH_service.json``).  The win comes from sharing one worker fleet
+  and serving repeats from the in-flight table and the network store.
 
 :func:`main` (also reachable as ``repro bench --suite ...`` and via the
 ``benchmarks/bench_selector.py`` / ``benchmarks/bench_sim.py`` /
@@ -67,6 +74,14 @@ ENGINE_REDUCTION_THRESHOLD = 3.0
 
 #: Backends exercised by the engine suite, reference first.
 ENGINE_BACKENDS = ("serial", "pool", "distributed")
+
+#: Minimum aggregate-throughput factor of N concurrent sweeps through the
+#: always-on daemon over the same N sweeps run sequentially through
+#: one-shot distributed fleets (the service suite's gate).
+SERVICE_THROUGHPUT_THRESHOLD = 1.5
+
+#: Concurrent submissions the service suite drives.
+SERVICE_SWEEPS = 4
 
 
 def run_selector_bench(
@@ -318,6 +333,109 @@ def run_engine_bench(
     }
 
 
+def run_service_bench(
+    frames: int = 16,
+    seed: int = 7,
+    budgets: Optional[Sequence[Tuple[int, int]]] = None,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Benchmark the always-on daemon against one-shot fleets.
+
+    Sequential leg: :data:`SERVICE_SWEEPS` identical sweeps, each through
+    a fresh one-shot distributed backend (spawn fleet, handshake, sweep,
+    tear down -- the pre-service cost of N submitters).  Service leg: one
+    thread-embedded daemon (startup included in the measured wall), the
+    same sweeps submitted concurrently; repeats are served from the
+    in-flight table and the shared store instead of recomputing.  All
+    runs must stay byte-identical to a serial reference.
+    """
+    import shutil
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.experiments.engine import (
+        SweepCell, SweepEngine, clear_build_memo,
+    )
+    from repro.service.daemon import start_service_thread
+
+    if budgets is None:
+        budgets = QUICK_BUDGETS if quick else FIG8_BUDGETS
+    if quick:
+        frames = min(frames, 3)
+    policies = ("risc", "mrts")
+    cells = [
+        SweepCell.make(
+            (cg, prc), seed, policy,
+            workload="h264", workload_params={"frames": frames},
+        )
+        for cg, prc in budgets
+        for policy in policies
+    ]
+
+    clear_build_memo()
+    reference = SweepEngine(use_cache=False, backend="serial").run(cells)
+
+    clear_build_memo()
+    started = time.perf_counter()
+    sequential_identical = True
+    for _ in range(SERVICE_SWEEPS):
+        eng = SweepEngine(use_cache=False, backend="distributed", workers=2)
+        sequential_identical &= eng.run(cells) == reference
+    sequential_wall = time.perf_counter() - started
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    clear_build_memo()
+    try:
+        started = time.perf_counter()
+        handle = start_service_thread(workers=2, cache_dir=cache_dir)
+        try:
+            def _submit(_index: int):
+                eng = SweepEngine(
+                    use_cache=False,
+                    backend="service",
+                    coordinator=handle.coordinator,
+                )
+                return eng.run(cells), eng.stats.engine_payload()
+
+            with ThreadPoolExecutor(max_workers=SERVICE_SWEEPS) as pool:
+                runs = list(pool.map(_submit, range(SERVICE_SWEEPS)))
+            service_wall = time.perf_counter() - started
+        finally:
+            handle.stop()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    service_identical = all(records == reference for records, _ in runs)
+    stats = [payload for _, payload in runs]
+    service_counters = {
+        name: sum(s[name] for s in stats)
+        for name in (
+            "frames_sent", "remote_cache_hits", "jobs_completed",
+            "worker_restarts",
+        )
+    }
+    throughput = (
+        sequential_wall / service_wall if service_wall else float("inf")
+    )
+    return {
+        "benchmark": "service",
+        "workload": "h264 fig8 grid",
+        "frames": frames,
+        "seed": seed,
+        "budgets": [list(b) for b in budgets],
+        "policies": list(policies),
+        "cells": len(cells),
+        "sweeps": SERVICE_SWEEPS,
+        "quick": quick,
+        "sequential_wall_seconds": round(sequential_wall, 4),
+        "service_wall_seconds": round(service_wall, 4),
+        "service_counters": service_counters,
+        "identical_results": sequential_identical and service_identical,
+        "throughput_factor": round(throughput, 3),
+        "throughput_threshold": SERVICE_THROUGHPUT_THRESHOLD,
+    }
+
+
 def render(payload: Dict[str, object]) -> str:
     """Human-readable summary of a bench payload."""
     lines = [
@@ -393,6 +511,27 @@ def render_engine(payload: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def render_service(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a service bench payload."""
+    counters = payload["service_counters"]
+    return "\n".join([
+        f"sweep service bench on {payload['workload']} "
+        f"(frames={payload['frames']}, seed={payload['seed']}, "
+        f"{payload['sweeps']}x {payload['cells']} cells)",
+        f"  sequential one-shot fleets: "
+        f"{payload['sequential_wall_seconds']}s",
+        f"  concurrent via daemon:      "
+        f"{payload['service_wall_seconds']}s",
+        f"  service counters: frames={counters['frames_sent']:,} "
+        f"remote_hits={counters['remote_cache_hits']:,} "
+        f"jobs={counters['jobs_completed']:,} "
+        f"restarts={counters['worker_restarts']:,}",
+        f"  throughput: {payload['throughput_factor']}x aggregate "
+        f"(threshold {payload['throughput_threshold']}x); identical "
+        f"results: {payload['identical_results']}",
+    ])
+
+
 def check_gate(payload: Dict[str, object]) -> List[str]:
     """The regression conditions the verify smoke job enforces.
 
@@ -458,6 +597,27 @@ def check_engine_gate(payload: Dict[str, object]) -> List[str]:
     return failures
 
 
+def check_service_gate(payload: Dict[str, object]) -> List[str]:
+    """The regression conditions of the service suite (empty = pass):
+    every sweep -- sequential or through the daemon -- must match the
+    serial reference byte-for-byte, and the daemon must beat the one-shot
+    fleets' aggregate throughput by at least the threshold factor."""
+    failures = []
+    if not payload["identical_results"]:
+        failures.append(
+            "service or distributed sweeps diverged from the serial "
+            "reference"
+        )
+    throughput = payload["throughput_factor"]
+    threshold = payload["throughput_threshold"]
+    if throughput < threshold:
+        failures.append(
+            f"daemon improved aggregate throughput only {throughput}x "
+            f"(threshold {threshold}x)"
+        )
+    return failures
+
+
 #: suite name -> (runner, renderer, gate, default output file)
 SUITES = {
     "selector": (
@@ -467,6 +627,10 @@ SUITES = {
     "engine": (
         run_engine_bench, render_engine, check_engine_gate,
         "BENCH_engine.json",
+    ),
+    "service": (
+        run_service_bench, render_service, check_service_gate,
+        "BENCH_service.json",
     ),
 }
 
@@ -511,16 +675,21 @@ __all__ = [
     "PACKED_SPEEDUP_THRESHOLD",
     "PACKED_SPEEDUP_THRESHOLD_QUICK",
     "QUICK_BUDGETS",
+    "SERVICE_SWEEPS",
+    "SERVICE_THROUGHPUT_THRESHOLD",
     "SIM_REDUCTION_THRESHOLD",
     "SUITES",
     "check_engine_gate",
     "check_gate",
+    "check_service_gate",
     "check_sim_gate",
     "main",
     "render",
     "render_engine",
+    "render_service",
     "render_sim",
     "run_engine_bench",
     "run_selector_bench",
+    "run_service_bench",
     "run_sim_bench",
 ]

@@ -13,12 +13,14 @@ Commands
 ``bench``        A/B-benchmark a hot path, write BENCH_<suite>.json
 ``cache``        inspect or clear the on-disk sweep cell cache
 ``worker``       join a distributed sweep coordinator as a worker process
+``serve``        run the always-on async sweep service daemon
 ``lint``         static determinism & invariant linter (CI gate)
 
 The sweep-shaped commands accept ``--jobs`` (process fan-out),
 ``--no-cache`` and ``--cache-dir`` (the content-addressed cell cache under
 ``.repro_cache/``), plus the executor knobs ``--backend``
-(serial/pool/distributed), ``--workers`` and ``--coordinator``; ``sweep``
+(serial/pool/distributed/service), ``--workers`` and ``--coordinator``;
+``sweep``
 additionally takes ``--cache-max-bytes`` (LRU eviction budget).  See
 ``docs/sweeps.md``.
 """
@@ -249,7 +251,45 @@ def cmd_cache(args) -> int:
 def cmd_worker(args) -> int:
     from repro.experiments.backends.worker import main as worker_main
 
-    return worker_main(["--coordinator", args.coordinator])
+    argv = ["--coordinator", args.coordinator]
+    if args.reconnect:
+        argv.append("--reconnect")
+    argv += ["--max-attempts", str(args.max_attempts)]
+    return worker_main(argv)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.daemon import SweepService
+
+    service = SweepService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        quantum=args.quantum,
+    )
+
+    async def _serve() -> int:
+        run = asyncio.ensure_future(service.run())
+        # run() binds before awaiting the drain event, so the address is
+        # readable as soon as we yield once.
+        while service.address is None and not run.done():
+            await asyncio.sleep(0.05)
+        if service.address is not None:
+            host, port = service.address
+            print(f"repro service listening on {host}:{port} "
+                  f"({service.n_workers} local workers)", flush=True)
+        await run
+        print(
+            f"repro service drained: {service.jobs_finished} jobs finished, "
+            f"{service.jobs_failed} failed",
+            flush=True,
+        )
+        return 0
+
+    return asyncio.run(_serve())
 
 
 def cmd_lint(args) -> int:
@@ -416,7 +456,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_worker.add_argument("--coordinator", required=True,
                           help="HOST:PORT of the coordinator to join")
+    p_worker.add_argument("--reconnect", action="store_true",
+                          help="redial a lost coordinator on a capped "
+                          "exponential backoff schedule")
+    p_worker.add_argument("--max-attempts", type=int, default=8,
+                          help="failed dials tolerated before --reconnect "
+                          "gives up (default %(default)s)")
     p_worker.set_defaults(fn=cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on sweep service daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default %(default)s)")
+    p_serve.add_argument("--port", type=int, default=7341,
+                         help="listen port; 0 picks an ephemeral port "
+                         "(default %(default)s)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="local worker processes to spawn "
+                         "(default %(default)s; 0 = coordinator only)")
+    p_serve.add_argument("--cache-dir", default=".repro_cache",
+                         help="network-served record store root "
+                         "(default %(default)s)")
+    p_serve.add_argument("--quantum", type=int, default=4,
+                         help="deficit-round-robin refill per scheduler "
+                         "visit, in cells (default %(default)s)")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_lint = sub.add_parser(
         "lint", help="static determinism & invariant linter (exit 1 on findings)"

@@ -1,7 +1,7 @@
 """Registered executor backends for :class:`~repro.experiments.engine
 .SweepEngine`.
 
-Three ship with the repo -- all byte-identical by construction (every one
+Four ship with the repo -- all byte-identical by construction (every one
 funnels cells through ``execute_cell``):
 
 * ``serial`` -- the calling process, in input order (the reference).
@@ -9,6 +9,9 @@ funnels cells through ``execute_cell``):
 * ``distributed`` -- a TCP coordinator + socket worker processes that can
   span hosts (length-prefixed JSON frames, fingerprint handshake,
   retry-on-worker-death).
+* ``service`` -- the sweep becomes one job on the always-on ``repro
+  serve`` daemon (shared fleet, fair scheduling, network-served record
+  store); without ``--coordinator`` it self-hosts an ephemeral daemon.
 
 ``docs/sweeps.md`` has the selection matrix.  Register additional
 backends with :func:`register_backend`; their ``run(cells)`` signature
@@ -23,6 +26,7 @@ from repro.experiments.backends.base import ExecutorBackend, plan_batches
 from repro.experiments.backends.distributed import DistributedBackend
 from repro.experiments.backends.pool import PoolBackend
 from repro.experiments.backends.serial import SerialBackend
+from repro.experiments.backends.service import ServiceBackend
 from repro.util.validation import ReproError
 
 #: Every registered backend, by the name used in the engine and the CLI.
@@ -71,6 +75,7 @@ def resolve_backend(
 register_backend("serial", SerialBackend)
 register_backend("pool", PoolBackend)
 register_backend("distributed", DistributedBackend)
+register_backend("service", ServiceBackend)
 
 
 __all__ = [
@@ -79,6 +84,7 @@ __all__ = [
     "ExecutorBackend",
     "PoolBackend",
     "SerialBackend",
+    "ServiceBackend",
     "backend_names",
     "plan_batches",
     "register_backend",

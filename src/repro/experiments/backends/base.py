@@ -28,6 +28,8 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "libraries_saved",
     "frames_sent",
     "worker_restarts",
+    "remote_cache_hits",
+    "jobs_completed",
 )
 
 

@@ -1,0 +1,75 @@
+"""The ``service`` executor backend: sweeps through the always-on daemon.
+
+Two modes, selected by ``--coordinator``:
+
+* **Connected** (``--backend service --coordinator HOST:PORT``): the
+  sweep becomes one *job* on a running ``repro serve`` daemon, sharing
+  its worker fleet, fair scheduler and network-served record store with
+  every other submitter.
+* **Self-hosted** (no coordinator): an ephemeral daemon is started on a
+  background thread with local workers and a private temporary store,
+  the job runs against it, and the daemon is drained and the store
+  removed afterwards.  This keeps ``--backend service`` usable in tests
+  and determinism gates without external processes -- and without ever
+  touching the repo's own ``.repro_cache``.
+
+Either way the records come back keyed by input index and pass through
+the same ``execute_cell`` path as every other backend, so a service
+sweep is byte-identical to a serial one (gated in
+``scripts/check_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+from repro.experiments.backends.base import ExecutorBackend, merge_counters
+
+
+class ServiceBackend(ExecutorBackend):
+    """Submit the sweep as one job to a (possibly ephemeral) daemon."""
+
+    name = "service"
+
+    def run(self, cells):
+        payloads = [cell.payload() for cell in cells]
+        if self.coordinator:
+            return self._run_connected(self.coordinator, payloads)
+        return self._run_self_hosted(payloads)
+
+    def _run_connected(self, coordinator, payloads):
+        # Imported here, not at module top: repro.service pulls in this
+        # package's __init__ through the shared frame codec, so a
+        # top-level import would be circular when repro.service loads
+        # first.
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(coordinator)
+        try:
+            records, counters = client.run_job(
+                payloads, chunk=self.chunk_size
+            )
+        finally:
+            client.close()
+        merge_counters(self.counters, counters)
+        return records
+
+    def _run_self_hosted(self, payloads):
+        from repro.service.daemon import SweepService, start_service_thread
+
+        workers = (
+            self.workers
+            if self.workers is not None
+            else SweepService.DEFAULT_WORKERS
+        )
+        cache_dir = tempfile.mkdtemp(prefix="repro-service-")
+        handle = start_service_thread(workers=workers, cache_dir=cache_dir)
+        try:
+            return self._run_connected(handle.coordinator, payloads)
+        finally:
+            handle.stop()
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+__all__ = ["ServiceBackend"]

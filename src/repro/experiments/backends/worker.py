@@ -12,6 +12,13 @@ address with::
 
     python -m repro.experiments.backends.worker --coordinator HOST:PORT
 
+Against the long-lived ``repro serve`` daemon, add ``--reconnect`` and
+the worker survives coordinator restarts: lost connections are redialed
+on a capped exponential backoff schedule (:func:`reconnect_delays`) that
+is deliberately jitter-free -- the fleet is small and a deterministic
+schedule is unit-testable, which this repo values over thundering-herd
+insurance.
+
 Batch execution funnels through :func:`repro.experiments.engine
 .execute_batch`, so worker-side construction memoisation (one application
 per seed, one compiled library per budget) and the byte-identity to the
@@ -23,7 +30,8 @@ from __future__ import annotations
 import os
 import socket
 import sys
-from typing import Optional, Tuple
+import time
+from typing import List, Optional, Tuple
 
 from repro.experiments import engine as engine_module
 from repro.experiments.backends.distributed import (
@@ -37,6 +45,24 @@ from repro.util.validation import ReproError
 #: Seconds to wait for the coordinator to accept the dial.
 CONNECT_TIMEOUT = 30.0
 
+#: Reconnect backoff: first retry delay and the cap it doubles toward.
+RECONNECT_BASE = 0.1
+RECONNECT_CAP = 5.0
+
+#: Consecutive failed dials tolerated before ``--reconnect`` gives up.
+DEFAULT_MAX_ATTEMPTS = 8
+
+
+def reconnect_delays(
+    attempts: int,
+    base: float = RECONNECT_BASE,
+    cap: float = RECONNECT_CAP,
+) -> List[float]:
+    """The deterministic backoff schedule: ``base * 2**n`` capped at
+    ``cap``, one delay per failed dial attempt.  No jitter on purpose --
+    the schedule is part of the worker's observable contract."""
+    return [min(cap, base * (2 ** n)) for n in range(attempts)]
+
 
 def worker_loop(
     address: Tuple[str, int],
@@ -47,8 +73,15 @@ def worker_loop(
     ``fail_after`` is a test hook: after serving that many batches the
     worker exits hard (no result frame) on its next batch, simulating a
     crashed host so the coordinator's requeue/restart path can be
-    exercised deterministically.  Returns a process exit code.
+    exercised deterministically.
+
+    Returns a process exit code: ``0`` clean shutdown, ``1`` the
+    coordinator was unreachable, ``2`` the handshake was rejected, ``3``
+    the connection was lost *after* a successful handshake (the case
+    ``--reconnect`` retries immediately, since the coordinator clearly
+    existed a moment ago).
     """
+    welcomed = False
     try:
         sock = socket.create_connection(tuple(address), timeout=CONNECT_TIMEOUT)
     except OSError as error:
@@ -75,6 +108,7 @@ def worker_loop(
                 file=sys.stderr,
             )
             return 2
+        welcomed = True
         served = 0
         while True:
             frame = recv_frame(sock)
@@ -131,12 +165,53 @@ def worker_loop(
                 },
             )
     except (ConnectionError, OSError):
-        return 1
+        return 3 if welcomed else 1
     finally:
         try:
             sock.close()
         except OSError:
             pass
+
+
+def run_worker(
+    address: Tuple[str, int],
+    reconnect: bool = False,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    fail_after: Optional[int] = None,
+) -> int:
+    """:func:`worker_loop`, optionally wrapped in the reconnect policy.
+
+    With ``reconnect`` enabled, a connection lost after a successful
+    handshake (exit code ``3``) resets the attempt counter and redials
+    after the base delay; an unreachable coordinator (code ``1``) walks
+    the :func:`reconnect_delays` schedule and gives up -- returning
+    ``1`` -- once ``max_attempts`` consecutive dials have failed.  Clean
+    shutdown (``0``) and handshake rejection (``2``) never retry: the
+    first is the coordinator's explicit goodbye, the second will not
+    improve without a code change on one side.
+    """
+    if not reconnect:
+        return worker_loop(address, fail_after=fail_after)
+    delays = reconnect_delays(max_attempts)
+    failures = 0
+    while True:
+        code = worker_loop(address, fail_after=fail_after)
+        if code in (0, 2):
+            return code
+        if code == 3:
+            # The coordinator existed: treat the redial as a fresh start.
+            failures = 0
+            time.sleep(RECONNECT_BASE)
+            continue
+        if failures >= len(delays):
+            # The initial dial plus one per walked backoff delay.
+            print(
+                f"error: giving up after {failures + 1} failed dial attempts",
+                file=sys.stderr,
+            )
+            return 1
+        time.sleep(delays[failures])
+        failures += 1
 
 
 def main(argv=None) -> int:
@@ -145,12 +220,25 @@ def main(argv=None) -> int:
 
     parser = argparse.ArgumentParser(
         description="repro sweep worker: dial a distributed-backend "
-        "coordinator and serve cell batches"
+        "coordinator (or the repro serve daemon) and serve cell batches"
     )
     parser.add_argument(
         "--coordinator",
         required=True,
         help="coordinator address as host:port",
+    )
+    parser.add_argument(
+        "--reconnect",
+        action="store_true",
+        help="redial a lost coordinator on a capped exponential "
+        "backoff schedule instead of exiting",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=DEFAULT_MAX_ATTEMPTS,
+        help="consecutive failed dials tolerated before --reconnect "
+        "gives up (default %(default)s)",
     )
     args = parser.parse_args(argv)
     try:
@@ -158,7 +246,9 @@ def main(argv=None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    return worker_loop(address)
+    return run_worker(
+        address, reconnect=args.reconnect, max_attempts=args.max_attempts
+    )
 
 
 if __name__ == "__main__":

@@ -885,11 +885,14 @@ class EngineStats:
     builds_saved: int = 0        #: constructions avoided by the memos
     frames_sent: int = 0         #: IPC frames dispatched (0 for serial)
     worker_restarts: int = 0     #: dead distributed workers replaced
+    remote_cache_hits: int = 0   #: cells served by the service's shared store/fleet
+    jobs_completed: int = 0      #: service jobs finished on our behalf
 
     def reset(self) -> None:
         self.cells = self.unique_cells = self.cache_hits = self.executed = 0
         self.applications_built = self.libraries_built = 0
         self.builds_saved = self.frames_sent = self.worker_restarts = 0
+        self.remote_cache_hits = self.jobs_completed = 0
 
     def engine_payload(self) -> Dict[str, object]:
         """The sweep-engine counters as a JSON-able dict -- never merged
@@ -904,6 +907,8 @@ class EngineStats:
             "builds_saved": self.builds_saved,
             "frames_sent": self.frames_sent,
             "worker_restarts": self.worker_restarts,
+            "remote_cache_hits": self.remote_cache_hits,
+            "jobs_completed": self.jobs_completed,
         }
 
 
@@ -1098,6 +1103,8 @@ class SweepEngine:
         )
         self.stats.frames_sent += counters["frames_sent"]
         self.stats.worker_restarts += counters["worker_restarts"]
+        self.stats.remote_cache_hits += counters["remote_cache_hits"]
+        self.stats.jobs_completed += counters["jobs_completed"]
         return records
 
 

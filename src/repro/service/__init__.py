@@ -1,0 +1,40 @@
+"""The always-on sweep service: an asyncio daemon serving many clients.
+
+The distributed backend's coordinator (:mod:`repro.experiments.backends
+.distributed`) is one-shot -- born and dying with a single sweep.  This
+package promotes it to a long-lived daemon (``repro serve``) that accepts
+many concurrent sweep jobs from many clients over the *same*
+length-prefixed JSON frame protocol, so the existing synchronous socket
+workers join the fleet unchanged:
+
+* :mod:`repro.service.protocol` -- the frame codec on
+  ``asyncio.StreamReader/Writer`` (one wire format, two transports);
+* :mod:`repro.service.scheduler` -- deficit-round-robin fair scheduling
+  of cell batches across submitters (pure data structure, no sockets);
+* :mod:`repro.service.store` -- the network-served content-addressed
+  record store (same on-disk layout as ``.repro_cache``);
+* :mod:`repro.service.daemon` -- the :class:`SweepService` event loop,
+  graceful SIGTERM drain, and the thread-embedding test/bench helper;
+* :mod:`repro.service.client` -- the synchronous client the
+  ``service`` executor backend and the CLI use.
+
+``docs/service.md`` documents the frame vocabulary, the scheduler
+semantics and the cache namespace rules.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceHandle, SweepService, start_service_thread
+from repro.service.protocol import read_frame, write_frame
+from repro.service.scheduler import FairScheduler
+from repro.service.store import RecordStore
+
+__all__ = [
+    "FairScheduler",
+    "RecordStore",
+    "ServiceClient",
+    "ServiceHandle",
+    "SweepService",
+    "read_frame",
+    "start_service_thread",
+    "write_frame",
+]

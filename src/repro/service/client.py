@@ -1,0 +1,206 @@
+"""Synchronous client for the always-on sweep service.
+
+:class:`ServiceClient` speaks the same length-prefixed JSON frames as the
+socket workers, over a plain blocking socket (the asyncio transport lives
+only in the daemon).  It identifies itself with ``"role": "client"`` in
+the ``hello`` frame, submits jobs, and consumes the streamed
+``cell_result`` frames -- reassembling records by input index, so the
+daemon's completion order (which varies with worker timing) never leaks
+into the result: a service sweep is byte-identical to a serial one.
+
+One client drives one job at a time (:meth:`run_job` blocks until
+``job_done``/``job_failed``); concurrency comes from opening more
+clients, which is exactly what the ``service`` executor backend and the
+bench harness do.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments import engine as engine_module
+from repro.experiments.backends.distributed import (
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.util.validation import ReproError
+
+CONNECT_TIMEOUT = 30.0
+
+
+class ServiceClient:
+    """A blocking connection to a running ``repro serve`` daemon.
+
+    Usable as a context manager; :meth:`close` sends ``goodbye`` so the
+    daemon retires the connection cleanly.
+    """
+
+    def __init__(
+        self,
+        coordinator: Union[str, Tuple[str, int]],
+        submitter: Optional[str] = None,
+    ):
+        if isinstance(coordinator, str):
+            address = parse_address(coordinator)
+        else:
+            address = (coordinator[0], int(coordinator[1]))
+        self.submitter = submitter
+        try:
+            self._conn = socket.create_connection(
+                address, timeout=CONNECT_TIMEOUT
+            )
+        except OSError as error:
+            raise ReproError(
+                f"cannot reach sweep service at {address[0]}:{address[1]}: "
+                f"{error}"
+            )
+        # Handshake done; job runs can take arbitrarily long.
+        self._conn.settimeout(None)
+        send_frame(
+            self._conn,
+            {
+                "type": "hello",
+                "role": "client",
+                "schema": engine_module.ENGINE_SCHEMA,
+                "protocol": PROTOCOL_VERSION,
+            },
+        )
+        welcome = recv_frame(self._conn)
+        if welcome.get("type") == "reject":
+            self._conn.close()
+            raise ReproError(
+                f"service rejected the connection: {welcome.get('reason')}"
+            )
+        if welcome.get("type") != "welcome":
+            self._conn.close()
+            raise ReproError(
+                f"expected welcome frame, got {welcome.get('type')!r}"
+            )
+        self.fingerprints = list(welcome.get("fingerprints", []))
+
+    # --------------------------------------------------------------- jobs
+    def run_job(
+        self,
+        payloads: Sequence[Mapping[str, object]],
+        priority: int = 0,
+        chunk: Optional[int] = None,
+    ) -> Tuple[List[Dict[str, object]], Dict[str, int]]:
+        """Submit cell payloads; block until the job finishes.
+
+        Returns ``(records, counters)`` with ``records[i]`` the record of
+        ``payloads[i]`` regardless of the order cells completed in.
+        Raises :class:`ReproError` if the service rejects the job (drain)
+        or reports ``job_failed``.
+        """
+        job_frame: Dict[str, object] = {
+            "type": "job",
+            "cells": [dict(payload) for payload in payloads],
+            "priority": int(priority),
+        }
+        if self.submitter is not None:
+            job_frame["submitter"] = self.submitter
+        if chunk is not None:
+            job_frame["chunk"] = int(chunk)
+        send_frame(self._conn, job_frame)
+        records: List[Optional[Dict[str, object]]] = [None] * len(payloads)
+        job_id = None
+        while True:
+            frame = recv_frame(self._conn)
+            ftype = frame.get("type")
+            if ftype == "reject":
+                raise ReproError(
+                    f"service rejected the job: {frame.get('reason')}"
+                )
+            if ftype == "job_accepted":
+                job_id = frame.get("job")
+            elif ftype == "cell_result":
+                index = int(frame.get("index", -1))
+                if 0 <= index < len(records):
+                    records[index] = frame.get("record")
+            elif ftype == "job_done":
+                missing = [i for i, r in enumerate(records) if r is None]
+                if missing:
+                    raise ReproError(
+                        f"job {job_id} finished but {len(missing)} cells "
+                        f"never arrived (first missing index {missing[0]})"
+                    )
+                counters = {
+                    str(name): int(value)
+                    for name, value in dict(
+                        frame.get("counters", {})
+                    ).items()
+                }
+                return list(records), counters
+            elif ftype == "job_failed":
+                raise ReproError(
+                    f"job {job_id} failed on the service: "
+                    f"{frame.get('message')}"
+                )
+            elif ftype == "error":
+                raise ReproError(f"service error: {frame.get('message')}")
+            else:
+                raise ReproError(
+                    f"unexpected frame type {ftype!r} while awaiting job"
+                )
+
+    # -------------------------------------------------------------- cache
+    def cache_get(self, key: str) -> Optional[Dict[str, object]]:
+        """Fetch one record from the service store (``None`` on miss)."""
+        send_frame(self._conn, {"type": "cache_get", "key": key})
+        frame = recv_frame(self._conn)
+        ftype = frame.get("type")
+        if ftype == "cache_hit":
+            record = frame.get("record")
+            return record if isinstance(record, dict) else None
+        if ftype == "cache_miss":
+            return None
+        raise ReproError(
+            f"unexpected cache_get reply {ftype!r}: {frame.get('message')}"
+        )
+
+    def cache_put(
+        self,
+        namespace: str,
+        key: str,
+        cell_payload: Mapping[str, object],
+        record: Mapping[str, object],
+    ) -> None:
+        """Publish one record; the daemon re-verifies namespace and key."""
+        send_frame(
+            self._conn,
+            {
+                "type": "cache_put",
+                "namespace": namespace,
+                "key": key,
+                "cell": dict(cell_payload),
+                "record": dict(record),
+            },
+        )
+        frame = recv_frame(self._conn)
+        if frame.get("type") != "cache_ok":
+            raise ReproError(
+                f"cache_put refused: {frame.get('message', frame.get('type'))}"
+            )
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        try:
+            send_frame(self._conn, {"type": "goodbye"})
+        except OSError:
+            pass
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+__all__ = ["ServiceClient"]

@@ -1,0 +1,762 @@
+"""The always-on sweep daemon: many clients, one shared worker fleet.
+
+:class:`SweepService` is an asyncio rewrite of the distributed backend's
+one-shot coordinator.  It binds once, spawns (and accepts) synchronous
+socket workers, and then serves **jobs** -- each a list of sweep-cell
+payloads submitted by a client over the same length-prefixed frame
+protocol the workers speak.  Per connection:
+
+* worker handshake and batch/result/error frames are unchanged from
+  :mod:`repro.experiments.backends.distributed`, so ``python -m repro
+  worker`` processes join the daemon without modification (one wire
+  format, two transports);
+* clients identify themselves with ``"role": "client"`` in the ``hello``
+  frame, then send ``job`` frames and receive streamed ``cell_result``
+  frames as cells complete plus a terminal ``job_done`` (or
+  ``job_failed``) -- the daemon never buffers O(cells) records per job;
+* both sides may use ``cache_get`` / ``cache_put`` to read and populate
+  the shared content-addressed store (:mod:`repro.service.store`).
+
+Scheduling: cell batches from all runnable jobs are arbitrated by the
+deficit-round-robin :class:`~repro.service.scheduler.FairScheduler`
+across submitters, then dispatched onto whichever worker is idle.
+Batches are planned with the engine's ``plan_batches`` (grouped by
+library fingerprint), so worker-side construction memos keep amortizing
+across *jobs*, not just within one sweep.
+
+Cross-job dedup: a job whose cell key is already in flight for another
+job subscribes to that key instead of re-dispatching it, and every
+computed record lands in the shared store, so resubmissions are served
+without simulation.  A batch whose worker rejects it (library
+fingerprint mismatch) fails every job subscribed to its keys; batches of
+a failed job that were already scheduled run to completion -- their
+records still feed the store and any cross-job subscribers, which keeps
+the failure path simple and the store monotone.
+
+Failure handling mirrors the distributed backend: a worker lost mid-batch
+has its batch requeued at the *front* of its job (deterministic
+reassignment), ``worker_restarts`` is counted on that job, and a local
+replacement is spawned while the restart budget lasts.
+
+Graceful drain: SIGTERM/SIGINT (or :meth:`request_drain`) stops intake --
+new jobs are rejected with a ``reject`` frame -- finishes every accepted
+job, flushes the store's sidecar index, shuts the workers down, and
+exits.
+
+Every blocking operation (cell parsing, key hashing, store I/O) runs in
+``asyncio.to_thread``; the event loop itself never touches a file or
+sleeps, which the ``blocking-call-in-async`` lint rule enforces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.experiments import engine as engine_module
+from repro.experiments.backends.base import (
+    merge_counters,
+    new_counters,
+    plan_batches,
+)
+from repro.experiments.backends.distributed import (
+    HANDSHAKE_TIMEOUT,
+    PROTOCOL_VERSION,
+)
+from repro.service.protocol import read_frame, write_frame
+from repro.service.scheduler import FairScheduler
+from repro.service.store import RecordStore
+from repro.util.validation import ReproError
+
+
+class _Peer:
+    """Daemon-side view of one connection (worker or client)."""
+
+    __slots__ = ("peer_id", "role", "reader", "writer", "token", "closed")
+
+    def __init__(self, peer_id: int, role: str, reader, writer):
+        self.peer_id = peer_id
+        self.role = role
+        self.reader = reader
+        self.writer = writer
+        self.token: Optional[int] = None  #: worker: outstanding batch token
+        self.closed = False
+
+
+class _JobState:
+    """One accepted job: its peer, key bookkeeping and counters."""
+
+    __slots__ = (
+        "job_id", "peer", "submitter", "priority",
+        "indices_by_key", "unresolved", "counters", "failed",
+    )
+
+    def __init__(self, job_id: int, peer: _Peer, submitter: str, priority: int):
+        self.job_id = job_id
+        self.peer = peer
+        self.submitter = submitter
+        self.priority = priority
+        #: cache key -> input cell indices mapped to it (duplicates share)
+        self.indices_by_key: Dict[str, List[int]] = {}
+        self.unresolved: Set[str] = set()
+        self.counters = new_counters()
+        self.failed = False
+
+
+class _BatchState:
+    """One dispatched (or dispatchable) batch frame and its keys."""
+
+    __slots__ = ("token", "job_id", "keys", "frame")
+
+    def __init__(self, token: int, job_id: int, keys: List[str], frame: Dict):
+        self.token = token
+        self.job_id = job_id
+        self.keys = keys
+        self.frame = frame
+
+
+class SweepService:
+    """The long-lived asyncio sweep daemon (``repro serve``).
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`address` once started).
+    workers:
+        Local synchronous worker processes to spawn (external workers
+        that dial in join the same fleet).  ``0`` is coordinator-only.
+    cache_dir:
+        Root of the network-served record store (``None`` disables the
+        shared cache; jobs are still deduplicated in flight).
+    quantum:
+        Deficit-round-robin refill per scheduler visit, in cells.
+    max_restarts:
+        Replacement workers spawned over the daemon's lifetime after
+        worker deaths (default: the worker count).
+    worker_specs:
+        Tests only -- kwargs per spawned local worker (e.g.
+        ``{"fail_after": 0}`` to crash it on its first batch).
+    """
+
+    DEFAULT_WORKERS = 2
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: Optional[int] = None,
+        cache_dir=None,
+        quantum: int = 4,
+        max_restarts: Optional[int] = None,
+        worker_specs: Optional[Sequence[Dict[str, object]]] = None,
+    ):
+        if workers is None:
+            workers = self.DEFAULT_WORKERS
+        if workers < 0:
+            raise ReproError(f"workers must be >= 0, got {workers}")
+        self.host = host
+        self.port = port
+        self.n_workers = len(worker_specs) if worker_specs else workers
+        self.worker_specs = list(worker_specs) if worker_specs else None
+        self.max_restarts = (
+            max_restarts if max_restarts is not None else self.n_workers
+        )
+        self.store = RecordStore(cache_dir) if cache_dir is not None else None
+        self.scheduler = FairScheduler(quantum=quantum)
+        self.address: Optional[Tuple[str, int]] = None
+        self.jobs_accepted = 0
+        self.jobs_finished = 0
+        self.jobs_failed = 0
+
+        self._jobs: Dict[int, _JobState] = {}
+        self._batches: Dict[int, _BatchState] = {}
+        #: in-flight cache key -> job ids awaiting it (cross-job dedup)
+        self._computing: Dict[str, List[int]] = {}
+        self._idle: Deque[_Peer] = deque()
+        self._live: Dict[int, _Peer] = {}
+        self._fingerprints: Set[str] = set()
+        self._next_peer = 0
+        self._next_job = 0
+        self._next_token = 0
+        self._restarts_used = 0
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._processes: List[multiprocessing.Process] = []
+        self._started = threading.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    async def run(self) -> None:
+        """Serve until drained (SIGTERM/SIGINT or :meth:`request_drain`)."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        self._install_signal_handlers()
+        for spec in self.worker_specs or [{} for _ in range(self.n_workers)]:
+            self._spawn_worker(spec)
+        self._started.set()
+        try:
+            await self._stopped.wait()
+        finally:
+            await self._shutdown()
+
+    def _install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Not the main thread (thread-embedded daemon) or an event
+                # loop without signal support: drain via request_drain().
+                return
+
+    def request_drain(self) -> None:
+        """Stop intake; finish accepted jobs; then shut down.
+
+        Safe to call from a signal handler (it only flips flags and sets
+        an event).  New ``job`` frames are answered with ``reject``.
+        """
+        self._draining = True
+        if not self._jobs and self._stopped is not None:
+            self._stopped.set()
+
+    def _check_drained(self) -> None:
+        if self._draining and not self._jobs and self._stopped is not None:
+            self._stopped.set()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for peer in sorted(self._live.values(), key=lambda p: p.peer_id):
+            try:
+                await write_frame(peer.writer, {"type": "shutdown"})
+                peer.writer.close()
+            except (OSError, ConnectionError):
+                pass
+        self._live.clear()
+        self._idle.clear()
+        if self.store is not None:
+            await asyncio.to_thread(self.store.flush_index)
+        await asyncio.to_thread(self._join_workers)
+
+    def _spawn_worker(self, spec: Dict[str, object]) -> None:
+        from repro.experiments.backends import worker as worker_module
+
+        process = multiprocessing.Process(
+            target=worker_module.worker_loop,
+            args=(tuple(self.address),),
+            kwargs=dict(spec),
+            daemon=True,
+        )
+        process.start()
+        self._processes.append(process)
+
+    def _join_workers(self) -> None:
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        self._processes = []
+
+    # ---------------------------------------------------------- connections
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            hello = await asyncio.wait_for(
+                read_frame(reader), timeout=HANDSHAKE_TIMEOUT
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                ConnectionError, OSError, ValueError, ReproError):
+            writer.close()
+            return
+        if (
+            hello.get("type") != "hello"
+            or hello.get("schema") != engine_module.ENGINE_SCHEMA
+            or hello.get("protocol") != PROTOCOL_VERSION
+        ):
+            try:
+                await write_frame(
+                    writer,
+                    {
+                        "type": "reject",
+                        "reason": (
+                            f"schema/protocol mismatch: service has "
+                            f"schema={engine_module.ENGINE_SCHEMA} "
+                            f"protocol={PROTOCOL_VERSION}, peer sent "
+                            f"schema={hello.get('schema')} "
+                            f"protocol={hello.get('protocol')}"
+                        ),
+                    },
+                )
+            except (OSError, ConnectionError):
+                pass
+            writer.close()
+            return
+        role = "client" if hello.get("role") == "client" else "worker"
+        try:
+            await write_frame(
+                writer,
+                {
+                    "type": "welcome",
+                    "schema": engine_module.ENGINE_SCHEMA,
+                    "protocol": PROTOCOL_VERSION,
+                    "fingerprints": sorted(self._fingerprints),
+                },
+            )
+        except (OSError, ConnectionError):
+            writer.close()
+            return
+        peer = _Peer(self._next_peer, role, reader, writer)
+        self._next_peer += 1
+        if role == "worker":
+            if self._draining:
+                try:
+                    await write_frame(writer, {"type": "shutdown"})
+                except (OSError, ConnectionError):
+                    pass
+                writer.close()
+                return
+            self._live[peer.peer_id] = peer
+            self._idle.append(peer)
+            await self._dispatch()
+            await self._worker_reader(peer)
+        else:
+            await self._client_reader(peer)
+
+    async def _worker_reader(self, peer: _Peer) -> None:
+        clean = False
+        try:
+            while True:
+                frame = await read_frame(peer.reader)
+                ftype = frame.get("type")
+                if ftype == "result":
+                    await self._on_result(peer, frame)
+                elif ftype == "error":
+                    await self._on_worker_error(peer, frame)
+                elif ftype == "cache_get":
+                    await self._on_cache_get(peer, frame)
+                elif ftype == "cache_put":
+                    await self._on_cache_put(peer, frame)
+                elif ftype == "goodbye":
+                    clean = True
+                    return
+        except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                ValueError, ReproError):
+            pass
+        finally:
+            await self._on_worker_lost(peer, clean=clean)
+
+    async def _client_reader(self, peer: _Peer) -> None:
+        try:
+            while True:
+                frame = await read_frame(peer.reader)
+                ftype = frame.get("type")
+                if ftype == "job":
+                    await self._on_job(peer, frame)
+                elif ftype == "cache_get":
+                    await self._on_cache_get(peer, frame)
+                elif ftype == "cache_put":
+                    await self._on_cache_put(peer, frame)
+                elif ftype == "goodbye":
+                    return
+                else:
+                    await write_frame(
+                        peer.writer,
+                        {
+                            "type": "error",
+                            "message": f"unexpected frame type {ftype!r}",
+                        },
+                    )
+        except (asyncio.IncompleteReadError, ConnectionError, OSError,
+                ValueError, ReproError):
+            pass
+        finally:
+            peer.closed = True
+            try:
+                peer.writer.close()
+            except (OSError, ConnectionError):
+                pass
+
+    # ------------------------------------------------------------ job intake
+    def _prepare_job(self, payloads):
+        """Heavy intake work, off the event loop: parse cells, hash keys
+        (compiling the library fingerprint on first sight), read store hits."""
+        cells = [engine_module.SweepCell.from_payload(p) for p in payloads]
+        keys = [engine_module.cell_key(cell) for cell in cells]
+        hits: Dict[str, Dict[str, object]] = {}
+        if self.store is not None:
+            seen: Set[str] = set()
+            for key in keys:
+                if key in seen:
+                    continue
+                seen.add(key)
+                record = self.store.get(key)
+                if record is not None:
+                    hits[key] = record
+        return cells, keys, hits
+
+    async def _on_job(self, peer: _Peer, frame: Dict) -> None:
+        if self._draining:
+            await write_frame(
+                peer.writer,
+                {
+                    "type": "reject",
+                    "reason": "service is draining and accepts no new jobs",
+                },
+            )
+            return
+        payloads = frame.get("cells") or []
+        job_id = self._next_job
+        self._next_job += 1
+        submitter = str(frame.get("submitter") or f"peer-{peer.peer_id}")
+        priority = int(frame.get("priority", 0))
+        job = _JobState(job_id, peer, submitter, priority)
+        self._jobs[job_id] = job
+        self.jobs_accepted += 1
+        await write_frame(
+            peer.writer,
+            {"type": "job_accepted", "job": job_id, "cells": len(payloads)},
+        )
+        try:
+            cells, keys, hits = await asyncio.to_thread(
+                self._prepare_job, payloads
+            )
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            await self._fail_job(job, f"malformed job: {error}")
+            return
+
+        for index, key in enumerate(keys):
+            job.indices_by_key.setdefault(key, []).append(index)
+
+        # Unique keys in first-appearance order: store hits stream now,
+        # in-flight keys subscribe, the rest become this job's batches.
+        miss_cells: List[engine_module.SweepCell] = []
+        miss_keys: List[str] = []
+        served: Set[str] = set()
+        for cell, key in zip(cells, keys):
+            if key in served or key in set(miss_keys):
+                continue
+            if key in hits:
+                served.add(key)
+                job.counters["remote_cache_hits"] += len(job.indices_by_key[key])
+                await self._send_cell_results(job, key, hits[key])
+            elif key in self._computing:
+                served.add(key)
+                job.counters["remote_cache_hits"] += len(job.indices_by_key[key])
+                self._computing[key].append(job_id)
+                job.unresolved.add(key)
+            else:
+                miss_cells.append(cell)
+                miss_keys.append(key)
+
+        if miss_cells:
+            chunk = frame.get("chunk")
+            parts = max(1, len(self._live) or self.n_workers or 1)
+            batches = plan_batches(
+                miss_cells,
+                int(chunk) if chunk else None,
+                parts=parts,
+            )
+            entries: List[Tuple[int, int]] = []
+            for batch in batches:
+                token = self._next_token
+                self._next_token += 1
+                first = miss_cells[batch[0]]
+                fingerprint = engine_module.library_fingerprint(
+                    first.workload, first.budget,
+                    first.workload_params, first.budget_params,
+                )
+                self._fingerprints.add(fingerprint)
+                batch_keys = [miss_keys[i] for i in batch]
+                batch_frame = {
+                    "type": "batch",
+                    "batch": token,
+                    "fingerprint": fingerprint,
+                    "cells": [miss_cells[i].payload() for i in batch],
+                }
+                self._batches[token] = _BatchState(
+                    token, job_id, batch_keys, batch_frame
+                )
+                entries.append((token, len(batch)))
+            for key in miss_keys:
+                self._computing[key] = [job_id]
+                job.unresolved.add(key)
+            self.scheduler.submit(job_id, submitter, priority, entries)
+            job.counters["frames_sent"] += len(entries)
+        await self._maybe_finish_job(job)
+        await self._dispatch()
+
+    # -------------------------------------------------------------- dispatch
+    async def _dispatch(self) -> None:
+        while self._idle and self.scheduler.has_work():
+            peer = self._idle.popleft()
+            if peer.peer_id not in self._live or peer.token is not None:
+                continue
+            token = self.scheduler.next_batch()
+            if token is None:
+                self._idle.appendleft(peer)
+                return
+            state = self._batches.get(token)
+            if state is None:
+                self.scheduler.complete(token)
+                self._idle.appendleft(peer)
+                continue
+            peer.token = token
+            try:
+                await write_frame(peer.writer, state.frame)
+            except (OSError, ConnectionError):
+                await self._on_worker_lost(peer, clean=False)
+
+    # --------------------------------------------------------- worker events
+    async def _on_result(self, peer: _Peer, frame: Dict) -> None:
+        token = frame.get("batch")
+        peer.token = None
+        self._idle.append(peer)
+        state = self._batches.pop(token, None)
+        if state is not None:
+            self.scheduler.complete(token)
+            records = frame.get("records", [])
+            job = self._jobs.get(state.job_id)
+            if job is not None and not job.failed:
+                merge_counters(job.counters, frame.get("built", {}))
+            if self.store is not None:
+                await asyncio.to_thread(
+                    self._store_batch,
+                    state.keys,
+                    state.frame["cells"],
+                    records,
+                )
+            for key, record in zip(state.keys, records):
+                await self._resolve_key(key, record)
+        await self._dispatch()
+
+    def _store_batch(self, keys, payloads, records) -> None:
+        for key, payload, record in zip(keys, payloads, records):
+            self.store.put(key, payload, record)
+
+    async def _resolve_key(self, key: str, record: Dict) -> None:
+        for job_id in self._computing.pop(key, []):
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            job.unresolved.discard(key)
+            if not job.failed:
+                await self._send_cell_results(job, key, record)
+            await self._maybe_finish_job(job)
+
+    async def _send_cell_results(self, job: _JobState, key: str, record) -> None:
+        if job.peer.closed:
+            return
+        for index in job.indices_by_key.get(key, ()):
+            try:
+                await write_frame(
+                    job.peer.writer,
+                    {
+                        "type": "cell_result",
+                        "job": job.job_id,
+                        "index": index,
+                        "record": record,
+                    },
+                )
+            except (OSError, ConnectionError):
+                # Client went away: keep computing (records still land in
+                # the store), just stop sending.
+                job.peer.closed = True
+                return
+
+    async def _maybe_finish_job(self, job: _JobState) -> None:
+        if job.failed or job.unresolved or job.job_id not in self._jobs:
+            return
+        job.counters["jobs_completed"] += 1
+        self.jobs_finished += 1
+        if self.store is not None:
+            await asyncio.to_thread(self.store.flush_index)
+        if not job.peer.closed:
+            try:
+                await write_frame(
+                    job.peer.writer,
+                    {
+                        "type": "job_done",
+                        "job": job.job_id,
+                        "counters": {
+                            name: int(value)
+                            for name, value in sorted(job.counters.items())
+                        },
+                    },
+                )
+            except (OSError, ConnectionError):
+                job.peer.closed = True
+        del self._jobs[job.job_id]
+        self._check_drained()
+
+    async def _fail_job(self, job: _JobState, message: str) -> None:
+        if job.failed or job.job_id not in self._jobs:
+            return
+        job.failed = True
+        self.jobs_failed += 1
+        if not job.peer.closed:
+            try:
+                await write_frame(
+                    job.peer.writer,
+                    {
+                        "type": "job_failed",
+                        "job": job.job_id,
+                        "message": message,
+                    },
+                )
+            except (OSError, ConnectionError):
+                job.peer.closed = True
+        del self._jobs[job.job_id]
+        self._check_drained()
+
+    async def _on_worker_error(self, peer: _Peer, frame: Dict) -> None:
+        token = frame.get("batch")
+        peer.token = None
+        self._idle.append(peer)
+        state = self._batches.pop(token, None)
+        if state is not None:
+            self.scheduler.complete(token)
+            message = str(frame.get("message", "worker rejected the batch"))
+            for key in state.keys:
+                for job_id in self._computing.pop(key, []):
+                    job = self._jobs.get(job_id)
+                    if job is not None:
+                        await self._fail_job(
+                            job, f"worker {peer.peer_id}: {message}"
+                        )
+        await self._dispatch()
+
+    async def _on_worker_lost(self, peer: _Peer, clean: bool) -> None:
+        if peer.peer_id not in self._live:
+            return
+        del self._live[peer.peer_id]
+        peer.closed = True
+        try:
+            peer.writer.close()
+        except (OSError, ConnectionError):
+            pass
+        token = peer.token
+        peer.token = None
+        if token is not None and token in self._batches:
+            # Deterministic reassignment: the interrupted batch goes back
+            # to the front of its job, so the next free worker re-runs it.
+            self.scheduler.requeue(token)
+            job = self._jobs.get(self._batches[token].job_id)
+            if job is not None:
+                job.counters["worker_restarts"] += 1
+            if (
+                not clean
+                and not self._draining
+                and self._restarts_used < self.max_restarts
+            ):
+                self._restarts_used += 1
+                self._spawn_worker({})
+        await self._dispatch()
+
+    # ----------------------------------------------------------- cache frames
+    async def _on_cache_get(self, peer: _Peer, frame: Dict) -> None:
+        key = str(frame.get("key") or "")
+        record = None
+        if self.store is not None and key:
+            record = await asyncio.to_thread(self.store.get, key)
+        if record is None:
+            await write_frame(peer.writer, {"type": "cache_miss", "key": key})
+        else:
+            await write_frame(
+                peer.writer,
+                {"type": "cache_hit", "key": key, "record": record},
+            )
+
+    async def _on_cache_put(self, peer: _Peer, frame: Dict) -> None:
+        key = str(frame.get("key") or "")
+        if self.store is None:
+            await write_frame(
+                peer.writer,
+                {"type": "error", "message": "service runs without a cache dir"},
+            )
+            return
+        try:
+            await asyncio.to_thread(
+                self.store.verified_put,
+                str(frame.get("namespace") or ""),
+                key,
+                frame.get("cell") or {},
+                frame.get("record") or {},
+            )
+        except (ReproError, KeyError, TypeError, ValueError) as error:
+            await write_frame(
+                peer.writer, {"type": "error", "message": str(error)}
+            )
+            return
+        await write_frame(peer.writer, {"type": "cache_ok", "key": key})
+
+
+# ------------------------------------------------------- thread embedding
+
+
+class ServiceHandle:
+    """A :class:`SweepService` running on a background thread's loop.
+
+    Tests, benches and the self-hosting ``service`` backend use this to
+    stand up an ephemeral daemon in-process; production deployments run
+    ``repro serve`` in the foreground instead.
+    """
+
+    def __init__(self, service: SweepService, thread: threading.Thread, loop):
+        self.service = service
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.service.address
+
+    @property
+    def coordinator(self) -> str:
+        host, port = self.service.address
+        return f"{host}:{port}"
+
+    def request_drain(self) -> None:
+        self._loop.call_soon_threadsafe(self.service.request_drain)
+
+    def stop(self, timeout: float = 60.0) -> bool:
+        """Drain and join; ``True`` when the daemon exited in time."""
+        self.request_drain()
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+
+def start_service_thread(
+    startup_timeout: float = 30.0, **kwargs
+) -> ServiceHandle:
+    """Run a :class:`SweepService` on a dedicated thread; returns once the
+    daemon is bound and its :attr:`~SweepService.address` is readable."""
+    service = SweepService(**kwargs)
+    loop = asyncio.new_event_loop()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(service.run())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, daemon=True, name="repro-service")
+    thread.start()
+    if not service._started.wait(startup_timeout):
+        raise ReproError(
+            f"sweep service failed to start within {startup_timeout}s"
+        )
+    return ServiceHandle(service, thread, loop)
+
+
+__all__ = ["ServiceHandle", "SweepService", "start_service_thread"]

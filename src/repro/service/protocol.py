@@ -1,0 +1,55 @@
+"""Async transport of the length-prefixed JSON frame protocol.
+
+The wire format is *identical* to the synchronous codec in
+:mod:`repro.experiments.backends.distributed` -- a 4-byte big-endian
+length followed by that many bytes of canonical UTF-8 JSON -- and this
+module reuses its :func:`~repro.experiments.backends.distributed
+.encode_frame` for serialisation, so there is exactly one frame format
+with two transports.  A synchronous worker (``python -m repro worker``)
+and the asyncio daemon interoperate byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.experiments.backends.distributed import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+)
+from repro.util.validation import ReproError
+
+
+async def read_frame(reader: asyncio.StreamReader):
+    """Read one length-prefixed JSON frame from an asyncio stream.
+
+    Raises :class:`asyncio.IncompleteReadError` when the peer closes
+    mid-frame and :class:`~repro.util.validation.ReproError` on a length
+    prefix beyond :data:`MAX_FRAME_BYTES` (a corrupt prefix must not
+    allocate gigabytes).
+    """
+    header = await reader.readexactly(4)
+    (length,) = struct.unpack(">I", header)
+    if length > MAX_FRAME_BYTES:
+        raise ReproError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES} limit"
+        )
+    blob = await reader.readexactly(length)
+    return json.loads(blob.decode("utf-8"))
+
+
+async def write_frame(writer: asyncio.StreamWriter, obj) -> None:
+    """Write one frame and drain.
+
+    The whole frame goes through a single ``writer.write`` call, so
+    concurrent tasks writing to the same peer never interleave partial
+    frames -- per-connection locks are unnecessary.
+    """
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+__all__ = ["read_frame", "write_frame"]

@@ -427,6 +427,71 @@ class TestEnvReadRule:
         )
 
 
+class TestBlockingCallInAsyncRule:
+    BAD = (
+        "import time\n"
+        "async def handler():\n"
+        "    time.sleep(1)\n"
+    )
+    GOOD = (
+        "import asyncio\n"
+        "async def handler():\n"
+        "    await asyncio.sleep(1)\n"
+    )
+
+    def test_bad(self):
+        assert "blocking-call-in-async" in _rules_hit(self.BAD)
+
+    def test_good(self):
+        assert "blocking-call-in-async" not in _rules_hit(self.GOOD)
+
+    def test_sync_file_io_flagged(self):
+        src = (
+            "async def handler():\n"
+            "    with open('x') as fh:\n"
+            "        return fh.read()\n"
+        )
+        assert "blocking-call-in-async" in _rules_hit(src)
+
+    def test_blocking_socket_flagged(self):
+        src = (
+            "import socket\n"
+            "async def handler():\n"
+            "    socket.create_connection(('h', 1))\n"
+        )
+        assert "blocking-call-in-async" in _rules_hit(src)
+
+    def test_to_thread_offload_is_clean(self):
+        src = (
+            "import asyncio\n"
+            "async def handler(store, key):\n"
+            "    return await asyncio.to_thread(store.get, key)\n"
+        )
+        assert "blocking-call-in-async" not in _rules_hit(src)
+
+    def test_sync_code_untouched(self):
+        src = "import time\ndef poll():\n    time.sleep(1)\n"
+        assert "blocking-call-in-async" not in _rules_hit(src)
+
+    def test_nested_sync_helper_exempt(self):
+        src = (
+            "import time\n"
+            "async def handler():\n"
+            "    def helper():\n"
+            "        time.sleep(1)\n"
+            "    return helper\n"
+        )
+        assert "blocking-call-in-async" not in _rules_hit(src)
+
+    def test_suppression_comment(self):
+        src = (
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)  # repro-lint: disable=blocking-call-in-async\n"
+        )
+        assert "blocking-call-in-async" not in _rules_hit(src)
+
+
 class TestSuppressionAndConfig:
     def test_line_suppression(self):
         src = (

@@ -60,8 +60,8 @@ def _fresh_memo():
 
 
 class TestRegistry:
-    def test_all_three_backends_registered(self):
-        assert backend_names() == ["distributed", "pool", "serial"]
+    def test_all_four_backends_registered(self):
+        assert backend_names() == ["distributed", "pool", "serial", "service"]
         assert set(backend_names()) == set(BACKENDS)
 
     def test_auto_selection_matches_legacy_behaviour(self):

@@ -1,0 +1,495 @@
+"""The always-on sweep service: fair scheduler semantics, the
+network-served record store, concurrent clients vs. the serial
+reference, remote-cache hits, worker-death reassignment, graceful
+drain, and the worker reconnect schedule."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.experiments import engine as engine_module
+from repro.experiments.backends import resolve_backend
+from repro.experiments.backends.distributed import (
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+from repro.experiments.backends.service import ServiceBackend
+from repro.experiments.backends.worker import (
+    RECONNECT_BASE,
+    RECONNECT_CAP,
+    reconnect_delays,
+    run_worker,
+    worker_loop,
+)
+from repro.experiments.engine import SweepCell, SweepEngine, clear_build_memo
+from repro.service import (
+    FairScheduler,
+    RecordStore,
+    ServiceClient,
+    start_service_thread,
+)
+from repro.util.validation import ReproError
+
+FAST = {"frames": 2, "scale": 0.4}
+
+
+def make_cells(budgets=((1, 1), (2, 1)), seeds=(0, 1),
+               policies=("risc", "mrts")):
+    return [
+        SweepCell.make(budget, seed, policy, workload_params=FAST)
+        for budget in budgets
+        for seed in seeds
+        for policy in policies
+    ]
+
+
+def canonical(records):
+    return json.dumps(records, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_build_memo()
+    yield
+    clear_build_memo()
+
+
+# ------------------------------------------------------------- scheduler
+
+
+class TestFairScheduler:
+    def test_single_job_served_in_submission_order(self):
+        sched = FairScheduler(quantum=4)
+        sched.submit(1, "a", 0, [(10, 1), (11, 1), (12, 1)])
+        assert [sched.next_batch() for _ in range(3)] == [10, 11, 12]
+        assert sched.next_batch() is None
+
+    def test_requeue_returns_batch_to_the_front(self):
+        sched = FairScheduler(quantum=4)
+        sched.submit(1, "a", 0, [(10, 1), (11, 1), (12, 1)])
+        assert sched.next_batch() == 10
+        assert sched.next_batch() == 11
+        sched.requeue(10)
+        # The interrupted batch is redispatched before the untouched tail.
+        assert sched.next_batch() == 10
+        assert sched.next_batch() == 12
+
+    def test_equal_priority_submitters_alternate_per_quantum(self):
+        sched = FairScheduler(quantum=2)
+        sched.submit(1, "a", 0, [(i, 1) for i in range(6)])
+        sched.submit(2, "b", 0, [(10 + i, 1) for i in range(6)])
+        order = [sched.next_batch() for _ in range(12)]
+        # Visits of two batches each, round-robin across submitters.
+        assert order == [0, 1, 10, 11, 2, 3, 12, 13, 4, 5, 14, 15]
+
+    def test_priority_scales_bandwidth_share(self):
+        sched = FairScheduler(quantum=2)
+        sched.submit(1, "a", 1, [(i, 1) for i in range(8)])
+        sched.submit(2, "b", 2, [(10 + i, 1) for i in range(8)])
+        order = [sched.next_batch() for _ in range(8)]
+        served_b = sum(1 for token in order if token >= 10)
+        # Priority-2 submitter earns twice the refill: 4 of the first 8.
+        # Priority-1 gets 2 per visit, so b's share is at least double
+        # within any window after both visited once.
+        assert served_b >= 4
+
+    def test_big_batch_eventually_affordable(self):
+        sched = FairScheduler(quantum=2)
+        sched.submit(1, "a", 0, [(1, 7)])
+        sched.submit(2, "b", 0, [(2, 1), (3, 1)])
+        order = [sched.next_batch() for _ in range(3)]
+        # a's 7-cell batch needs several visits' credit; b is served
+        # meanwhile instead of starving behind it.
+        assert set(order) == {1, 2, 3}
+        assert order[0] in (2, 3)
+
+    def test_higher_priority_job_first_within_submitter(self):
+        sched = FairScheduler(quantum=8)
+        sched.submit(1, "a", 0, [(1, 1)])
+        sched.submit(2, "a", 5, [(2, 1)])
+        assert sched.next_batch() == 2
+        assert sched.next_batch() == 1
+
+    def test_arrival_order_breaks_priority_ties(self):
+        sched = FairScheduler(quantum=8)
+        sched.submit(1, "a", 3, [(1, 1)])
+        sched.submit(2, "a", 3, [(2, 1)])
+        assert [sched.next_batch(), sched.next_batch()] == [1, 2]
+
+    def test_complete_retires_drained_jobs(self):
+        sched = FairScheduler(quantum=4)
+        sched.submit(1, "a", 0, [(1, 1), (2, 1)])
+        assert sched.has_work()
+        sched.next_batch()
+        sched.next_batch()
+        assert not sched.has_work()
+        sched.complete(1)
+        sched.complete(2)
+        assert sched.pending_batches() == 0
+        assert sched.submitters() == []
+        # The job id is reusable once retired.
+        sched.submit(1, "a", 0, [(3, 1)])
+        assert sched.next_batch() == 3
+
+    def test_duplicate_job_id_rejected(self):
+        sched = FairScheduler(quantum=4)
+        sched.submit(1, "a", 0, [(1, 1)])
+        with pytest.raises(ValueError, match="already submitted"):
+            sched.submit(1, "b", 0, [(2, 1)])
+
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(ValueError, match="quantum"):
+            FairScheduler(quantum=0)
+
+
+# ----------------------------------------------------------------- store
+
+
+class TestRecordStore:
+    def _cell(self):
+        return make_cells()[0]
+
+    def test_roundtrip_uses_cache_layout(self, tmp_path):
+        store = RecordStore(tmp_path)
+        cell = self._cell()
+        key = engine_module.cell_key(cell)
+        record = {"total_cycles": 123, "policy": "risc"}
+        assert store.get(key) is None
+        store.put(key, cell.payload(), record)
+        assert store.get(key) == record
+        path = tmp_path / key[:2] / f"{key}.json"
+        assert path.exists()
+        envelope = json.loads(path.read_text())
+        assert envelope["schema"] == engine_module.ENGINE_SCHEMA
+        assert envelope["key"] == key
+        assert envelope["cell"] == cell.payload()
+
+    def test_flush_index_feeds_engine_sidecar(self, tmp_path):
+        store = RecordStore(tmp_path)
+        cell = self._cell()
+        key = engine_module.cell_key(cell)
+        store.put(key, cell.payload(), {"total_cycles": 1})
+        assert store.flush_index() == 1
+        entries = engine_module._load_index(tmp_path)
+        assert entries is not None and key in entries
+        assert store.flush_index() == 0
+
+    def test_verified_put_rejects_wrong_namespace(self, tmp_path):
+        store = RecordStore(tmp_path)
+        cell = self._cell()
+        key = engine_module.cell_key(cell)
+        with pytest.raises(ReproError, match="namespace mismatch"):
+            store.verified_put("bogus", key, cell.payload(), {"x": 1})
+
+    def test_verified_put_rejects_wrong_key(self, tmp_path):
+        store = RecordStore(tmp_path)
+        cell = self._cell()
+        fingerprint = engine_module.library_fingerprint(
+            cell.workload, cell.budget,
+            cell.workload_params, cell.budget_params,
+        )
+        with pytest.raises(ReproError, match="key mismatch"):
+            store.verified_put(
+                fingerprint, "0" * 64, cell.payload(), {"x": 1}
+            )
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        store = RecordStore(tmp_path)
+        cell = self._cell()
+        key = engine_module.cell_key(cell)
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(
+            {"schema": -1, "key": key, "cell": {}, "record": {"x": 1}}
+        ))
+        assert store.get(key) is None
+
+
+# ---------------------------------------------------------- service e2e
+
+
+class TestServiceEndToEnd:
+    def test_two_concurrent_clients_byte_identical_to_serial(self, tmp_path):
+        cells_a = make_cells(budgets=((1, 1), (2, 1)))
+        cells_b = make_cells(budgets=((2, 1), (2, 2)))  # overlaps on (2, 1)
+        ref_a = SweepEngine(backend="serial", use_cache=False).run(cells_a)
+        ref_b = SweepEngine(backend="serial", use_cache=False).run(cells_b)
+        handle = start_service_thread(workers=2, cache_dir=str(tmp_path))
+        results, errors = {}, []
+        try:
+            def submit(name, cells):
+                try:
+                    with ServiceClient(
+                        handle.coordinator, submitter=name
+                    ) as client:
+                        records, _ = client.run_job(
+                            [c.payload() for c in cells]
+                        )
+                    results[name] = records
+                except Exception as error:  # surfaced after join
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=submit, args=("a", cells_a)),
+                threading.Thread(target=submit, args=("b", cells_b)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        finally:
+            assert handle.stop()
+        assert not errors
+        assert canonical(results["a"]) == canonical(ref_a)
+        assert canonical(results["b"]) == canonical(ref_b)
+
+    def test_second_submission_served_from_store(self, tmp_path):
+        cells = make_cells()
+        payloads = [c.payload() for c in cells]
+        handle = start_service_thread(workers=2, cache_dir=str(tmp_path))
+        try:
+            with ServiceClient(handle.coordinator) as client:
+                first, counters_first = client.run_job(payloads)
+            with ServiceClient(handle.coordinator) as client:
+                second, counters_second = client.run_job(payloads)
+        finally:
+            assert handle.stop()
+        assert canonical(first) == canonical(second)
+        assert counters_first["remote_cache_hits"] == 0
+        assert counters_first["frames_sent"] > 0
+        # Resubmission never reaches the workers: every cell comes from
+        # the network-served store.
+        assert counters_second["frames_sent"] == 0
+        assert counters_second["remote_cache_hits"] == len(cells)
+        assert counters_second["jobs_completed"] == 1
+
+    def test_worker_death_mid_job_reassigns_deterministically(self, tmp_path):
+        cells = make_cells()
+        ref = SweepEngine(backend="serial", use_cache=False).run(cells)
+        handle = start_service_thread(
+            worker_specs=[{"fail_after": 0}, {}], cache_dir=str(tmp_path)
+        )
+        try:
+            # Both workers must have joined before the job is planned, so
+            # the doomed worker is guaranteed to receive (and drop) a batch.
+            deadline = time.monotonic() + 30
+            while len(handle.service._live) < 2:
+                assert time.monotonic() < deadline, "workers never joined"
+                time.sleep(0.01)
+            with ServiceClient(handle.coordinator) as client:
+                records, counters = client.run_job(
+                    [c.payload() for c in cells]
+                )
+        finally:
+            assert handle.stop()
+        assert canonical(records) == canonical(ref)
+        assert counters["worker_restarts"] >= 1
+
+    def test_cache_frames_roundtrip_and_namespace_guard(self, tmp_path):
+        cell = make_cells()[0]
+        key = engine_module.cell_key(cell)
+        fingerprint = engine_module.library_fingerprint(
+            cell.workload, cell.budget,
+            cell.workload_params, cell.budget_params,
+        )
+        record = {"total_cycles": 42, "policy": "risc"}
+        handle = start_service_thread(workers=0, cache_dir=str(tmp_path))
+        try:
+            with ServiceClient(handle.coordinator) as client:
+                assert client.cache_get(key) is None
+                client.cache_put(fingerprint, key, cell.payload(), record)
+                assert client.cache_get(key) == record
+                with pytest.raises(ReproError, match="namespace mismatch"):
+                    client.cache_put(
+                        "divergent", key, cell.payload(), record
+                    )
+        finally:
+            assert handle.stop()
+        # The drain flushed the sidecar index incrementally maintained by
+        # the daemon.
+        entries = engine_module._load_index(tmp_path)
+        assert entries is not None and key in entries
+
+    def test_drain_rejects_new_jobs_but_finishes_accepted(self, tmp_path):
+        cells = make_cells()[:2]
+        handle = start_service_thread(workers=0, cache_dir=str(tmp_path))
+        hello = {
+            "type": "hello",
+            "schema": engine_module.ENGINE_SCHEMA,
+            "protocol": PROTOCOL_VERSION,
+        }
+        release = threading.Event()
+
+        def slow_worker():
+            # A synchronous protocol worker that holds every batch until
+            # released -- keeping the accepted job in flight while the
+            # drain semantics are probed.
+            conn = socket.create_connection(handle.address, timeout=30)
+            try:
+                send_frame(conn, hello)
+                assert recv_frame(conn)["type"] == "welcome"
+                while True:
+                    frame = recv_frame(conn)
+                    if frame.get("type") == "shutdown":
+                        return
+                    if frame.get("type") != "batch":
+                        continue
+                    release.wait(timeout=60)
+                    batch_cells = [
+                        SweepCell.from_payload(p) for p in frame["cells"]
+                    ]
+                    records, built = engine_module.execute_batch(batch_cells)
+                    send_frame(conn, {
+                        "type": "result",
+                        "batch": frame["batch"],
+                        "records": records,
+                        "built": built,
+                    })
+            finally:
+                conn.close()
+
+        worker_thread = threading.Thread(target=slow_worker, daemon=True)
+        worker_thread.start()
+
+        client_a = socket.create_connection(handle.address, timeout=30)
+        send_frame(client_a, dict(hello, role="client"))
+        assert recv_frame(client_a)["type"] == "welcome"
+        send_frame(
+            client_a,
+            {"type": "job", "cells": [c.payload() for c in cells]},
+        )
+        assert recv_frame(client_a)["type"] == "job_accepted"
+
+        handle.request_drain()
+
+        # A job submitted after the drain request is turned away...
+        client_b = socket.create_connection(handle.address, timeout=30)
+        send_frame(client_b, dict(hello, role="client"))
+        assert recv_frame(client_b)["type"] == "welcome"
+        send_frame(client_b, {"type": "job", "cells": [cells[0].payload()]})
+        reply = recv_frame(client_b)
+        assert reply["type"] == "reject"
+        assert "drain" in reply["reason"]
+        client_b.close()
+
+        # ...while the accepted job still runs to completion.
+        release.set()
+        seen = []
+        while True:
+            frame = recv_frame(client_a)
+            if frame["type"] == "cell_result":
+                seen.append(frame["index"])
+            elif frame["type"] == "job_done":
+                break
+        assert sorted(seen) == [0, 1]
+        client_a.close()
+        assert handle.stop()
+        worker_thread.join(timeout=30)
+
+
+# ---------------------------------------------------------------- backend
+
+
+class TestServiceBackend:
+    def test_registered_and_resolvable(self):
+        backend = resolve_backend("service", workers=1)
+        assert isinstance(backend, ServiceBackend)
+        assert backend.name == "service"
+
+    def test_self_hosted_sweep_identical_to_serial(self):
+        cells = make_cells()
+        ref = SweepEngine(backend="serial", use_cache=False).run(cells)
+        eng = SweepEngine(backend="service", use_cache=False)
+        got = eng.run(cells)
+        assert canonical(got) == canonical(ref)
+        assert eng.stats.jobs_completed == 1
+        payload = eng.stats.engine_payload()
+        assert payload["jobs_completed"] == 1
+        assert payload["remote_cache_hits"] == 0
+        assert payload["frames_sent"] > 0
+
+    def test_connected_mode_uses_running_daemon(self, tmp_path):
+        cells = make_cells(budgets=((1, 1),), seeds=(0,))
+        ref = SweepEngine(backend="serial", use_cache=False).run(cells)
+        handle = start_service_thread(workers=2, cache_dir=str(tmp_path))
+        try:
+            eng = SweepEngine(
+                backend="service",
+                use_cache=False,
+                coordinator=handle.coordinator,
+            )
+            got = eng.run(cells)
+        finally:
+            assert handle.stop()
+        assert canonical(got) == canonical(ref)
+
+
+# -------------------------------------------------------------- reconnect
+
+
+class TestWorkerReconnect:
+    def test_schedule_is_deterministic_and_capped(self):
+        delays = reconnect_delays(8)
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 5.0, 5.0]
+        assert delays[0] == RECONNECT_BASE
+        assert max(delays) == RECONNECT_CAP
+        assert reconnect_delays(8) == delays  # no jitter, ever
+
+    def test_unreachable_coordinator_walks_schedule_then_gives_up(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        address = probe.getsockname()
+        probe.close()  # nobody listens here any more
+        started = time.monotonic()
+        code = run_worker(address, reconnect=True, max_attempts=2)
+        elapsed = time.monotonic() - started
+        assert code == 1
+        # Two backoff sleeps (0.1 + 0.2) plus three fast refused dials.
+        assert elapsed >= 0.3
+
+    def test_rejected_handshake_never_retries(self):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        address = server.getsockname()
+
+        def reject_once():
+            conn, _ = server.accept()
+            recv_frame(conn)
+            send_frame(conn, {"type": "reject", "reason": "wrong schema"})
+            conn.close()
+
+        thread = threading.Thread(target=reject_once, daemon=True)
+        thread.start()
+        code = run_worker(address, reconnect=True, max_attempts=8)
+        assert code == 2
+        thread.join(timeout=10)
+        server.close()
+
+    def test_lost_after_welcome_reports_code_3(self):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        address = server.getsockname()
+
+        def welcome_then_hang_up():
+            conn, _ = server.accept()
+            recv_frame(conn)
+            send_frame(conn, {
+                "type": "welcome",
+                "schema": engine_module.ENGINE_SCHEMA,
+                "protocol": PROTOCOL_VERSION,
+                "fingerprints": [],
+            })
+            conn.close()
+
+        thread = threading.Thread(target=welcome_then_hang_up, daemon=True)
+        thread.start()
+        code = worker_loop(address)
+        assert code == 3
+        thread.join(timeout=10)
+        server.close()
