@@ -422,10 +422,18 @@ class SweepService:
         job = _JobState(job_id, peer, submitter, priority)
         self._jobs[job_id] = job
         self.jobs_accepted += 1
-        await write_frame(
-            peer.writer,
-            {"type": "job_accepted", "job": job_id, "cells": len(payloads)},
-        )
+        try:
+            await write_frame(
+                peer.writer,
+                {"type": "job_accepted", "job": job_id, "cells": len(payloads)},
+            )
+        except (OSError, ConnectionError):
+            # Client vanished right after submitting: drop the job before
+            # it acquires keys/batches, or drain could wait on it forever.
+            peer.closed = True
+            del self._jobs[job_id]
+            self._check_drained()
+            return
         try:
             cells, keys, hits = await asyncio.to_thread(
                 self._prepare_job, payloads
@@ -441,16 +449,15 @@ class SweepService:
         # in-flight keys subscribe, the rest become this job's batches.
         miss_cells: List[engine_module.SweepCell] = []
         miss_keys: List[str] = []
-        served: Set[str] = set()
+        seen: Set[str] = set()
         for cell, key in zip(cells, keys):
-            if key in served or key in set(miss_keys):
+            if key in seen:
                 continue
+            seen.add(key)
             if key in hits:
-                served.add(key)
                 job.counters["remote_cache_hits"] += len(job.indices_by_key[key])
                 await self._send_cell_results(job, key, hits[key])
             elif key in self._computing:
-                served.add(key)
                 job.counters["remote_cache_hits"] += len(job.indices_by_key[key])
                 self._computing[key].append(job_id)
                 job.unresolved.add(key)
@@ -487,8 +494,11 @@ class SweepService:
                     token, job_id, batch_keys, batch_frame
                 )
                 entries.append((token, len(batch)))
+            # setdefault+append, not assignment: the classification loop
+            # above awaits, so a concurrent job may have registered the
+            # same key meanwhile -- merge subscribers, never clobber them.
             for key in miss_keys:
-                self._computing[key] = [job_id]
+                self._computing.setdefault(key, []).append(job_id)
                 job.unresolved.add(key)
             self.scheduler.submit(job_id, submitter, priority, entries)
             job.counters["frames_sent"] += len(entries)
@@ -524,7 +534,17 @@ class SweepService:
         state = self._batches.pop(token, None)
         if state is not None:
             self.scheduler.complete(token)
-            records = frame.get("records", [])
+            records = frame.get("records") or []
+            if len(records) != len(state.keys):
+                # A short (or long) record list would zip-truncate and
+                # leave the tail keys unresolved forever; fail loudly.
+                await self._fail_batch_jobs(
+                    state,
+                    f"worker {peer.peer_id} returned {len(records)} "
+                    f"records for a {len(state.keys)}-cell batch",
+                )
+                await self._dispatch()
+                return
             job = self._jobs.get(state.job_id)
             if job is not None and not job.failed:
                 merge_counters(job.counters, frame.get("built", {}))
@@ -626,14 +646,18 @@ class SweepService:
         if state is not None:
             self.scheduler.complete(token)
             message = str(frame.get("message", "worker rejected the batch"))
-            for key in state.keys:
-                for job_id in self._computing.pop(key, []):
-                    job = self._jobs.get(job_id)
-                    if job is not None:
-                        await self._fail_job(
-                            job, f"worker {peer.peer_id}: {message}"
-                        )
+            await self._fail_batch_jobs(
+                state, f"worker {peer.peer_id}: {message}"
+            )
         await self._dispatch()
+
+    async def _fail_batch_jobs(self, state: _BatchState, message: str) -> None:
+        """Fail every job subscribed to any of a dead batch's keys."""
+        for key in state.keys:
+            for job_id in self._computing.pop(key, []):
+                job = self._jobs.get(job_id)
+                if job is not None:
+                    await self._fail_job(job, message)
 
     async def _on_worker_lost(self, peer: _Peer, clean: bool) -> None:
         if peer.peer_id not in self._live:

@@ -160,19 +160,21 @@ class FairScheduler:
         job = self._jobs[job_id]
         cost = self._token_cost[token]
         job.batches.appendleft((token, cost))
-        if job.submitter in self._deficit:
-            self._deficit[job.submitter] += cost
-        else:
-            self._deficit[job.submitter] = cost
-            self._ring.append(job.submitter)
-            self._by_submitter.setdefault(job.submitter, [])
-            if job_id not in self._by_submitter[job.submitter]:
-                self._by_submitter[job.submitter].append(job_id)
-                self._by_submitter[job.submitter].sort(
-                    key=lambda jid: (
-                        -self._jobs[jid].priority, self._jobs[jid].arrival
-                    )
+        self._deficit[job.submitter] = self._deficit.get(job.submitter, 0) + cost
+        queue = self._by_submitter.setdefault(job.submitter, [])
+        if job_id not in queue:
+            queue.append(job_id)
+            queue.sort(
+                key=lambda jid: (
+                    -self._jobs[jid].priority, self._jobs[jid].arrival
                 )
+            )
+        # Re-enter the ring whenever absent -- a submitter whose batches
+        # were all in flight was popped by next_batch() while keeping its
+        # _deficit entry, so gating re-entry on the entry's absence would
+        # leave the requeued batch undispatchable forever.
+        if job.submitter not in self._ring:
+            self._ring.append(job.submitter)
 
     def complete(self, token: int) -> None:
         """Forget a served batch; retires its job once fully drained."""

@@ -3,6 +3,7 @@ network-served record store, concurrent clients vs. the serial
 reference, remote-cache hits, worker-death reassignment, graceful
 drain, and the worker reconnect schedule."""
 
+import asyncio
 import json
 import socket
 import threading
@@ -77,6 +78,20 @@ class TestFairScheduler:
         # The interrupted batch is redispatched before the untouched tail.
         assert sched.next_batch() == 10
         assert sched.next_batch() == 12
+
+    def test_requeue_reenters_ring_after_all_batches_in_flight(self):
+        # Regression: a submitter whose batches are all in flight is
+        # popped from the ring while keeping a (zeroed) deficit entry;
+        # requeue() must put it back in the ring regardless, or the
+        # requeued batch is never dispatchable again (job hangs).
+        sched = FairScheduler(quantum=4)
+        sched.submit(1, "a", 0, [(1, 1)])
+        sched.submit(2, "b", 0, [(2, 1), (3, 1)])
+        assert {sched.next_batch() for _ in range(3)} == {1, 2, 3}
+        assert sched.next_batch() is None  # everything in flight
+        sched.requeue(1)
+        assert sched.has_work()
+        assert sched.next_batch() == 1
 
     def test_equal_priority_submitters_alternate_per_quantum(self):
         sched = FairScheduler(quantum=2)
@@ -288,6 +303,39 @@ class TestServiceEndToEnd:
             assert handle.stop()
         assert canonical(records) == canonical(ref)
         assert counters["worker_restarts"] >= 1
+
+    def test_short_record_list_fails_job_instead_of_hanging(self):
+        # Regression: a worker result with fewer records than batch keys
+        # used to zip-truncate, stranding the tail keys in _computing and
+        # the job in unresolved forever; it must fail the job loudly.
+        from repro.service.daemon import (
+            SweepService, _BatchState, _JobState, _Peer,
+        )
+
+        service = SweepService(workers=0)
+        peer = _Peer(0, "client", None, None)
+        peer.closed = True  # no socket behind it: assert bookkeeping only
+        job = _JobState(0, peer, "a", 0)
+        job.indices_by_key = {"k0": [0], "k1": [1]}
+        job.unresolved = {"k0", "k1"}
+        service._jobs[0] = job
+        service._computing = {"k0": [0], "k1": [0]}
+        service.scheduler.submit(0, "a", 0, [(7, 2)])
+        assert service.scheduler.next_batch() == 7
+        service._batches[7] = _BatchState(
+            7, 0, ["k0", "k1"], {"type": "batch", "cells": [{}, {}]}
+        )
+        worker = _Peer(1, "worker", None, None)
+        worker.token = 7
+        asyncio.run(
+            service._on_result(
+                worker, {"type": "result", "batch": 7, "records": [{"x": 1}]}
+            )
+        )
+        assert job.failed
+        assert 0 not in service._jobs
+        assert service._computing == {}
+        assert service.jobs_failed == 1
 
     def test_cache_frames_roundtrip_and_namespace_guard(self, tmp_path):
         cell = make_cells()[0]
