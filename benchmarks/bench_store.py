@@ -1,0 +1,85 @@
+"""The columnar result store: streamed aggregation vs. in-memory lists.
+
+Two entry points share :mod:`repro.bench`'s ``store`` suite:
+
+* under pytest-benchmark (``pytest benchmarks/bench_store.py``) the
+  quick synthetic sweep executes once under timing and asserts the
+  regression gate -- stored rows round-tripping byte-identically, the
+  streamed KPI summary matching the in-memory one, and peak traced
+  memory beating the in-memory baseline by the quick threshold;
+* as a standalone script (``python benchmarks/bench_store.py [--quick]
+  [--out BENCH_store.json]``) it writes the perf-trajectory JSON, the
+  same artifact as ``repro bench --suite store``.  The verify script
+  runs this with ``--quick`` as its benchmark smoke job.
+
+A second test streams a real (non-synthetic) sweep through
+``SweepEngine.run_streamed`` into a ``ResultWriter`` and checks the
+store round-trip reproduces ``engine.run``'s records exactly.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Standalone invocation does not go through pytest's rootdir machinery.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import (  # noqa: E402
+    STORE_MEMORY_THRESHOLD_QUICK,
+    check_store_gate,
+    render_store,
+    run_store_bench,
+)
+from repro.experiments.engine import SweepCell, SweepEngine  # noqa: E402
+from repro.results import ResultReader, ResultWriter  # noqa: E402
+
+#: 2 budgets x 2 seeds x 2 policies = 8 cells (kept small: the memory
+#: claim is carried by the synthetic suite, this is an identity check).
+BUDGETS = [(1, 1), (2, 2)]
+SEEDS = [0, 1]
+POLICY_NAMES = ["risc", "mrts"]
+WORKLOAD_PARAMS = {"frames": 3, "scale": 0.5}
+
+
+def _cells():
+    return [
+        SweepCell.make(budget, seed, policy, workload_params=WORKLOAD_PARAMS)
+        for budget in BUDGETS
+        for seed in SEEDS
+        for policy in POLICY_NAMES
+    ]
+
+
+def test_store_memory_gate(benchmark):
+    from conftest import run_once
+
+    payload = run_once(benchmark, lambda: run_store_bench(quick=True))
+    print()
+    print(render_store(payload))
+    assert check_store_gate(payload) == []
+    assert payload["memory_ratio"] >= STORE_MEMORY_THRESHOLD_QUICK
+
+
+def test_store_roundtrip_matches_engine(benchmark, tmp_path):
+    from conftest import run_once
+
+    cells = _cells()
+    engine = SweepEngine(jobs=1, use_cache=False)
+    base = engine.run(cells)
+
+    def streamed():
+        writer = ResultWriter(str(tmp_path / "store"), shard_rows=3)
+        engine.run_streamed(cells, writer.sink)
+        return writer.close(engine_stats=engine.stats.engine_payload())
+
+    path = run_once(benchmark, streamed)
+    stored = ResultReader(path).records_by_index()
+    assert [stored[i] for i in range(len(cells))] == base
+    assert json.dumps([stored[i] for i in range(len(cells))],
+                      sort_keys=True) == json.dumps(base, sort_keys=True)
+
+
+if __name__ == "__main__":
+    from repro.bench import main
+
+    sys.exit(main(["--suite", "store"] + sys.argv[1:]))

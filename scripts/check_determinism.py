@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Determinism and regression gate for the sweep engine.
 
-Five checks, all byte-level:
+Six checks, all byte-level:
 
 1. **Serial == parallel**: a reference 36-cell sweep executed in-process
    and through a ``--jobs``-wide process pool must serialise identically.
@@ -14,7 +14,11 @@ Five checks, all byte-level:
 4. **Service golden cells**: the committed golden scenarios, expressed as
    sweep cells and routed through ``--backend service``, must serialise
    identically to the serial backend.
-5. **Golden traces**: every committed reference snapshot under
+5. **Store round-trip**: the reference sweep and the golden cells
+   streamed through a columnar ``ResultWriter`` and read back from the
+   committed shards must serialise identically to the in-memory serial
+   records -- the ``--store`` path must never alter a byte.
+6. **Golden traces**: every committed reference snapshot under
    ``tests/golden/`` (H.264 deblocking and the JPEG encoder) must match a
    fresh simulation exactly -- under each of the three ``REPRO_SIM``
    engines (stepped, event, packed), which pins the engines' byte-identity
@@ -191,6 +195,46 @@ def check_service_golden(workers: int) -> Dict[str, object]:
     )
 
 
+def check_store_roundtrip() -> Dict[str, object]:
+    """Streaming through the columnar store must never alter a byte.
+
+    Both the reference sweep and the golden cells run twice: once through
+    ``SweepEngine.run`` (in-memory), once through ``run_streamed`` into a
+    ``ResultWriter`` whose committed shards are read back and reassembled
+    by sweep index.  The two serialisations must match exactly.
+    """
+    from repro.results import ResultReader, ResultWriter
+
+    details: List[str] = []
+    failures: List[str] = []
+    suites = [
+        ("reference", reference_cells()),
+        ("golden", golden_cells()),
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as tmp:
+        for name, cells in suites:
+            engine = SweepEngine(jobs=1, use_cache=False)
+            in_memory = engine.run(cells)
+            writer = ResultWriter(tmp, sweep=name, shard_rows=16)
+            engine.run_streamed(cells, writer.sink)
+            path = writer.close(engine_stats=engine.stats.engine_payload())
+            reader = ResultReader(path)
+            stored = reader.records_by_index()
+            restored = [stored.get(i) for i in range(len(cells))]
+            if json.dumps(restored) != json.dumps(in_memory):
+                failures.append(
+                    f"{name} cells: stored records differ from in-memory"
+                )
+            else:
+                details.append(
+                    f"{name}: {len(cells)} cells through "
+                    f"{len(reader.manifest['shards'])} shard(s)"
+                )
+    if failures:
+        return _check("store-roundtrip", False, failures)
+    return _check("store-roundtrip", True, details)
+
+
 def check_golden() -> Dict[str, object]:
     """The golden-trace check, as a summary record.
 
@@ -264,6 +308,7 @@ def main(argv=None) -> int:
         checks.extend(check_engine(args.jobs))
         checks.append(check_backends(args.jobs, args.workers))
         checks.append(check_service_golden(args.workers))
+        checks.append(check_store_roundtrip())
     checks.append(check_golden())
     ok = all(check["ok"] for check in checks)
 

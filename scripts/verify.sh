@@ -5,19 +5,22 @@
 #   bash scripts/verify.sh [--jobs N]
 #
 # The bench steps write the quick variants of BENCH_selector.json,
-# BENCH_sim.json, BENCH_engine.json and BENCH_service.json and fail on
-# any A/B regression: differing results, the incremental selector
-# recomputing more profits than the naive one (repro.bench.check_gate),
-# the event engine reducing ECU cascade calls by less than the 5x
-# threshold or the packed engine missing its per-cell wall-clock speedup
-# threshold (repro.bench.check_sim_gate), the construction memos cutting
-# builds by less than 3x / the executor backends disagreeing
-# (repro.bench.check_engine_gate), or the always-on sweep service
-# failing byte-identity against serial or its >= 1.5x aggregate
-# throughput factor over sequential one-shot fleets
-# (repro.bench.check_service_gate).  The packed-engine identity gate
-# also re-runs the A/B/C and golden suites with REPRO_SIM=packed,
-# pinning the byte-identity contract under the env-selected engine.
+# BENCH_sim.json, BENCH_engine.json, BENCH_service.json and
+# BENCH_store.json and fail on any A/B regression: differing results,
+# the incremental selector recomputing more profits than the naive one
+# (repro.bench.check_gate), the event engine reducing ECU cascade calls
+# by less than the 5x threshold or the packed engine missing its
+# per-cell wall-clock speedup threshold (repro.bench.check_sim_gate),
+# the construction memos cutting builds by less than 3x / the executor
+# backends disagreeing (repro.bench.check_engine_gate), the always-on
+# sweep service failing byte-identity against serial or its >= 1.5x
+# aggregate throughput factor over sequential one-shot fleets
+# (repro.bench.check_service_gate), or the columnar result store losing
+# byte-identity on the round-trip / missing its peak-memory ratio over
+# in-memory aggregation (repro.bench.check_store_gate).  The
+# packed-engine identity gate also re-runs the A/B/C and golden suites
+# with REPRO_SIM=packed, pinning the byte-identity contract under the
+# env-selected engine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,5 +60,8 @@ python benchmarks/bench_engine.py --quick --out BENCH_engine.quick.json
 
 echo "== sweep service bench smoke =="
 python benchmarks/bench_service.py --quick --out BENCH_service.quick.json
+
+echo "== result store bench smoke =="
+python benchmarks/bench_store.py --quick --out BENCH_store.quick.json
 
 echo "verify: all gates passed"

@@ -1,7 +1,8 @@
 """A/B microbenchmarks of the reproduction's hot paths.
 
-Four suites, all over the Fig. 8 reference workload (the H.264 encoder on
-the (CG fabrics x PRCs) budget grid), all doubling as regression gates:
+Five suites -- four over the Fig. 8 reference workload (the H.264
+encoder on the (CG fabrics x PRCs) budget grid), one over a synthetic
+sweep -- all doubling as regression gates:
 
 * ``selector`` -- naive vs. incremental vs. packed ISE selector:
   per-budget stats payloads must be byte-identical across all three and
@@ -25,6 +26,13 @@ the (CG fabrics x PRCs) budget grid), all doubling as regression gates:
   one-shot distributed backends, byte-identical to serial throughout
   (``BENCH_service.json``).  The win comes from sharing one worker fleet
   and serving repeats from the in-flight table and the network store.
+* ``store`` -- in-memory result aggregation vs. the columnar result
+  store: a deterministic synthetic sweep is aggregated once from a fully
+  materialised row list and once streamed through
+  ``ResultWriter``/``ResultReader``; stored rows must round-trip
+  byte-identically, the two KPI summaries must match exactly, and the
+  streamed leg's peak traced memory must beat the in-memory baseline by
+  at least :data:`STORE_MEMORY_THRESHOLD` (``BENCH_store.json``).
 
 :func:`main` (also reachable as ``repro bench --suite ...`` and via the
 ``benchmarks/bench_selector.py`` / ``benchmarks/bench_sim.py`` /
@@ -79,6 +87,24 @@ ENGINE_BACKENDS = ("serial", "pool", "distributed")
 #: always-on daemon over the same N sweeps run sequentially through
 #: one-shot distributed fleets (the service suite's gate).
 SERVICE_THROUGHPUT_THRESHOLD = 1.5
+
+#: Synthetic cells the store suite streams (full / quick tiers).
+STORE_CELLS = 10_000
+STORE_CELLS_QUICK = 1_000
+
+#: Rows per columnar shard in the store suite (small enough that the
+#: writer's buffer is a tiny fraction of the sweep).
+STORE_SHARD_ROWS = 256
+
+#: Minimum peak-traced-memory ratio of in-memory aggregation over
+#: store-streamed aggregation at :data:`STORE_CELLS` cells (the store
+#: suite's perf gate; measured ~40x on the reference machine).
+STORE_MEMORY_THRESHOLD = 5.0
+
+#: Quick-tier relaxation: at 10^3 cells fixed overheads (interpreter,
+#: tracemalloc bookkeeping, shard buffers) weigh more, so the smoke job
+#: only asserts a conservative floor.
+STORE_MEMORY_THRESHOLD_QUICK = 2.0
 
 #: Concurrent submissions the service suite drives.
 SERVICE_SWEEPS = 4
@@ -618,6 +644,169 @@ def check_service_gate(payload: Dict[str, object]) -> List[str]:
     return failures
 
 
+class _ListRows:
+    """In-memory stand-in for ``ResultReader``'s aggregation surface.
+
+    The store suite's baseline leg aggregates a fully materialised row
+    list through the *same* KPI code path as the streamed leg, so the
+    two summaries are comparable and the only variable is where the rows
+    live."""
+
+    def __init__(self, rows_list):
+        self._rows = rows_list
+        self.rows = len(rows_list)
+
+    def group_fold(self, key, fn, init, fields=None):
+        """Same contract as :meth:`ResultReader.group_fold`, over the list."""
+        groups = {}
+        for row in self._rows:
+            group = key(row)
+            if group not in groups:
+                groups[group] = init()
+            groups[group] = fn(groups[group], row)
+        return groups
+
+
+def run_store_bench(
+    frames: int = 16, seed: int = 7, quick: bool = False
+) -> Dict[str, object]:
+    """Benchmark columnar-store streaming against in-memory aggregation.
+
+    Two legs over the same deterministic synthetic sweep
+    (:mod:`repro.results.synth`), each wrapped in ``tracemalloc``:
+
+    * **in-memory**: materialise every row in a list, aggregate the KPI
+      summary from the list (today's ``engine.run`` shape);
+    * **store**: generate-append-drop each row through a
+      :class:`ResultWriter` (bounded shard buffer), then aggregate the
+      same KPI summary through :class:`ResultReader`'s streamed
+      group-fold.
+
+    The payload reports both peaks, their ratio (gated), write/fold
+    throughput, and two identity bits: every stored row must decode
+    byte-identically to its regenerated original, and the two KPI
+    summaries must match exactly.
+    """
+    import shutil
+    import tempfile
+    import tracemalloc
+
+    from repro.results.kpi import speedup_summary
+    from repro.results.schema import canonical_json
+    from repro.results.store import ResultReader, ResultWriter
+    from repro.results.synth import synthetic_row, synthetic_rows
+
+    cells = STORE_CELLS_QUICK if quick else STORE_CELLS
+
+    # Leg 1: the in-memory baseline (list of rows + aggregation).
+    tracemalloc.start()
+    rows_list = list(synthetic_rows(cells, seed=seed))
+    summary_memory = speedup_summary(_ListRows(rows_list))
+    peak_memory = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    del rows_list
+
+    # Leg 2: streamed through the columnar store.
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        tracemalloc.start()
+        write_start = time.perf_counter()
+        writer = ResultWriter(root, sweep="bench", shard_rows=STORE_SHARD_ROWS)
+        for index, cell, record in synthetic_rows(cells, seed=seed):
+            writer.append(index, cell, record)
+        path = writer.close()
+        write_elapsed = time.perf_counter() - write_start
+        reader = ResultReader(path)
+        fold_start = time.perf_counter()
+        summary_store = speedup_summary(reader)
+        fold_elapsed = time.perf_counter() - fold_start
+        peak_store = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
+        # Byte-identity: every stored row decodes back to its original.
+        roundtrip_ok = True
+        decoded = 0
+        for index, cell, record in reader.iter_rows():
+            _, cell2, record2 = synthetic_row(index, seed=seed)
+            if canonical_json([cell, record]) != canonical_json([cell2, record2]):
+                roundtrip_ok = False
+                break
+            decoded += 1
+        roundtrip_ok = roundtrip_ok and decoded == cells
+        stored_bytes = sum(
+            entry["bytes"] for entry in reader.manifest["shards"]
+        )
+        shards = len(reader.manifest["shards"])
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    threshold = STORE_MEMORY_THRESHOLD_QUICK if quick else STORE_MEMORY_THRESHOLD
+    return {
+        "suite": "store",
+        "quick": quick,
+        "cells": cells,
+        "shard_rows": STORE_SHARD_ROWS,
+        "peak_bytes_in_memory": peak_memory,
+        "peak_bytes_store": peak_store,
+        "memory_ratio": round(peak_memory / peak_store, 2) if peak_store else 0.0,
+        "memory_threshold": threshold,
+        "identical_results": roundtrip_ok,
+        "kpi_match": canonical_json(summary_store) == canonical_json(summary_memory),
+        "stored_bytes": stored_bytes,
+        "shards": shards,
+        "write_cells_per_sec": round(cells / write_elapsed, 1),
+        "fold_cells_per_sec": round(cells / fold_elapsed, 1),
+        "kpi_groups": summary_store["groups"],
+    }
+
+
+def render_store(payload: Dict[str, object]) -> str:
+    """Human-readable summary of the store suite's payload."""
+    from repro.util.tables import render_table
+
+    rows = [
+        ["in-memory", payload["peak_bytes_in_memory"], "-"],
+        ["store", payload["peak_bytes_store"],
+         f"{payload['memory_ratio']}x lower"],
+    ]
+    table = render_table(
+        ["aggregation", "peak bytes", "vs in-memory"],
+        rows,
+        title=(
+            f"store suite: {payload['cells']} synthetic cells, "
+            f"{payload['shards']} shards of {payload['shard_rows']} rows"
+        ),
+    )
+    return (
+        f"{table}\n"
+        f"round-trip byte-identical: {payload['identical_results']}; "
+        f"KPI summaries match: {payload['kpi_match']}\n"
+        f"write {payload['write_cells_per_sec']} cells/s, "
+        f"streamed fold {payload['fold_cells_per_sec']} cells/s, "
+        f"{payload['stored_bytes']} bytes on disk"
+    )
+
+
+def check_store_gate(payload: Dict[str, object]) -> List[str]:
+    """The regression conditions of the store suite (empty = pass): the
+    stored rows must round-trip byte-identically, the streamed KPI summary
+    must equal the in-memory one, and peak traced memory must beat the
+    in-memory baseline by at least the threshold factor."""
+    failures = []
+    if not payload["identical_results"]:
+        failures.append("stored rows did not round-trip byte-identically")
+    if not payload["kpi_match"]:
+        failures.append("streamed KPI summary diverged from in-memory")
+    ratio = payload["memory_ratio"]
+    threshold = payload["memory_threshold"]
+    if ratio < threshold:
+        failures.append(
+            f"store cut peak memory only {ratio}x "
+            f"(threshold {threshold}x)"
+        )
+    return failures
+
+
 #: suite name -> (runner, renderer, gate, default output file)
 SUITES = {
     "selector": (
@@ -631,6 +820,10 @@ SUITES = {
     "service": (
         run_service_bench, render_service, check_service_gate,
         "BENCH_service.json",
+    ),
+    "store": (
+        run_store_bench, render_store, check_store_gate,
+        "BENCH_store.json",
     ),
 }
 
@@ -678,18 +871,26 @@ __all__ = [
     "SERVICE_SWEEPS",
     "SERVICE_THROUGHPUT_THRESHOLD",
     "SIM_REDUCTION_THRESHOLD",
+    "STORE_CELLS",
+    "STORE_CELLS_QUICK",
+    "STORE_MEMORY_THRESHOLD",
+    "STORE_MEMORY_THRESHOLD_QUICK",
+    "STORE_SHARD_ROWS",
     "SUITES",
     "check_engine_gate",
     "check_gate",
     "check_service_gate",
     "check_sim_gate",
+    "check_store_gate",
     "main",
     "render",
     "render_engine",
     "render_service",
     "render_sim",
+    "render_store",
     "run_engine_bench",
     "run_selector_bench",
     "run_service_bench",
     "run_sim_bench",
+    "run_store_bench",
 ]

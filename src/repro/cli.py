@@ -8,6 +8,7 @@ Commands
 ``case-study``   print the Section 2 deblocking-filter case study
 ``experiments``  run the full figure-reproduction suite
 ``sweep``        run a (budget x seed x policy) sweep through the engine
+``results``      summarise/aggregate/export stored columnar sweep results
 ``report``       write the full markdown experiment dossier
 ``export``       run one experiment and write its data as CSV/JSON
 ``bench``        A/B-benchmark a hot path, write BENCH_<suite>.json
@@ -184,7 +185,7 @@ def cmd_experiments(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.experiments.sweep import run_sweep
+    from repro.experiments.sweep import run_sweep, run_sweep_stored
 
     try:
         budgets = []
@@ -198,10 +199,7 @@ def cmd_sweep(args) -> int:
             budgets.append((int(label[0]), int(label[1])))
         seeds = [int(s) for s in args.seeds.split(",")]
         policies = [p.strip() for p in args.policies.split(",")]
-        result = run_sweep(
-            budgets,
-            seeds,
-            policies,
+        kwargs = dict(
             workload=args.workload,
             workload_params={
                 "images" if args.workload == "jpeg" else "frames": args.frames
@@ -209,10 +207,88 @@ def cmd_sweep(args) -> int:
             cache_max_bytes=args.cache_max_bytes,
             **_engine_kwargs(args),
         )
+        if args.store is not None:
+            result, stored_path = run_sweep_stored(
+                budgets, seeds, policies,
+                store=args.store, sweep=args.store_sweep,
+                shard_rows=args.store_shard_rows, **kwargs,
+            )
+        else:
+            stored_path = None
+            result = run_sweep(budgets, seeds, policies, **kwargs)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(result.render())
+    if stored_path is not None:
+        # On stderr so stored and plain sweeps stay stdout-comparable.
+        print(f"stored: {stored_path}", file=sys.stderr)
+    return 0
+
+
+def _resolve_sweep(store: str, sweep):
+    """The sweep directory to read: explicit name, or the store's only one."""
+    import os
+
+    from repro.results import list_sweeps
+
+    if sweep is not None:
+        return os.path.join(store, sweep)
+    sweeps = list_sweeps(store)
+    if not sweeps:
+        raise ReproError(f"no committed sweeps under {store!r}")
+    if len(sweeps) > 1:
+        raise ReproError(
+            f"{store!r} holds {len(sweeps)} sweeps; pick one with "
+            f"--sweep (available: {', '.join(sweeps)})"
+        )
+    return os.path.join(store, sweeps[0])
+
+
+def cmd_results(args) -> int:
+    import json as json_module
+
+    from repro.results import (
+        ResultReader,
+        ResultStoreError,
+        fleet_summary,
+        speedup_summary,
+        store_stats,
+    )
+
+    try:
+        if args.action == "summary" and args.sweep is None:
+            payload = store_stats(args.store)
+        else:
+            reader = ResultReader(
+                _resolve_sweep(args.store, args.sweep), recover=args.recover
+            )
+            if args.action == "summary":
+                payload = fleet_summary(reader)
+            elif args.action == "kpi":
+                payload = speedup_summary(reader, reference=args.reference)
+            else:  # export: stream rows as JSON lines, never materialised
+                out = (
+                    open(args.out, "w", encoding="utf-8")
+                    if args.out else sys.stdout
+                )
+                try:
+                    for index, cell, record in reader.iter_rows():
+                        out.write(json_module.dumps(
+                            {"index": index, "cell": cell, "record": record},
+                            sort_keys=True, separators=(",", ":"),
+                        ))
+                        out.write("\n")
+                except BrokenPipeError:
+                    pass  # downstream consumer (head, etc.) closed the pipe
+                finally:
+                    if args.out:
+                        out.close()
+                return 0
+    except (ResultStoreError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(json_module.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -336,7 +412,7 @@ def cmd_lint(args) -> int:
 def cmd_report(args) -> int:
     from repro.experiments.report import write_markdown_report
 
-    path = write_markdown_report(args.out, fast=args.fast)
+    path = write_markdown_report(args.out, fast=args.fast, store=args.store)
     print(f"wrote {path}")
     return 0
 
@@ -422,7 +498,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--cache-max-bytes", type=int, default=None,
                          help="shrink the cell cache to this many bytes "
                               "after the run (LRU eviction)")
+    p_sweep.add_argument("--store", default=None,
+                         help="stream per-cell records into a columnar "
+                              "result store at this directory "
+                              "(e.g. .repro_results)")
+    p_sweep.add_argument("--store-sweep", default=None,
+                         help="sweep name inside --store (default: a "
+                              "fresh auto-allocated sweep-* directory)")
+    p_sweep.add_argument("--store-shard-rows", type=int, default=0,
+                         help="rows buffered per columnar shard "
+                              "(default: 512)")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_res = sub.add_parser(
+        "results", help="summarise/aggregate/export stored sweep results"
+    )
+    p_res.add_argument("action", choices=("summary", "kpi", "export"))
+    p_res.add_argument("--store", default=".repro_results",
+                       help="result store root (default %(default)s)")
+    p_res.add_argument("--sweep", default=None,
+                       help="sweep name under --store (default: the only "
+                            "committed sweep; 'summary' without it lists "
+                            "all sweeps)")
+    p_res.add_argument("--reference", default="risc",
+                       help="reference policy for 'kpi' speedups "
+                            "(default %(default)s)")
+    p_res.add_argument("--recover", action="store_true",
+                       help="salvage intact shards of an uncommitted "
+                            "sweep (crash-mid-write recovery)")
+    p_res.add_argument("--out", default=None,
+                       help="with 'export': JSONL output file "
+                            "(default: stdout)")
+    p_res.set_defaults(fn=cmd_results)
 
     from repro.bench import SUITES
 
@@ -502,6 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="write the markdown experiment dossier")
     p_rep.add_argument("--out", default="results/report.md")
     p_rep.add_argument("--fast", action="store_true")
+    p_rep.add_argument("--store", default=None,
+                       help="stream the fig8/9/10 grids through a columnar "
+                            "result store at this directory and rebuild "
+                            "them from the stored shards")
     p_rep.set_defaults(fn=cmd_report)
 
     p_out = sub.add_parser("export", help="export one experiment's data")

@@ -33,7 +33,7 @@ from repro.experiments.contention import run_contention, ContentionResult
 from repro.experiments.granularity import run_granularity, GranularityResult
 from repro.experiments.multitask import run_multitask, MultiTaskExperimentResult
 from repro.experiments.energy import run_energy, EnergyResult
-from repro.experiments.sweep import run_sweep, SweepResult
+from repro.experiments.sweep import run_sweep, run_sweep_stored, SweepResult
 from repro.experiments.sensitivity import run_sensitivity, SensitivityResult
 from repro.experiments.fig8_comparison import run_fig8, Fig8Result
 from repro.experiments.fig9_optimality import run_fig9, Fig9Result
@@ -65,6 +65,7 @@ __all__ = [
     "run_energy",
     "EnergyResult",
     "run_sweep",
+    "run_sweep_stored",
     "SweepResult",
     "run_sensitivity",
     "SensitivityResult",

@@ -104,8 +104,18 @@ class ExecutorBackend:
         self.coordinator = coordinator
         self.counters = new_counters()
 
-    def run(self, cells):
-        """Execute ``cells``; returns one record per cell, in input order."""
+    def run(self, cells, on_record=None):
+        """Execute ``cells``; returns one record per cell, in input order.
+
+        With ``on_record`` given, the backend *streams* instead:
+        ``on_record(index, record)`` is called exactly once per cell
+        (``index`` into ``cells``), and ``run`` returns ``None`` so no
+        O(cells) record list is ever built.  Delivery order is
+        backend-defined but deterministic -- callers key on the index,
+        never on arrival order.  Backends whose transport completes out
+        of order hold finished batches back and release them in dispatch
+        order, bounding the hold-back by in-flight batches.
+        """
         raise NotImplementedError
 
 

@@ -252,10 +252,10 @@ class DistributedBackend(ExecutorBackend):
         self._processes.append(process)
 
     # ---------------------------------------------------------------- run
-    def run(self, cells):
+    def run(self, cells, on_record=None):
         cells = list(cells)
         if not cells:
-            return []
+            return [] if on_record is None else None
         batches = plan_batches(
             cells, self.chunk_size,
             parts=self.n_workers or self.DEFAULT_WORKERS,
@@ -278,18 +278,26 @@ class DistributedBackend(ExecutorBackend):
         for spec in specs:
             self._spawn_worker(address, spec)
 
+        on_batch = None
+        if on_record is not None:
+            def on_batch(batch_id, batch_records):
+                for index, record in zip(batches[batch_id], batch_records):
+                    on_record(index, record)
+
         try:
-            results = self._coordinate(frames)
+            results = self._coordinate(frames, on_batch=on_batch)
         finally:
             listener.close()
             self._shutdown_workers()
 
+        self.counters["frames_sent"] += len(frames)
+        if on_record is not None:
+            return None
         records: List[Optional[Dict[str, object]]] = [None] * len(cells)
         for batch_id, batch in enumerate(batches):
             batch_records = results[batch_id]
             for index, record in zip(batch, batch_records):
                 records[index] = record
-        self.counters["frames_sent"] += len(frames)
         return records
 
     def _batch_frames(self, cells, batches) -> List[Dict[str, object]]:
@@ -310,12 +318,30 @@ class DistributedBackend(ExecutorBackend):
             )
         return frames
 
-    def _coordinate(self, frames) -> Dict[int, List[Dict[str, object]]]:
+    def _coordinate(
+        self, frames, on_batch=None
+    ) -> Dict[int, List[Dict[str, object]]]:
         pending = deque(range(len(frames)))
         idle: "deque[_WorkerLink]" = deque()
         live: Dict[int, _WorkerLink] = {}
         results: Dict[int, List[Dict[str, object]]] = {}
+        done: set = set()
+        held: Dict[int, List[Dict[str, object]]] = {}
+        next_emit = [0]
         restarts_used = 0
+
+        def complete(batch_id: int, batch_records) -> None:
+            done.add(batch_id)
+            if on_batch is None:
+                results[batch_id] = batch_records
+                return
+            # Streaming: release finished batches in dispatch (batch-id)
+            # order, so the hold-back never exceeds the in-flight window
+            # and the caller sees one deterministic delivery order.
+            held[batch_id] = batch_records
+            while next_emit[0] in held:
+                on_batch(next_emit[0], held.pop(next_emit[0]))
+                next_emit[0] += 1
 
         def dispatch() -> None:
             while pending and idle:
@@ -329,14 +355,14 @@ class DistributedBackend(ExecutorBackend):
                 except OSError:
                     self._events.put(("lost", link))
 
-        while len(results) < len(frames):
+        while len(done) < len(frames):
             dispatch()
             try:
                 event = self._events.get(timeout=self.stall_timeout)
             except queue.Empty:
                 raise ReproError(
                     f"distributed backend stalled: "
-                    f"{len(results)}/{len(frames)} batches done, "
+                    f"{len(done)}/{len(frames)} batches done, "
                     f"{len(live)} live workers"
                 )
             kind, link = event[0], event[1]
@@ -348,9 +374,9 @@ class DistributedBackend(ExecutorBackend):
                 ftype = frame.get("type")
                 if ftype == "result":
                     batch_id = frame.get("batch")
-                    if batch_id not in results:
+                    if batch_id not in done:
                         merge_counters(self.counters, frame.get("built", {}))
-                        results[batch_id] = frame.get("records", [])
+                        complete(batch_id, frame.get("records", []))
                     link.batch = None
                     idle.append(link)
                 elif ftype == "error":
@@ -366,7 +392,7 @@ class DistributedBackend(ExecutorBackend):
                     link.conn.close()
                 except OSError:
                     pass
-                if link.batch is not None and link.batch not in results:
+                if link.batch is not None and link.batch not in done:
                     # Deterministic reassignment: the interrupted batch goes
                     # to the *front*, so the next free worker re-runs it.
                     pending.appendleft(link.batch)

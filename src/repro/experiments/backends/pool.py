@@ -23,24 +23,35 @@ class PoolBackend(ExecutorBackend):
 
     name = "pool"
 
-    def run(self, cells):
+    def run(self, cells, on_record=None):
         cells = list(cells)
         if not cells:
-            return []
+            return [] if on_record is None else None
         workers = max(1, min(self.jobs, len(cells)))
         if workers == 1 or len(cells) == 1:
             records, built = engine_module.execute_batch(cells)
             merge_counters(self.counters, built)
-            return records
+            if on_record is None:
+                return records
+            for index, record in enumerate(records):
+                on_record(index, record)
+            return None
         batches = plan_batches(cells, self.chunk_size, parts=workers)
         payloads = [[cells[i] for i in batch] for batch in batches]
+        records = None if on_record else [None] * len(cells)
         with ProcessPoolExecutor(max_workers=min(workers, len(batches))) as pool:
-            outcomes = list(pool.map(engine_module.execute_batch, payloads))
-        records = [None] * len(cells)
-        for batch, (batch_records, built) in zip(batches, outcomes):
-            merge_counters(self.counters, built)
-            for index, record in zip(batch, batch_records):
-                records[index] = record
+            # ``pool.map`` yields outcomes in submission order; consuming
+            # it lazily keeps at most the executor's internal buffer of
+            # finished batches alive instead of a full result list.
+            for batch, (batch_records, built) in zip(
+                batches, pool.map(engine_module.execute_batch, payloads)
+            ):
+                merge_counters(self.counters, built)
+                for index, record in zip(batch, batch_records):
+                    if records is None:
+                        on_record(index, record)
+                    else:
+                        records[index] = record
         self.counters["frames_sent"] += len(batches)
         return records
 

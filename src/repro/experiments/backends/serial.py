@@ -16,10 +16,21 @@ class SerialBackend(ExecutorBackend):
 
     name = "serial"
 
-    def run(self, cells):
-        records, built = engine_module.execute_batch(list(cells))
-        merge_counters(self.counters, built)
-        return records
+    def run(self, cells, on_record=None):
+        cells = list(cells)
+        if on_record is None:
+            records, built = engine_module.execute_batch(cells)
+            merge_counters(self.counters, built)
+            return records
+        # Streaming: execute in bounded chunks so the construction memos
+        # still amortise within a chunk while no full record list exists.
+        chunk = self.chunk_size if self.chunk_size else 32
+        for lo in range(0, len(cells), chunk):
+            records, built = engine_module.execute_batch(cells[lo:lo + chunk])
+            merge_counters(self.counters, built)
+            for offset, record in enumerate(records):
+                on_record(lo + offset, record)
+        return None
 
 
 __all__ = ["SerialBackend"]

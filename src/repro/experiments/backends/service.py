@@ -32,13 +32,13 @@ class ServiceBackend(ExecutorBackend):
 
     name = "service"
 
-    def run(self, cells):
+    def run(self, cells, on_record=None):
         payloads = [cell.payload() for cell in cells]
         if self.coordinator:
-            return self._run_connected(self.coordinator, payloads)
-        return self._run_self_hosted(payloads)
+            return self._run_connected(self.coordinator, payloads, on_record)
+        return self._run_self_hosted(payloads, on_record)
 
-    def _run_connected(self, coordinator, payloads):
+    def _run_connected(self, coordinator, payloads, on_record=None):
         # Imported here, not at module top: repro.service pulls in this
         # package's __init__ through the shared frame codec, so a
         # top-level import would be circular when repro.service loads
@@ -48,14 +48,14 @@ class ServiceBackend(ExecutorBackend):
         client = ServiceClient(coordinator)
         try:
             records, counters = client.run_job(
-                payloads, chunk=self.chunk_size
+                payloads, chunk=self.chunk_size, on_record=on_record
             )
         finally:
             client.close()
         merge_counters(self.counters, counters)
         return records
 
-    def _run_self_hosted(self, payloads):
+    def _run_self_hosted(self, payloads, on_record=None):
         from repro.service.daemon import SweepService, start_service_thread
 
         workers = (
@@ -66,7 +66,7 @@ class ServiceBackend(ExecutorBackend):
         cache_dir = tempfile.mkdtemp(prefix="repro-service-")
         handle = start_service_thread(workers=workers, cache_dir=cache_dir)
         try:
-            return self._run_connected(handle.coordinator, payloads)
+            return self._run_connected(handle.coordinator, payloads, on_record)
         finally:
             handle.stop()
             shutil.rmtree(cache_dir, ignore_errors=True)

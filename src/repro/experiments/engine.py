@@ -1079,9 +1079,77 @@ class SweepEngine:
         # records serialise byte-identically (cached JSON comes back sorted).
         return [_canonical(records[key]) for key in keys]
 
+    def run_streamed(
+        self,
+        cells: Sequence[SweepCell],
+        sink: Callable[[int, SweepCell, Dict[str, object]], None],
+    ) -> int:
+        """Execute ``cells``, delivering each record through ``sink``.
+
+        ``sink(index, cell, record)`` is called exactly once per input
+        cell (duplicates included, sharing one simulation) with the same
+        canonical record :meth:`run` would return at that index — but no
+        record list is ever built, so sweep memory stays bounded by the
+        sink's own buffering (e.g. ``ResultWriter``'s shard buffer).
+        Delivery order is cache hits first, then executed cells as the
+        backend completes them; the index is the caller's key back into
+        submission order.  Returns the number of records delivered.
+        """
+        self.stats.reset()
+        self.stats.cells = len(cells)
+        keys = [cell_key(cell) for cell in cells]
+        by_key: Dict[str, SweepCell] = {}
+        indices: Dict[str, List[int]] = {}
+        for index, (cell, key) in enumerate(zip(cells, keys)):
+            by_key.setdefault(key, cell)
+            indices.setdefault(key, []).append(index)
+        self.stats.unique_cells = len(by_key)
+
+        delivered = [0]
+
+        def deliver(key: str, record: Dict[str, object]) -> None:
+            canonical = _canonical(record)
+            for index in indices[key]:
+                sink(index, by_key[key], canonical)
+                delivered[0] += 1
+
+        served: Dict[str, bool] = {}
+        index_updates: Dict[str, List[float]] = {}
+        if self.use_cache:
+            for key in by_key:
+                cached = self._read_record(key)
+                if cached is not None:
+                    served[key] = True
+                    entry = self._stat_entry(key)
+                    if entry is not None:
+                        index_updates[key] = entry
+                    deliver(key, cached)
+            self.stats.cache_hits = len(served)
+
+        missing = [(key, cell) for key, cell in by_key.items() if key not in served]
+
+        def on_record(position: int, record: Dict[str, object]) -> None:
+            key, cell = missing[position]
+            if self.use_cache:
+                self._write_record(key, cell, record)
+                entry = self._stat_entry(key)
+                if entry is not None:
+                    index_updates[key] = entry
+            deliver(key, record)
+
+        self._execute_missing(missing, on_record=on_record)
+        self.stats.executed = len(missing)
+        if self.use_cache and index_updates:
+            _index_apply(self.cache_dir, index_updates)
+        if self.use_cache and self.cache_max_bytes is not None:
+            evict_cache(self.cache_dir, self.cache_max_bytes)
+        return delivered[0]
+
     def _execute_missing(
-        self, missing: Sequence[Tuple[str, SweepCell]]
-    ) -> List[Dict[str, object]]:
+        self,
+        missing: Sequence[Tuple[str, SweepCell]],
+        on_record: Optional[Callable[[int, Dict[str, object]], None]] = None,
+    ) -> Optional[List[Dict[str, object]]]:
         cells = [cell for _, cell in missing]
         if not cells:
             return []
@@ -1094,7 +1162,7 @@ class SweepEngine:
             workers=self.workers,
             coordinator=self.coordinator,
         )
-        records = backend.run(cells)
+        records = backend.run(cells, on_record=on_record)
         counters = backend.counters
         self.stats.applications_built += counters["applications_built"]
         self.stats.libraries_built += counters["libraries_built"]

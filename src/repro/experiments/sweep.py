@@ -194,14 +194,78 @@ def run_sweep(
     )
 
 
-def _run_sweep_engine(
-    eng: SweepEngine,
+def run_sweep_stored(
+    budgets: Sequence[Tuple[int, int]],
+    seeds: Sequence[int],
+    policies: PolicySpec,
+    *,
+    store: str,
+    sweep: Optional[str] = None,
+    shard_rows: int = 0,
+    workload: str = "h264",
+    workload_params: Optional[Dict[str, object]] = None,
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: Union[str, Path, None] = None,
+    cache_max_bytes: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    coordinator: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Tuple[SweepResult, str]:
+    """:func:`run_sweep`, streamed through a columnar result store.
+
+    Cells flow through ``SweepEngine.run_streamed`` into a
+    :class:`~repro.results.store.ResultWriter` (bounded memory on the
+    execution side), the sweep commits under ``store``/``sweep``, and the
+    returned :class:`SweepResult` is rebuilt *from the stored shards* —
+    so byte-identical CLI output doubles as a round-trip check.  Returns
+    ``(result, sweep_path)``.  Only declarative sweeps (registered
+    workload + policy names) can be stored.
+    """
+    from repro.results.store import DEFAULT_SHARD_ROWS, ResultReader, ResultWriter
+
+    names = _declarative_policies(policies)
+    if names is None:
+        raise ReproError(
+            "only declarative sweeps (registered policy names) can be "
+            "streamed to a result store"
+        )
+    params = dict(workload_params) if workload_params is not None else {}
+    if workload == "h264":
+        params.setdefault("frames", 8)
+    eng = resolve_engine(
+        engine, jobs, use_cache, cache_dir, cache_max_bytes,
+        backend=backend, workers=workers, coordinator=coordinator,
+    ) or SweepEngine(jobs=1, use_cache=False)
+    cells = _sweep_cells(budgets, seeds, names, workload, params)
+    writer = ResultWriter(
+        store,
+        sweep=sweep,
+        shard_rows=shard_rows or DEFAULT_SHARD_ROWS,
+        meta={"workload": workload, "policies": ["risc"] + list(names)},
+    )
+    eng.run_streamed(cells, writer.sink)
+    path = writer.close(engine_stats=eng.stats.engine_payload())
+    records: List[Optional[Dict[str, object]]] = [None] * len(cells)
+    for index, _, record in ResultReader(path).iter_rows():
+        records[index] = record
+    return (
+        _points_from_records(
+            dict(zip(cells, records)), budgets, seeds, names, workload, params
+        ),
+        path,
+    )
+
+
+def _sweep_cells(
     budgets: Sequence[Tuple[int, int]],
     seeds: Sequence[int],
     policy_names: Sequence[str],
     workload: str,
     workload_params: Dict[str, object],
-) -> SweepResult:
+) -> List[SweepCell]:
+    """The declarative sweep's cell list, in canonical submission order."""
     cells: List[SweepCell] = []
     for budget in budgets:
         for seed in seeds:
@@ -215,9 +279,34 @@ def _run_sweep_engine(
                         workload_params=workload_params,
                     )
                 )
-    records = eng.run(cells)
-    per_cell = dict(zip(cells, records))
+    return cells
 
+
+def _run_sweep_engine(
+    eng: SweepEngine,
+    budgets: Sequence[Tuple[int, int]],
+    seeds: Sequence[int],
+    policy_names: Sequence[str],
+    workload: str,
+    workload_params: Dict[str, object],
+) -> SweepResult:
+    cells = _sweep_cells(budgets, seeds, policy_names, workload, workload_params)
+    records = eng.run(cells)
+    return _points_from_records(
+        dict(zip(cells, records)), budgets, seeds, policy_names,
+        workload, workload_params,
+    )
+
+
+def _points_from_records(
+    per_cell: Dict[SweepCell, Dict[str, object]],
+    budgets: Sequence[Tuple[int, int]],
+    seeds: Sequence[int],
+    policy_names: Sequence[str],
+    workload: str,
+    workload_params: Dict[str, object],
+) -> SweepResult:
+    """Assemble :class:`SweepResult` points from per-cell records."""
     result = SweepResult()
     for budget in budgets:
         for seed in seeds:
@@ -292,4 +381,4 @@ def _run_sweep_legacy(
     return result
 
 
-__all__ = ["SweepPoint", "SweepResult", "run_sweep"]
+__all__ = ["SweepPoint", "SweepResult", "run_sweep", "run_sweep_stored"]

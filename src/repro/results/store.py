@@ -1,0 +1,456 @@
+"""Append-only columnar result store: streaming writer, streaming reader.
+
+On-disk layout (everything JSON, everything atomic-rename published)::
+
+    <root>/                          # e.g. .repro_results/
+        index.json                   # advisory sidecar: {sweep: [rows, bytes]}
+        <sweep>/                     # one directory per stored sweep
+            shard-000000.json        # columnar shard (schema.encode_shard)
+            shard-000001.json
+            manifest.json            # written last == commit point
+
+The manifest is the commit point: a crash mid-write leaves shards
+without a manifest, and :class:`ResultReader` either refuses the sweep
+(default) or rebuilds a manifest from the surviving intact shards
+(``recover=True``), mirroring how the ``.repro_cache`` treats corrupt
+records as misses rather than trusting them.
+
+:class:`ResultWriter` holds at most ``shard_rows`` rows in memory; every
+full buffer is encoded and spilled, which is what keeps sweep-side
+memory O(1) in cell count.  :class:`ResultReader` decodes one shard at a
+time for the same reason, and its fold/group-fold helpers never build a
+row list.
+"""
+
+import json
+import os
+import tempfile
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.results.schema import (
+    MANIFEST_KIND,
+    RESULTS_SCHEMA,
+    Row,
+    canonical_json,
+    column_names,
+    decode_rows,
+    encode_shard,
+    shard_checksum,
+)
+from repro.util.validation import ReproError
+
+#: Default store root, next to ``.repro_cache`` (git-ignored).
+DEFAULT_STORE_DIR = ".repro_results"
+
+#: Default rows buffered per shard before spilling to disk.
+DEFAULT_SHARD_ROWS = 512
+
+#: Version stamp of the advisory root index document.
+STORE_INDEX_SCHEMA = 1
+
+
+class ResultStoreError(ReproError):
+    """A result store operation failed (corrupt, missing, or mismatched)."""
+
+
+def _write_atomic(path: str, blob: str) -> int:
+    """Publish ``blob`` at ``path`` via mkstemp + rename; return its size."""
+    directory = os.path.dirname(path)
+    data = blob.encode("utf-8")
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+# ------------------------------------------------------- advisory index
+
+
+def _index_path(root: str) -> str:
+    return os.path.join(root, "index.json")
+
+
+def _load_store_index(root: str) -> Dict[str, List[int]]:
+    try:
+        with open(_index_path(root), "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("schema") != STORE_INDEX_SCHEMA:
+        return {}
+    entries = data.get("sweeps")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _index_record(root: str, sweep: str, rows: int, size: int) -> None:
+    """Fold one finished sweep into the advisory root index (best effort)."""
+    entries = _load_store_index(root)
+    entries[sweep] = [rows, size]
+    try:
+        _write_atomic(
+            _index_path(root),
+            canonical_json({"schema": STORE_INDEX_SCHEMA, "sweeps": entries}),
+        )
+    except OSError:
+        pass  # advisory only: a reader falls back to scanning
+
+
+def list_sweeps(root: str) -> List[str]:
+    """Names of committed sweeps under ``root`` (manifest present), sorted."""
+    if not os.path.isdir(root):
+        return []
+    found = []
+    for name in sorted(os.listdir(root)):
+        if os.path.isfile(os.path.join(root, name, "manifest.json")):
+            found.append(name)
+    return found
+
+
+# --------------------------------------------------------------- writer
+
+
+class ResultWriter(object):
+    """Streams ``(index, cell, record)`` rows into columnar shards.
+
+    Usage (also a context manager; ``close`` commits, an exception path
+    leaves an uncommitted sweep the reader will reject)::
+
+        writer = ResultWriter(".repro_results")
+        for index, cell, record in rows:
+            writer.append(index, cell, record)
+        path = writer.close(engine_stats={...})
+
+    ``sweep`` names the sub-directory; ``None`` auto-allocates a unique
+    ``sweep-*`` name (safe under concurrent writers sharing one root).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        sweep: Optional[str] = None,
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if shard_rows < 1:
+            raise ResultStoreError(f"shard_rows must be >= 1, got {shard_rows}")
+        os.makedirs(root, exist_ok=True)
+        self.root = root
+        if sweep is None:
+            path = tempfile.mkdtemp(prefix="sweep-", dir=root)
+            os.chmod(path, 0o755)
+            sweep = os.path.basename(path)
+        else:
+            os.makedirs(os.path.join(root, sweep), exist_ok=True)
+        self.sweep = sweep
+        self.path = os.path.join(root, sweep)
+        self.shard_rows = shard_rows
+        self.meta = dict(meta) if meta else {}
+        self.rows = 0
+        self._buffer: List[Row] = []
+        self._shards: List[Dict[str, object]] = []
+        self._closed = False
+
+    # -- streaming sink ------------------------------------------------
+
+    def append(self, index: int, cell: Dict[str, object], record: Dict[str, object]) -> None:
+        """Append one evaluated cell; spills a shard when the buffer fills."""
+        if self._closed:
+            raise ResultStoreError("append() on a closed ResultWriter")
+        self._buffer.append((index, cell, record))
+        self.rows += 1
+        if len(self._buffer) >= self.shard_rows:
+            self._flush()
+
+    def sink(self, index: int, cell: object, record: Dict[str, object]) -> None:
+        """`SweepEngine.run_streamed` sink: accepts a SweepCell or payload."""
+        payload = cell.payload() if hasattr(cell, "payload") else cell
+        self.append(index, payload, record)
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        shard = encode_shard(self._buffer)
+        name = f"shard-{len(self._shards):06d}.json"
+        size = _write_atomic(
+            os.path.join(self.path, name), canonical_json(shard)
+        )
+        self._shards.append(
+            {
+                "name": name,
+                "rows": shard["rows"],
+                "bytes": size,
+                "checksum": shard_checksum(shard),
+                "columns": column_names(shard),
+            }
+        )
+        self._buffer = []
+
+    # -- commit --------------------------------------------------------
+
+    def close(self, engine_stats: Optional[Dict[str, object]] = None) -> str:
+        """Flush, write the manifest (the commit point), return sweep path."""
+        if self._closed:
+            return self.path
+        self._flush()
+        columns: Dict[str, List[str]] = {}
+        for entry in self._shards:
+            for role, names in entry["columns"].items():
+                merged = set(columns.get(role, [])) | set(names)
+                columns[role] = sorted(merged)
+        manifest = {
+            "kind": MANIFEST_KIND,
+            "schema": RESULTS_SCHEMA,
+            "sweep": self.sweep,
+            "rows": self.rows,
+            "shard_rows": self.shard_rows,
+            "shards": [
+                {key: entry[key] for key in ("name", "rows", "bytes", "checksum")}
+                for entry in self._shards
+            ],
+            "columns": {role: columns[role] for role in sorted(columns)},
+            "meta": self.meta,
+            "engine_stats": engine_stats or {},
+        }
+        size = _write_atomic(
+            os.path.join(self.path, "manifest.json"), canonical_json(manifest)
+        )
+        size += sum(entry["bytes"] for entry in self._shards)
+        _index_record(self.root, self.sweep, self.rows, size)
+        self._closed = True
+        return self.path
+
+    def __enter__(self) -> "ResultWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+
+# --------------------------------------------------------------- reader
+
+
+class ResultReader(object):
+    """Streams rows back out of a committed sweep, one shard at a time.
+
+    ``path`` is a sweep directory (``<root>/<sweep>``).  Without a
+    manifest the sweep is uncommitted and rejected; ``recover=True``
+    instead rebuilds a best-effort manifest from every intact shard
+    (corrupt or truncated shards are skipped, never trusted), which is
+    the crash-mid-write recovery path.
+    """
+
+    def __init__(self, path: str, recover: bool = False) -> None:
+        self.path = path
+        self.recovered_from: List[str] = []
+        manifest_path = os.path.join(path, "manifest.json")
+        manifest = self._load_json(manifest_path)
+        if manifest is None:
+            if not recover:
+                raise ResultStoreError(
+                    f"no committed manifest at {manifest_path} "
+                    "(uncommitted sweep; pass recover=True to salvage shards)"
+                )
+            manifest = self._recover()
+        self._validate(manifest)
+        self.manifest = manifest
+
+    @staticmethod
+    def _load_json(path: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def _validate(self, manifest: Dict[str, object]) -> None:
+        if manifest.get("kind") != MANIFEST_KIND:
+            raise ResultStoreError(
+                f"{self.path}: not a results manifest "
+                f"(kind={manifest.get('kind')!r})"
+            )
+        if manifest.get("schema") != RESULTS_SCHEMA:
+            raise ResultStoreError(
+                f"{self.path}: manifest schema {manifest.get('schema')!r} "
+                f"does not match reader schema {RESULTS_SCHEMA} "
+                "(regenerate the sweep or upgrade the reader)"
+            )
+
+    def _recover(self) -> Dict[str, object]:
+        """Rebuild a manifest from intact shards of an uncommitted sweep."""
+        shards = []
+        columns: Dict[str, set] = {}
+        rows = 0
+        if not os.path.isdir(self.path):
+            raise ResultStoreError(f"no such sweep directory: {self.path}")
+        for name in sorted(os.listdir(self.path)):
+            if not (name.startswith("shard-") and name.endswith(".json")):
+                continue
+            shard_path = os.path.join(self.path, name)
+            shard = self._load_json(shard_path)
+            try:
+                if shard is None:
+                    raise ValueError("unreadable")
+                decode_rows(shard, fields=())  # full structural validation
+            except (ValueError, KeyError, TypeError):
+                self.recovered_from.append(f"skipped corrupt shard {name}")
+                continue
+            shards.append(
+                {
+                    "name": name,
+                    "rows": shard["rows"],
+                    "bytes": os.path.getsize(shard_path),
+                    "checksum": shard_checksum(shard),
+                }
+            )
+            for role, names in column_names(shard).items():
+                columns.setdefault(role, set()).update(names)
+            rows += shard["rows"]
+            self.recovered_from.append(f"recovered shard {name}")
+        return {
+            "kind": MANIFEST_KIND,
+            "schema": RESULTS_SCHEMA,
+            "sweep": os.path.basename(self.path),
+            "rows": rows,
+            "shard_rows": 0,
+            "shards": shards,
+            "columns": {role: sorted(columns[role]) for role in sorted(columns)},
+            "meta": {"recovered": True},
+            "engine_stats": {},
+        }
+
+    # -- manifest accessors --------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Total committed row count."""
+        return self.manifest["rows"]
+
+    @property
+    def columns(self) -> Dict[str, List[str]]:
+        """Role -> sorted column names across every shard."""
+        return self.manifest["columns"]
+
+    @property
+    def engine_stats(self) -> Dict[str, object]:
+        """The ``EngineStats.engine_payload()`` stored at commit time."""
+        return self.manifest.get("engine_stats", {})
+
+    # -- streaming access ----------------------------------------------
+
+    def iter_shards(
+        self, fields: Optional[Sequence[str]] = None
+    ) -> Iterator[List[Row]]:
+        """Yield each shard's rows; validates checksums before decoding."""
+        for entry in self.manifest["shards"]:
+            shard_path = os.path.join(self.path, entry["name"])
+            shard = self._load_json(shard_path)
+            if shard is None:
+                raise ResultStoreError(f"unreadable shard {shard_path}")
+            if shard_checksum(shard) != entry["checksum"]:
+                raise ResultStoreError(
+                    f"checksum mismatch on {shard_path} "
+                    "(shard modified after commit?)"
+                )
+            yield decode_rows(shard, fields=fields)
+
+    def iter_rows(
+        self, fields: Optional[Sequence[str]] = None
+    ) -> Iterator[Row]:
+        """Yield ``(index, cell, record)`` rows in stored order.
+
+        ``fields`` projects record columns: only those record keys are
+        decoded, which keeps wide sweeps cheap to aggregate.
+        """
+        for rows in self.iter_shards(fields=fields):
+            for row in rows:
+                yield row
+
+    def iter_column(self, name: str) -> Iterator[object]:
+        """Yield one record column's value per row (rows lacking it skip)."""
+        for _, _, record in self.iter_rows(fields=(name,)):
+            if name in record:
+                yield record[name]
+
+    # -- streamed aggregation ------------------------------------------
+
+    def fold(self, fn: Callable, init: object, fields: Optional[Sequence[str]] = None) -> object:
+        """``functools.reduce`` over rows without materialising them."""
+        acc = init
+        for row in self.iter_rows(fields=fields):
+            acc = fn(acc, row)
+        return acc
+
+    def group_fold(
+        self,
+        key: Callable[[Row], object],
+        fn: Callable,
+        init: Callable[[], object],
+        fields: Optional[Sequence[str]] = None,
+    ) -> Dict:
+        """Streamed group-by: fold each row into its group's accumulator.
+
+        Memory is O(groups), never O(rows) — the KPI layer's workhorse.
+        """
+        groups: Dict = {}
+        for row in self.iter_rows(fields=fields):
+            group = key(row)
+            if group not in groups:
+                groups[group] = init()
+            groups[group] = fn(groups[group], row)
+        return groups
+
+    # -- convenience ---------------------------------------------------
+
+    def records_by_index(self) -> Dict[int, Dict[str, object]]:
+        """Materialise ``{sweep index: record}`` (tests and small sweeps)."""
+        return {index: record for index, _, record in self.iter_rows()}
+
+
+def store_stats(root: str) -> Dict[str, object]:
+    """Summarise a store root from its advisory index (rescans if stale)."""
+    sweeps = list_sweeps(root)
+    index = _load_store_index(root)
+    source = "index" if sorted(index) == sweeps else "scan"
+    entries = {}
+    total_rows = 0
+    total_bytes = 0
+    for sweep in sweeps:
+        if source == "index":
+            rows, size = index[sweep]
+        else:
+            reader = ResultReader(os.path.join(root, sweep))
+            rows = reader.rows
+            size = sum(e["bytes"] for e in reader.manifest["shards"])
+            size += os.path.getsize(os.path.join(root, sweep, "manifest.json"))
+        entries[sweep] = {"rows": rows, "bytes": size}
+        total_rows += rows
+        total_bytes += size
+    return {
+        "root": root,
+        "source": source,
+        "sweeps": entries,
+        "total_rows": total_rows,
+        "total_bytes": total_bytes,
+    }
+
+
+__all__ = [
+    "DEFAULT_SHARD_ROWS",
+    "DEFAULT_STORE_DIR",
+    "ResultReader",
+    "ResultStoreError",
+    "ResultWriter",
+    "STORE_INDEX_SCHEMA",
+    "list_sweeps",
+    "store_stats",
+]

@@ -87,13 +87,21 @@ class ServiceClient:
         payloads: Sequence[Mapping[str, object]],
         priority: int = 0,
         chunk: Optional[int] = None,
-    ) -> Tuple[List[Dict[str, object]], Dict[str, int]]:
+        on_record=None,
+    ) -> Tuple[Optional[List[Dict[str, object]]], Dict[str, int]]:
         """Submit cell payloads; block until the job finishes.
 
         Returns ``(records, counters)`` with ``records[i]`` the record of
         ``payloads[i]`` regardless of the order cells completed in.
         Raises :class:`ReproError` if the service rejects the job (drain)
         or reports ``job_failed``.
+
+        With ``on_record`` given the client *streams*: each record is
+        handed to ``on_record(index, record)`` in ascending index order
+        (out-of-order arrivals are held back, bounded by the daemon's
+        in-flight window) and ``records`` comes back as ``None`` -- no
+        O(cells) list is built, which is what lets a service sweep spill
+        straight into a :class:`~repro.results.store.ResultWriter`.
         """
         job_frame: Dict[str, object] = {
             "type": "job",
@@ -105,7 +113,15 @@ class ServiceClient:
         if chunk is not None:
             job_frame["chunk"] = int(chunk)
         send_frame(self._conn, job_frame)
-        records: List[Optional[Dict[str, object]]] = [None] * len(payloads)
+        records: Optional[List[Optional[Dict[str, object]]]] = None
+        if on_record is None:
+            records = [None] * len(payloads)
+        # Streaming bookkeeping: which indices arrived (duplicates are
+        # dropped), plus an index-ordered hold-back for early arrivals.
+        received = bytearray(len(payloads))
+        arrived = 0
+        held: Dict[int, Dict[str, object]] = {}
+        next_emit = 0
         job_id = None
         while True:
             frame = recv_frame(self._conn)
@@ -118,11 +134,21 @@ class ServiceClient:
                 job_id = frame.get("job")
             elif ftype == "cell_result":
                 index = int(frame.get("index", -1))
-                if 0 <= index < len(records):
-                    records[index] = frame.get("record")
+                if 0 <= index < len(payloads) and not received[index]:
+                    received[index] = 1
+                    arrived += 1
+                    if records is not None:
+                        records[index] = frame.get("record")
+                    else:
+                        held[index] = frame.get("record")
+                        while next_emit in held:
+                            on_record(next_emit, held.pop(next_emit))
+                            next_emit += 1
             elif ftype == "job_done":
-                missing = [i for i, r in enumerate(records) if r is None]
-                if missing:
+                if arrived < len(payloads):
+                    missing = [
+                        i for i, flag in enumerate(received) if not flag
+                    ]
                     raise ReproError(
                         f"job {job_id} finished but {len(missing)} cells "
                         f"never arrived (first missing index {missing[0]})"
@@ -133,7 +159,10 @@ class ServiceClient:
                         frame.get("counters", {})
                     ).items()
                 }
-                return list(records), counters
+                return (
+                    list(records) if records is not None else None,
+                    counters,
+                )
             elif ftype == "job_failed":
                 raise ReproError(
                     f"job {job_id} failed on the service: "

@@ -29,6 +29,7 @@ PACKAGES = [
     "repro.extensions",
     "repro.dfg",
     "repro.verification",
+    "repro.results",
 ]
 
 
