@@ -38,6 +38,18 @@ else
     echo "ruff not installed; skipping (CI runs it)"
 fi
 
+echo "== deep analysis gate =="
+# Whole-program taint + protocol conformance must stay self-clean and
+# inside its 30s budget (docs/analysis.md, "deep tier").
+ANALYZE_START=$(date +%s)
+python -m repro analyze
+ANALYZE_ELAPSED=$(( $(date +%s) - ANALYZE_START ))
+if [ "$ANALYZE_ELAPSED" -ge 30 ]; then
+    echo "verify: repro analyze took ${ANALYZE_ELAPSED}s (budget 30s)" >&2
+    exit 1
+fi
+echo "repro analyze: ${ANALYZE_ELAPSED}s (budget 30s)"
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 

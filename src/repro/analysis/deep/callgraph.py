@@ -1,0 +1,379 @@
+"""Project-wide call graph over a :class:`~.modgraph.ModuleGraph`.
+
+Nodes are functions and methods, identified as ``module:qualname``
+(``repro.service.client:ServiceClient.run_job``).  Edges are calls,
+resolved in three tiers of confidence:
+
+* ``direct`` -- the callee's dotted name resolves through the
+  import-alias and re-export tables to a known function (plain calls,
+  ``module.fn()``, ``ClassName.method()``, constructor calls);
+* ``method`` -- ``self.m()`` resolved through the receiver's class, its
+  declared bases *and* its known subclasses (an override anywhere in the
+  project is a possible callee), plus ``v.m()`` where ``v`` was assigned
+  a known class's constructor call in the same function;
+* ``may-alias`` -- an attribute call whose receiver cannot be typed
+  falls back to *every* known method of that name, except names in
+  :data:`COMMON_METHOD_NAMES` (``get``, ``append``, ...) where the
+  fallback would connect everything to everything.
+
+Calls inside nested functions belong to the nested function's node;
+module-level statements are outside the graph (nothing the deep tier
+checks runs at import time).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.deep.modgraph import ModuleGraph
+
+#: Method names too generic for the may-alias fallback: builtin container
+#: and IO verbs that would wire unrelated classes together.
+COMMON_METHOD_NAMES = frozenset(
+    {
+        "add", "append", "clear", "close", "copy", "decode", "discard",
+        "encode", "extend", "flush", "format", "get", "insert", "items",
+        "join", "keys", "pop", "popleft", "put", "read", "remove",
+        "render", "set", "setdefault", "sort", "split", "start", "stop",
+        "strip", "update", "values", "wait", "write",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method node."""
+
+    fid: str                 #: ``module:qualname``
+    module: str
+    qualname: str
+    path: str
+    lineno: int
+    params: Tuple[str, ...]  #: positional parameter names (incl. ``self``)
+    class_name: Optional[str]  #: owning class qualname, or ``None``
+    decorators: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and resolved base classes."""
+
+    cid: str                 #: ``module:qualname``
+    module: str
+    qualname: str
+    bases: List[str] = field(default_factory=list)      #: resolved cids
+    methods: Dict[str, str] = field(default_factory=dict)  #: name -> fid
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One call site: ``caller`` invokes ``callee`` at ``path:lineno``."""
+
+    caller: str
+    callee: str
+    kind: str     #: ``direct`` | ``method`` | ``may-alias``
+    path: str
+    lineno: int
+
+
+class _Collector(ast.NodeVisitor):
+    """First pass over one module: every function/class with qualnames."""
+
+    def __init__(self, graph: "CallGraph", module: str, path: str):
+        self.graph = graph
+        self.module = module
+        self.path = path
+        self.stack: List[str] = []
+        self.class_stack: List[str] = []
+
+    def _qualname(self, name: str) -> str:
+        return ".".join(self.stack + [name])
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = self._qualname(node.name)
+        cid = f"{self.module}:{qualname}"
+        self.graph.classes[cid] = ClassInfo(cid, self.module, qualname)
+        self.graph._class_defs.append((cid, node))
+        self.stack.append(node.name)
+        self.class_stack.append(qualname)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.stack.pop()
+
+    def _visit_function(self, node) -> None:
+        qualname = self._qualname(node.name)
+        fid = f"{self.module}:{qualname}"
+        class_name = self.class_stack[-1] if self.class_stack else None
+        # A function nested in a function is not a method of the
+        # enclosing class scope.
+        if class_name is not None and self.stack and self.stack[-1] != (
+            class_name.rsplit(".", 1)[-1]
+        ):
+            class_name = None
+        decorators = []
+        ctx = self.graph.modgraph.context(self.module)
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(
+                decorator, ast.Call
+            ) else decorator
+            dotted = ctx.dotted_name(target)
+            if dotted:
+                decorators.append(dotted)
+        params = tuple(
+            arg.arg
+            for arg in (node.args.posonlyargs + node.args.args)
+        )
+        info = FunctionInfo(
+            fid=fid,
+            module=self.module,
+            qualname=qualname,
+            path=self.path,
+            lineno=node.lineno,
+            params=params,
+            class_name=class_name,
+            decorators=tuple(decorators),
+        )
+        self.graph.functions[fid] = info
+        self.graph._function_nodes[fid] = node
+        if class_name is not None:
+            owner = f"{self.module}:{class_name}"
+            self.graph.classes[owner].methods[node.name] = fid
+        self.stack.append(node.name)
+        saved = self.class_stack
+        self.class_stack = []
+        self.generic_visit(node)
+        self.class_stack = saved
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+
+def iter_own_nodes(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+class CallGraph:
+    """The linked call graph of one :class:`ModuleGraph`."""
+
+    def __init__(self, modgraph: ModuleGraph):
+        self.modgraph = modgraph
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.edges: List[CallEdge] = []
+        self.edges_from: Dict[str, List[CallEdge]] = {}
+        self._function_nodes: Dict[str, ast.AST] = {}
+        self._class_defs: List[Tuple[str, ast.AST]] = []
+        self._methods_by_name: Dict[str, List[str]] = {}
+        self._subclasses: Dict[str, List[str]] = {}
+        self._build()
+
+    # ------------------------------------------------------------ building
+    def _build(self) -> None:
+        for name in sorted(self.modgraph.modules):
+            info = self.modgraph.modules[name]
+            _Collector(self, name, info.path).visit(info.tree)
+        self._link_classes()
+        for fid in sorted(self.functions):
+            self._collect_edges(fid)
+
+    def _link_classes(self) -> None:
+        for cid, node in self._class_defs:
+            info = self.classes[cid]
+            ctx = self.modgraph.context(info.module)
+            for base in node.bases:
+                dotted = ctx.dotted_name(base)
+                if not dotted:
+                    continue
+                resolved = self.resolve_in(info.module, dotted)
+                if resolved is None:
+                    continue
+                module, qualname = resolved
+                base_cid = f"{module}:{qualname}"
+                if base_cid in self.classes:
+                    info.bases.append(base_cid)
+                    self._subclasses.setdefault(base_cid, []).append(cid)
+        for cid in sorted(self.classes):
+            for method_name, fid in self.classes[cid].methods.items():
+                self._methods_by_name.setdefault(method_name, []).append(fid)
+
+    # ---------------------------------------------------------- resolution
+    def resolve_in(
+        self, module: str, dotted: str
+    ) -> Optional[Tuple[str, str]]:
+        """:meth:`ModuleGraph.resolve`, with a fallback for names defined
+        in ``module`` itself: a plain ``helper`` or ``ClassName`` carries
+        no module prefix, so qualify it with the referencing module."""
+        resolved = self.modgraph.resolve(dotted)
+        if resolved is not None and resolved[1]:
+            return resolved
+        local = self.modgraph.resolve(f"{module}.{dotted}")
+        return local if local is not None else resolved
+
+    def lookup_method(self, cid: str, name: str) -> Optional[str]:
+        """Resolve ``name`` on class ``cid``, walking declared bases."""
+        seen: Set[str] = set()
+        stack = [cid]
+        while stack:
+            current = stack.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            fid = self.classes[current].methods.get(name)
+            if fid is not None:
+                return fid
+            stack.extend(self.classes[current].bases)
+        return None
+
+    def method_targets(self, cid: str, name: str) -> List[str]:
+        """All possible callees of ``receiver.name()`` for a receiver of
+        class ``cid``: the MRO resolution plus subclass overrides."""
+        targets = []
+        primary = self.lookup_method(cid, name)
+        if primary is not None:
+            targets.append(primary)
+        seen = {cid}
+        stack = list(self._subclasses.get(cid, ()))
+        while stack:
+            sub = stack.pop(0)
+            if sub in seen:
+                continue
+            seen.add(sub)
+            override = self.classes[sub].methods.get(name)
+            if override is not None and override not in targets:
+                targets.append(override)
+            stack.extend(self._subclasses.get(sub, ()))
+        return targets
+
+    def resolve_call(
+        self, caller: FunctionInfo, call: ast.Call, local_types: Dict[str, str]
+    ) -> List[Tuple[str, str]]:
+        """Possible ``(callee fid, kind)`` targets of one call site."""
+        ctx = self.modgraph.context(caller.module)
+        func = call.func
+        dotted = ctx.dotted_name(func)
+        if dotted is not None:
+            resolved = self.resolve_in(caller.module, dotted)
+            if resolved is not None:
+                module, qualname = resolved
+                fid = f"{module}:{qualname}"
+                if fid in self.functions:
+                    return [(fid, "direct")]
+                cid = fid
+                if cid in self.classes:
+                    init = self.lookup_method(cid, "__init__")
+                    if init is not None:
+                        return [(init, "direct")]
+                    return []
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                receiver: Optional[str] = None
+                if base.id == "self" and caller.class_name is not None:
+                    receiver = f"{caller.module}:{caller.class_name}"
+                elif base.id in local_types:
+                    receiver = local_types[base.id]
+                if receiver is not None:
+                    targets = self.method_targets(receiver, func.attr)
+                    if targets:
+                        return [(fid, "method") for fid in targets]
+            if func.attr not in COMMON_METHOD_NAMES:
+                candidates = self._methods_by_name.get(func.attr, ())
+                return [(fid, "may-alias") for fid in sorted(candidates)]
+        return []
+
+    def local_constructor_types(self, fid: str) -> Dict[str, str]:
+        """Locals assigned ``Name = KnownClass(...)`` in one function."""
+        node = self._function_nodes[fid]
+        caller = self.functions[fid]
+        ctx = self.modgraph.context(caller.module)
+        types: Dict[str, str] = {}
+        for child in iter_own_nodes(node):
+            if not (
+                isinstance(child, ast.Assign)
+                and len(child.targets) == 1
+                and isinstance(child.targets[0], ast.Name)
+                and isinstance(child.value, ast.Call)
+            ):
+                continue
+            dotted = ctx.dotted_name(child.value.func)
+            if dotted is None:
+                continue
+            resolved = self.resolve_in(caller.module, dotted)
+            if resolved is None:
+                continue
+            module, qualname = resolved
+            cid = f"{module}:{qualname}"
+            if cid in self.classes:
+                types[child.targets[0].id] = cid
+        return types
+
+    def _collect_edges(self, fid: str) -> None:
+        caller = self.functions[fid]
+        local_types = self.local_constructor_types(fid)
+        for child in iter_own_nodes(self._function_nodes[fid]):
+            if not isinstance(child, ast.Call):
+                continue
+            for callee, kind in self.resolve_call(
+                caller, child, local_types
+            ):
+                edge = CallEdge(
+                    caller=fid,
+                    callee=callee,
+                    kind=kind,
+                    path=caller.path,
+                    lineno=child.lineno,
+                )
+                self.edges.append(edge)
+                self.edges_from.setdefault(fid, []).append(edge)
+
+    def function_node(self, fid: str) -> ast.AST:
+        return self._function_nodes[fid]
+
+    # ------------------------------------------------------------- output
+    def render_text(self) -> str:
+        """The ``--callgraph`` dump: one sorted line per edge."""
+        lines = [
+            f"{len(self.functions)} functions, {len(self.edges)} edges"
+        ]
+        for edge in sorted(
+            self.edges, key=lambda e: (e.caller, e.lineno, e.callee)
+        ):
+            lines.append(
+                f"{edge.caller} -> {edge.callee} "
+                f"[{edge.kind}] at {edge.path}:{edge.lineno}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = [
+    "COMMON_METHOD_NAMES",
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "iter_own_nodes",
+]

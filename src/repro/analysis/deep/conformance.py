@@ -1,0 +1,321 @@
+"""Frame-protocol conformance: endpoints vs the declared channel table.
+
+:mod:`repro.service.frames` declares, per directed channel, which frame
+types each endpoint may put on the wire.  This checker extracts what the
+endpoint *implementations* actually do and verifies both directions:
+
+* **sent** -- every dict literal carrying a ``"type"`` key whose value
+  resolves to a frame-type constant (directly, or through the registry
+  constants the endpoints import).  All such dicts in an endpoint module
+  are frames: the endpoints construct frame dicts for the writers and
+  nothing else.
+* **handled** -- every dispatch comparison on a frame's type: ``frame
+  ["type"]`` / ``frame.get("type")`` compared (``==``, ``!=``, ``in``)
+  against a constant, including through a local like ``ftype =
+  frame.get("type")``.
+
+Per endpoint the checker reports: frame types sent but not declared,
+declared but never constructed, incoming (some peer declares them) but
+never dispatched on, and dispatched on though no peer sends them.  The
+request/response pairings (``cache_get`` -> ``cache_hit | cache_miss``,
+...) are validated against the channel table itself, so the registry
+cannot drift into declaring an unanswerable request.
+
+Deleting one ``cache_hit`` handler from :class:`ServiceClient` turns
+this gate red -- that regression is locked in
+``tests/test_analysis_deep.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.lint.core import FileContext, Finding
+from repro.service import frames
+
+_FRAMES_MODULE = "repro.service.frames"
+
+
+def _endpoint_files(
+    sources: Mapping[str, str], endpoint: str
+) -> List[str]:
+    paths = []
+    for suffix in frames.ENDPOINT_PATHS[endpoint]:
+        for path in sorted(sources):
+            if path.endswith(suffix):
+                paths.append(path)
+                break
+    return paths
+
+
+def _const_value(node: ast.expr, ctx: FileContext) -> Optional[str]:
+    """A frame-type string: literal, or a registry constant reference."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    dotted = ctx.dotted_name(node)
+    if dotted and dotted.startswith(_FRAMES_MODULE + "."):
+        leaf = dotted.rsplit(".", 1)[-1]
+        value = getattr(frames, leaf, None)
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _is_type_access(node: ast.expr) -> bool:
+    """``x.get("type")`` or ``x["type"]``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == "type"
+    ):
+        return True
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == "type"
+    ):
+        return True
+    return False
+
+
+class _EndpointScan:
+    """Sent/handled frame types of one endpoint source file."""
+
+    def __init__(self, path: str, source: str, module_name: str, export_map):
+        self.path = path
+        self.sent: Set[str] = set()
+        self.handled: Set[str] = set()
+        self.dynamic: List[int] = []  #: lines with unresolvable types
+        tree = ast.parse(source)
+        ctx = FileContext(
+            path,
+            source,
+            tree,
+            export_map=export_map,
+            module_name=module_name,
+        )
+        type_vars: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and _is_type_access(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        type_vars.add(target.id)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Dict):
+                self._scan_dict(node, ctx)
+            elif isinstance(node, ast.Compare):
+                self._scan_compare(node, ctx, type_vars)
+
+    def _scan_dict(self, node: ast.Dict, ctx: FileContext) -> None:
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "type"
+            ):
+                frame_type = _const_value(value, ctx)
+                if frame_type is None:
+                    self.dynamic.append(node.lineno)
+                else:
+                    self.sent.add(frame_type)
+
+    def _scan_compare(
+        self, node: ast.Compare, ctx: FileContext, type_vars: Set[str]
+    ) -> None:
+        left = node.left
+        is_dispatch = _is_type_access(left) or (
+            isinstance(left, ast.Name) and left.id in type_vars
+        )
+        if not is_dispatch:
+            return
+        for comparator in node.comparators:
+            elements = (
+                comparator.elts
+                if isinstance(comparator, (ast.Tuple, ast.List, ast.Set))
+                else [comparator]
+            )
+            for element in elements:
+                frame_type = _const_value(element, ctx)
+                if frame_type is not None:
+                    self.handled.add(frame_type)
+
+
+def _finding(path: str, message: str, line: int = 1) -> Finding:
+    return Finding(
+        rule="protocol", path=path, line=line, col=0, message=message
+    )
+
+
+def run_conformance(
+    sources: Mapping[str, str],
+) -> Tuple[List[Finding], Dict[str, object]]:
+    """Check every endpoint against the registry; returns findings plus
+    the machine-readable protocol table for the JSON gate payload."""
+    from repro.analysis.lint.core import build_export_map, module_name_for_path
+
+    export_map = build_export_map(sources)
+    known = set(sources)
+    findings: List[Finding] = []
+    endpoints: Dict[str, Dict[str, object]] = {}
+
+    for endpoint in sorted(frames.ENDPOINT_PATHS):
+        paths = _endpoint_files(sources, endpoint)
+        if len(paths) < len(frames.ENDPOINT_PATHS[endpoint]):
+            missing = [
+                suffix
+                for suffix in frames.ENDPOINT_PATHS[endpoint]
+                if not any(path.endswith(suffix) for path in paths)
+            ]
+            findings.append(
+                _finding(
+                    paths[0] if paths else missing[0],
+                    f"endpoint {endpoint!r}: source file(s) "
+                    f"{missing} not in the analyzed set",
+                )
+            )
+        sent: Set[str] = set()
+        handled: Set[str] = set()
+        anchor = paths[0] if paths else frames.ENDPOINT_PATHS[endpoint][0]
+        for path in paths:
+            try:
+                scan = _EndpointScan(
+                    path,
+                    sources[path],
+                    module_name_for_path(path, known_paths=known),
+                    export_map,
+                )
+            except SyntaxError as error:
+                findings.append(
+                    _finding(
+                        path,
+                        f"endpoint {endpoint!r}: file does not parse: "
+                        f"{error.msg}",
+                        line=error.lineno or 1,
+                    )
+                )
+                continue
+            sent |= scan.sent
+            handled |= scan.handled
+            for line in scan.dynamic:
+                findings.append(
+                    _finding(
+                        path,
+                        f"endpoint {endpoint!r}: frame constructed with a "
+                        f"dynamic 'type' the checker cannot resolve",
+                        line=line,
+                    )
+                )
+
+        declared_out = frames.declared_outgoing(endpoint)
+        declared_in = frames.declared_incoming(endpoint)
+        for frame_type in sorted((sent | handled) - frames.FRAME_TYPES):
+            findings.append(
+                _finding(
+                    anchor,
+                    f"endpoint {endpoint!r} uses unknown frame type "
+                    f"{frame_type!r} (not in repro.service.frames)",
+                )
+            )
+        for frame_type in sorted(sent - declared_out):
+            if frame_type not in frames.FRAME_TYPES:
+                continue
+            findings.append(
+                _finding(
+                    anchor,
+                    f"endpoint {endpoint!r} sends {frame_type!r} but no "
+                    f"channel declares it outgoing",
+                )
+            )
+        for frame_type in sorted(declared_out - sent):
+            findings.append(
+                _finding(
+                    anchor,
+                    f"endpoint {endpoint!r} declares {frame_type!r} "
+                    f"outgoing but never constructs it",
+                )
+            )
+        for frame_type in sorted(declared_in - handled):
+            findings.append(
+                _finding(
+                    anchor,
+                    f"endpoint {endpoint!r} never handles {frame_type!r}, "
+                    f"which a peer may send (add a dispatch branch or "
+                    f"amend the channel table)",
+                )
+            )
+        for frame_type in sorted(handled - declared_in):
+            if frame_type not in frames.FRAME_TYPES:
+                continue
+            findings.append(
+                _finding(
+                    anchor,
+                    f"endpoint {endpoint!r} dispatches on {frame_type!r} "
+                    f"but no peer is declared to send it",
+                )
+            )
+        endpoints[endpoint] = {
+            "files": paths,
+            "sends": sorted(sent),
+            "handles": sorted(handled),
+            "declared_outgoing": sorted(declared_out),
+            "declared_incoming": sorted(declared_in),
+        }
+
+    # Registry self-checks: the pairing table must be realizable on the
+    # declared channels.
+    senders_of: Dict[str, Set[Tuple[str, str]]] = {}
+    for channel in frames.CHANNELS:
+        for frame_type in channel.sends:
+            senders_of.setdefault(frame_type, set()).add(
+                (channel.sender, channel.receiver)
+            )
+    registry_path = "repro/service/frames.py"
+    for request, responses in sorted(frames.PAIRINGS.items()):
+        request_channels = senders_of.get(request, set())
+        if not request_channels:
+            findings.append(
+                _finding(
+                    registry_path,
+                    f"pairing request {request!r} is not declared on any "
+                    f"channel",
+                )
+            )
+            continue
+        for sender, receiver in sorted(request_channels):
+            answered = any(
+                (receiver, sender) in senders_of.get(response, set())
+                for response in responses
+            )
+            if not answered:
+                findings.append(
+                    _finding(
+                        registry_path,
+                        f"request {request!r} on {sender}->{receiver} has "
+                        f"no declared response among {sorted(responses)} "
+                        f"on {receiver}->{sender}",
+                    )
+                )
+
+    table = {
+        "channels": [
+            {
+                "sender": channel.sender,
+                "receiver": channel.receiver,
+                "sends": sorted(channel.sends),
+            }
+            for channel in frames.CHANNELS
+        ],
+        "pairings": {
+            request: sorted(responses)
+            for request, responses in sorted(frames.PAIRINGS.items())
+        },
+        "endpoints": endpoints,
+    }
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+    return findings, table
+
+
+__all__ = ["run_conformance"]

@@ -1,0 +1,120 @@
+"""Module graph: every source file parsed once, named, and linkable.
+
+The deep tier's foundation.  A :class:`ModuleGraph` holds one
+:class:`ModuleInfo` per parseable source file, keyed by the dotted module
+name inferred from the file's position in its package tree (see
+:func:`repro.analysis.lint.core.module_name_for_path`), plus the
+project-wide export map that lets alias resolution chase ``from x import
+y as z`` chains across modules.  :meth:`ModuleGraph.resolve` splits any
+dotted name into its longest module prefix and the remaining qualname --
+the primitive the call graph builds edges with.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.lint.core import (
+    FileContext,
+    build_export_map,
+    module_name_for_path,
+)
+
+
+class ModuleInfo:
+    """One parsed source file."""
+
+    __slots__ = ("name", "path", "source", "tree", "is_package")
+
+    def __init__(
+        self, name: str, path: str, source: str, tree: ast.Module
+    ):
+        self.name = name
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.is_package = path.endswith("__init__.py")
+
+
+class ModuleGraph:
+    """All modules of one source set, linked by an export map.
+
+    ``sources`` maps posix paths to source text; files that do not parse
+    are recorded in :attr:`broken` (path -> message) rather than raised,
+    so one syntax error does not hide every other finding -- the report
+    layer turns them into findings.
+    """
+
+    def __init__(self, sources: Mapping[str, str]):
+        self.sources: Dict[str, str] = dict(sources)
+        self.export_map = build_export_map(self.sources)
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.module_of_path: Dict[str, str] = {}
+        self.broken: Dict[str, str] = {}
+        known = set(self.sources)
+        for path in sorted(self.sources):
+            try:
+                tree = ast.parse(self.sources[path])
+            except SyntaxError as error:
+                self.broken[path] = f"line {error.lineno}: {error.msg}"
+                continue
+            name = module_name_for_path(path, known_paths=known)
+            self.modules[name] = ModuleInfo(
+                name, path, self.sources[path], tree
+            )
+            self.module_of_path[path] = name
+        self._contexts: Dict[str, FileContext] = {}
+
+    def context(self, module_name: str) -> FileContext:
+        """The (cached) alias-resolution context of one module."""
+        ctx = self._contexts.get(module_name)
+        if ctx is None:
+            info = self.modules[module_name]
+            ctx = FileContext(
+                info.path,
+                info.source,
+                info.tree,
+                export_map=self.export_map,
+                module_name=module_name,
+            )
+            self._contexts[module_name] = ctx
+        return ctx
+
+    def resolve(self, dotted: str) -> Optional[Tuple[str, str]]:
+        """Split ``dotted`` at its longest known-module prefix.
+
+        ``repro.experiments.engine.SweepCell.payload`` becomes
+        ``("repro.experiments.engine", "SweepCell.payload")``; names
+        with no known module prefix return ``None`` (stdlib, third
+        party, or dynamic).
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            head = ".".join(parts[:cut])
+            if head in self.modules:
+                return head, ".".join(parts[cut:])
+        return None
+
+
+def sources_from_paths(paths) -> Dict[str, str]:
+    """Read a ``paths`` list (files or directory trees) into the
+    ``{posix path: source}`` mapping every deep-tier entry point takes."""
+    from pathlib import Path
+
+    from repro.analysis.lint.core import _python_files
+    from repro.util.validation import ReproError
+
+    sources: Dict[str, str] = {}
+    for root in paths:
+        root = Path(root)
+        if not root.exists():
+            raise ReproError(f"analyze path does not exist: {root}")
+        for file_path in _python_files(root):
+            sources[file_path.as_posix()] = file_path.read_text(
+                encoding="utf-8"
+            )
+    return sources
+
+
+__all__ = ["ModuleGraph", "ModuleInfo", "sources_from_paths"]

@@ -1,0 +1,185 @@
+"""Driver and report for the deep tier (``repro analyze``).
+
+:func:`run_deep` loads the source set (default: the shipped ``repro``
+package), builds the module and call graphs once, runs the taint and
+conformance engines over them, applies ``# repro-analyze:
+disable=<rule>`` suppression comments, and returns a
+:class:`DeepReport` whose ``ok`` gates the exit code.  The JSON payload
+is shaped like the other gates (``{"gate": "analyze", "ok": ..., ...}``)
+so CI tooling treats lint, determinism and analyze uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.deep.callgraph import CallGraph
+from repro.analysis.deep.conformance import run_conformance
+from repro.analysis.deep.modgraph import ModuleGraph, sources_from_paths
+from repro.analysis.deep.taint import analyze_taint
+from repro.analysis.lint.core import Finding, default_lint_root
+
+#: Marker introducing an analyze-tier suppression comment.
+ANALYZE_SUPPRESS_MARK = "# repro-analyze:"
+
+
+@dataclass
+class DeepReport:
+    """Everything one :func:`run_deep` pass produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    protocol: Dict[str, object] = field(default_factory=dict)
+    stats: Dict[str, int] = field(default_factory=dict)
+    engines: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity finding survived."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def render_text(self) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(
+                f"{finding.location()}: {finding.severity}"
+                f"[{finding.rule}] {finding.message}"
+            )
+        stats = ", ".join(
+            f"{name}={value}" for name, value in sorted(self.stats.items())
+        )
+        lines.append(
+            f"repro analyze: {len(self.errors)} error(s), "
+            f"{len(self.findings) - len(self.errors)} warning(s); {stats}"
+        )
+        return "\n".join(lines)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "gate": "analyze",
+            "ok": self.ok,
+            "engines": list(self.engines),
+            "stats": dict(sorted(self.stats.items())),
+            "errors": len(self.errors),
+            "warnings": len(self.findings) - len(self.errors),
+            "protocol": self.protocol,
+            "findings": [f.to_payload() for f in self.findings],
+        }
+
+
+def _analyze_suppressed(
+    finding: Finding, lines: Sequence[str]
+) -> bool:
+    """``# repro-analyze: disable=<rule>`` on the finding's line."""
+    if not (1 <= finding.line <= len(lines)):
+        return False
+    text = lines[finding.line - 1]
+    index = text.find(ANALYZE_SUPPRESS_MARK)
+    if index < 0:
+        return False
+    spec = text[index + len(ANALYZE_SUPPRESS_MARK):].strip()
+    if not spec.startswith("disable="):
+        return False
+    rules = [
+        rule.strip()
+        for rule in spec[len("disable="):].split("#")[0].split(",")
+    ]
+    return finding.rule in rules or "all" in rules
+
+
+def collect_sources(paths: Optional[Sequence] = None) -> Dict[str, str]:
+    """The ``{posix path: source}`` set ``repro analyze`` works on."""
+    roots = list(paths) if paths else [default_lint_root()]
+    return sources_from_paths(roots)
+
+
+def run_deep(
+    paths: Optional[Sequence] = None,
+    sources: Optional[Mapping[str, str]] = None,
+    taint: bool = True,
+    protocol: bool = True,
+    config=None,
+) -> DeepReport:
+    """Run the deep tier; ``sources`` (tests) bypasses the filesystem."""
+    if sources is None:
+        sources = collect_sources(paths)
+    modgraph = ModuleGraph(sources)
+    graph = CallGraph(modgraph)
+
+    report = DeepReport(
+        stats={
+            "files": len(sources),
+            "modules": len(modgraph.modules),
+            "functions": len(graph.functions),
+            "call_edges": len(graph.edges),
+        }
+    )
+    for path in sorted(modgraph.broken):
+        report.findings.append(
+            Finding(
+                rule="syntax",
+                path=path,
+                line=1,
+                col=0,
+                message=(
+                    f"file does not parse: {modgraph.broken[path]}"
+                ),
+            )
+        )
+
+    if taint:
+        report.engines.append("taint")
+        report.findings.extend(analyze_taint(graph, config=config))
+    if protocol:
+        from repro.service import frames
+
+        # Analyzing a subtree with no protocol endpoint at all (e.g.
+        # ``repro analyze src/repro/sim``) is not a conformance failure;
+        # a *partially* present endpoint set still is.
+        has_endpoint = any(
+            path.endswith(suffix)
+            for path in sources
+            for suffixes in frames.ENDPOINT_PATHS.values()
+            for suffix in suffixes
+        )
+        if has_endpoint:
+            report.engines.append("protocol")
+            protocol_findings, table = run_conformance(sources)
+            report.findings.extend(protocol_findings)
+            report.protocol = table
+
+    line_cache: Dict[str, List[str]] = {}
+    kept: List[Finding] = []
+    for finding in report.findings:
+        lines = line_cache.get(finding.path)
+        if lines is None:
+            lines = sources.get(finding.path, "").splitlines()
+            line_cache[finding.path] = lines
+        if not _analyze_suppressed(finding, lines):
+            kept.append(finding)
+    report.findings = kept
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+    return report
+
+
+def dump_callgraph(
+    paths: Optional[Sequence] = None,
+    sources: Optional[Mapping[str, str]] = None,
+) -> str:
+    """The ``--callgraph`` debug dump: every resolved edge, one per line."""
+    if sources is None:
+        sources = collect_sources(paths)
+    return CallGraph(ModuleGraph(sources)).render_text()
+
+
+__all__ = [
+    "ANALYZE_SUPPRESS_MARK",
+    "DeepReport",
+    "collect_sources",
+    "dump_callgraph",
+    "run_deep",
+]

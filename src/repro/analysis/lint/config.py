@@ -40,6 +40,13 @@ DEFAULT_ALLOW: Dict[str, Tuple[str, ...]] = {
     "env-read": ("config_env.py",),
 }
 
+#: Default per-rule severities for rules that should not gate the exit
+#: code out of the box.  A stale suppression is hygiene, not a
+#: determinism hazard.
+DEFAULT_SEVERITY: Dict[str, str] = {
+    "unused-suppression": "warning",
+}
+
 
 def _as_glob(pattern: str) -> str:
     return pattern if any(c in pattern for c in "*?[") else f"*{pattern}"
@@ -56,7 +63,9 @@ class LintConfig:
     allow: Mapping[str, Tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_ALLOW)
     )
-    severity: Mapping[str, str] = field(default_factory=dict)
+    severity: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_SEVERITY)
+    )
 
     def __post_init__(self):
         for rule, level in self.severity.items():
@@ -85,6 +94,7 @@ DEFAULT_CONFIG = LintConfig()
 __all__ = [
     "DEFAULT_ALLOW",
     "DEFAULT_CONFIG",
+    "DEFAULT_SEVERITY",
     "LintConfig",
     "SEVERITIES",
     "TIMING_ALLOWED",

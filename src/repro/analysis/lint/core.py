@@ -21,14 +21,21 @@ anywhere in the file for the ``disable-file`` form)::
 
     risky_call()  # repro-lint: disable=wall-clock
     # repro-lint: disable-file=float-equality
+
+A suppression comment that no longer masks any finding is itself
+reported (rule ``unused-suppression``, warning severity) so stale
+exemptions cannot rot silently; ``repro lint --fix-suppressions`` lists
+the removal candidates.
 """
 
 from __future__ import annotations
 
 import ast
+import io
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.util.validation import ReproError
 
@@ -61,30 +68,158 @@ class Finding:
         }
 
 
+def module_name_for_path(path: str, known_paths=None) -> str:
+    """Dotted module name of a source file.
+
+    Walks up from the file while each parent directory holds an
+    ``__init__.py`` -- so ``.../src/repro/sim/trace.py`` becomes
+    ``repro.sim.trace`` wherever the tree is checked out.  With
+    ``known_paths`` (a set of posix paths) package membership is decided
+    by set membership instead of the filesystem, which lets callers name
+    in-memory fixture trees.
+    """
+    file_path = Path(path)
+    stem = file_path.stem
+    parts: List[str] = [] if stem == "__init__" else [stem]
+
+    def _is_package(directory: Path) -> bool:
+        marker = directory / "__init__.py"
+        if known_paths is not None:
+            return marker.as_posix() in known_paths
+        return marker.is_file()
+
+    directory = file_path.parent
+    while directory.name and _is_package(directory):
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) if parts else stem
+
+
+def build_export_map(sources: Mapping[str, str]) -> Dict[str, Dict[str, str]]:
+    """Module name -> {exported name -> dotted origin} for a source set.
+
+    Records every top-level ``import``/``from-import`` binding of every
+    module, so :meth:`FileContext.dotted_name` can chase ``from x import
+    y as z`` chains through module-level re-exports back to the real
+    origin (a re-exported ``time`` no longer escapes the wall-clock
+    rule).  ``sources`` maps posix paths to source text, as produced by
+    :func:`run_lint`'s read loop.
+    """
+    known = set(sources)
+    exports: Dict[str, Dict[str, str]] = {}
+    for path in sorted(sources):
+        try:
+            tree = ast.parse(sources[path])
+        except SyntaxError:
+            continue
+        module = module_name_for_path(path, known_paths=known)
+        table = exports.setdefault(module, {})
+        is_package = Path(path).stem == "__init__"
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_import_base(node, module, is_package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    table[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+    return exports
+
+
+def _resolve_import_base(
+    node: ast.ImportFrom, module_name: Optional[str], is_package: bool
+) -> Optional[str]:
+    """Absolute dotted module an ``ImportFrom`` pulls names out of, or
+    ``None`` when a relative import cannot be anchored."""
+    if not node.level:
+        return node.module
+    if not module_name:
+        return None
+    parts = module_name.split(".")
+    # The anchor package: the module's own package, then one more level
+    # up per extra leading dot.
+    drop = node.level if not is_package else node.level - 1
+    if drop >= len(parts):
+        return None
+    base_parts = parts[: len(parts) - drop]
+    if node.module:
+        base_parts.append(node.module)
+    return ".".join(base_parts)
+
+
 class FileContext:
     """Per-file state shared by every rule during one walk.
 
     ``aliases`` maps local names to the dotted origin they were imported
     as: ``import numpy as np`` yields ``{"np": "numpy"}``, ``from time
     import perf_counter as pc`` yields ``{"pc": "time.perf_counter"}``.
+    With an ``export_map`` (see :func:`build_export_map`) resolution
+    additionally chases module-level re-exports, and with a
+    ``module_name`` relative imports resolve to absolute dotted names.
     """
 
-    def __init__(self, path: str, source: str, tree: ast.Module):
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        export_map: Optional[Mapping[str, Mapping[str, str]]] = None,
+        module_name: Optional[str] = None,
+    ):
         self.path = path
         self.tree = tree
         self.lines = source.splitlines()
+        self.export_map = export_map or {}
+        self.module_name = module_name
         self.aliases: Dict[str, str] = {}
+        is_package = Path(path).stem == "__init__"
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     self.aliases[alias.asname or alias.name.split(".")[0]] = (
                         alias.name if alias.asname else alias.name.split(".")[0]
                     )
-            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_import_base(node, module_name, is_package)
+                if base is None:
+                    continue
                 for alias in node.names:
+                    if alias.name == "*":
+                        continue
                     self.aliases[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
+                        f"{base}.{alias.name}" if base else alias.name
                     )
+
+    def resolve_export(self, dotted: str) -> str:
+        """Chase ``dotted`` through module-level re-exports to its origin.
+
+        ``pkg.compat.clock`` becomes ``time.perf_counter`` when
+        ``pkg/compat.py`` does ``from time import perf_counter as
+        clock``.  Cycles (e.g. ``from . import mod`` in a package
+        ``__init__``) terminate at the first repeated name.
+        """
+        seen = set()
+        while dotted not in seen:
+            seen.add(dotted)
+            head, _, leaf = dotted.rpartition(".")
+            table = self.export_map.get(head) if head else None
+            if not table or leaf not in table:
+                return dotted
+            dotted = table[leaf]
+        return dotted
 
     def dotted_name(self, node: ast.AST) -> Optional[str]:
         """The fully resolved dotted name of a ``Name``/``Attribute`` chain,
@@ -97,7 +232,8 @@ class FileContext:
             return None
         root = self.aliases.get(node.id, node.id)
         parts.append(root)
-        return ".".join(reversed(parts))
+        dotted = ".".join(reversed(parts))
+        return self.resolve_export(dotted) if self.export_map else dotted
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -138,20 +274,22 @@ class Rule:
         )
 
 
-def _suppressed(finding: Finding, ctx: FileContext) -> bool:
-    """True when a suppression comment disables ``finding``."""
-    def _rules_of(text: str, directive: str) -> List[str]:
-        mark = SUPPRESS_MARK + " " + directive + "="
+def _rules_of(text: str, directive: str) -> List[str]:
+    """Rule names a ``# repro-lint: <directive>=a,b`` comment targets."""
+    mark = SUPPRESS_MARK + " " + directive + "="
+    index = text.find(mark)
+    if index < 0:
+        # tolerate no space after the colon
+        mark = SUPPRESS_MARK + directive + "="
         index = text.find(mark)
         if index < 0:
-            # tolerate no space after the colon
-            mark = SUPPRESS_MARK + directive + "="
-            index = text.find(mark)
-            if index < 0:
-                return []
-        spec = text[index + len(mark):].split("#")[0]
-        return [rule.strip() for rule in spec.split(",") if rule.strip()]
+            return []
+    spec = text[index + len(mark):].split("#")[0]
+    return [rule.strip() for rule in spec.split(",") if rule.strip()]
 
+
+def _suppressed(finding: Finding, ctx: FileContext) -> bool:
+    """True when a suppression comment disables ``finding``."""
     line = ctx.line_text(finding.line)
     if finding.rule in _rules_of(line, "disable") or "all" in _rules_of(
         line, "disable"
@@ -165,22 +303,106 @@ def _suppressed(finding: Finding, ctx: FileContext) -> bool:
     return False
 
 
+def _suppression_comments(
+    source: str,
+) -> List[Tuple[int, int, str, List[str], str]]:
+    """``(line, col, directive, rules, text)`` per real suppression comment.
+
+    Tokenize-based so suppression *examples* inside docstrings (this
+    module has some) are not mistaken for live comments.
+    """
+    comments: List[Tuple[int, int, str, List[str], str]] = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return comments
+    for token in tokens:
+        if token.type != tokenize.COMMENT or SUPPRESS_MARK not in token.string:
+            continue
+        for directive in ("disable-file", "disable"):
+            rules = _rules_of(token.string, directive)
+            if rules:
+                comments.append(
+                    (
+                        token.start[0],
+                        token.start[1],
+                        directive,
+                        rules,
+                        token.string.strip(),
+                    )
+                )
+                break
+    return comments
+
+
+def _stale_suppressions(
+    source: str, path: str, raw: List[Finding], cfg
+) -> List[Finding]:
+    """``unused-suppression`` findings for comments masking nothing.
+
+    ``raw`` must be the pre-suppression findings of a run with the full
+    default rule set -- under a rule subset the findings justifying a
+    comment may simply not have been computed, so callers disable this
+    check there.
+    """
+    live = [f for f in raw if not cfg.path_allowed(f.rule, path)]
+    findings: List[Finding] = []
+    for line, col, directive, rules, text in _suppression_comments(source):
+        if directive == "disable":
+            used = any(
+                f.line == line and (f.rule in rules or "all" in rules)
+                for f in live
+            )
+        else:
+            used = any(
+                f.rule in rules or "all" in rules for f in live
+            )
+        if not used:
+            findings.append(
+                Finding(
+                    rule="unused-suppression",
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"suppression masks no finding: {text!r} "
+                        f"(remove it)"
+                    ),
+                    severity=cfg.severity_of("unused-suppression"),
+                )
+            )
+    return findings
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
     config=None,
+    export_map: Optional[Mapping[str, Mapping[str, str]]] = None,
+    module_name: Optional[str] = None,
+    check_suppressions: Optional[bool] = None,
 ) -> List[Finding]:
     """Lint one module's source text; returns surviving findings.
 
     Findings are dropped when a suppression comment disables them or the
     config's per-path allowlist exempts the file from the rule, and
     re-labelled with the config's severity for the rule otherwise.
+
+    ``export_map``/``module_name`` (see :func:`build_export_map`) let
+    alias resolution chase re-exports across modules.
+    ``check_suppressions`` controls stale-suppression reporting; the
+    default (``None``) enables it exactly when the full default rule set
+    runs, because staleness is meaningless under a rule subset.
     """
     from repro.analysis.lint.config import DEFAULT_CONFIG
     from repro.analysis.lint.rules import default_rules
 
     cfg = config if config is not None else DEFAULT_CONFIG
+    if check_suppressions is None:
+        check_suppressions = rules is None
     active = list(rules) if rules is not None else default_rules()
     try:
         tree = ast.parse(source)
@@ -194,7 +416,9 @@ def lint_source(
                 message=f"file does not parse: {error.msg}",
             )
         ]
-    ctx = FileContext(path, source, tree)
+    ctx = FileContext(
+        path, source, tree, export_map=export_map, module_name=module_name
+    )
 
     raw: List[Finding] = []
     dispatch: Dict[type, List[Rule]] = {}
@@ -224,6 +448,8 @@ def lint_source(
                 severity=severity,
             )
         findings.append(finding)
+    if check_suppressions:
+        findings.extend(_stale_suppressions(source, path, raw, cfg))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -304,6 +530,9 @@ def run_lint(
     roots = [Path(p) for p in paths] if paths else [default_lint_root()]
 
     report = LintReport(rules_run=[rule.name for rule in active])
+    check_suppressions = rules is None
+    if check_suppressions:
+        report.rules_run.append("unused-suppression")
     sources: Dict[str, str] = {}
     for root in roots:
         if not root.exists():
@@ -324,10 +553,23 @@ def run_lint(
                 )
                 continue
             sources[posix] = source
-            report.files_checked += 1
-            report.findings.extend(
-                lint_source(source, path=posix, rules=active, config=cfg)
+    # Two passes: the export map of the whole set must exist before any
+    # one file is linted, so re-export chains resolve across modules.
+    export_map = build_export_map(sources)
+    known = set(sources)
+    for posix in sorted(sources):
+        report.files_checked += 1
+        report.findings.extend(
+            lint_source(
+                sources[posix],
+                path=posix,
+                rules=active,
+                config=cfg,
+                export_map=export_map,
+                module_name=module_name_for_path(posix, known_paths=known),
+                check_suppressions=check_suppressions,
             )
+        )
     if invariants:
         report.findings.extend(run_invariants(sources, config=cfg))
         report.rules_run += [
@@ -348,7 +590,9 @@ __all__ = [
     "LintReport",
     "Rule",
     "SUPPRESS_MARK",
+    "build_export_map",
     "default_lint_root",
     "lint_source",
+    "module_name_for_path",
     "run_lint",
 ]

@@ -15,7 +15,8 @@ Commands
 ``cache``        inspect or clear the on-disk sweep cell cache
 ``worker``       join a distributed sweep coordinator as a worker process
 ``serve``        run the always-on async sweep service daemon
-``lint``         static determinism & invariant linter (CI gate)
+``lint``         static determinism & invariant linter (CI gate, fast tier)
+``analyze``      whole-program taint + protocol conformance (CI gate, deep tier)
 
 The sweep-shaped commands accept ``--jobs`` (process fan-out),
 ``--no-cache`` and ``--cache-dir`` (the content-addressed cell cache under
@@ -394,10 +395,54 @@ def cmd_lint(args) -> int:
             return 2
         rules = [rule for rule in rules if rule.name in wanted]
     try:
+        # None (not the full default list) when unrestricted: run_lint
+        # only checks suppression staleness under the complete rule set.
         report = run_lint(
             paths=args.paths or None,
-            rules=rules,
+            rules=rules if args.rules else None,
             invariants=not args.no_invariants,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.fix_suppressions:
+        if args.rules:
+            print(
+                "error: --fix-suppressions needs the full rule set "
+                "(staleness is undecidable under --rules)",
+                file=sys.stderr,
+            )
+            return 2
+        candidates = [
+            f for f in report.findings if f.rule == "unused-suppression"
+        ]
+        for finding in candidates:
+            print(f"{finding.path}:{finding.line}: {finding.message}")
+        print(
+            f"repro lint --fix-suppressions: {len(candidates)} stale "
+            f"suppression comment(s) to remove"
+        )
+        return 0 if report.ok else 1
+    if args.format == "json":
+        print(json_module.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+def cmd_analyze(args) -> int:
+    import json as json_module
+
+    from repro.analysis.deep import dump_callgraph, run_deep
+
+    try:
+        if args.callgraph:
+            print(dump_callgraph(paths=args.paths or None))
+            return 0
+        report = run_deep(
+            paths=args.paths or None,
+            taint=not args.no_taint,
+            protocol=not args.no_protocol,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -604,7 +649,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the project-level invariant checkers")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print every rule with its summary and exit")
+    p_lint.add_argument("--fix-suppressions", action="store_true",
+                        help="print stale '# repro-lint: disable=' comments "
+                        "that no longer mask any finding")
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="whole-program taint & protocol-conformance analysis "
+        "(exit 1 on findings)",
+    )
+    p_analyze.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze "
+        "(default: the shipped repro package)",
+    )
+    p_analyze.add_argument("--format", choices=("text", "json"),
+                           default="text")
+    p_analyze.add_argument("--callgraph", action="store_true",
+                           help="dump the resolved call graph and exit")
+    p_analyze.add_argument("--no-taint", action="store_true",
+                           help="skip the nondeterminism taint engine")
+    p_analyze.add_argument("--no-protocol", action="store_true",
+                           help="skip the frame-protocol conformance checker")
+    p_analyze.set_defaults(fn=cmd_analyze)
 
     p_rep = sub.add_parser("report", help="write the markdown experiment dossier")
     p_rep.add_argument("--out", default="results/report.md")

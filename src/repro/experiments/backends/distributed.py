@@ -44,6 +44,16 @@ from repro.experiments.backends.base import (
     merge_counters,
     plan_batches,
 )
+from repro.service.frames import (
+    BATCH,
+    ERROR,
+    GOODBYE,
+    HELLO,
+    REJECT,
+    RESULT,
+    SHUTDOWN,
+    WELCOME,
+)
 from repro.util.validation import ReproError
 
 #: Bump when the frame vocabulary changes incompatibly.
@@ -175,14 +185,14 @@ class DistributedBackend(ExecutorBackend):
         conn.settimeout(HANDSHAKE_TIMEOUT)
         hello = recv_frame(conn)
         if (
-            hello.get("type") != "hello"
+            hello.get("type") != HELLO
             or hello.get("schema") != engine_module.ENGINE_SCHEMA
             or hello.get("protocol") != PROTOCOL_VERSION
         ):
             send_frame(
                 conn,
                 {
-                    "type": "reject",
+                    "type": REJECT,
                     "reason": (
                         f"schema/protocol mismatch: coordinator has "
                         f"schema={engine_module.ENGINE_SCHEMA} "
@@ -196,7 +206,7 @@ class DistributedBackend(ExecutorBackend):
         send_frame(
             conn,
             {
-                "type": "welcome",
+                "type": WELCOME,
                 "schema": engine_module.ENGINE_SCHEMA,
                 "protocol": PROTOCOL_VERSION,
                 "fingerprints": list(self._fingerprints),
@@ -233,7 +243,7 @@ class DistributedBackend(ExecutorBackend):
             while True:
                 frame = recv_frame(link.conn)
                 self._events.put(("frame", link, frame))
-                if frame.get("type") == "goodbye":
+                if frame.get("type") == GOODBYE:
                     return
         except (OSError, ValueError, ReproError, ConnectionError):
             self._events.put(("lost", link))
@@ -310,7 +320,7 @@ class DistributedBackend(ExecutorBackend):
             )
             frames.append(
                 {
-                    "type": "batch",
+                    "type": BATCH,
                     "batch": batch_id,
                     "fingerprint": fingerprint,
                     "cells": [cells[i].payload() for i in batch],
@@ -372,14 +382,14 @@ class DistributedBackend(ExecutorBackend):
             elif kind == "frame":
                 frame = event[2]
                 ftype = frame.get("type")
-                if ftype == "result":
+                if ftype == RESULT:
                     batch_id = frame.get("batch")
                     if batch_id not in done:
                         merge_counters(self.counters, frame.get("built", {}))
                         complete(batch_id, frame.get("records", []))
                     link.batch = None
                     idle.append(link)
-                elif ftype == "error":
+                elif ftype == ERROR:
                     raise ReproError(
                         f"worker {link.worker_id} rejected batch "
                         f"{frame.get('batch')}: {frame.get('message')}"
@@ -409,7 +419,7 @@ class DistributedBackend(ExecutorBackend):
                     )
         for link in sorted(live.values(), key=lambda l: l.worker_id):
             try:
-                send_frame(link.conn, {"type": "shutdown"})
+                send_frame(link.conn, {"type": SHUTDOWN})
                 link.conn.close()
             except OSError:
                 pass

@@ -40,6 +40,16 @@ from repro.experiments.backends.distributed import (
     recv_frame,
     send_frame,
 )
+from repro.service.frames import (
+    BATCH,
+    ERROR,
+    GOODBYE,
+    HELLO,
+    REJECT,
+    RESULT,
+    SHUTDOWN,
+    WELCOME,
+)
 from repro.util.validation import ReproError
 
 #: Seconds to wait for the coordinator to accept the dial.
@@ -96,15 +106,20 @@ def worker_loop(
         send_frame(
             sock,
             {
-                "type": "hello",
+                "type": HELLO,
                 "schema": engine_module.ENGINE_SCHEMA,
                 "protocol": PROTOCOL_VERSION,
             },
         )
         welcome = recv_frame(sock)
-        if welcome.get("type") != "welcome":
+        if welcome.get("type") == REJECT:
             print(
-                f"worker rejected: {welcome.get('reason', welcome)}",
+                f"worker rejected: {welcome.get('reason')}", file=sys.stderr
+            )
+            return 2
+        if welcome.get("type") != WELCOME:
+            print(
+                f"worker expected a welcome frame, got: {welcome}",
                 file=sys.stderr,
             )
             return 2
@@ -113,13 +128,19 @@ def worker_loop(
         while True:
             frame = recv_frame(sock)
             ftype = frame.get("type")
-            if ftype == "shutdown":
+            if ftype == SHUTDOWN:
+                # Clean goodbye: the coordinator's reader learns this was
+                # an orderly exit, not a crash worth a restart.
+                try:
+                    send_frame(sock, {"type": GOODBYE})
+                except OSError:
+                    pass
                 return 0
-            if ftype != "batch":
+            if ftype != BATCH:
                 send_frame(
                     sock,
                     {
-                        "type": "error",
+                        "type": ERROR,
                         "batch": frame.get("batch"),
                         "message": f"unexpected frame type {ftype!r}",
                     },
@@ -142,7 +163,7 @@ def worker_loop(
                 send_frame(
                     sock,
                     {
-                        "type": "error",
+                        "type": ERROR,
                         "batch": frame["batch"],
                         "message": (
                             f"library fingerprint mismatch: coordinator "
@@ -158,7 +179,7 @@ def worker_loop(
             send_frame(
                 sock,
                 {
-                    "type": "result",
+                    "type": RESULT,
                     "batch": frame["batch"],
                     "records": records,
                     "built": built,

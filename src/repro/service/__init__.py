@@ -7,6 +7,10 @@ many concurrent sweep jobs from many clients over the *same*
 length-prefixed JSON frame protocol, so the existing synchronous socket
 workers join the fleet unchanged:
 
+* :mod:`repro.service.frames` -- the frame-type registry: every wire
+  frame type named once, plus the per-channel protocol table the
+  conformance checker (``repro analyze``) verifies the endpoints
+  against;
 * :mod:`repro.service.protocol` -- the frame codec on
   ``asyncio.StreamReader/Writer`` (one wire format, two transports);
 * :mod:`repro.service.scheduler` -- deficit-round-robin fair scheduling
@@ -20,21 +24,48 @@ workers join the fleet unchanged:
 
 ``docs/service.md`` documents the frame vocabulary, the scheduler
 semantics and the cache namespace rules.
+
+The exports resolve lazily (PEP 562): the frame registry must stay
+importable from the socket endpoints without dragging the daemon -- and
+its transitive engine imports -- into every process that only needs the
+type constants.
 """
 
-from repro.service.client import ServiceClient
-from repro.service.daemon import ServiceHandle, SweepService, start_service_thread
-from repro.service.protocol import read_frame, write_frame
-from repro.service.scheduler import FairScheduler
-from repro.service.store import RecordStore
+from typing import List
 
-__all__ = [
-    "FairScheduler",
-    "RecordStore",
-    "ServiceClient",
-    "ServiceHandle",
-    "SweepService",
-    "read_frame",
-    "start_service_thread",
-    "write_frame",
-]
+#: Export name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "FairScheduler": "repro.service.scheduler",
+    "RecordStore": "repro.service.store",
+    "ServiceClient": "repro.service.client",
+    "ServiceHandle": "repro.service.daemon",
+    "SweepService": "repro.service.daemon",
+    "read_frame": "repro.service.protocol",
+    "start_service_thread": "repro.service.daemon",
+    "write_frame": "repro.service.protocol",
+}
+
+__all__ = sorted(_EXPORTS) + ["frames"]
+
+
+def __getattr__(name: str):
+    import importlib
+
+    if name == "frames":
+        # import_module, not a from-import: the latter re-enters this
+        # __getattr__ before the submodule lands in sys.modules.
+        module = importlib.import_module("repro.service.frames")
+        globals()[name] = module
+        return module
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -26,6 +26,23 @@ from repro.experiments.backends.distributed import (
     recv_frame,
     send_frame,
 )
+from repro.service.frames import (
+    CACHE_GET,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_OK,
+    CACHE_PUT,
+    CELL_RESULT,
+    ERROR,
+    GOODBYE,
+    HELLO,
+    JOB,
+    JOB_ACCEPTED,
+    JOB_DONE,
+    JOB_FAILED,
+    REJECT,
+    WELCOME,
+)
 from repro.util.validation import ReproError
 
 CONNECT_TIMEOUT = 30.0
@@ -62,19 +79,19 @@ class ServiceClient:
         send_frame(
             self._conn,
             {
-                "type": "hello",
+                "type": HELLO,
                 "role": "client",
                 "schema": engine_module.ENGINE_SCHEMA,
                 "protocol": PROTOCOL_VERSION,
             },
         )
         welcome = recv_frame(self._conn)
-        if welcome.get("type") == "reject":
+        if welcome.get("type") == REJECT:
             self._conn.close()
             raise ReproError(
                 f"service rejected the connection: {welcome.get('reason')}"
             )
-        if welcome.get("type") != "welcome":
+        if welcome.get("type") != WELCOME:
             self._conn.close()
             raise ReproError(
                 f"expected welcome frame, got {welcome.get('type')!r}"
@@ -104,7 +121,7 @@ class ServiceClient:
         straight into a :class:`~repro.results.store.ResultWriter`.
         """
         job_frame: Dict[str, object] = {
-            "type": "job",
+            "type": JOB,
             "cells": [dict(payload) for payload in payloads],
             "priority": int(priority),
         }
@@ -126,13 +143,13 @@ class ServiceClient:
         while True:
             frame = recv_frame(self._conn)
             ftype = frame.get("type")
-            if ftype == "reject":
+            if ftype == REJECT:
                 raise ReproError(
                     f"service rejected the job: {frame.get('reason')}"
                 )
-            if ftype == "job_accepted":
+            if ftype == JOB_ACCEPTED:
                 job_id = frame.get("job")
-            elif ftype == "cell_result":
+            elif ftype == CELL_RESULT:
                 index = int(frame.get("index", -1))
                 if 0 <= index < len(payloads) and not received[index]:
                     received[index] = 1
@@ -144,7 +161,7 @@ class ServiceClient:
                         while next_emit in held:
                             on_record(next_emit, held.pop(next_emit))
                             next_emit += 1
-            elif ftype == "job_done":
+            elif ftype == JOB_DONE:
                 if arrived < len(payloads):
                     missing = [
                         i for i, flag in enumerate(received) if not flag
@@ -163,12 +180,12 @@ class ServiceClient:
                     list(records) if records is not None else None,
                     counters,
                 )
-            elif ftype == "job_failed":
+            elif ftype == JOB_FAILED:
                 raise ReproError(
                     f"job {job_id} failed on the service: "
                     f"{frame.get('message')}"
                 )
-            elif ftype == "error":
+            elif ftype == ERROR:
                 raise ReproError(f"service error: {frame.get('message')}")
             else:
                 raise ReproError(
@@ -178,13 +195,13 @@ class ServiceClient:
     # -------------------------------------------------------------- cache
     def cache_get(self, key: str) -> Optional[Dict[str, object]]:
         """Fetch one record from the service store (``None`` on miss)."""
-        send_frame(self._conn, {"type": "cache_get", "key": key})
+        send_frame(self._conn, {"type": CACHE_GET, "key": key})
         frame = recv_frame(self._conn)
         ftype = frame.get("type")
-        if ftype == "cache_hit":
+        if ftype == CACHE_HIT:
             record = frame.get("record")
             return record if isinstance(record, dict) else None
-        if ftype == "cache_miss":
+        if ftype == CACHE_MISS:
             return None
         raise ReproError(
             f"unexpected cache_get reply {ftype!r}: {frame.get('message')}"
@@ -201,7 +218,7 @@ class ServiceClient:
         send_frame(
             self._conn,
             {
-                "type": "cache_put",
+                "type": CACHE_PUT,
                 "namespace": namespace,
                 "key": key,
                 "cell": dict(cell_payload),
@@ -209,7 +226,7 @@ class ServiceClient:
             },
         )
         frame = recv_frame(self._conn)
-        if frame.get("type") != "cache_ok":
+        if frame.get("type") != CACHE_OK:
             raise ReproError(
                 f"cache_put refused: {frame.get('message', frame.get('type'))}"
             )
@@ -217,7 +234,7 @@ class ServiceClient:
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:
         try:
-            send_frame(self._conn, {"type": "goodbye"})
+            send_frame(self._conn, {"type": GOODBYE})
         except OSError:
             pass
         try:

@@ -67,6 +67,26 @@ from repro.experiments.backends.distributed import (
     HANDSHAKE_TIMEOUT,
     PROTOCOL_VERSION,
 )
+from repro.service.frames import (
+    BATCH,
+    CACHE_GET,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_OK,
+    CACHE_PUT,
+    CELL_RESULT,
+    ERROR,
+    GOODBYE,
+    HELLO,
+    JOB,
+    JOB_ACCEPTED,
+    JOB_DONE,
+    JOB_FAILED,
+    REJECT,
+    RESULT,
+    SHUTDOWN,
+    WELCOME,
+)
 from repro.service.protocol import read_frame, write_frame
 from repro.service.scheduler import FairScheduler
 from repro.service.store import RecordStore
@@ -238,7 +258,7 @@ class SweepService:
             await self._server.wait_closed()
         for peer in sorted(self._live.values(), key=lambda p: p.peer_id):
             try:
-                await write_frame(peer.writer, {"type": "shutdown"})
+                await write_frame(peer.writer, {"type": SHUTDOWN})
                 peer.writer.close()
             except (OSError, ConnectionError):
                 pass
@@ -279,7 +299,7 @@ class SweepService:
             writer.close()
             return
         if (
-            hello.get("type") != "hello"
+            hello.get("type") != HELLO
             or hello.get("schema") != engine_module.ENGINE_SCHEMA
             or hello.get("protocol") != PROTOCOL_VERSION
         ):
@@ -287,7 +307,7 @@ class SweepService:
                 await write_frame(
                     writer,
                     {
-                        "type": "reject",
+                        "type": REJECT,
                         "reason": (
                             f"schema/protocol mismatch: service has "
                             f"schema={engine_module.ENGINE_SCHEMA} "
@@ -306,7 +326,7 @@ class SweepService:
             await write_frame(
                 writer,
                 {
-                    "type": "welcome",
+                    "type": WELCOME,
                     "schema": engine_module.ENGINE_SCHEMA,
                     "protocol": PROTOCOL_VERSION,
                     "fingerprints": sorted(self._fingerprints),
@@ -320,7 +340,7 @@ class SweepService:
         if role == "worker":
             if self._draining:
                 try:
-                    await write_frame(writer, {"type": "shutdown"})
+                    await write_frame(writer, {"type": SHUTDOWN})
                 except (OSError, ConnectionError):
                     pass
                 writer.close()
@@ -338,15 +358,15 @@ class SweepService:
             while True:
                 frame = await read_frame(peer.reader)
                 ftype = frame.get("type")
-                if ftype == "result":
+                if ftype == RESULT:
                     await self._on_result(peer, frame)
-                elif ftype == "error":
+                elif ftype == ERROR:
                     await self._on_worker_error(peer, frame)
-                elif ftype == "cache_get":
+                elif ftype == CACHE_GET:
                     await self._on_cache_get(peer, frame)
-                elif ftype == "cache_put":
+                elif ftype == CACHE_PUT:
                     await self._on_cache_put(peer, frame)
-                elif ftype == "goodbye":
+                elif ftype == GOODBYE:
                     clean = True
                     return
         except (asyncio.IncompleteReadError, ConnectionError, OSError,
@@ -360,19 +380,19 @@ class SweepService:
             while True:
                 frame = await read_frame(peer.reader)
                 ftype = frame.get("type")
-                if ftype == "job":
+                if ftype == JOB:
                     await self._on_job(peer, frame)
-                elif ftype == "cache_get":
+                elif ftype == CACHE_GET:
                     await self._on_cache_get(peer, frame)
-                elif ftype == "cache_put":
+                elif ftype == CACHE_PUT:
                     await self._on_cache_put(peer, frame)
-                elif ftype == "goodbye":
+                elif ftype == GOODBYE:
                     return
                 else:
                     await write_frame(
                         peer.writer,
                         {
-                            "type": "error",
+                            "type": ERROR,
                             "message": f"unexpected frame type {ftype!r}",
                         },
                     )
@@ -409,7 +429,7 @@ class SweepService:
             await write_frame(
                 peer.writer,
                 {
-                    "type": "reject",
+                    "type": REJECT,
                     "reason": "service is draining and accepts no new jobs",
                 },
             )
@@ -425,7 +445,7 @@ class SweepService:
         try:
             await write_frame(
                 peer.writer,
-                {"type": "job_accepted", "job": job_id, "cells": len(payloads)},
+                {"type": JOB_ACCEPTED, "job": job_id, "cells": len(payloads)},
             )
         except (OSError, ConnectionError):
             # Client vanished right after submitting: drop the job before
@@ -485,7 +505,7 @@ class SweepService:
                 self._fingerprints.add(fingerprint)
                 batch_keys = [miss_keys[i] for i in batch]
                 batch_frame = {
-                    "type": "batch",
+                    "type": BATCH,
                     "batch": token,
                     "fingerprint": fingerprint,
                     "cells": [miss_cells[i].payload() for i in batch],
@@ -581,7 +601,7 @@ class SweepService:
                 await write_frame(
                     job.peer.writer,
                     {
-                        "type": "cell_result",
+                        "type": CELL_RESULT,
                         "job": job.job_id,
                         "index": index,
                         "record": record,
@@ -605,7 +625,7 @@ class SweepService:
                 await write_frame(
                     job.peer.writer,
                     {
-                        "type": "job_done",
+                        "type": JOB_DONE,
                         "job": job.job_id,
                         "counters": {
                             name: int(value)
@@ -628,7 +648,7 @@ class SweepService:
                 await write_frame(
                     job.peer.writer,
                     {
-                        "type": "job_failed",
+                        "type": JOB_FAILED,
                         "job": job.job_id,
                         "message": message,
                     },
@@ -693,11 +713,11 @@ class SweepService:
         if self.store is not None and key:
             record = await asyncio.to_thread(self.store.get, key)
         if record is None:
-            await write_frame(peer.writer, {"type": "cache_miss", "key": key})
+            await write_frame(peer.writer, {"type": CACHE_MISS, "key": key})
         else:
             await write_frame(
                 peer.writer,
-                {"type": "cache_hit", "key": key, "record": record},
+                {"type": CACHE_HIT, "key": key, "record": record},
             )
 
     async def _on_cache_put(self, peer: _Peer, frame: Dict) -> None:
@@ -705,7 +725,7 @@ class SweepService:
         if self.store is None:
             await write_frame(
                 peer.writer,
-                {"type": "error", "message": "service runs without a cache dir"},
+                {"type": ERROR, "message": "service runs without a cache dir"},
             )
             return
         try:
@@ -718,10 +738,10 @@ class SweepService:
             )
         except (ReproError, KeyError, TypeError, ValueError) as error:
             await write_frame(
-                peer.writer, {"type": "error", "message": str(error)}
+                peer.writer, {"type": ERROR, "message": str(error)}
             )
             return
-        await write_frame(peer.writer, {"type": "cache_ok", "key": key})
+        await write_frame(peer.writer, {"type": CACHE_OK, "key": key})
 
 
 # ------------------------------------------------------- thread embedding

@@ -758,3 +758,163 @@ class TestLintGate:
             good_path.write_text(good, encoding="utf-8")
             assert main(["lint", str(bad_path)]) == 1, f"fixture {index}"
             assert main(["lint", str(good_path)]) == 0, f"fixture {index}"
+
+
+class TestUnusedSuppression:
+    def test_stale_suppression_is_a_warning(self):
+        from repro.analysis.lint import lint_source
+
+        src = "x = 1  # repro-lint: disable=wall-clock\n"
+        [finding] = [
+            f
+            for f in lint_source(src, path="fixture.py")
+            if f.rule == "unused-suppression"
+        ]
+        assert finding.severity == "warning"
+        assert finding.line == 1
+        assert "masks no finding" in finding.message
+
+    def test_live_suppression_is_not_reported(self):
+        from repro.analysis.lint import lint_source
+
+        src = (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=wall-clock\n"
+        )
+        rules = {f.rule for f in lint_source(src, path="fixture.py")}
+        assert "unused-suppression" not in rules
+        assert "wall-clock" not in rules
+
+    def test_file_suppression_staleness(self):
+        stale = "# repro-lint: disable-file=wall-clock\nx = 1\n"
+        assert "unused-suppression" in _rules_hit(stale)
+        live = (
+            "# repro-lint: disable-file=wall-clock\n"
+            "import time\nt = time.time()\n"
+        )
+        assert "unused-suppression" not in _rules_hit(live)
+
+    def test_not_checked_under_rule_subset(self):
+        from repro.analysis.lint import lint_source
+        from repro.analysis.lint.rules import default_rules
+
+        subset = [r for r in default_rules() if r.name == "env-read"]
+        src = "x = 1  # repro-lint: disable=wall-clock\n"
+        findings = lint_source(src, path="fixture.py", rules=subset)
+        assert findings == []
+
+    def test_docstring_example_is_not_a_comment(self):
+        src = (
+            'def helper():\n'
+            '    """Use ``# repro-lint: disable=wall-clock`` inline."""\n'
+            '    return 1\n'
+        )
+        assert "unused-suppression" not in _rules_hit(src)
+
+    def test_fix_suppressions_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "x = 1  # repro-lint: disable=wall-clock\n", encoding="utf-8"
+        )
+        assert main(["lint", "--fix-suppressions", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale suppression comment(s) to remove" in out
+        assert f"{target.as_posix()}:1:" in out
+
+    def test_fix_suppressions_rejects_rule_subset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        code = main(
+            ["lint", "--fix-suppressions", "--rules", "wall-clock",
+             str(target)]
+        )
+        assert code == 2
+        assert "full rule set" in capsys.readouterr().err
+
+
+class TestReexportResolution:
+    SOURCES = {
+        "fix/pkg/__init__.py": "",
+        "fix/pkg/shim.py": "from time import time as hidden_time\n",
+        "fix/pkg/use.py": (
+            "from pkg.shim import hidden_time\n"
+            "def stamp():\n"
+            "    return hidden_time()\n"
+        ),
+    }
+
+    def test_reexported_wall_clock_is_caught(self):
+        from repro.analysis.lint import lint_source
+        from repro.analysis.lint.core import build_export_map
+
+        export_map = build_export_map(self.SOURCES)
+        findings = lint_source(
+            self.SOURCES["fix/pkg/use.py"],
+            path="fix/pkg/use.py",
+            export_map=export_map,
+            module_name="pkg.use",
+        )
+        assert [(f.rule, f.line) for f in findings] == [("wall-clock", 3)]
+
+    def test_without_export_map_the_alias_hides_it(self):
+        from repro.analysis.lint import lint_source
+
+        findings = lint_source(
+            self.SOURCES["fix/pkg/use.py"], path="fix/pkg/use.py"
+        )
+        assert findings == []
+
+    def test_chain_through_package_init(self):
+        from repro.analysis.lint import lint_source
+        from repro.analysis.lint.core import build_export_map
+
+        sources = dict(self.SOURCES)
+        sources["fix/pkg/__init__.py"] = (
+            "from pkg.shim import hidden_time\n"
+        )
+        sources["fix/pkg/use.py"] = (
+            "from pkg import hidden_time\n"
+            "def stamp():\n"
+            "    return hidden_time()\n"
+        )
+        export_map = build_export_map(sources)
+        findings = lint_source(
+            sources["fix/pkg/use.py"],
+            path="fix/pkg/use.py",
+            export_map=export_map,
+            module_name="pkg.use",
+        )
+        assert {f.rule for f in findings} == {"wall-clock"}
+
+    def test_run_lint_applies_the_map_end_to_end(self, tmp_path):
+        from repro.analysis.lint import run_lint
+
+        package = tmp_path / "pkg"
+        package.mkdir()
+        for path, source in self.SOURCES.items():
+            (tmp_path / path.split("fix/", 1)[1]).write_text(
+                source, encoding="utf-8"
+            )
+        report = run_lint(paths=[tmp_path], invariants=False)
+        assert not report.ok
+        assert any(
+            f.rule == "wall-clock" and f.path.endswith("use.py")
+            for f in report.findings
+        )
+
+    def test_module_name_for_path(self):
+        from repro.analysis.lint.core import module_name_for_path
+
+        known = set(self.SOURCES)
+        assert (
+            module_name_for_path("fix/pkg/use.py", known_paths=known)
+            == "pkg.use"
+        )
+        assert (
+            module_name_for_path("fix/pkg/__init__.py", known_paths=known)
+            == "pkg"
+        )
