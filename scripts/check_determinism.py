@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Determinism and regression gate for the sweep engine.
 
-Six checks, all byte-level:
+Seven checks, all byte-level:
 
 1. **Serial == parallel**: a reference 36-cell sweep executed in-process
    and through a ``--jobs``-wide process pool must serialise identically.
@@ -18,7 +18,12 @@ Six checks, all byte-level:
    streamed through a columnar ``ResultWriter`` and read back from the
    committed shards must serialise identically to the in-memory serial
    records -- the ``--store`` path must never alter a byte.
-6. **Golden traces**: every committed reference snapshot under
+6. **Wire modes**: the reference sweep through the ``distributed`` and
+   ``service`` backends under both ``$REPRO_WIRE`` encodings (plain JSON
+   frames and the binary columnar wire) must serialise identically to
+   serial, with the transport counters proving each leg exercised its
+   own path.
+7. **Golden traces**: every committed reference snapshot under
    ``tests/golden/`` (H.264 deblocking and the JPEG encoder) must match a
    fresh simulation exactly -- under each of the three ``REPRO_SIM``
    engines (stepped, event, packed), which pins the engines' byte-identity
@@ -235,6 +240,69 @@ def check_store_roundtrip() -> Dict[str, object]:
     return _check("store-roundtrip", True, details)
 
 
+def check_wire_modes(workers: int) -> Dict[str, object]:
+    """Both wire encodings, through both socket backends, must stay
+    byte-identical to serial.
+
+    ``$REPRO_WIRE`` is forced to each mode in turn (and restored after),
+    and the transport counters prove each leg actually exercised its
+    path: the binary legs must have compressed at least one envelope --
+    with the service leg also coalescing result blocks -- while the JSON
+    legs must show no binary activity at all.
+    """
+    import os
+
+    cells = reference_cells()
+    serial = json.dumps(SweepEngine(use_cache=False).run(cells))
+    details: List[str] = []
+    failures: List[str] = []
+    saved = os.environ.get("REPRO_WIRE")
+    try:
+        for mode in ("json", "binary"):
+            os.environ["REPRO_WIRE"] = mode
+            for backend in ("distributed", "service"):
+                engine = SweepEngine(
+                    use_cache=False, backend=backend, workers=workers
+                )
+                blob = json.dumps(engine.run(cells))
+                leg = f"{backend}/{mode}"
+                stats = engine.stats
+                if blob != serial:
+                    failures.append(f"{leg}: records differ from serial")
+                    continue
+                if mode == "binary":
+                    if stats.blocks_compressed == 0:
+                        failures.append(
+                            f"{leg}: no compressed envelopes -- binary "
+                            f"wire not exercised"
+                        )
+                    if backend == "service" and stats.frames_coalesced == 0:
+                        failures.append(
+                            f"{leg}: no coalesced result frames -- block "
+                            f"path not exercised"
+                        )
+                else:
+                    if stats.blocks_compressed or stats.frames_coalesced:
+                        failures.append(
+                            f"{leg}: binary counters nonzero on the JSON "
+                            f"wire"
+                        )
+                details.append(
+                    f"{leg}: {stats.bytes_sent}B out, "
+                    f"{stats.bytes_received}B in, "
+                    f"{stats.frames_coalesced} coalesced, "
+                    f"{stats.blocks_compressed} compressed"
+                )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_WIRE", None)
+        else:
+            os.environ["REPRO_WIRE"] = saved
+    if failures:
+        return _check("wire-modes", False, failures)
+    return _check("wire-modes", True, details)
+
+
 def check_golden() -> Dict[str, object]:
     """The golden-trace check, as a summary record.
 
@@ -309,6 +377,7 @@ def main(argv=None) -> int:
         checks.append(check_backends(args.jobs, args.workers))
         checks.append(check_service_golden(args.workers))
         checks.append(check_store_roundtrip())
+        checks.append(check_wire_modes(args.workers))
     checks.append(check_golden())
     ok = all(check["ok"] for check in checks)
 

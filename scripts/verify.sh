@@ -13,8 +13,10 @@
 # per-cell wall-clock speedup threshold (repro.bench.check_sim_gate),
 # the construction memos cutting builds by less than 3x / the executor
 # backends disagreeing (repro.bench.check_engine_gate), the always-on
-# sweep service failing byte-identity against serial or its >= 1.5x
-# aggregate throughput factor over sequential one-shot fleets
+# sweep service failing byte-identity against serial, missing its
+# >= 1.5x aggregate throughput factor over sequential one-shot fleets,
+# or the binary columnar wire missing its >= 3x bytes-reduction or
+# >= 1.3x job-throughput factors over plain JSON frames
 # (repro.bench.check_service_gate), or the columnar result store losing
 # byte-identity on the round-trip / missing its peak-memory ratio over
 # in-memory aggregation (repro.bench.check_store_gate).  The

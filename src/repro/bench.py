@@ -26,6 +26,10 @@ sweep -- all doubling as regression gates:
   one-shot distributed backends, byte-identical to serial throughout
   (``BENCH_service.json``).  The win comes from sharing one worker fleet
   and serving repeats from the in-flight table and the network store.
+  A second phase replays store-served jobs over both wire encodings:
+  the negotiated binary columnar wire must shrink the client's transport
+  bytes by :data:`WIRE_BYTES_THRESHOLD` and lift job throughput by
+  :data:`WIRE_THROUGHPUT_THRESHOLD` over plain JSON frames.
 * ``store`` -- in-memory result aggregation vs. the columnar result
   store: a deterministic synthetic sweep is aggregated once from a fully
   materialised row list and once streamed through
@@ -42,6 +46,7 @@ fails, which is what the verify script's smoke jobs rely on.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -108,6 +113,26 @@ STORE_MEMORY_THRESHOLD_QUICK = 2.0
 
 #: Concurrent submissions the service suite drives.
 SERVICE_SWEEPS = 4
+
+#: Minimum factor by which the negotiated binary wire must shrink the
+#: transport bytes (sent + received at the client) of a store-served
+#: repeat job versus the same job over plain JSON frames.
+WIRE_BYTES_THRESHOLD = 3.0
+
+#: Minimum end-to-end job-throughput factor of the binary wire over the
+#: JSON wire on the same store-served repeat jobs (coalesced blocks cut
+#: the per-cell frame encode/flush/decode cost).
+WIRE_THROUGHPUT_THRESHOLD = 1.3
+
+#: Each wire-phase job tiles the grid's cell payloads this many times, so
+#: the streamed result traffic dominates the fixed handshake/accept cost.
+WIRE_TILE = 200
+
+#: Store-served repeat jobs per wire mode.  The throughput gate compares
+#: the *fastest* job per mode: identical work each time means the min is
+#: the transport cost and everything above it is scheduler/housekeeping
+#: noise that would otherwise need many more repetitions to average out.
+WIRE_JOBS = 3
 
 
 def run_selector_bench(
@@ -374,6 +399,17 @@ def run_service_bench(
     same sweeps submitted concurrently; repeats are served from the
     in-flight table and the shared store instead of recomputing.  All
     runs must stay byte-identical to a serial reference.
+
+    Wire phase: a fresh daemon's store is seeded with the grid once,
+    then :data:`WIRE_JOBS` store-served repeat jobs of
+    :data:`WIRE_TILE`-tiled payloads run through a direct
+    :class:`~repro.service.client.ServiceClient` per wire mode -- plain
+    JSON frames versus the negotiated binary columnar wire.  The server
+    does no compute either way, so the legs isolate the transport: the
+    binary wire must cut client-side bytes by
+    :data:`WIRE_BYTES_THRESHOLD` and, comparing each mode's fastest
+    job, lift throughput by :data:`WIRE_THROUGHPUT_THRESHOLD` --
+    byte-identical throughout.
     """
     import shutil
     import tempfile
@@ -382,6 +418,7 @@ def run_service_bench(
     from repro.experiments.engine import (
         SweepCell, SweepEngine, clear_build_memo,
     )
+    from repro.service.client import ServiceClient
     from repro.service.daemon import start_service_thread
 
     if budgets is None:
@@ -443,6 +480,76 @@ def run_service_bench(
     throughput = (
         sequential_wall / service_wall if service_wall else float("inf")
     )
+
+    # Wire phase: identical store-served jobs per encoding, so the only
+    # variable is the transport itself.
+    payloads = [cell.payload() for cell in cells]
+    tiled = payloads * WIRE_TILE
+    expected = reference * WIRE_TILE
+    wire_modes: Dict[str, Dict[str, object]] = {}
+    wire_identical = True
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-wire-")
+    clear_build_memo()
+    try:
+        # The wire-phase daemon is explicitly binary-capable so the A/B
+        # comparison holds even when $REPRO_WIRE pins the suite to json
+        # (each client still picks its own leg's encoding explicitly).
+        handle = start_service_thread(
+            workers=2, cache_dir=cache_dir, wire_encoding="binary"
+        )
+        try:
+            with ServiceClient(handle.coordinator) as seeder:
+                seeded, _ = seeder.run_job(payloads)
+            wire_identical &= seeded == reference
+            for mode in ("json", "binary"):
+                client = ServiceClient(
+                    handle.coordinator, wire_encoding=mode
+                )
+                with client:
+                    # One untimed warmup job settles allocator and
+                    # event-loop state; the cyclic collector is paused
+                    # over the timed window so a collection triggered by
+                    # earlier phases' garbage does not land on one leg.
+                    records, _counters = client.run_job(tiled)
+                    wire_identical &= records == expected
+                    before = client.wire_stats.snapshot()
+                    gc.collect()
+                    gc.disable()
+                    walls = []
+                    try:
+                        for _ in range(WIRE_JOBS):
+                            started = time.perf_counter()
+                            records, _counters = client.run_job(tiled)
+                            walls.append(time.perf_counter() - started)
+                            wire_identical &= records == expected
+                    finally:
+                        gc.enable()
+                    after = client.wire_stats.snapshot()
+                snap = {
+                    name: after[name] - before[name] for name in after
+                }
+                wire_modes[mode] = dict(
+                    snap,
+                    wall_seconds=round(min(walls), 4),
+                    total_wall_seconds=round(sum(walls), 4),
+                    wire_bytes=snap["bytes_sent"] + snap["bytes_received"],
+                    jobs=WIRE_JOBS,
+                )
+        finally:
+            handle.stop()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    json_bytes = wire_modes["json"]["wire_bytes"]
+    binary_bytes = wire_modes["binary"]["wire_bytes"]
+    bytes_reduction = (
+        json_bytes / binary_bytes if binary_bytes else float("inf")
+    )
+    binary_wall = wire_modes["binary"]["wall_seconds"]
+    wire_throughput = (
+        wire_modes["json"]["wall_seconds"] / binary_wall
+        if binary_wall else float("inf")
+    )
     return {
         "benchmark": "service",
         "workload": "h264 fig8 grid",
@@ -456,9 +563,18 @@ def run_service_bench(
         "sequential_wall_seconds": round(sequential_wall, 4),
         "service_wall_seconds": round(service_wall, 4),
         "service_counters": service_counters,
-        "identical_results": sequential_identical and service_identical,
+        "identical_results": (
+            sequential_identical and service_identical and wire_identical
+        ),
         "throughput_factor": round(throughput, 3),
         "throughput_threshold": SERVICE_THROUGHPUT_THRESHOLD,
+        "wire_cells": len(tiled),
+        "wire_jobs": WIRE_JOBS,
+        "wire_modes": wire_modes,
+        "wire_bytes_reduction": round(bytes_reduction, 3),
+        "wire_bytes_threshold": WIRE_BYTES_THRESHOLD,
+        "wire_throughput_factor": round(wire_throughput, 3),
+        "wire_throughput_threshold": WIRE_THROUGHPUT_THRESHOLD,
     }
 
 
@@ -555,6 +671,19 @@ def render_service(payload: Dict[str, object]) -> str:
         f"  throughput: {payload['throughput_factor']}x aggregate "
         f"(threshold {payload['throughput_threshold']}x); identical "
         f"results: {payload['identical_results']}",
+        f"  wire phase: {payload['wire_jobs']} store-served jobs of "
+        f"{payload['wire_cells']:,} cells per mode",
+        *(
+            f"    {mode:6s} best-job={totals['wall_seconds']}s "
+            f"bytes={totals['wire_bytes']:,} "
+            f"coalesced={totals['frames_coalesced']:,} "
+            f"compressed={totals['blocks_compressed']:,}"
+            for mode, totals in payload["wire_modes"].items()
+        ),
+        f"  wire bytes: {payload['wire_bytes_reduction']}x smaller "
+        f"(threshold {payload['wire_bytes_threshold']}x); wire "
+        f"throughput: {payload['wire_throughput_factor']}x "
+        f"(threshold {payload['wire_throughput_threshold']}x)",
     ])
 
 
@@ -626,8 +755,10 @@ def check_engine_gate(payload: Dict[str, object]) -> List[str]:
 def check_service_gate(payload: Dict[str, object]) -> List[str]:
     """The regression conditions of the service suite (empty = pass):
     every sweep -- sequential or through the daemon -- must match the
-    serial reference byte-for-byte, and the daemon must beat the one-shot
-    fleets' aggregate throughput by at least the threshold factor."""
+    serial reference byte-for-byte, the daemon must beat the one-shot
+    fleets' aggregate throughput by at least the threshold factor, and
+    the binary wire must clear both its bytes-reduction and
+    job-throughput thresholds over the JSON wire."""
     failures = []
     if not payload["identical_results"]:
         failures.append(
@@ -640,6 +771,18 @@ def check_service_gate(payload: Dict[str, object]) -> List[str]:
         failures.append(
             f"daemon improved aggregate throughput only {throughput}x "
             f"(threshold {threshold}x)"
+        )
+    reduction = payload["wire_bytes_reduction"]
+    if reduction < payload["wire_bytes_threshold"]:
+        failures.append(
+            f"binary wire shrank transport bytes only {reduction}x "
+            f"(threshold {payload['wire_bytes_threshold']}x)"
+        )
+    wire_throughput = payload["wire_throughput_factor"]
+    if wire_throughput < payload["wire_throughput_threshold"]:
+        failures.append(
+            f"binary wire lifted job throughput only {wire_throughput}x "
+            f"(threshold {payload['wire_throughput_threshold']}x)"
         )
     return failures
 
@@ -877,6 +1020,10 @@ __all__ = [
     "STORE_MEMORY_THRESHOLD_QUICK",
     "STORE_SHARD_ROWS",
     "SUITES",
+    "WIRE_BYTES_THRESHOLD",
+    "WIRE_JOBS",
+    "WIRE_THROUGHPUT_THRESHOLD",
+    "WIRE_TILE",
     "check_engine_gate",
     "check_gate",
     "check_service_gate",

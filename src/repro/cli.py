@@ -186,6 +186,7 @@ def cmd_experiments(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.experiments.engine import SweepEngine, resolve_engine
     from repro.experiments.sweep import run_sweep, run_sweep_stored
 
     try:
@@ -200,13 +201,26 @@ def cmd_sweep(args) -> int:
             budgets.append((int(label[0]), int(label[1])))
         seeds = [int(s) for s in args.seeds.split(",")]
         policies = [p.strip() for p in args.policies.split(",")]
+        engine_kwargs = _engine_kwargs(args)
+        engine = resolve_engine(
+            cache_max_bytes=args.cache_max_bytes, **engine_kwargs
+        )
+        if engine is None and args.verbose:
+            # The default serial path bypasses the engine; --verbose wants
+            # its counters, so build the equivalent explicit engine.
+            engine = SweepEngine(
+                jobs=engine_kwargs["jobs"],
+                use_cache=engine_kwargs["use_cache"],
+                cache_dir=engine_kwargs["cache_dir"],
+            )
         kwargs = dict(
             workload=args.workload,
             workload_params={
                 "images" if args.workload == "jpeg" else "frames": args.frames
             },
             cache_max_bytes=args.cache_max_bytes,
-            **_engine_kwargs(args),
+            engine=engine,
+            **engine_kwargs,
         )
         if args.store is not None:
             result, stored_path = run_sweep_stored(
@@ -224,6 +238,16 @@ def cmd_sweep(args) -> int:
     if stored_path is not None:
         # On stderr so stored and plain sweeps stay stdout-comparable.
         print(f"stored: {stored_path}", file=sys.stderr)
+    if args.verbose and engine is not None:
+        # Engine + wire counters go to stderr for the same reason: CI
+        # byte-compares sweep stdout across backends and wire modes.
+        payload = engine.stats.engine_payload()
+        print(
+            "engine: " + " ".join(
+                f"{name}={payload[name]}" for name in sorted(payload)
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -553,6 +577,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--store-shard-rows", type=int, default=0,
                          help="rows buffered per columnar shard "
                               "(default: 512)")
+    p_sweep.add_argument("--verbose", action="store_true",
+                         help="print engine + wire transport counters to "
+                              "stderr after the sweep (stdout stays "
+                              "byte-comparable across backends)")
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_res = sub.add_parser(

@@ -30,6 +30,10 @@ COUNTER_NAMES: Tuple[str, ...] = (
     "worker_restarts",
     "remote_cache_hits",
     "jobs_completed",
+    "bytes_sent",
+    "bytes_received",
+    "frames_coalesced",
+    "blocks_compressed",
 )
 
 

@@ -38,12 +38,14 @@ import threading
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.config_env import wire_mode
 from repro.experiments import engine as engine_module
 from repro.experiments.backends.base import (
     ExecutorBackend,
     merge_counters,
     plan_batches,
 )
+from repro.service import wire
 from repro.service.frames import (
     BATCH,
     ERROR,
@@ -56,11 +58,15 @@ from repro.service.frames import (
 )
 from repro.util.validation import ReproError
 
-#: Bump when the frame vocabulary changes incompatibly.
+#: Bump when the frame vocabulary changes incompatibly.  The binary
+#: columnar encoding is *not* a protocol bump: it is negotiated per
+#: connection via the ``wire`` capability list in hello/welcome frames
+#: (see :mod:`repro.service.wire`) and falls back to these JSON frames.
 PROTOCOL_VERSION = 1
 
-#: Hard per-frame ceiling -- a corrupt length prefix must not allocate GBs.
-MAX_FRAME_BYTES = 64 * 1024 * 1024
+#: Hard per-frame ceiling -- a corrupt length prefix must not allocate
+#: GBs.  Shared with (and defined by) the binary wire codec.
+MAX_FRAME_BYTES = wire.MAX_FRAME_BYTES
 
 #: Handshake / connect socket timeout (seconds).  Liveness only: no value
 #: derived from it ever reaches a record.
@@ -77,8 +83,19 @@ def encode_frame(obj) -> bytes:
     return struct.pack(">I", len(blob)) + blob
 
 
-def send_frame(sock: socket.socket, obj) -> None:
-    sock.sendall(encode_frame(obj))
+def send_frame(
+    sock: socket.socket,
+    obj,
+    stats: Optional[wire.WireStats] = None,
+    binary: bool = False,
+) -> None:
+    """Write one frame, JSON or (when negotiated) binary-enveloped."""
+    blob = wire.encode_binary_frame(obj) if binary else encode_frame(obj)
+    sock.sendall(blob)
+    if stats is not None:
+        stats.add("bytes_sent", len(blob))
+        if binary and blob[5] & wire.FLAG_ZLIB:
+            stats.add("blocks_compressed", 1)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -92,15 +109,29 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket):
-    """Read one length-prefixed JSON frame (blocking)."""
+def recv_frame(
+    sock: socket.socket, stats: Optional[wire.WireStats] = None
+):
+    """Read one length-prefixed frame of either encoding (blocking)."""
     (length,) = struct.unpack(">I", _recv_exact(sock, 4))
     if length > MAX_FRAME_BYTES:
         raise ReproError(
             f"incoming frame of {length} bytes exceeds the "
             f"{MAX_FRAME_BYTES} limit"
         )
-    return json.loads(_recv_exact(sock, length).decode("utf-8"))
+    blob = _recv_exact(sock, length)
+    if stats is not None:
+        stats.add("bytes_received", 4 + length)
+    return wire.decode_blob(blob, stats)
+
+
+def result_records(frame: Dict[str, object]) -> List[Dict[str, object]]:
+    """The records of one RESULT frame, whichever encoding carried them:
+    the columnar ``block`` (binary wire) or the plain ``records`` list."""
+    block = frame.get("block")
+    if block is not None:
+        return [record for _index, record in wire.decode_record_block(block)]
+    return frame.get("records", [])
 
 
 def parse_address(address: Optional[str]) -> Tuple[str, int]:
@@ -125,6 +156,7 @@ class _WorkerLink:
         self.worker_id = worker_id
         self.conn = conn
         self.batch: Optional[int] = None  #: outstanding batch id
+        self.wire = False  #: negotiated binary wire on this connection
 
 
 class DistributedBackend(ExecutorBackend):
@@ -151,6 +183,7 @@ class DistributedBackend(ExecutorBackend):
         worker_specs: Optional[Sequence[Dict[str, object]]] = None,
         max_restarts: Optional[int] = None,
         stall_timeout: float = 300.0,
+        wire_encoding: Optional[str] = None,
     ):
         super().__init__(
             jobs=jobs, chunk_size=chunk_size, workers=workers,
@@ -173,6 +206,11 @@ class DistributedBackend(ExecutorBackend):
             max_restarts if max_restarts is not None else self.n_workers
         )
         self.stall_timeout = stall_timeout
+        #: Advertise the binary columnar wire?  Explicit argument beats
+        #: ``$REPRO_WIRE`` beats the ``binary`` default; each connection
+        #: still falls back to JSON unless the worker advertised too.
+        self.wire_binary = wire_mode(wire_encoding) == "binary"
+        self._wire_stats = wire.WireStats()
         self._events: "queue.Queue[Tuple]" = queue.Queue()
         self._fingerprints: List[str] = []
         self._next_worker_id = 0
@@ -181,9 +219,15 @@ class DistributedBackend(ExecutorBackend):
         self._address: Tuple[str, int] = ("127.0.0.1", 0)
 
     # --------------------------------------------------------- accept side
-    def _handshake(self, conn: socket.socket) -> bool:
+    def _handshake(self, conn: socket.socket) -> Optional[bool]:
+        """Run the hello/welcome exchange.
+
+        Returns ``None`` when the worker was rejected, otherwise whether
+        the connection negotiated the binary wire (both sides advertised
+        ``wire=v2`` -- old workers simply never do).
+        """
         conn.settimeout(HANDSHAKE_TIMEOUT)
-        hello = recv_frame(conn)
+        hello = recv_frame(conn, self._wire_stats)
         if (
             hello.get("type") != HELLO
             or hello.get("schema") != engine_module.ENGINE_SCHEMA
@@ -201,8 +245,9 @@ class DistributedBackend(ExecutorBackend):
                         f"protocol={hello.get('protocol')}"
                     ),
                 },
+                stats=self._wire_stats,
             )
-            return False
+            return None
         send_frame(
             conn,
             {
@@ -210,10 +255,12 @@ class DistributedBackend(ExecutorBackend):
                 "schema": engine_module.ENGINE_SCHEMA,
                 "protocol": PROTOCOL_VERSION,
                 "fingerprints": list(self._fingerprints),
+                "wire": wire.wire_capabilities(self.wire_binary),
             },
+            stats=self._wire_stats,
         )
         conn.settimeout(None)
-        return True
+        return wire.negotiate_wire(self.wire_binary, hello.get("wire"))
 
     def _accept_loop(self, listener: socket.socket) -> None:
         while True:
@@ -222,7 +269,8 @@ class DistributedBackend(ExecutorBackend):
             except OSError:
                 return  # listener closed: run over
             try:
-                if not self._handshake(conn):
+                negotiated = self._handshake(conn)
+                if negotiated is None:
                     conn.close()
                     continue
             except (OSError, ValueError, ReproError):
@@ -232,6 +280,7 @@ class DistributedBackend(ExecutorBackend):
                 worker_id = self._next_worker_id
                 self._next_worker_id += 1
             link = _WorkerLink(worker_id, conn)
+            link.wire = negotiated
             self._events.put(("joined", link))
             reader = threading.Thread(
                 target=self._reader_loop, args=(link,), daemon=True
@@ -241,7 +290,7 @@ class DistributedBackend(ExecutorBackend):
     def _reader_loop(self, link: _WorkerLink) -> None:
         try:
             while True:
-                frame = recv_frame(link.conn)
+                frame = recv_frame(link.conn, self._wire_stats)
                 self._events.put(("frame", link, frame))
                 if frame.get("type") == GOODBYE:
                     return
@@ -266,6 +315,7 @@ class DistributedBackend(ExecutorBackend):
         cells = list(cells)
         if not cells:
             return [] if on_record is None else None
+        self._wire_stats = wire.WireStats()
         batches = plan_batches(
             cells, self.chunk_size,
             parts=self.n_workers or self.DEFAULT_WORKERS,
@@ -301,6 +351,8 @@ class DistributedBackend(ExecutorBackend):
             self._shutdown_workers()
 
         self.counters["frames_sent"] += len(frames)
+        for name, value in self._wire_stats.snapshot().items():
+            self.counters[name] += value
         if on_record is not None:
             return None
         records: List[Optional[Dict[str, object]]] = [None] * len(cells)
@@ -361,7 +413,10 @@ class DistributedBackend(ExecutorBackend):
                 batch_id = pending.popleft()
                 link.batch = batch_id
                 try:
-                    send_frame(link.conn, frames[batch_id])
+                    send_frame(
+                        link.conn, frames[batch_id],
+                        stats=self._wire_stats, binary=link.wire,
+                    )
                 except OSError:
                     self._events.put(("lost", link))
 
@@ -386,7 +441,7 @@ class DistributedBackend(ExecutorBackend):
                     batch_id = frame.get("batch")
                     if batch_id not in done:
                         merge_counters(self.counters, frame.get("built", {}))
-                        complete(batch_id, frame.get("records", []))
+                        complete(batch_id, result_records(frame))
                     link.batch = None
                     idle.append(link)
                 elif ftype == ERROR:
@@ -441,5 +496,6 @@ __all__ = [
     "encode_frame",
     "parse_address",
     "recv_frame",
+    "result_records",
     "send_frame",
 ]

@@ -33,13 +33,16 @@ import sys
 import time
 from typing import List, Optional, Tuple
 
+from repro.config_env import wire_mode
 from repro.experiments import engine as engine_module
 from repro.experiments.backends.distributed import (
     PROTOCOL_VERSION,
+    encode_frame,
     parse_address,
     recv_frame,
     send_frame,
 )
+from repro.service import wire
 from repro.service.frames import (
     BATCH,
     ERROR,
@@ -77,6 +80,7 @@ def reconnect_delays(
 def worker_loop(
     address: Tuple[str, int],
     fail_after: Optional[int] = None,
+    wire_encoding: Optional[str] = None,
 ) -> int:
     """Serve batches from the coordinator at ``address`` until shutdown.
 
@@ -85,12 +89,22 @@ def worker_loop(
     crashed host so the coordinator's requeue/restart path can be
     exercised deterministically.
 
+    ``wire_encoding`` overrides ``$REPRO_WIRE``; under the negotiated
+    binary wire, result records travel as one columnar block per batch
+    and outbound frames coalesce Nagle-style: they queue in a
+    :class:`repro.service.wire.FrameSender` and flush only when the
+    inbound socket goes idle (nothing further to batch with), when the
+    buffer crosses its size threshold, or -- unconditionally -- before
+    the GOODBYE that answers a SHUTDOWN, so a drain never drops queued
+    tail results.
+
     Returns a process exit code: ``0`` clean shutdown, ``1`` the
     coordinator was unreachable, ``2`` the handshake was rejected, ``3``
     the connection was lost *after* a successful handshake (the case
     ``--reconnect`` retries immediately, since the coordinator clearly
     existed a moment ago).
     """
+    local_binary = wire_mode(wire_encoding) == "binary"
     welcomed = False
     try:
         sock = socket.create_connection(tuple(address), timeout=CONNECT_TIMEOUT)
@@ -109,6 +123,7 @@ def worker_loop(
                 "type": HELLO,
                 "schema": engine_module.ENGINE_SCHEMA,
                 "protocol": PROTOCOL_VERSION,
+                "wire": wire.wire_capabilities(local_binary),
             },
         )
         welcome = recv_frame(sock)
@@ -124,27 +139,40 @@ def worker_loop(
             )
             return 2
         welcomed = True
+        binary = wire.negotiate_wire(local_binary, welcome.get("wire"))
+        # Every outbound frame rides the coalescing sender so queue order
+        # is send order; control frames flush explicitly.
+        sender = wire.FrameSender(sock)
         served = 0
         while True:
+            # Nagle-style idle flush: when the socket already holds the
+            # next inbound frame, serving it may yield more output to
+            # coalesce into the same write, so hold the buffer; flush
+            # the moment the inbound side goes quiet.
+            if sender.pending and not wire.data_ready(sock):
+                sender.flush()
             frame = recv_frame(sock)
             ftype = frame.get("type")
             if ftype == SHUTDOWN:
-                # Clean goodbye: the coordinator's reader learns this was
-                # an orderly exit, not a crash worth a restart.
+                # Drain: queued tail results must leave before the clean
+                # goodbye, or an orderly shutdown would drop them.
+                sender.queue(encode_frame({"type": GOODBYE}))
                 try:
-                    send_frame(sock, {"type": GOODBYE})
+                    sender.flush()
                 except OSError:
                     pass
                 return 0
             if ftype != BATCH:
-                send_frame(
-                    sock,
-                    {
-                        "type": ERROR,
-                        "batch": frame.get("batch"),
-                        "message": f"unexpected frame type {ftype!r}",
-                    },
+                sender.queue(
+                    encode_frame(
+                        {
+                            "type": ERROR,
+                            "batch": frame.get("batch"),
+                            "message": f"unexpected frame type {ftype!r}",
+                        }
+                    )
                 )
+                sender.flush()
                 continue
             if fail_after is not None and served >= fail_after:
                 # Simulated crash: die before replying (test hook).
@@ -160,31 +188,37 @@ def worker_loop(
             )
             expected = frame.get("fingerprint")
             if expected is not None and expected != fingerprint:
-                send_frame(
-                    sock,
-                    {
-                        "type": ERROR,
-                        "batch": frame["batch"],
-                        "message": (
-                            f"library fingerprint mismatch: coordinator "
-                            f"expects {expected[:12]}..., this worker "
-                            f"builds {fingerprint[:12]}... -- workload "
-                            "code has diverged between hosts"
-                        ),
-                    },
+                sender.queue(
+                    encode_frame(
+                        {
+                            "type": ERROR,
+                            "batch": frame["batch"],
+                            "message": (
+                                f"library fingerprint mismatch: coordinator "
+                                f"expects {expected[:12]}..., this worker "
+                                f"builds {fingerprint[:12]}... -- workload "
+                                "code has diverged between hosts"
+                            ),
+                        }
+                    )
                 )
+                sender.flush()
                 continue
             records, built = engine_module.execute_batch(cells)
             served += 1
-            send_frame(
-                sock,
-                {
-                    "type": RESULT,
-                    "batch": frame["batch"],
-                    "records": records,
-                    "built": built,
-                },
-            )
+            result = {
+                "type": RESULT,
+                "batch": frame["batch"],
+                "built": built,
+            }
+            if binary:
+                result["block"] = wire.encode_record_block(
+                    list(enumerate(records))
+                )
+                sender.queue(wire.encode_binary_frame(result))
+            else:
+                result["records"] = records
+                sender.queue(encode_frame(result))
     except (ConnectionError, OSError):
         return 3 if welcomed else 1
     finally:

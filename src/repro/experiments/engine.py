@@ -887,12 +887,18 @@ class EngineStats:
     worker_restarts: int = 0     #: dead distributed workers replaced
     remote_cache_hits: int = 0   #: cells served by the service's shared store/fleet
     jobs_completed: int = 0      #: service jobs finished on our behalf
+    bytes_sent: int = 0          #: transport bytes written to sockets
+    bytes_received: int = 0      #: transport bytes read from sockets
+    frames_coalesced: int = 0    #: per-cell frames avoided by wire batching
+    blocks_compressed: int = 0   #: binary frames the adaptive codec deflated
 
     def reset(self) -> None:
         self.cells = self.unique_cells = self.cache_hits = self.executed = 0
         self.applications_built = self.libraries_built = 0
         self.builds_saved = self.frames_sent = self.worker_restarts = 0
         self.remote_cache_hits = self.jobs_completed = 0
+        self.bytes_sent = self.bytes_received = 0
+        self.frames_coalesced = self.blocks_compressed = 0
 
     def engine_payload(self) -> Dict[str, object]:
         """The sweep-engine counters as a JSON-able dict -- never merged
@@ -909,6 +915,10 @@ class EngineStats:
             "worker_restarts": self.worker_restarts,
             "remote_cache_hits": self.remote_cache_hits,
             "jobs_completed": self.jobs_completed,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "frames_coalesced": self.frames_coalesced,
+            "blocks_compressed": self.blocks_compressed,
         }
 
 
@@ -1173,6 +1183,10 @@ class SweepEngine:
         self.stats.worker_restarts += counters["worker_restarts"]
         self.stats.remote_cache_hits += counters["remote_cache_hits"]
         self.stats.jobs_completed += counters["jobs_completed"]
+        self.stats.bytes_sent += counters["bytes_sent"]
+        self.stats.bytes_received += counters["bytes_received"]
+        self.stats.frames_coalesced += counters["frames_coalesced"]
+        self.stats.blocks_compressed += counters["blocks_compressed"]
         return records
 
 

@@ -195,17 +195,26 @@ Row = Tuple[int, Dict[str, object], Dict[str, object]]
 
 def encode_shard(rows: Sequence[Row]) -> Dict[str, object]:
     """Encode rows into a shard document (no I/O; caller persists it)."""
+    n = len(rows)
     indices: List[object] = []
     cell_cols: Dict[str, List[object]] = {}
     record_cols: Dict[str, List[object]] = {}
     for position, (index, cell, record) in enumerate(rows):
         indices.append(index)
         for name, value in cell.items():
-            if name not in CELL_FIELDS:
-                raise ValueError(f"cell payload field {name!r} not in CELL_FIELDS")
-            cell_cols.setdefault(name, [MISSING] * len(rows))[position] = value
+            column = cell_cols.get(name)
+            if column is None:
+                if name not in CELL_FIELDS:
+                    raise ValueError(
+                        f"cell payload field {name!r} not in CELL_FIELDS"
+                    )
+                column = cell_cols[name] = [MISSING] * n
+            column[position] = value
         for name, value in record.items():
-            record_cols.setdefault(name, [MISSING] * len(rows))[position] = value
+            column = record_cols.get(name)
+            if column is None:
+                column = record_cols[name] = [MISSING] * n
+            column[position] = value
     columns = [_encode_column("meta", "index", indices)]
     for name in sorted(cell_cols):
         columns.append(_encode_column("cell", name, cell_cols[name]))

@@ -13,6 +13,9 @@ workers join the fleet unchanged:
   against;
 * :mod:`repro.service.protocol` -- the frame codec on
   ``asyncio.StreamReader/Writer`` (one wire format, two transports);
+* :mod:`repro.service.wire` -- the negotiated binary columnar encoding
+  (envelope + adaptive zlib + record blocks) and the coalescing frame
+  sender both transports share;
 * :mod:`repro.service.scheduler` -- deficit-round-robin fair scheduling
   of cell batches across submitters (pure data structure, no sockets);
 * :mod:`repro.service.store` -- the network-served content-addressed
@@ -45,16 +48,16 @@ _EXPORTS = {
     "write_frame": "repro.service.protocol",
 }
 
-__all__ = sorted(_EXPORTS) + ["frames"]
+__all__ = sorted(_EXPORTS) + ["frames", "wire"]
 
 
 def __getattr__(name: str):
     import importlib
 
-    if name == "frames":
+    if name in ("frames", "wire"):
         # import_module, not a from-import: the latter re-enters this
         # __getattr__ before the submodule lands in sys.modules.
-        module = importlib.import_module("repro.service.frames")
+        module = importlib.import_module(f"repro.service.{name}")
         globals()[name] = module
         return module
     target = _EXPORTS.get(name)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import socket
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.config_env import wire_mode
 from repro.experiments import engine as engine_module
 from repro.experiments.backends.distributed import (
     PROTOCOL_VERSION,
@@ -26,6 +27,7 @@ from repro.experiments.backends.distributed import (
     recv_frame,
     send_frame,
 )
+from repro.service import wire
 from repro.service.frames import (
     CACHE_GET,
     CACHE_HIT,
@@ -33,6 +35,7 @@ from repro.service.frames import (
     CACHE_OK,
     CACHE_PUT,
     CELL_RESULT,
+    CELL_RESULT_BLOCK,
     ERROR,
     GOODBYE,
     HELLO,
@@ -42,6 +45,7 @@ from repro.service.frames import (
     JOB_FAILED,
     REJECT,
     WELCOME,
+    WIRE_ACK,
 )
 from repro.util.validation import ReproError
 
@@ -53,18 +57,27 @@ class ServiceClient:
 
     Usable as a context manager; :meth:`close` sends ``goodbye`` so the
     daemon retires the connection cleanly.
+
+    ``wire_encoding`` overrides ``$REPRO_WIRE`` (``json`` | ``binary``);
+    the connection speaks binary only when the daemon's welcome also
+    advertised it, so any client/daemon version mix interoperates.
+    Transport byte counters accumulate in :attr:`wire_stats` and each
+    :meth:`run_job` folds its delta into the returned counters.
     """
 
     def __init__(
         self,
         coordinator: Union[str, Tuple[str, int]],
         submitter: Optional[str] = None,
+        wire_encoding: Optional[str] = None,
     ):
         if isinstance(coordinator, str):
             address = parse_address(coordinator)
         else:
             address = (coordinator[0], int(coordinator[1]))
         self.submitter = submitter
+        local_binary = wire_mode(wire_encoding) == "binary"
+        self.wire_stats = wire.WireStats()
         try:
             self._conn = socket.create_connection(
                 address, timeout=CONNECT_TIMEOUT
@@ -83,9 +96,11 @@ class ServiceClient:
                 "role": "client",
                 "schema": engine_module.ENGINE_SCHEMA,
                 "protocol": PROTOCOL_VERSION,
+                "wire": wire.wire_capabilities(local_binary),
             },
+            stats=self.wire_stats,
         )
-        welcome = recv_frame(self._conn)
+        welcome = recv_frame(self._conn, self.wire_stats)
         if welcome.get("type") == REJECT:
             self._conn.close()
             raise ReproError(
@@ -97,6 +112,9 @@ class ServiceClient:
                 f"expected welcome frame, got {welcome.get('type')!r}"
             )
         self.fingerprints = list(welcome.get("fingerprints", []))
+        self.wire_binary = wire.negotiate_wire(
+            local_binary, welcome.get("wire")
+        )
 
     # --------------------------------------------------------------- jobs
     def run_job(
@@ -129,7 +147,13 @@ class ServiceClient:
             job_frame["submitter"] = self.submitter
         if chunk is not None:
             job_frame["chunk"] = int(chunk)
-        send_frame(self._conn, job_frame)
+        wire_before = self.wire_stats.snapshot()
+        # Under the negotiated binary wire the job frame itself rides the
+        # adaptive envelope: a big cell list deflates well.
+        send_frame(
+            self._conn, job_frame,
+            stats=self.wire_stats, binary=self.wire_binary,
+        )
         records: Optional[List[Optional[Dict[str, object]]]] = None
         if on_record is None:
             records = [None] * len(payloads)
@@ -140,8 +164,23 @@ class ServiceClient:
         held: Dict[int, Dict[str, object]] = {}
         next_emit = 0
         job_id = None
+
+        def accept(index: int, record) -> None:
+            nonlocal arrived, next_emit
+            if not (0 <= index < len(payloads)) or received[index]:
+                return
+            received[index] = 1
+            arrived += 1
+            if records is not None:
+                records[index] = record
+            else:
+                held[index] = record
+                while next_emit in held:
+                    on_record(next_emit, held.pop(next_emit))
+                    next_emit += 1
+
         while True:
-            frame = recv_frame(self._conn)
+            frame = recv_frame(self._conn, self.wire_stats)
             ftype = frame.get("type")
             if ftype == REJECT:
                 raise ReproError(
@@ -150,17 +189,23 @@ class ServiceClient:
             if ftype == JOB_ACCEPTED:
                 job_id = frame.get("job")
             elif ftype == CELL_RESULT:
-                index = int(frame.get("index", -1))
-                if 0 <= index < len(payloads) and not received[index]:
-                    received[index] = 1
-                    arrived += 1
-                    if records is not None:
-                        records[index] = frame.get("record")
-                    else:
-                        held[index] = frame.get("record")
-                        while next_emit in held:
-                            on_record(next_emit, held.pop(next_emit))
-                            next_emit += 1
+                accept(int(frame.get("index", -1)), frame.get("record"))
+            elif ftype == CELL_RESULT_BLOCK:
+                rows = wire.decode_record_block(frame.get("block") or {})
+                self.wire_stats.add(
+                    "frames_coalesced", max(0, len(rows) - 1)
+                )
+                for index, record in rows:
+                    accept(int(index), record)
+                send_frame(
+                    self._conn,
+                    {
+                        "type": WIRE_ACK,
+                        "job": frame.get("job"),
+                        "rows": len(rows),
+                    },
+                    stats=self.wire_stats,
+                )
             elif ftype == JOB_DONE:
                 if arrived < len(payloads):
                     missing = [
@@ -176,6 +221,12 @@ class ServiceClient:
                         frame.get("counters", {})
                     ).items()
                 }
+                # Fold this job's transport delta into its counters so
+                # the engine's EngineStats surface the wire traffic.
+                wire_after = self.wire_stats.snapshot()
+                for name, value in wire_after.items():
+                    delta = value - wire_before[name]
+                    counters[name] = counters.get(name, 0) + delta
                 return (
                     list(records) if records is not None else None,
                     counters,
@@ -195,8 +246,11 @@ class ServiceClient:
     # -------------------------------------------------------------- cache
     def cache_get(self, key: str) -> Optional[Dict[str, object]]:
         """Fetch one record from the service store (``None`` on miss)."""
-        send_frame(self._conn, {"type": CACHE_GET, "key": key})
-        frame = recv_frame(self._conn)
+        send_frame(
+            self._conn, {"type": CACHE_GET, "key": key},
+            stats=self.wire_stats,
+        )
+        frame = recv_frame(self._conn, self.wire_stats)
         ftype = frame.get("type")
         if ftype == CACHE_HIT:
             record = frame.get("record")
@@ -224,8 +278,9 @@ class ServiceClient:
                 "cell": dict(cell_payload),
                 "record": dict(record),
             },
+            stats=self.wire_stats,
         )
-        frame = recv_frame(self._conn)
+        frame = recv_frame(self._conn, self.wire_stats)
         if frame.get("type") != CACHE_OK:
             raise ReproError(
                 f"cache_put refused: {frame.get('message', frame.get('type'))}"
@@ -234,7 +289,9 @@ class ServiceClient:
     # ----------------------------------------------------------- lifecycle
     def close(self) -> None:
         try:
-            send_frame(self._conn, {"type": GOODBYE})
+            send_frame(
+                self._conn, {"type": GOODBYE}, stats=self.wire_stats
+            )
         except OSError:
             pass
         try:

@@ -57,6 +57,7 @@ import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.config_env import wire_mode
 from repro.experiments import engine as engine_module
 from repro.experiments.backends.base import (
     merge_counters,
@@ -66,7 +67,9 @@ from repro.experiments.backends.base import (
 from repro.experiments.backends.distributed import (
     HANDSHAKE_TIMEOUT,
     PROTOCOL_VERSION,
+    result_records,
 )
+from repro.service import wire
 from repro.service.frames import (
     BATCH,
     CACHE_GET,
@@ -75,6 +78,7 @@ from repro.service.frames import (
     CACHE_OK,
     CACHE_PUT,
     CELL_RESULT,
+    CELL_RESULT_BLOCK,
     ERROR,
     GOODBYE,
     HELLO,
@@ -86,6 +90,7 @@ from repro.service.frames import (
     RESULT,
     SHUTDOWN,
     WELCOME,
+    WIRE_ACK,
 )
 from repro.service.protocol import read_frame, write_frame
 from repro.service.scheduler import FairScheduler
@@ -96,7 +101,9 @@ from repro.util.validation import ReproError
 class _Peer:
     """Daemon-side view of one connection (worker or client)."""
 
-    __slots__ = ("peer_id", "role", "reader", "writer", "token", "closed")
+    __slots__ = (
+        "peer_id", "role", "reader", "writer", "token", "closed", "wire",
+    )
 
     def __init__(self, peer_id: int, role: str, reader, writer):
         self.peer_id = peer_id
@@ -105,6 +112,7 @@ class _Peer:
         self.writer = writer
         self.token: Optional[int] = None  #: worker: outstanding batch token
         self.closed = False
+        self.wire = False  #: negotiated binary wire on this connection
 
 
 class _JobState:
@@ -113,6 +121,7 @@ class _JobState:
     __slots__ = (
         "job_id", "peer", "submitter", "priority",
         "indices_by_key", "unresolved", "counters", "failed",
+        "pending_rows",
     )
 
     def __init__(self, job_id: int, peer: _Peer, submitter: str, priority: int):
@@ -125,6 +134,9 @@ class _JobState:
         self.unresolved: Set[str] = set()
         self.counters = new_counters()
         self.failed = False
+        #: binary-wire clients: (index, record) rows coalesced toward the
+        #: next cell_result_block flush
+        self.pending_rows: List[Tuple[int, Dict[str, object]]] = []
 
 
 class _BatchState:
@@ -174,6 +186,7 @@ class SweepService:
         quantum: int = 4,
         max_restarts: Optional[int] = None,
         worker_specs: Optional[Sequence[Dict[str, object]]] = None,
+        wire_encoding: Optional[str] = None,
     ):
         if workers is None:
             workers = self.DEFAULT_WORKERS
@@ -188,10 +201,15 @@ class SweepService:
         )
         self.store = RecordStore(cache_dir) if cache_dir is not None else None
         self.scheduler = FairScheduler(quantum=quantum)
+        #: Advertise the binary columnar wire?  Explicit argument beats
+        #: ``$REPRO_WIRE`` beats the ``binary`` default; every connection
+        #: still falls back to JSON unless the peer advertised too.
+        self.wire_binary = wire_mode(wire_encoding) == "binary"
         self.address: Optional[Tuple[str, int]] = None
         self.jobs_accepted = 0
         self.jobs_finished = 0
         self.jobs_failed = 0
+        self.blocks_acked = 0
 
         self._jobs: Dict[int, _JobState] = {}
         self._batches: Dict[int, _BatchState] = {}
@@ -330,12 +348,14 @@ class SweepService:
                     "schema": engine_module.ENGINE_SCHEMA,
                     "protocol": PROTOCOL_VERSION,
                     "fingerprints": sorted(self._fingerprints),
+                    "wire": wire.wire_capabilities(self.wire_binary),
                 },
             )
         except (OSError, ConnectionError):
             writer.close()
             return
         peer = _Peer(self._next_peer, role, reader, writer)
+        peer.wire = wire.negotiate_wire(self.wire_binary, hello.get("wire"))
         self._next_peer += 1
         if role == "worker":
             if self._draining:
@@ -386,6 +406,10 @@ class SweepService:
                     await self._on_cache_get(peer, frame)
                 elif ftype == CACHE_PUT:
                     await self._on_cache_put(peer, frame)
+                elif ftype == WIRE_ACK:
+                    # Per-block acknowledgement from a binary-wire
+                    # client; bookkeeping only, nothing to send back.
+                    self.blocks_acked += 1
                 elif ftype == GOODBYE:
                     return
                 else:
@@ -409,9 +433,26 @@ class SweepService:
     # ------------------------------------------------------------ job intake
     def _prepare_job(self, payloads):
         """Heavy intake work, off the event loop: parse cells, hash keys
-        (compiling the library fingerprint on first sight), read store hits."""
-        cells = [engine_module.SweepCell.from_payload(p) for p in payloads]
-        keys = [engine_module.cell_key(cell) for cell in cells]
+        (compiling the library fingerprint on first sight), read store hits.
+
+        Duplicate payloads within one job parse and hash once: repeat
+        submissions of one grid are the service's common case, and the
+        per-cell content hash would otherwise dominate intake.  The memo
+        token is the decoded document's ``repr`` -- identical wire
+        documents decode to identical reprs, and a miss (e.g. differing
+        key order) only costs the redundant hash it would have paid
+        anyway."""
+        cells = []
+        keys = []
+        memo: Dict[str, Tuple[object, str]] = {}
+        for payload in payloads:
+            token = repr(payload)
+            entry = memo.get(token)
+            if entry is None:
+                cell = engine_module.SweepCell.from_payload(payload)
+                entry = memo[token] = (cell, engine_module.cell_key(cell))
+            cells.append(entry[0])
+            keys.append(entry[1])
         hits: Dict[str, Dict[str, object]] = {}
         if self.store is not None:
             seen: Set[str] = set()
@@ -522,6 +563,9 @@ class SweepService:
                 job.unresolved.add(key)
             self.scheduler.submit(job_id, submitter, priority, entries)
             job.counters["frames_sent"] += len(entries)
+        # Intake boundary: store hits coalesced above leave now even when
+        # the job still has in-flight keys ahead of it.
+        await self._flush_job_blocks(job)
         await self._maybe_finish_job(job)
         await self._dispatch()
 
@@ -542,7 +586,7 @@ class SweepService:
                 continue
             peer.token = token
             try:
-                await write_frame(peer.writer, state.frame)
+                await write_frame(peer.writer, state.frame, binary=peer.wire)
             except (OSError, ConnectionError):
                 await self._on_worker_lost(peer, clean=False)
 
@@ -554,7 +598,7 @@ class SweepService:
         state = self._batches.pop(token, None)
         if state is not None:
             self.scheduler.complete(token)
-            records = frame.get("records") or []
+            records = result_records(frame)
             if len(records) != len(state.keys):
                 # A short (or long) record list would zip-truncate and
                 # leave the tail keys unresolved forever; fail loudly.
@@ -577,6 +621,9 @@ class SweepService:
                 )
             for key, record in zip(state.keys, records):
                 await self._resolve_key(key, record)
+            # Batch boundary: whatever the resolved keys coalesced for
+            # still-running jobs goes out now, one block per job.
+            await self._flush_all_blocks()
         await self._dispatch()
 
     def _store_batch(self, keys, payloads, records) -> None:
@@ -596,6 +643,15 @@ class SweepService:
     async def _send_cell_results(self, job: _JobState, key: str, record) -> None:
         if job.peer.closed:
             return
+        if job.peer.wire:
+            # Binary-wire client: coalesce rows toward one columnar
+            # cell_result_block; flushed at the size threshold here, at
+            # batch boundaries, and always before job_done/job_failed.
+            for index in job.indices_by_key.get(key, ()):
+                job.pending_rows.append((index, record))
+            if len(job.pending_rows) >= wire.COALESCE_FLUSH_ROWS:
+                await self._flush_job_blocks(job)
+            return
         for index in job.indices_by_key.get(key, ()):
             try:
                 await write_frame(
@@ -613,9 +669,34 @@ class SweepService:
                 job.peer.closed = True
                 return
 
+    async def _flush_job_blocks(self, job: _JobState) -> None:
+        """Send one ``cell_result_block`` with every coalesced row."""
+        rows = job.pending_rows
+        if not rows:
+            return
+        job.pending_rows = []
+        if job.peer.closed:
+            return
+        frame = {
+            "type": CELL_RESULT_BLOCK,
+            "job": job.job_id,
+            "block": wire.encode_record_block(rows),
+            "rows": len(rows),
+        }
+        try:
+            await write_frame(job.peer.writer, frame, binary=True)
+        except (OSError, ConnectionError):
+            job.peer.closed = True
+
+    async def _flush_all_blocks(self) -> None:
+        for job in list(self._jobs.values()):
+            await self._flush_job_blocks(job)
+
     async def _maybe_finish_job(self, job: _JobState) -> None:
         if job.failed or job.unresolved or job.job_id not in self._jobs:
             return
+        # Ordering: every coalesced row must precede the terminal frame.
+        await self._flush_job_blocks(job)
         job.counters["jobs_completed"] += 1
         self.jobs_finished += 1
         if self.store is not None:
@@ -641,6 +722,7 @@ class SweepService:
     async def _fail_job(self, job: _JobState, message: str) -> None:
         if job.failed or job.job_id not in self._jobs:
             return
+        await self._flush_job_blocks(job)
         job.failed = True
         self.jobs_failed += 1
         if not job.peer.closed:

@@ -54,6 +54,11 @@ JOB = "job"
 JOB_ACCEPTED = "job_accepted"
 #: Daemon -> client: one cell's record, streamed as it resolves.
 CELL_RESULT = "cell_result"
+#: Daemon -> client (binary wire only): a coalesced run of finished
+#: cells as one columnar block (``repro.service.wire``).
+CELL_RESULT_BLOCK = "cell_result_block"
+#: Client -> daemon (binary wire only): acknowledges one decoded block.
+WIRE_ACK = "wire_ack"
 #: Daemon -> client: every cell of the job resolved; carries counters.
 JOB_DONE = "job_done"
 #: Daemon -> client: the job cannot finish; carries a message.
@@ -75,7 +80,8 @@ FRAME_TYPES = frozenset(
     {
         HELLO, WELCOME, REJECT,
         BATCH, RESULT, ERROR, SHUTDOWN, GOODBYE,
-        JOB, JOB_ACCEPTED, CELL_RESULT, JOB_DONE, JOB_FAILED,
+        JOB, JOB_ACCEPTED, CELL_RESULT, CELL_RESULT_BLOCK, WIRE_ACK,
+        JOB_DONE, JOB_FAILED,
         CACHE_GET, CACHE_HIT, CACHE_MISS, CACHE_PUT, CACHE_OK,
     }
 )
@@ -133,13 +139,14 @@ CHANNELS: Tuple[Channel, ...] = (
     Channel(
         "daemon", "client",
         frozenset({
-            WELCOME, REJECT, JOB_ACCEPTED, CELL_RESULT, JOB_DONE,
+            WELCOME, REJECT, JOB_ACCEPTED, CELL_RESULT,
+            CELL_RESULT_BLOCK, JOB_DONE,
             JOB_FAILED, CACHE_HIT, CACHE_MISS, CACHE_OK, ERROR,
         }),
     ),
     Channel(
         "client", "daemon",
-        frozenset({HELLO, JOB, CACHE_GET, CACHE_PUT, GOODBYE}),
+        frozenset({HELLO, JOB, WIRE_ACK, CACHE_GET, CACHE_PUT, GOODBYE}),
     ),
 )
 
@@ -149,6 +156,7 @@ PAIRINGS: Dict[str, Tuple[str, ...]] = {
     HELLO: (WELCOME, REJECT),
     BATCH: (RESULT, ERROR),
     JOB: (JOB_ACCEPTED, REJECT),
+    CELL_RESULT_BLOCK: (WIRE_ACK,),
     CACHE_GET: (CACHE_HIT, CACHE_MISS),
     CACHE_PUT: (CACHE_OK, ERROR),
 }
@@ -180,6 +188,7 @@ __all__ = [
     "CACHE_OK",
     "CACHE_PUT",
     "CELL_RESULT",
+    "CELL_RESULT_BLOCK",
     "CHANNELS",
     "Channel",
     "ENDPOINT_PATHS",
@@ -196,6 +205,7 @@ __all__ = [
     "RESULT",
     "SHUTDOWN",
     "WELCOME",
+    "WIRE_ACK",
     "declared_incoming",
     "declared_outgoing",
 ]

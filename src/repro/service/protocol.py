@@ -1,29 +1,34 @@
-"""Async transport of the length-prefixed JSON frame protocol.
+"""Async transport of the length-prefixed frame protocol.
 
 The wire format is *identical* to the synchronous codec in
 :mod:`repro.experiments.backends.distributed` -- a 4-byte big-endian
-length followed by that many bytes of canonical UTF-8 JSON -- and this
-module reuses its :func:`~repro.experiments.backends.distributed
-.encode_frame` for serialisation, so there is exactly one frame format
-with two transports.  A synchronous worker (``python -m repro worker``)
-and the asyncio daemon interoperate byte-for-byte.
+length followed by one frame payload in either encoding: canonical
+UTF-8 JSON, or the negotiated binary envelope of
+:mod:`repro.service.wire` (magic + flags + optionally-deflated JSON).
+Decoding sniffs the payload's first byte, so a synchronous worker
+(``python -m repro worker``) of either vintage and the asyncio daemon
+interoperate byte-for-byte on one frame format with two transports.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import struct
+from typing import Optional
 
 from repro.experiments.backends.distributed import (
     MAX_FRAME_BYTES,
     encode_frame,
 )
+from repro.service import wire
 from repro.util.validation import ReproError
 
 
-async def read_frame(reader: asyncio.StreamReader):
-    """Read one length-prefixed JSON frame from an asyncio stream.
+async def read_frame(
+    reader: asyncio.StreamReader,
+    stats: Optional[wire.WireStats] = None,
+):
+    """Read one length-prefixed frame (either encoding) from a stream.
 
     Raises :class:`asyncio.IncompleteReadError` when the peer closes
     mid-frame and :class:`~repro.util.validation.ReproError` on a length
@@ -38,17 +43,31 @@ async def read_frame(reader: asyncio.StreamReader):
             f"{MAX_FRAME_BYTES} limit"
         )
     blob = await reader.readexactly(length)
-    return json.loads(blob.decode("utf-8"))
+    if stats is not None:
+        stats.add("bytes_received", 4 + length)
+    return wire.decode_blob(blob, stats)
 
 
-async def write_frame(writer: asyncio.StreamWriter, obj) -> None:
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    obj,
+    binary: bool = False,
+    stats: Optional[wire.WireStats] = None,
+) -> None:
     """Write one frame and drain.
 
-    The whole frame goes through a single ``writer.write`` call, so
-    concurrent tasks writing to the same peer never interleave partial
-    frames -- per-connection locks are unnecessary.
+    ``binary`` selects the negotiated wire envelope (adaptively
+    deflated) over plain JSON.  The whole frame goes through a single
+    ``writer.write`` call, so concurrent tasks writing to the same peer
+    never interleave partial frames -- per-connection locks are
+    unnecessary.
     """
-    writer.write(encode_frame(obj))
+    blob = wire.encode_binary_frame(obj) if binary else encode_frame(obj)
+    writer.write(blob)
+    if stats is not None:
+        stats.add("bytes_sent", len(blob))
+        if binary and blob[5] & wire.FLAG_ZLIB:
+            stats.add("blocks_compressed", 1)
     await writer.drain()
 
 

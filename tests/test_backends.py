@@ -174,20 +174,32 @@ class TestHandshake:
             client.close()
 
     def test_matching_hello_welcomed_with_fingerprints(self):
+        # No "wire" capability in the hello: accepted, JSON wire.
         accepted, reply = self._handshake_pair({
             "type": "hello",
             "schema": engine_module.ENGINE_SCHEMA,
             "protocol": PROTOCOL_VERSION,
         })
-        assert accepted
+        assert accepted is False
         assert reply["type"] == "welcome"
         assert reply["fingerprints"] == ["abc123"]
+
+    def test_v2_hello_negotiates_binary_wire(self):
+        accepted, reply = self._handshake_pair({
+            "type": "hello",
+            "schema": engine_module.ENGINE_SCHEMA,
+            "protocol": PROTOCOL_VERSION,
+            "wire": ["v2"],
+        })
+        assert accepted is True
+        assert reply["type"] == "welcome"
+        assert "v2" in reply["wire"]
 
     def test_schema_mismatch_rejected(self):
         accepted, reply = self._handshake_pair({
             "type": "hello", "schema": -1, "protocol": PROTOCOL_VERSION,
         })
-        assert not accepted
+        assert accepted is None
         assert reply["type"] == "reject"
         assert "mismatch" in reply["reason"]
 
@@ -197,7 +209,7 @@ class TestHandshake:
             "schema": engine_module.ENGINE_SCHEMA,
             "protocol": PROTOCOL_VERSION + 1,
         })
-        assert not accepted
+        assert accepted is None
         assert reply["type"] == "reject"
 
 
